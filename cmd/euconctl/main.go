@@ -1,0 +1,107 @@
+// Command euconctl is the centralized EUCON controller daemon. It listens
+// for node-agent feedback lanes (one per processor, see cmd/nodeagent),
+// runs the MIMO model-predictive feedback loop for the requested number of
+// sampling periods, and prints the per-period utilization record.
+//
+// Example (SIMPLE workload: 1 controller + 2 node agents):
+//
+//	euconctl  -listen 127.0.0.1:7070 -workload simple -periods 100 &
+//	nodeagent -addr   127.0.0.1:7070 -workload simple -proc 0 -etf 0.5 &
+//	nodeagent -addr   127.0.0.1:7070 -workload simple -proc 1 -etf 0.5
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/rtsyslab/eucon/internal/agent"
+	"github.com/rtsyslab/eucon/internal/baseline"
+	"github.com/rtsyslab/eucon/internal/core"
+	"github.com/rtsyslab/eucon/internal/sim"
+	"github.com/rtsyslab/eucon/internal/task"
+	"github.com/rtsyslab/eucon/internal/workload"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	listen := flag.String("listen", "127.0.0.1:7070", "address to accept node-agent lanes on")
+	name := flag.String("workload", "simple", "workload: simple or medium")
+	ctrlName := flag.String("controller", "eucon", "controller: eucon or open")
+	periods := flag.Int("periods", 100, "number of sampling periods to run")
+	flag.Parse()
+
+	var sys *task.System
+	var cfg core.Config
+	switch *name {
+	case "simple":
+		sys, cfg = workload.Simple(), workload.SimpleController()
+	case "medium":
+		sys, cfg = workload.Medium(), workload.MediumController()
+	default:
+		fmt.Fprintf(os.Stderr, "euconctl: unknown workload %q\n", *name)
+		return 2
+	}
+
+	var ctrl sim.RateController
+	var err error
+	switch *ctrlName {
+	case "eucon":
+		ctrl, err = core.New(sys, nil, cfg)
+	case "open":
+		ctrl, err = baseline.NewOpen(sys, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "euconctl: unknown controller %q\n", *ctrlName)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "euconctl: %v\n", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "euconctl: %v\n", err)
+		return 1
+	}
+	coord, err := agent.NewCoordinator(agent.CoordinatorConfig{
+		System:     sys,
+		Controller: ctrl,
+		Listener:   ln,
+		Periods:    *periods,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "euconctl: %v\n", err)
+		return 1
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Printf("euconctl: %s/%s on %s, waiting for %d node agents\n", sys.Name, ctrl.Name(), ln.Addr(), sys.Processors)
+	res, err := coord.Run(ctx)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "euconctl: %v\n", err)
+		return 1
+	}
+	fmt.Print("period")
+	for p := 0; p < sys.Processors; p++ {
+		fmt.Printf("\tu(P%d)", p+1)
+	}
+	fmt.Println()
+	for k, u := range res.Utilization {
+		fmt.Printf("%d", k+1)
+		for _, v := range u {
+			fmt.Printf("\t%.4f", v)
+		}
+		fmt.Println()
+	}
+	return 0
+}

@@ -1,0 +1,108 @@
+// Command euconsim regenerates the tables and figures of the EUCON paper's
+// evaluation from the Go reproduction.
+//
+// Usage:
+//
+//	euconsim -list
+//	euconsim -exp fig4
+//	euconsim -exp all
+//
+// Output is tab-separated data matching the corresponding paper artifact
+// (see DESIGN.md for the experiment index and EXPERIMENTS.md for
+// paper-vs-measured results).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/rtsyslab/eucon/internal/experiments"
+	"github.com/rtsyslab/eucon/internal/trace"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	list := flag.Bool("list", false, "list available experiments")
+	exp := flag.String("exp", "", "experiment ID to run, or \"all\"")
+	csvDir := flag.String("csv", "", "for trace experiments: also write <id>-utilization.csv, <id>-rates.csv, <id>-missratio.csv into this directory")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return 0
+	case *exp == "all":
+		for _, e := range experiments.All() {
+			fmt.Printf("=== %s: %s\n", e.ID, e.Title)
+			if err := e.Run(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "euconsim: %s: %v\n", e.ID, err)
+				return 1
+			}
+			fmt.Println()
+		}
+		return 0
+	case *exp != "":
+		e, ok := experiments.Lookup(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "euconsim: unknown experiment %q; available: %v\n", *exp, experiments.IDs())
+			return 2
+		}
+		if err := e.Run(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "euconsim: %s: %v\n", e.ID, err)
+			return 1
+		}
+		if *csvDir != "" {
+			if err := exportCSV(*csvDir, e.ID); err != nil {
+				fmt.Fprintf(os.Stderr, "euconsim: %v\n", err)
+				return 1
+			}
+		}
+		return 0
+	default:
+		flag.Usage()
+		return 2
+	}
+}
+
+// exportCSV rebuilds the experiment's trace and writes the three CSV views
+// next to each other in dir.
+func exportCSV(dir, id string) error {
+	tr, err := experiments.TraceForExperiment(id)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("create CSV directory: %w", err)
+	}
+	writers := []struct {
+		suffix string
+		write  func(f *os.File) error
+	}{
+		{"utilization", func(f *os.File) error { return trace.WriteUtilizationCSV(f, tr) }},
+		{"rates", func(f *os.File) error { return trace.WriteRatesCSV(f, tr) }},
+		{"missratio", func(f *os.File) error { return trace.WriteMissRatioCSV(f, tr) }},
+	}
+	for _, w := range writers {
+		path := filepath.Join(dir, fmt.Sprintf("%s-%s.csv", id, w.suffix))
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", path, err)
+		}
+		if err := w.write(f); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("write %s: %w", path, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("close %s: %w", path, err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+// Command nodeagent is the per-processor agent of the EUCON architecture:
+// it hosts a utilization monitor and a rate modulator for one processor,
+// connected to the central controller (cmd/euconctl) through a TCP feedback
+// lane. The agent carries a synthetic plant whose utilization follows the
+// processor's hosted subtasks, current rates, and an execution-time factor.
+//
+// See cmd/euconctl for a complete invocation example.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/rtsyslab/eucon/internal/agent"
+	"github.com/rtsyslab/eucon/internal/sim"
+	"github.com/rtsyslab/eucon/internal/task"
+	"github.com/rtsyslab/eucon/internal/workload"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", "127.0.0.1:7070", "controller address")
+	name := flag.String("workload", "simple", "workload: simple or medium")
+	proc := flag.Int("proc", 0, "0-based processor index this agent hosts")
+	etf := flag.Float64("etf", 1, "execution-time factor (actual/estimated execution times)")
+	jitter := flag.Float64("jitter", 0, "uniform relative noise on measured utilization, in [0, 1)")
+	interval := flag.Duration("interval", 50*time.Millisecond, "real-time duration of one sampling period")
+	seed := flag.Int64("seed", 1, "noise seed")
+	flag.Parse()
+
+	var sys *task.System
+	switch *name {
+	case "simple":
+		sys = workload.Simple()
+	case "medium":
+		sys = workload.Medium()
+	default:
+		fmt.Fprintf(os.Stderr, "nodeagent: unknown workload %q\n", *name)
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Printf("nodeagent: P%d of %s → %s (etf=%g)\n", *proc+1, sys.Name, *addr, *etf)
+	err := agent.RunNode(ctx, agent.NodeConfig{
+		Processor:      *proc,
+		System:         sys,
+		Addr:           *addr,
+		Name:           fmt.Sprintf("%s-P%d", sys.Name, *proc+1),
+		ETF:            sim.ConstantETF(*etf),
+		SamplingPeriod: workload.SamplingPeriod,
+		Jitter:         *jitter,
+		Seed:           *seed,
+		Interval:       *interval,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nodeagent: %v\n", err)
+		return 1
+	}
+	fmt.Println("nodeagent: shut down cleanly")
+	return 0
+}

@@ -1,0 +1,82 @@
+// Command stability reproduces the closed-loop stability analysis of the
+// EUCON paper (§6.2): the critical uniform utilization gain of a workload's
+// closed loop and, for two-processor systems, a (g1, g2) stability-region
+// map.
+//
+// Usage:
+//
+//	stability -workload simple
+//	stability -workload medium
+//	stability -workload simple -region -max 10 -steps 21
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/rtsyslab/eucon/internal/core"
+	"github.com/rtsyslab/eucon/internal/stability"
+	"github.com/rtsyslab/eucon/internal/task"
+	"github.com/rtsyslab/eucon/internal/workload"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	name := flag.String("workload", "simple", "workload: simple or medium")
+	region := flag.Bool("region", false, "print a (g1, g2) stability-region grid (2-processor workloads)")
+	maxGain := flag.Float64("max", 12, "upper end of the gain search")
+	steps := flag.Int("steps", 13, "grid resolution for -region")
+	flag.Parse()
+
+	var sys *task.System
+	var cfg core.Config
+	switch *name {
+	case "simple":
+		sys, cfg = workload.Simple(), workload.SimpleController()
+	case "medium":
+		sys, cfg = workload.Medium(), workload.MediumController()
+	default:
+		fmt.Fprintf(os.Stderr, "stability: unknown workload %q\n", *name)
+		return 2
+	}
+	ctrl, err := core.New(sys, nil, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stability: %v\n", err)
+		return 1
+	}
+	g, err := ctrl.CriticalGain(0.5, *maxGain)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stability: %v\n", err)
+		return 1
+	}
+	fmt.Printf("workload=%s P=%d M=%d Tref/Ts=%g\n", sys.Name, cfg.PredictionHorizon, cfg.ControlHorizon, cfg.TrefOverTs)
+	fmt.Printf("critical uniform gain g* = %.4f\n", g)
+	fmt.Println("(paper, SIMPLE: 5.95 analytic; empirical boundary 6.5-7 in Figure 4)")
+
+	if !*region {
+		return 0
+	}
+	ke, kd, err := ctrl.Gains()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stability: %v\n", err)
+		return 1
+	}
+	gs := make([]float64, *steps)
+	for i := range gs {
+		gs[i] = *maxGain * float64(i+1) / float64(*steps)
+	}
+	points, err := stability.Region2D(sys.AllocationMatrix(), ke, kd, gs, gs, 1)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stability: %v\n", err)
+		return 1
+	}
+	fmt.Println("\ng1\tg2\trho\tstable")
+	for _, p := range points {
+		fmt.Printf("%.3f\t%.3f\t%.4f\t%v\n", p.G1, p.G2, p.Rho, p.Stable)
+	}
+	return 0
+}

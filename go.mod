@@ -1,0 +1,3 @@
+module github.com/rtsyslab/eucon
+
+go 1.23

@@ -1,0 +1,320 @@
+// Package agent implements the distributed runtime of the EUCON
+// architecture (paper §4): a centralized controller process (Coordinator)
+// connected through TCP feedback lanes to one node agent per processor,
+// each hosting a utilization monitor and a rate modulator.
+//
+// The feedback loop runs in lockstep, mirroring the paper's sequence: at
+// the end of each sampling period every node sends its measured
+// utilization to the controller, the controller solves the MPC problem and
+// broadcasts the new task rates, and each node's rate modulator applies
+// them.
+//
+// Node agents in this package carry a synthetic plant — utilization is
+// generated from the node's hosted subtasks, the current rates, and an
+// execution-time factor with optional noise. This exercises the control
+// plane end-to-end over real sockets; full-fidelity scheduling dynamics
+// (preemptive RMS, release guard, queueing) live in internal/sim.
+package agent
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+
+	"github.com/rtsyslab/eucon/internal/lane"
+	"github.com/rtsyslab/eucon/internal/sim"
+	"github.com/rtsyslab/eucon/internal/task"
+)
+
+// DefaultTimeout bounds every lane send/receive.
+const DefaultTimeout = 10 * time.Second
+
+// CoordinatorConfig configures the controller process.
+type CoordinatorConfig struct {
+	// System describes the workload (needed for task count and initial
+	// rates).
+	System *task.System
+	// Controller computes rates each period (e.g. core.Controller).
+	Controller sim.RateController
+	// Listener accepts node-agent lanes. The coordinator takes ownership
+	// and closes it when Run returns.
+	Listener net.Listener
+	// Periods is the number of feedback periods to run.
+	Periods int
+	// Timeout bounds each lane operation; zero selects DefaultTimeout.
+	Timeout time.Duration
+}
+
+// Result is the coordinator's run record, shaped like a sim.Trace.
+type Result struct {
+	// Utilization[k][p] is processor p's report in period k.
+	Utilization [][]float64
+	// Rates[k] is the rate vector applied for period k+1.
+	Rates [][]float64
+}
+
+// Coordinator runs the centralized EUCON feedback loop over TCP lanes.
+type Coordinator struct {
+	cfg   CoordinatorConfig
+	lanes []*lane.Conn // index = processor
+}
+
+// NewCoordinator validates the configuration.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.System == nil {
+		return nil, errors.New("agent: CoordinatorConfig.System is nil")
+	}
+	if err := cfg.System.Validate(); err != nil {
+		return nil, fmt.Errorf("agent: %w", err)
+	}
+	if cfg.Controller == nil {
+		return nil, errors.New("agent: CoordinatorConfig.Controller is nil")
+	}
+	if cfg.Listener == nil {
+		return nil, errors.New("agent: CoordinatorConfig.Listener is nil")
+	}
+	if cfg.Periods <= 0 {
+		return nil, fmt.Errorf("agent: period count %d must be positive", cfg.Periods)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultTimeout
+	}
+	return &Coordinator{cfg: cfg}, nil
+}
+
+// Run accepts one lane per processor, then drives the feedback loop for
+// the configured number of periods. It always releases all connections and
+// the listener before returning.
+func (c *Coordinator) Run(ctx context.Context) (*Result, error) {
+	defer func() {
+		for _, l := range c.lanes {
+			if l != nil {
+				_ = l.Close()
+			}
+		}
+		_ = c.cfg.Listener.Close()
+	}()
+	if err := c.accept(ctx); err != nil {
+		return nil, err
+	}
+
+	n := c.cfg.System.Processors
+	rates := c.cfg.System.InitialRates()
+	res := &Result{
+		Utilization: make([][]float64, 0, c.cfg.Periods),
+		Rates:       make([][]float64, 0, c.cfg.Periods),
+	}
+	for k := 0; k < c.cfg.Periods; k++ {
+		if err := ctx.Err(); err != nil {
+			c.shutdown("context canceled")
+			return res, fmt.Errorf("agent: run canceled at period %d: %w", k, err)
+		}
+		u := make([]float64, n)
+		for p := 0; p < n; p++ {
+			m, err := c.lanes[p].Receive(c.cfg.Timeout)
+			if err != nil {
+				c.shutdown("peer failure")
+				return res, fmt.Errorf("agent: utilization from P%d in period %d: %w", p+1, k, err)
+			}
+			if m.Type != lane.TypeUtilization {
+				c.shutdown("protocol error")
+				return res, fmt.Errorf("agent: P%d sent %q in period %d, want utilization", p+1, m.Type, k)
+			}
+			if m.Period != k {
+				c.shutdown("protocol error")
+				return res, fmt.Errorf("agent: P%d reported period %d, want %d", p+1, m.Period, k)
+			}
+			u[p] = m.Utilization
+		}
+		res.Utilization = append(res.Utilization, u)
+		applied := make([]float64, len(rates))
+		copy(applied, rates)
+		res.Rates = append(res.Rates, applied)
+
+		newRates, err := c.cfg.Controller.Rates(k, u, rates)
+		if err != nil {
+			// Match the simulator's policy: keep rates on controller error.
+			newRates = rates
+		}
+		rates = newRates
+		out := &lane.Message{Type: lane.TypeRates, Period: k, Rates: rates}
+		for p := 0; p < n; p++ {
+			if err := c.lanes[p].Send(out, c.cfg.Timeout); err != nil {
+				c.shutdown("peer failure")
+				return res, fmt.Errorf("agent: rates to P%d in period %d: %w", p+1, k, err)
+			}
+		}
+	}
+	c.shutdown("run complete")
+	return res, nil
+}
+
+// accept waits for a hello from every processor, rejecting duplicates and
+// out-of-range indices.
+func (c *Coordinator) accept(ctx context.Context) error {
+	n := c.cfg.System.Processors
+	c.lanes = make([]*lane.Conn, n)
+	registered := 0
+	for registered < n {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("agent: accept canceled: %w", err)
+		}
+		if d, ok := c.cfg.Listener.(*net.TCPListener); ok {
+			// Bound each Accept so context cancellation is honored.
+			_ = d.SetDeadline(time.Now().Add(c.cfg.Timeout))
+		}
+		nc, err := c.cfg.Listener.Accept()
+		if err != nil {
+			return fmt.Errorf("agent: accept node lane: %w", err)
+		}
+		l := lane.NewConn(nc)
+		m, err := l.Receive(c.cfg.Timeout)
+		if err != nil {
+			_ = l.Close()
+			return fmt.Errorf("agent: hello: %w", err)
+		}
+		if m.Type != lane.TypeHello {
+			_ = l.Close()
+			return fmt.Errorf("agent: first message was %q, want hello", m.Type)
+		}
+		if m.Processor < 0 || m.Processor >= n {
+			_ = l.Close()
+			return fmt.Errorf("agent: hello for processor %d, have %d processors", m.Processor, n)
+		}
+		if c.lanes[m.Processor] != nil {
+			_ = l.Close()
+			return fmt.Errorf("agent: duplicate hello for processor %d", m.Processor)
+		}
+		c.lanes[m.Processor] = l
+		registered++
+	}
+	return nil
+}
+
+// shutdown notifies all connected nodes, best effort.
+func (c *Coordinator) shutdown(reason string) {
+	m := &lane.Message{Type: lane.TypeShutdown, Reason: reason}
+	for _, l := range c.lanes {
+		if l != nil {
+			_ = l.Send(m, time.Second)
+		}
+	}
+}
+
+// NodeConfig configures one node agent.
+type NodeConfig struct {
+	// Processor is this node's 0-based processor index.
+	Processor int
+	// System describes the workload; the node derives its hosted subtasks
+	// from it.
+	System *task.System
+	// Addr is the coordinator's TCP address.
+	Addr string
+	// Name labels the node in the hello message.
+	Name string
+	// ETF is the execution-time factor schedule for the synthetic plant.
+	ETF sim.ETFSchedule
+	// SamplingPeriod converts period indices to plant time for ETF lookup
+	// (time units per period).
+	SamplingPeriod float64
+	// Jitter adds uniform ±Jitter relative noise to the measured
+	// utilization.
+	Jitter float64
+	// Seed drives the noise.
+	Seed int64
+	// Interval is the real-time duration of one sampling period; zero runs
+	// the loop as fast as the lanes allow (tests).
+	Interval time.Duration
+	// Timeout bounds each lane operation; zero selects DefaultTimeout.
+	Timeout time.Duration
+}
+
+// RunNode connects to the coordinator and participates in the feedback
+// loop until a shutdown message, a lane failure, or context cancellation.
+func RunNode(ctx context.Context, cfg NodeConfig) error {
+	if cfg.System == nil {
+		return errors.New("agent: NodeConfig.System is nil")
+	}
+	if cfg.Processor < 0 || cfg.Processor >= cfg.System.Processors {
+		return fmt.Errorf("agent: processor %d out of range", cfg.Processor)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultTimeout
+	}
+	if cfg.SamplingPeriod <= 0 {
+		cfg.SamplingPeriod = 1
+	}
+	l, err := lane.Dial(cfg.Addr, cfg.Timeout)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = l.Close() }()
+
+	hello := &lane.Message{Type: lane.TypeHello, Processor: cfg.Processor, Node: cfg.Name}
+	if err := l.Send(hello, cfg.Timeout); err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Per-task cost hosted on this processor (the row of F for this node).
+	costs := make([]float64, len(cfg.System.Tasks))
+	for i := range cfg.System.Tasks {
+		for _, st := range cfg.System.Tasks[i].Subtasks {
+			if st.Processor == cfg.Processor {
+				costs[i] += st.EstimatedCost
+			}
+		}
+	}
+	rates := cfg.System.InitialRates()
+	for k := 0; ; k++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("agent: node P%d canceled: %w", cfg.Processor+1, err)
+		}
+		if cfg.Interval > 0 {
+			select {
+			case <-time.After(cfg.Interval):
+			case <-ctx.Done():
+				return fmt.Errorf("agent: node P%d canceled: %w", cfg.Processor+1, ctx.Err())
+			}
+		}
+		u := c0(costs, rates)
+		u *= cfg.ETF.At(float64(k) * cfg.SamplingPeriod)
+		if cfg.Jitter > 0 {
+			u *= 1 + cfg.Jitter*(2*rng.Float64()-1)
+		}
+		if u > 1 {
+			u = 1
+		}
+		m := &lane.Message{Type: lane.TypeUtilization, Processor: cfg.Processor, Period: k, Utilization: u}
+		if err := l.Send(m, cfg.Timeout); err != nil {
+			return err
+		}
+		reply, err := l.Receive(cfg.Timeout)
+		if err != nil {
+			return err
+		}
+		switch reply.Type {
+		case lane.TypeShutdown:
+			return nil
+		case lane.TypeRates:
+			if len(reply.Rates) != len(rates) {
+				return fmt.Errorf("agent: node P%d got %d rates, want %d", cfg.Processor+1, len(reply.Rates), len(rates))
+			}
+			copy(rates, reply.Rates)
+		default:
+			return fmt.Errorf("agent: node P%d got unexpected %q", cfg.Processor+1, reply.Type)
+		}
+	}
+}
+
+// c0 is the synthetic plant's estimated utilization Σ c_i·r_i.
+func c0(costs, rates []float64) float64 {
+	var u float64
+	for i := range costs {
+		u += costs[i] * rates[i]
+	}
+	return u
+}

@@ -1,0 +1,239 @@
+package agent
+
+import (
+	"context"
+	"math"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/rtsyslab/eucon/internal/core"
+	"github.com/rtsyslab/eucon/internal/lane"
+	"github.com/rtsyslab/eucon/internal/sim"
+	"github.com/rtsyslab/eucon/internal/task"
+	"github.com/rtsyslab/eucon/internal/workload"
+)
+
+// startCluster launches a coordinator plus one node per processor and
+// returns the coordinator result.
+func startCluster(t *testing.T, sys *task.System, ctrl sim.RateController, periods int, etf sim.ETFSchedule) (*Result, error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(CoordinatorConfig{
+		System:     sys,
+		Controller: ctrl,
+		Listener:   ln,
+		Periods:    periods,
+		Timeout:    5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	nodeErrs := make([]error, sys.Processors)
+	for p := 0; p < sys.Processors; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			nodeErrs[p] = RunNode(ctx, NodeConfig{
+				Processor:      p,
+				System:         sys,
+				Addr:           ln.Addr().String(),
+				Name:           "node",
+				ETF:            etf,
+				SamplingPeriod: workload.SamplingPeriod,
+				Seed:           int64(p + 1),
+				Timeout:        5 * time.Second,
+			})
+		}()
+	}
+	res, runErr := coord.Run(ctx)
+	wg.Wait()
+	for p, err := range nodeErrs {
+		if err != nil {
+			t.Errorf("node P%d: %v", p+1, err)
+		}
+	}
+	return res, runErr
+}
+
+func TestClusterConvergesToSetPoints(t *testing.T) {
+	sys := workload.Simple()
+	ctrl, err := core.New(sys, nil, workload.SimpleController())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := startCluster(t, sys, ctrl, 80, sim.ConstantETF(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Utilization) != 80 {
+		t.Fatalf("got %d periods, want 80", len(res.Utilization))
+	}
+	// Tail mean at the set point on both processors despite etf = 0.5.
+	for p := 0; p < 2; p++ {
+		var sum float64
+		for k := 40; k < 80; k++ {
+			sum += res.Utilization[k][p]
+		}
+		mean := sum / 40
+		if math.Abs(mean-0.828) > 0.02 {
+			t.Errorf("P%d tail mean over lanes = %v, want ≈ 0.828", p+1, mean)
+		}
+	}
+}
+
+func TestClusterMediumWithJitter(t *testing.T) {
+	sys := workload.Medium()
+	ctrl, err := core.New(sys, nil, workload.MediumController())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := startCluster(t, sys, ctrl, 60, sim.ConstantETF(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := sys.DefaultSetPoints()
+	for p := 0; p < 4; p++ {
+		var sum float64
+		for k := 30; k < 60; k++ {
+			sum += res.Utilization[k][p]
+		}
+		mean := sum / 30
+		if math.Abs(mean-b[p]) > 0.03 {
+			t.Errorf("P%d tail mean = %v, want ≈ %v", p+1, mean, b[p])
+		}
+	}
+}
+
+func TestCoordinatorValidation(t *testing.T) {
+	sys := workload.Simple()
+	ctrl, err := core.New(sys, nil, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ln.Close() }()
+	tests := []struct {
+		name string
+		cfg  CoordinatorConfig
+	}{
+		{"nil system", CoordinatorConfig{Controller: ctrl, Listener: ln, Periods: 1}},
+		{"nil controller", CoordinatorConfig{System: sys, Listener: ln, Periods: 1}},
+		{"nil listener", CoordinatorConfig{System: sys, Controller: ctrl, Periods: 1}},
+		{"zero periods", CoordinatorConfig{System: sys, Controller: ctrl, Listener: ln}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewCoordinator(tc.cfg); err == nil {
+				t.Fatal("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestCoordinatorRejectsBadHello(t *testing.T) {
+	sys := workload.Simple()
+	ctrl, err := core.New(sys, nil, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(CoordinatorConfig{
+		System: sys, Controller: ctrl, Listener: ln, Periods: 5, Timeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := coord.Run(context.Background())
+		done <- err
+	}()
+	conn, err := lane.Dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	// Out-of-range processor index.
+	if err := conn.Send(&lane.Message{Type: lane.TypeHello, Processor: 99}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	runErr := <-done
+	if runErr == nil || !strings.Contains(runErr.Error(), "processor 99") {
+		t.Fatalf("Run error = %v, want out-of-range hello rejection", runErr)
+	}
+}
+
+func TestCoordinatorDetectsNodeFailure(t *testing.T) {
+	sys := workload.Simple()
+	ctrl, err := core.New(sys, nil, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(CoordinatorConfig{
+		System: sys, Controller: ctrl, Listener: ln, Periods: 100, Timeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := coord.Run(context.Background())
+		done <- err
+	}()
+	// One healthy node, one that dies after hello.
+	ctx := context.Background()
+	go func() {
+		_ = RunNode(ctx, NodeConfig{
+			Processor: 0, System: sys, Addr: ln.Addr().String(),
+			ETF: sim.ConstantETF(1), Timeout: 2 * time.Second,
+		})
+	}()
+	dying, err := lane.Dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dying.Send(&lane.Message{Type: lane.TypeHello, Processor: 1}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	_ = dying.Close() // die before reporting any utilization
+
+	runErr := <-done
+	if runErr == nil {
+		t.Fatal("coordinator did not report the dead node")
+	}
+}
+
+func TestRunNodeValidation(t *testing.T) {
+	ctx := context.Background()
+	if err := RunNode(ctx, NodeConfig{Processor: 0}); err == nil {
+		t.Error("nil system accepted")
+	}
+	sys := workload.Simple()
+	if err := RunNode(ctx, NodeConfig{Processor: 9, System: sys}); err == nil {
+		t.Error("out-of-range processor accepted")
+	}
+	// Unreachable coordinator.
+	if err := RunNode(ctx, NodeConfig{Processor: 0, System: sys, Addr: "127.0.0.1:1", Timeout: 200 * time.Millisecond}); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}

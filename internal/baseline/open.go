@@ -1,0 +1,89 @@
+// Package baseline implements OPEN, the open-loop comparator of the EUCON
+// paper (§7.1): a designer assigns fixed task rates offline from the
+// estimated execution times so that B = F·r′, and never adjusts them. OPEN
+// achieves the desired utilization only when the estimates are exact
+// (etf = 1); it underutilizes when execution times are overestimated and
+// overloads when they are underestimated — the behavior Figures 5 and 6
+// document.
+package baseline
+
+import (
+	"fmt"
+
+	"github.com/rtsyslab/eucon/internal/mat"
+	"github.com/rtsyslab/eucon/internal/qp"
+	"github.com/rtsyslab/eucon/internal/sim"
+	"github.com/rtsyslab/eucon/internal/task"
+)
+
+// Open is the OPEN controller: it computes the design-time rate assignment
+// once and then holds it for the whole run.
+type Open struct {
+	rates []float64
+}
+
+var _ sim.RateController = (*Open)(nil)
+
+// NewOpen solves the designer's assignment problem: find rates r′ within
+// the task rate bounds minimizing ‖F·r′ − B‖₂ (exact B = F·r′ whenever
+// feasible, as the paper assumes). Passing nil set points selects the
+// system's default (Liu–Layland) set points.
+func NewOpen(sys *task.System, setPoints []float64) (*Open, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, fmt.Errorf("open: %w", err)
+	}
+	if setPoints == nil {
+		setPoints = sys.DefaultSetPoints()
+	}
+	if len(setPoints) != sys.Processors {
+		return nil, fmt.Errorf("open: %d set points for %d processors", len(setPoints), sys.Processors)
+	}
+	f := sys.AllocationMatrix()
+	rmin, rmax := sys.RateBounds()
+	m := len(sys.Tasks)
+	// Box constraints rmin ≤ r ≤ rmax as A·r ≤ b.
+	a := mat.New(2*m, m)
+	b := make([]float64, 2*m)
+	for i := 0; i < m; i++ {
+		a.Set(i, i, 1)
+		b[i] = rmax[i]
+		a.Set(m+i, i, -1)
+		b[m+i] = -rmin[i]
+	}
+	res, err := qp.SolveLSI(f, setPoints, a, b, sys.InitialRates(), qp.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("open: assign rates: %w", err)
+	}
+	return &Open{rates: res.X}, nil
+}
+
+// Name implements sim.RateController.
+func (*Open) Name() string { return "OPEN" }
+
+// Rates implements sim.RateController with the fixed design-time rates.
+func (o *Open) Rates(int, []float64, []float64) ([]float64, error) {
+	out := make([]float64, len(o.rates))
+	copy(out, o.rates)
+	return out, nil
+}
+
+// AssignedRates returns the design-time rate vector r′.
+func (o *Open) AssignedRates() []float64 {
+	out := make([]float64, len(o.rates))
+	copy(out, o.rates)
+	return out
+}
+
+// ExpectedUtilization returns F·r′ scaled by an execution-time factor: the
+// utilization OPEN is expected to produce when actual execution times are
+// etf times the estimates (the analytic OPEN line in Figure 5).
+func (o *Open) ExpectedUtilization(sys *task.System, etf float64) []float64 {
+	u := sys.AllocationMatrix().MulVec(o.rates)
+	for i := range u {
+		u[i] *= etf
+		if u[i] > 1 {
+			u[i] = 1
+		}
+	}
+	return u
+}

@@ -1,0 +1,139 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"github.com/rtsyslab/eucon/internal/mat"
+	"github.com/rtsyslab/eucon/internal/sim"
+	"github.com/rtsyslab/eucon/internal/task"
+)
+
+func simpleSystem() *task.System {
+	return &task.System{
+		Name:       "SIMPLE",
+		Processors: 2,
+		Tasks: []task.Task{
+			{Name: "T1", Subtasks: []task.Subtask{{Processor: 0, EstimatedCost: 35}}, RateMin: 1.0 / 700, RateMax: 1.0 / 35, InitialRate: 1.0 / 60},
+			{Name: "T2", Subtasks: []task.Subtask{{Processor: 0, EstimatedCost: 35}, {Processor: 1, EstimatedCost: 35}}, RateMin: 1.0 / 700, RateMax: 1.0 / 35, InitialRate: 1.0 / 90},
+			{Name: "T3", Subtasks: []task.Subtask{{Processor: 1, EstimatedCost: 45}}, RateMin: 1.0 / 900, RateMax: 1.0 / 45, InitialRate: 1.0 / 100},
+		},
+	}
+}
+
+func TestAssignedRatesHitSetPoints(t *testing.T) {
+	sys := simpleSystem()
+	o, err := NewOpen(sys, []float64{0.828, 0.828})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := sys.AllocationMatrix().MulVec(o.AssignedRates())
+	for p, v := range u {
+		if math.Abs(v-0.828) > 1e-3 {
+			t.Errorf("designed utilization on P%d = %v, want 0.828", p+1, v)
+		}
+	}
+}
+
+func TestAssignedRatesWithinBounds(t *testing.T) {
+	sys := simpleSystem()
+	o, err := NewOpen(sys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmin, rmax := sys.RateBounds()
+	for i, r := range o.AssignedRates() {
+		if r < rmin[i]-1e-9 || r > rmax[i]+1e-9 {
+			t.Errorf("rate[%d] = %v outside [%v, %v]", i, r, rmin[i], rmax[i])
+		}
+	}
+}
+
+func TestOpenIsConstant(t *testing.T) {
+	o, err := NewOpen(simpleSystem(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := o.Rates(0, []float64{0.1, 0.1}, []float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := o.Rates(5, []float64{0.99, 0.99}, []float64{0.001, 0.001, 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.VecEqual(r1, r2, 0) {
+		t.Fatalf("OPEN rates changed: %v vs %v", r1, r2)
+	}
+	if o.Name() != "OPEN" {
+		t.Fatalf("Name = %q", o.Name())
+	}
+}
+
+func TestExpectedUtilizationScalesLinearly(t *testing.T) {
+	sys := simpleSystem()
+	o, err := NewOpen(sys, []float64{0.828, 0.828})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u05 := o.ExpectedUtilization(sys, 0.5)
+	for p, v := range u05 {
+		if math.Abs(v-0.414) > 1e-3 {
+			t.Errorf("etf 0.5: P%d = %v, want 0.414", p+1, v)
+		}
+	}
+	u2 := o.ExpectedUtilization(sys, 2)
+	for p, v := range u2 {
+		if v > 1+1e-12 {
+			t.Errorf("etf 2: P%d = %v, want clamped at 1", p+1, v)
+		}
+	}
+}
+
+func TestOpenUnderSimulation(t *testing.T) {
+	// With accurate estimates (etf = 1) OPEN achieves the set point; with
+	// etf = 0.5 it underutilizes by half — the paper's core complaint.
+	sys := simpleSystem()
+	o, err := NewOpen(sys, []float64{0.828, 0.828})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(etf float64) []float64 {
+		s, err := sim.New(sim.Config{
+			System:         sys,
+			SamplingPeriod: 1000,
+			Periods:        30,
+			Controller:     o,
+			ETF:            sim.ConstantETF(etf),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr.Utilization[len(tr.Utilization)-1]
+	}
+	uExact := run(1)
+	for p, v := range uExact {
+		if math.Abs(v-0.828) > 0.03 {
+			t.Errorf("etf 1: P%d = %v, want ≈ 0.828", p+1, v)
+		}
+	}
+	uHalf := run(0.5)
+	for p, v := range uHalf {
+		if math.Abs(v-0.414) > 0.03 {
+			t.Errorf("etf 0.5: P%d = %v, want ≈ 0.414 (underutilization)", p+1, v)
+		}
+	}
+}
+
+func TestNewOpenValidation(t *testing.T) {
+	if _, err := NewOpen(&task.System{Name: "bad", Processors: 1}, nil); err == nil {
+		t.Error("invalid system accepted")
+	}
+	if _, err := NewOpen(simpleSystem(), []float64{0.5}); err == nil {
+		t.Error("wrong set-point count accepted")
+	}
+}

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/rtsyslab/eucon/internal/sim"
+	"github.com/rtsyslab/eucon/internal/task"
+)
+
+func simpleSystem() *task.System {
+	return &task.System{
+		Name:       "SIMPLE",
+		Processors: 2,
+		Tasks: []task.Task{
+			{Name: "T1", Subtasks: []task.Subtask{{Processor: 0, EstimatedCost: 35}}, RateMin: 1.0 / 700, RateMax: 1.0 / 35, InitialRate: 1.0 / 60},
+			{Name: "T2", Subtasks: []task.Subtask{{Processor: 0, EstimatedCost: 35}, {Processor: 1, EstimatedCost: 35}}, RateMin: 1.0 / 700, RateMax: 1.0 / 35, InitialRate: 1.0 / 90},
+			{Name: "T3", Subtasks: []task.Subtask{{Processor: 1, EstimatedCost: 45}}, RateMin: 1.0 / 900, RateMax: 1.0 / 45, InitialRate: 1.0 / 100},
+		},
+	}
+}
+
+func TestNewDefaults(t *testing.T) {
+	c, err := New(simpleSystem(), nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := c.SetPoints()
+	for p, v := range b {
+		if math.Abs(v-0.8284) > 5e-4 {
+			t.Errorf("default set point for P%d = %v, want Liu–Layland 0.828", p+1, v)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	sys := simpleSystem()
+	if _, err := New(&task.System{Name: "bad", Processors: 1}, nil, Config{}); err == nil {
+		t.Error("invalid system accepted")
+	}
+	if _, err := New(sys, []float64{0.5}, Config{}); err == nil {
+		t.Error("wrong set-point count accepted")
+	}
+	if _, err := New(sys, []float64{0.5, 1.5}, Config{}); err == nil {
+		t.Error("set point above 1 accepted")
+	}
+	if _, err := New(sys, []float64{0, 0.5}, Config{}); err == nil {
+		t.Error("zero set point accepted")
+	}
+	if _, err := New(sys, nil, Config{PredictionHorizon: 1, ControlHorizon: 4}); err == nil {
+		t.Error("M > P accepted")
+	}
+}
+
+func TestEUCONDrivesSimulatorToSetPoint(t *testing.T) {
+	sys := simpleSystem()
+	c, err := New(sys, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(sim.Config{
+		System:         sys,
+		SamplingPeriod: 1000,
+		Periods:        100,
+		Controller:     c,
+		ETF:            sim.ConstantETF(0.5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average over the tail must sit at the set point (Figure 3a behavior).
+	var sum0, sum1 float64
+	tail := tr.Utilization[60:]
+	for _, u := range tail {
+		sum0 += u[0]
+		sum1 += u[1]
+	}
+	m0, m1 := sum0/float64(len(tail)), sum1/float64(len(tail))
+	if math.Abs(m0-0.828) > 0.02 {
+		t.Errorf("P1 tail mean = %v, want ≈ 0.828", m0)
+	}
+	if math.Abs(m1-0.828) > 0.02 {
+		t.Errorf("P2 tail mean = %v, want ≈ 0.828", m1)
+	}
+	if c.Steps() != 100 {
+		t.Errorf("Steps = %d, want 100", c.Steps())
+	}
+}
+
+func TestRatesRespectsBounds(t *testing.T) {
+	sys := simpleSystem()
+	c, err := New(sys, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := sys.InitialRates()
+	rmin, rmax := sys.RateBounds()
+	u := []float64{0.99, 0.99}
+	for k := 0; k < 50; k++ {
+		var err error
+		rates, err = c.Rates(k, u, rates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range rates {
+			if rates[i] < rmin[i]-1e-12 || rates[i] > rmax[i]+1e-12 {
+				t.Fatalf("step %d: rate[%d] = %v outside [%v, %v]", k, i, rates[i], rmin[i], rmax[i])
+			}
+		}
+	}
+}
+
+func TestRelaxedPeriodsCountsOverload(t *testing.T) {
+	sys := simpleSystem()
+	c, err := New(sys, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmin, _ := sys.RateBounds()
+	// Rates pinned at minimum, yet massive overload: infeasible constraints.
+	if _, err := c.Rates(0, []float64{1, 1}, rmin); err != nil {
+		t.Fatal(err)
+	}
+	if c.RelaxedPeriods() != 1 {
+		t.Fatalf("RelaxedPeriods = %d, want 1", c.RelaxedPeriods())
+	}
+}
+
+func TestUpdateSetPointsOnline(t *testing.T) {
+	c, err := New(simpleSystem(), nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.UpdateSetPoints([]float64{0.5, 0.6}); err != nil {
+		t.Fatal(err)
+	}
+	got := c.SetPoints()
+	if math.Abs(got[0]-0.5) > 1e-12 || math.Abs(got[1]-0.6) > 1e-12 {
+		t.Fatalf("SetPoints = %v after update", got)
+	}
+	if err := c.UpdateSetPoints([]float64{0.5}); err == nil {
+		t.Error("short set-point vector accepted")
+	}
+}
+
+func TestCriticalGainSimple(t *testing.T) {
+	c, err := New(simpleSystem(), []float64{0.828, 0.828}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.CriticalGain(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 5.95 analytic, 6.5–7 empirical.
+	if g < 5.5 || g > 7 {
+		t.Fatalf("critical gain = %v, want within [5.5, 7]", g)
+	}
+	stable, err := c.StableAt(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stable {
+		t.Error("StableAt(1) = false")
+	}
+	unstable, err := c.StableAt(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unstable {
+		t.Error("StableAt(8) = true")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	got := Config{}.withDefaults()
+	if got.PredictionHorizon != 2 || got.ControlHorizon != 1 || got.TrefOverTs != 4 {
+		t.Fatalf("withDefaults = %+v, want paper Table 2 SIMPLE values", got)
+	}
+	custom := Config{PredictionHorizon: 4, ControlHorizon: 2, TrefOverTs: 8}.withDefaults()
+	if custom.PredictionHorizon != 4 || custom.ControlHorizon != 2 || custom.TrefOverTs != 8 {
+		t.Fatalf("withDefaults clobbered explicit values: %+v", custom)
+	}
+}
+
+func TestName(t *testing.T) {
+	c, err := New(simpleSystem(), nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "EUCON" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+}
+
+func TestMeasurementFilterValidation(t *testing.T) {
+	if _, err := New(simpleSystem(), nil, Config{MeasurementFilter: 1.5}); err == nil {
+		t.Error("filter above 1 accepted")
+	}
+	if _, err := New(simpleSystem(), nil, Config{MeasurementFilter: -0.1}); err == nil {
+		t.Error("negative filter accepted")
+	}
+}
+
+func TestMeasurementFilterSmoothsNoise(t *testing.T) {
+	// Feed measurements alternating symmetrically around the set point with
+	// fixed rates: the filtered controller's commanded rate changes must be
+	// smaller, because the EWMA converges to the (on-target) mean while the
+	// unfiltered controller chases every sample.
+	variation := func(alpha float64) float64 {
+		c, err := New(simpleSystem(), nil, Config{MeasurementFilter: alpha})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rates := simpleSystem().InitialRates()
+		var total float64
+		for k := 5; k < 40; k++ { // skip the filter's warm-up
+			u := []float64{0.778, 0.778}
+			if k%2 == 1 {
+				u = []float64{0.878, 0.878}
+			}
+			next, err := c.Rates(k, u, rates)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range next {
+				d := next[i] - rates[i]
+				if d < 0 {
+					d = -d
+				}
+				if k >= 10 {
+					total += d
+				}
+			}
+		}
+		return total
+	}
+	unfiltered := variation(0)
+	filtered := variation(0.3)
+	if filtered >= unfiltered {
+		t.Fatalf("filtered rate variation %v >= unfiltered %v", filtered, unfiltered)
+	}
+}
+
+func TestResetClearsFilter(t *testing.T) {
+	c, err := New(simpleSystem(), nil, Config{MeasurementFilter: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := simpleSystem().InitialRates()
+	r1, err := c.Rates(0, []float64{0.5, 0.5}, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Rates(1, []float64{0.9, 0.9}, r1); err != nil {
+		t.Fatal(err)
+	}
+	c.Reset()
+	r2, err := c.Rates(0, []float64{0.5, 0.5}, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1 {
+		if math.Abs(r1[i]-r2[i]) > 1e-12 {
+			t.Fatalf("Reset did not clear filter state: %v vs %v", r1, r2)
+		}
+	}
+}

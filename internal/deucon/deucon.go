@@ -1,0 +1,288 @@
+// Package deucon implements DEUCON-style decentralized end-to-end
+// utilization control — the future work the EUCON paper closes with
+// ("we will develop decentralized control architecture to handle
+// large-scale distributed systems"), realized by the authors in the
+// follow-on DEUCON work.
+//
+// Instead of one centralized MIMO controller, every processor runs a local
+// model-predictive controller that:
+//
+//   - controls only the tasks it leads (the tasks whose first subtask it
+//     hosts),
+//   - observes only its own utilization and its neighbors' (processors
+//     that share at least one task with it), and
+//   - compensates for neighbor-led tasks using the rate-change plans those
+//     neighbors announced in the previous sampling period (a one-period
+//     information delay — the honest price of decentralization).
+//
+// Each local problem is a small constrained least-squares program solved
+// with the same machinery as the centralized controller, so per-processor
+// work stays bounded as the system grows: the local problem size depends
+// on the neighborhood, not on the whole system.
+package deucon
+
+import (
+	"fmt"
+
+	"github.com/rtsyslab/eucon/internal/mat"
+	"github.com/rtsyslab/eucon/internal/mpc"
+	"github.com/rtsyslab/eucon/internal/sim"
+	"github.com/rtsyslab/eucon/internal/task"
+)
+
+// Config tunes the local controllers. The zero value selects P=2, M=1,
+// Tref/Ts=4 (the paper's SIMPLE tuning) for every local loop.
+type Config struct {
+	// PredictionHorizon is the local P; 0 selects 2.
+	PredictionHorizon int
+	// ControlHorizon is the local M; 0 selects 1.
+	ControlHorizon int
+	// TrefOverTs is the local reference time constant; 0 selects 4.
+	TrefOverTs float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.PredictionHorizon == 0 {
+		c.PredictionHorizon = 2
+	}
+	if c.ControlHorizon == 0 {
+		c.ControlHorizon = 1
+	}
+	if c.TrefOverTs == 0 {
+		c.TrefOverTs = 4
+	}
+	return c
+}
+
+// local is one processor's controller state.
+type local struct {
+	proc  int
+	led   []int // task indices this processor leads
+	scope []int // processors visible to this controller: {proc} ∪ neighbors
+	ctrl  *mpc.Controller
+}
+
+// Controller is the decentralized utilization controller. It implements
+// sim.RateController; internally it runs one local MPC per processor with
+// the restricted information structure described in the package comment.
+// It is not safe for concurrent use.
+type Controller struct {
+	sys       *task.System
+	cfg       Config
+	setPoints []float64
+	locals    []*local
+	f         *mat.Dense
+
+	// announced[j] is task j's leader-announced rate change from the
+	// previous period, used by other controllers to compensate.
+	announced []float64
+	// messages counts utilization reports + plan announcements exchanged.
+	messages int
+	periods  int
+}
+
+var _ sim.RateController = (*Controller)(nil)
+
+// New builds the decentralized controller. Passing nil set points selects
+// the system's default (Liu–Layland) set points.
+func New(sys *task.System, setPoints []float64, cfg Config) (*Controller, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, fmt.Errorf("deucon: %w", err)
+	}
+	if setPoints == nil {
+		setPoints = sys.DefaultSetPoints()
+	}
+	if len(setPoints) != sys.Processors {
+		return nil, fmt.Errorf("deucon: %d set points for %d processors", len(setPoints), sys.Processors)
+	}
+	cfg = cfg.withDefaults()
+
+	c := &Controller{
+		sys:       sys,
+		cfg:       cfg,
+		setPoints: mat.VecClone(setPoints),
+		f:         sys.AllocationMatrix(),
+		announced: make([]float64, len(sys.Tasks)),
+	}
+	leaders := leadersOf(sys)
+	neighborSets := neighborsOf(sys)
+	for p := 0; p < sys.Processors; p++ {
+		led := leaders[p]
+		if len(led) == 0 {
+			continue // nothing to control from this processor
+		}
+		scope := append([]int{p}, neighborSets[p]...)
+		l, err := newLocal(sys, c.f, setPoints, p, led, scope, cfg)
+		if err != nil {
+			return nil, err
+		}
+		c.locals = append(c.locals, l)
+	}
+	if len(c.locals) == 0 {
+		return nil, fmt.Errorf("deucon: no processor leads any task")
+	}
+	return c, nil
+}
+
+// leadersOf maps each processor to the tasks whose first subtask it hosts.
+func leadersOf(sys *task.System) [][]int {
+	out := make([][]int, sys.Processors)
+	for j := range sys.Tasks {
+		p := sys.Tasks[j].Subtasks[0].Processor
+		out[p] = append(out[p], j)
+	}
+	return out
+}
+
+// neighborsOf maps each processor to the processors sharing a task with
+// it.
+func neighborsOf(sys *task.System) [][]int {
+	seen := make([]map[int]bool, sys.Processors)
+	for p := range seen {
+		seen[p] = make(map[int]bool)
+	}
+	for j := range sys.Tasks {
+		procs := make(map[int]bool)
+		for _, st := range sys.Tasks[j].Subtasks {
+			procs[st.Processor] = true
+		}
+		for a := range procs {
+			for b := range procs {
+				if a != b {
+					seen[a][b] = true
+				}
+			}
+		}
+	}
+	out := make([][]int, sys.Processors)
+	for p := range out {
+		for q := 0; q < sys.Processors; q++ {
+			if seen[p][q] {
+				out[p] = append(out[p], q)
+			}
+		}
+	}
+	return out
+}
+
+// newLocal builds processor p's local MPC over its led tasks and visible
+// scope.
+func newLocal(sys *task.System, f *mat.Dense, setPoints []float64, p int, led, scope []int, cfg Config) (*local, error) {
+	sub := mat.New(len(scope), len(led))
+	for ri, proc := range scope {
+		for ci, t := range led {
+			sub.Set(ri, ci, f.At(proc, t))
+		}
+	}
+	b := make([]float64, len(scope))
+	for ri, proc := range scope {
+		b[ri] = setPoints[proc]
+	}
+	rmin := make([]float64, len(led))
+	rmax := make([]float64, len(led))
+	for ci, t := range led {
+		rmin[ci] = sys.Tasks[t].RateMin
+		rmax[ci] = sys.Tasks[t].RateMax
+	}
+	// Track ONLY the own processor's set point: each utilization has
+	// exactly one responsible controller, so local objectives never fight.
+	// Neighbors still enter through the hard output constraints
+	// u_neighbor ≤ B_neighbor, which keep this controller from overloading
+	// them.
+	weights := make([]float64, len(scope))
+	weights[0] = 1
+	ctrl, err := mpc.New(sub, b, rmin, rmax, mpc.Config{
+		PredictionHorizon: cfg.PredictionHorizon,
+		ControlHorizon:    cfg.ControlHorizon,
+		TrefOverTs:        cfg.TrefOverTs,
+		QWeights:          weights,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("deucon: local controller for P%d: %w", p+1, err)
+	}
+	return &local{proc: p, led: led, scope: scope, ctrl: ctrl}, nil
+}
+
+// Name implements sim.RateController.
+func (c *Controller) Name() string { return "DEUCON" }
+
+// Rates implements sim.RateController: one decentralized control period.
+func (c *Controller) Rates(_ int, u, rates []float64) ([]float64, error) {
+	if len(u) != c.sys.Processors {
+		return nil, fmt.Errorf("deucon: utilization vector has length %d, want %d", len(u), c.sys.Processors)
+	}
+	if len(rates) != len(c.sys.Tasks) {
+		return nil, fmt.Errorf("deucon: rate vector has length %d, want %d", len(rates), len(c.sys.Tasks))
+	}
+	c.periods++
+	out := make([]float64, len(rates))
+	copy(out, rates)
+	next := make([]float64, len(c.announced))
+
+	for _, l := range c.locals {
+		// Local view: own + neighbor utilizations, adjusted by the effect
+		// of OTHER leaders' previously announced plans so the local model
+		// does not double-react to their corrections.
+		uLocal := make([]float64, len(l.scope))
+		for ri, proc := range l.scope {
+			adj := u[proc]
+			for j := range c.sys.Tasks {
+				if c.leaderOf(j) != l.proc && c.announced[j] != 0 {
+					adj += c.f.At(proc, j) * c.announced[j]
+				}
+			}
+			if adj < 0 {
+				adj = 0
+			}
+			if adj > 1 {
+				adj = 1
+			}
+			uLocal[ri] = adj
+			c.messages++ // utilization report (own report is free, but count uniformly)
+		}
+		rLed := make([]float64, len(l.led))
+		for ci, t := range l.led {
+			rLed[ci] = rates[t]
+		}
+		res, err := l.ctrl.Step(uLocal, rLed)
+		if err != nil {
+			return nil, fmt.Errorf("deucon: local step on P%d: %w", l.proc+1, err)
+		}
+		for ci, t := range l.led {
+			out[t] = res.NewRates[ci]
+			next[t] = res.DeltaR[ci]
+			c.messages++ // plan announcement to the processors hosting t
+		}
+	}
+	copy(c.announced, next)
+	return out, nil
+}
+
+// Messages reports the total number of control-plane messages exchanged so
+// far (utilization reports plus plan announcements).
+func (c *Controller) Messages() int { return c.messages }
+
+// Periods reports how many control periods have run.
+func (c *Controller) Periods() int { return c.periods }
+
+// LocalControllers reports how many processors run a local controller.
+func (c *Controller) LocalControllers() int { return len(c.locals) }
+
+// MaxLocalProblemSize returns the largest local problem as (scope
+// processors, led tasks) — the decentralization payoff: this stays small
+// as the system grows.
+func (c *Controller) MaxLocalProblemSize() (procs, tasks int) {
+	for _, l := range c.locals {
+		if len(l.scope) > procs {
+			procs = len(l.scope)
+		}
+		if len(l.led) > tasks {
+			tasks = len(l.led)
+		}
+	}
+	return procs, tasks
+}
+
+func (c *Controller) leaderOf(j int) int {
+	return c.sys.Tasks[j].Subtasks[0].Processor
+}

@@ -1,0 +1,278 @@
+// Package experiments regenerates every table and figure of the EUCON
+// paper's evaluation (§7). Each experiment has a data function (used by
+// tests and benchmarks) and a printing wrapper used by cmd/euconsim. The
+// experiment IDs follow the paper: table1, table2, stability, fig3a,
+// fig3b, fig4, fig5, fig6, fig7, fig8.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/rtsyslab/eucon/internal/baseline"
+	"github.com/rtsyslab/eucon/internal/core"
+	"github.com/rtsyslab/eucon/internal/metrics"
+	"github.com/rtsyslab/eucon/internal/sim"
+	"github.com/rtsyslab/eucon/internal/task"
+	"github.com/rtsyslab/eucon/internal/workload"
+)
+
+// ControllerKind selects the rate controller for a run.
+type ControllerKind int
+
+// Controller kinds.
+const (
+	KindEUCON ControllerKind = iota + 1
+	KindOPEN
+	KindNone
+)
+
+// String implements fmt.Stringer.
+func (k ControllerKind) String() string {
+	switch k {
+	case KindEUCON:
+		return "EUCON"
+	case KindOPEN:
+		return "OPEN"
+	case KindNone:
+		return "NONE"
+	default:
+		return fmt.Sprintf("ControllerKind(%d)", int(k))
+	}
+}
+
+// Defaults shared by all experiments (paper §7.1–7.2).
+const (
+	// DefaultPeriods is the run length in sampling periods (the paper's
+	// figures span 300 Ts).
+	DefaultPeriods = 300
+	// WindowStart and WindowEnd delimit the measurement window for the
+	// sweep figures: 100Ts–300Ts, excluding the transient.
+	WindowStart = 100
+	WindowEnd   = 300
+	// DefaultSeed keeps runs reproducible.
+	DefaultSeed = 1
+)
+
+func newController(kind ControllerKind, sys *task.System, cfg core.Config) (sim.RateController, error) {
+	switch kind {
+	case KindEUCON:
+		return core.New(sys, nil, cfg)
+	case KindOPEN:
+		return baseline.NewOpen(sys, nil)
+	case KindNone:
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown controller kind %d", int(kind))
+	}
+}
+
+// RunSimple simulates the SIMPLE workload under EUCON with a constant
+// execution-time factor (Figure 3 runs). SIMPLE uses deterministic
+// execution times, as in the paper.
+func RunSimple(etf float64, periods int, seed int64) (*sim.Trace, error) {
+	sys := workload.Simple()
+	ctrl, err := newController(KindEUCON, sys, workload.SimpleController())
+	if err != nil {
+		return nil, err
+	}
+	s, err := sim.New(sim.Config{
+		System:         sys,
+		SamplingPeriod: workload.SamplingPeriod,
+		Periods:        periods,
+		Controller:     ctrl,
+		ETF:            sim.ConstantETF(etf),
+		Seed:           seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+// RunMediumSteady simulates the MEDIUM workload with a constant
+// execution-time factor under the chosen controller (Figure 5 runs).
+// MEDIUM uses uniform-random execution times.
+func RunMediumSteady(kind ControllerKind, etf float64, periods int, seed int64) (*sim.Trace, error) {
+	sys := workload.Medium()
+	ctrl, err := newController(kind, sys, workload.MediumController())
+	if err != nil {
+		return nil, err
+	}
+	s, err := sim.New(sim.Config{
+		System:         sys,
+		SamplingPeriod: workload.SamplingPeriod,
+		Periods:        periods,
+		Controller:     ctrl,
+		ETF:            sim.ConstantETF(etf),
+		Jitter:         workload.MediumJitter,
+		Seed:           seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+// DynamicETF is the Experiment II schedule: etf = 0.5 initially, 0.9 from
+// 100Ts (an 80% execution-time increase), 0.33 from 200Ts (a 67%
+// decrease).
+func DynamicETF() sim.ETFSchedule {
+	sched, err := sim.StepETF(
+		sim.ETFStep{At: 0, Factor: 0.5},
+		sim.ETFStep{At: 100 * workload.SamplingPeriod, Factor: 0.9},
+		sim.ETFStep{At: 200 * workload.SamplingPeriod, Factor: 0.33},
+	)
+	if err != nil {
+		// The schedule is a compile-time constant; failure is a programming
+		// error.
+		panic(err)
+	}
+	return sched
+}
+
+// RunMediumDynamic simulates MEDIUM under the Experiment II execution-time
+// steps (Figures 6–8).
+func RunMediumDynamic(kind ControllerKind, periods int, seed int64) (*sim.Trace, error) {
+	sys := workload.Medium()
+	ctrl, err := newController(kind, sys, workload.MediumController())
+	if err != nil {
+		return nil, err
+	}
+	s, err := sim.New(sim.Config{
+		System:         sys,
+		SamplingPeriod: workload.SamplingPeriod,
+		Periods:        periods,
+		Controller:     ctrl,
+		ETF:            DynamicETF(),
+		Jitter:         workload.MediumJitter,
+		Seed:           seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+// SweepPoint is one x-value of Figures 4 and 5: steady-state utilization
+// statistics of processor P1 at a given execution-time factor.
+type SweepPoint struct {
+	ETF float64
+	// P1 summarizes the measured utilization of P1 over the window
+	// 100Ts–300Ts.
+	P1 metrics.Summary
+	// SetPoint is the P1 utilization set point.
+	SetPoint float64
+	// Acceptable applies the paper's criterion (±0.02 mean, <0.05 σ).
+	Acceptable bool
+	// OpenExpected is the analytic OPEN utilization etf·B (Figure 5 only;
+	// zero for SIMPLE sweeps).
+	OpenExpected float64
+}
+
+// SweepSimple produces the Figure 4 series: SIMPLE under EUCON across
+// execution-time factors.
+func SweepSimple(etfs []float64, seed int64) ([]SweepPoint, error) {
+	sys := workload.Simple()
+	b := sys.DefaultSetPoints()[0]
+	points := make([]SweepPoint, 0, len(etfs))
+	for _, etf := range etfs {
+		tr, err := RunSimple(etf, DefaultPeriods, seed)
+		if err != nil {
+			return nil, fmt.Errorf("sweep simple etf=%g: %w", etf, err)
+		}
+		s := metrics.Summarize(metrics.Window(metrics.Column(tr.Utilization, 0), WindowStart, WindowEnd))
+		points = append(points, SweepPoint{
+			ETF:        etf,
+			P1:         s,
+			SetPoint:   b,
+			Acceptable: s.Acceptable(b),
+		})
+	}
+	return points, nil
+}
+
+// SweepMedium produces the Figure 5 series: MEDIUM under EUCON across
+// execution-time factors, with the analytic OPEN expectation alongside.
+func SweepMedium(etfs []float64, seed int64) ([]SweepPoint, error) {
+	sys := workload.Medium()
+	b := sys.DefaultSetPoints()[0]
+	open, err := baseline.NewOpen(sys, nil)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]SweepPoint, 0, len(etfs))
+	for _, etf := range etfs {
+		tr, err := RunMediumSteady(KindEUCON, etf, DefaultPeriods, seed)
+		if err != nil {
+			return nil, fmt.Errorf("sweep medium etf=%g: %w", etf, err)
+		}
+		s := metrics.Summarize(metrics.Window(metrics.Column(tr.Utilization, 0), WindowStart, WindowEnd))
+		points = append(points, SweepPoint{
+			ETF:          etf,
+			P1:           s,
+			SetPoint:     b,
+			Acceptable:   s.Acceptable(b),
+			OpenExpected: open.ExpectedUtilization(sys, etf)[0],
+		})
+	}
+	return points, nil
+}
+
+// SimpleCriticalGain reproduces the paper's §6.2 stability example: the
+// critical uniform utilization gain of the SIMPLE closed loop.
+func SimpleCriticalGain() (float64, error) {
+	ctrl, err := core.New(workload.Simple(), nil, workload.SimpleController())
+	if err != nil {
+		return 0, err
+	}
+	return ctrl.CriticalGain(1, 12)
+}
+
+// Fig4ETFs is the paper's Figure 4 x-axis: etf from 0.2 to 10.
+func Fig4ETFs() []float64 {
+	return []float64{0.2, 0.5, 1, 2, 3, 4, 5, 6, 6.5, 7, 8, 9, 10}
+}
+
+// Fig5ETFs is the paper's Figure 5 x-axis: etf from 0.1 to 6.
+func Fig5ETFs() []float64 {
+	return []float64{0.1, 0.2, 0.5, 1, 2, 3, 4, 5, 6}
+}
+
+// TraceForExperiment returns the simulation trace behind a
+// trace-producing experiment ID (fig3a, fig3b, fig6, fig7, fig8,
+// ext-deucon), for CSV export by cmd/euconsim.
+func TraceForExperiment(id string) (*sim.Trace, error) {
+	switch id {
+	case "fig3a":
+		return RunSimple(0.5, DefaultPeriods, DefaultSeed)
+	case "fig3b":
+		return RunSimple(7, DefaultPeriods, DefaultSeed)
+	case "fig6":
+		return RunMediumDynamic(KindOPEN, DefaultPeriods, DefaultSeed)
+	case "fig7", "fig8":
+		return RunMediumDynamic(KindEUCON, DefaultPeriods, DefaultSeed)
+	case "ext-deucon":
+		tr, _, err := RunMediumDynamicDeucon(DefaultPeriods, DefaultSeed)
+		return tr, err
+	default:
+		return nil, fmt.Errorf("experiments: %q does not produce a single trace", id)
+	}
+}
+
+// printTrace writes a per-period utilization table.
+func printTrace(w io.Writer, tr *sim.Trace) {
+	fmt.Fprintf(w, "# controller=%s Ts=%g\n", tr.Controller, tr.SamplingPeriod)
+	fmt.Fprint(w, "period")
+	for p := 0; p < len(tr.Utilization[0]); p++ {
+		fmt.Fprintf(w, "\tu(P%d)", p+1)
+	}
+	fmt.Fprintln(w)
+	for k, u := range tr.Utilization {
+		fmt.Fprintf(w, "%d", k+1)
+		for _, v := range u {
+			fmt.Fprintf(w, "\t%.4f", v)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,384 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/rtsyslab/eucon/internal/metrics"
+	"github.com/rtsyslab/eucon/internal/workload"
+)
+
+func TestFig3aConvergence(t *testing.T) {
+	// Figure 3(a): etf = 0.5 — both processors converge to B = 0.828.
+	tr, err := RunSimple(0.5, 150, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 2; p++ {
+		s := metrics.Summarize(metrics.Window(metrics.Column(tr.Utilization, p), 75, 150))
+		if math.Abs(s.Mean-0.828) > metrics.AcceptableMeanError {
+			t.Errorf("P%d mean = %v, want ≈ 0.828", p+1, s.Mean)
+		}
+		if s.StdDev >= metrics.AcceptableStdDev {
+			t.Errorf("P%d std = %v, want < 0.05", p+1, s.StdDev)
+		}
+	}
+}
+
+func TestFig3aStartsUnderutilized(t *testing.T) {
+	// Initial rates from Table 1 with etf 0.5 leave both processors far
+	// below the set point; EUCON must raise utilization, never lower it
+	// below the start.
+	tr, err := RunSimple(0.5, 60, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u0 := tr.Utilization[0][0]; u0 > 0.5 {
+		t.Errorf("initial P1 utilization %v, want < 0.5 (underutilized start)", u0)
+	}
+	last := tr.Utilization[len(tr.Utilization)-1][0]
+	if last < 0.75 {
+		t.Errorf("P1 utilization after 60 Ts = %v, want raised toward 0.828", last)
+	}
+}
+
+func TestFig3bInstability(t *testing.T) {
+	// Figure 3(b): etf = 7 exceeds the stability bound — utilization
+	// oscillates and performance is unacceptable.
+	tr, err := RunSimple(7, 200, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := metrics.Summarize(metrics.Window(metrics.Column(tr.Utilization, 0), 100, 200))
+	if s.Acceptable(0.828) {
+		t.Fatalf("etf = 7 reported acceptable (%v); paper shows instability", s)
+	}
+	if s.StdDev < metrics.AcceptableStdDev {
+		t.Fatalf("etf = 7 std = %v, want strong oscillation", s.StdDev)
+	}
+}
+
+func TestFig4AcceptableRange(t *testing.T) {
+	// Paper: acceptable up to etf = 3, oscillatory for 4–6, unstable past
+	// ~6.5. Our oscillation threshold lands slightly earlier (between 2 and
+	// 3); see EXPERIMENTS.md.
+	pts, err := SweepSimple([]float64{0.5, 1, 2}, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if !p.Acceptable {
+			t.Errorf("etf = %v: %v not acceptable; paper says acceptable for etf ≤ 3", p.ETF, p.P1)
+		}
+	}
+	unstable, err := SweepSimple([]float64{8}, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unstable[0].Acceptable {
+		t.Errorf("etf = 8 acceptable (%v); paper shows instability beyond 6.5", unstable[0].P1)
+	}
+	if unstable[0].P1.StdDev <= pts[2].P1.StdDev {
+		t.Errorf("oscillation did not grow with etf: std(8) = %v ≤ std(2) = %v",
+			unstable[0].P1.StdDev, pts[2].P1.StdDev)
+	}
+}
+
+func TestFig4ActuatorSaturationAtLowETF(t *testing.T) {
+	// At etf = 0.2, Table 1's own rate maxima cap P1's utilization at
+	// 0.2·(35/35 + 35/35) = 0.4 < B: EUCON must pin rates at R_max. (The
+	// paper's claim of set-point tracking at etf = 0.2 is inconsistent with
+	// its Table 1 bounds; see EXPERIMENTS.md.)
+	pts, err := SweepSimple([]float64{0.2}, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pts[0].P1.Mean-0.4) > 0.02 {
+		t.Errorf("etf = 0.2: mean = %v, want ≈ 0.4 (rates saturated at R_max)", pts[0].P1.Mean)
+	}
+}
+
+func TestFig5MediumTracksSetPointWhereOpenFails(t *testing.T) {
+	pts, err := SweepMedium([]float64{0.1, 0.5, 1}, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		// EUCON holds the set point 0.729.
+		if math.Abs(p.P1.Mean-p.SetPoint) > 0.025 {
+			t.Errorf("etf = %v: EUCON mean %v, want ≈ %v", p.ETF, p.P1.Mean, p.SetPoint)
+		}
+		// OPEN scales linearly with etf.
+		wantOpen := math.Min(1, p.ETF*p.SetPoint)
+		if math.Abs(p.OpenExpected-wantOpen) > 1e-3 {
+			t.Errorf("etf = %v: OPEN expected %v, want %v", p.ETF, p.OpenExpected, wantOpen)
+		}
+	}
+	// The paper's headline: at etf = 0.1 OPEN yields 0.073 while EUCON
+	// holds ≈ 0.729.
+	if pts[0].OpenExpected > 0.08 {
+		t.Errorf("OPEN at etf 0.1 = %v, want ≈ 0.073", pts[0].OpenExpected)
+	}
+}
+
+func TestFig6OpenFluctuatesWithLoad(t *testing.T) {
+	tr, err := RunMediumDynamic(KindOPEN, DefaultPeriods, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u1 := metrics.Column(tr.Utilization, 0)
+	b := workload.Medium().DefaultSetPoints()[0]
+	seg1 := metrics.Mean(metrics.Window(u1, 50, 100))  // etf 0.5
+	seg2 := metrics.Mean(metrics.Window(u1, 150, 200)) // etf 0.9
+	seg3 := metrics.Mean(metrics.Window(u1, 250, 300)) // etf 0.33
+	if math.Abs(seg1-0.5*b) > 0.05 {
+		t.Errorf("OPEN at etf 0.5: mean %v, want ≈ %v", seg1, 0.5*b)
+	}
+	if math.Abs(seg2-0.9*b) > 0.05 {
+		t.Errorf("OPEN at etf 0.9: mean %v, want ≈ %v", seg2, 0.9*b)
+	}
+	if math.Abs(seg3-0.33*b) > 0.05 {
+		t.Errorf("OPEN at etf 0.33: mean %v, want ≈ %v", seg3, 0.33*b)
+	}
+	if !(seg2 > seg1 && seg1 > seg3) {
+		t.Errorf("OPEN utilization does not track load: %v, %v, %v", seg1, seg2, seg3)
+	}
+}
+
+func TestFig7EuconReconverges(t *testing.T) {
+	tr, err := RunMediumDynamic(KindEUCON, DefaultPeriods, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := workload.Medium().DefaultSetPoints()
+	for p := 0; p < 4; p++ {
+		u := metrics.Column(tr.Utilization, p)
+		// Each etf segment's tail must sit at the set point again.
+		for _, win := range [][2]int{{60, 100}, {160, 200}, {260, 300}} {
+			m := metrics.Mean(metrics.Window(u, win[0], win[1]))
+			if math.Abs(m-b[p]) > 0.03 {
+				t.Errorf("P%d window %v: mean %v, want ≈ %v", p+1, win, m, b[p])
+			}
+		}
+		// Re-convergence after the +80% step within ~30 Ts (paper: ~20 Ts).
+		// A 5-period moving average suppresses per-period jitter so the
+		// settling measurement reflects the trajectory, not noise.
+		seg := metrics.MovingAverage(metrics.Window(u, 100, 200), 5)
+		st := metrics.SettlingTime(seg, b[p], 0.05)
+		if st < 0 || st > 30 {
+			t.Errorf("P%d settling after step = %d Ts, want ≤ 30", p+1, st)
+		}
+	}
+}
+
+func TestFig8RatesCompensateExecutionTimes(t *testing.T) {
+	tr, err := RunMediumDynamic(KindEUCON, DefaultPeriods, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average rate across tasks in each settled segment: rates must drop
+	// when execution times rise at 100Ts and rise when they fall at 200Ts.
+	avgRate := func(from, to int) float64 {
+		var sum float64
+		n := 0
+		for k := from; k < to; k++ {
+			for _, r := range tr.Rates[k] {
+				sum += r
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	r1 := avgRate(60, 100)  // etf 0.5
+	r2 := avgRate(160, 200) // etf 0.9
+	r3 := avgRate(260, 300) // etf 0.33
+	if !(r2 < r1) {
+		t.Errorf("rates did not decrease after +80%% execution times: %v → %v", r1, r2)
+	}
+	if !(r3 > r2) {
+		t.Errorf("rates did not increase after −67%% execution times: %v → %v", r2, r3)
+	}
+}
+
+func TestSimpleCriticalGainValue(t *testing.T) {
+	g, err := SimpleCriticalGain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g < 5.5 || g > 7 {
+		t.Fatalf("critical gain = %v, want within [5.5, 7] (paper: 5.95 analytic, 6.5–7 empirical)", g)
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 13 {
+		t.Fatalf("registry has %d experiments, want 13 (2 tables + stability + 7 figures + 3 extensions)", len(all))
+	}
+	seen := make(map[string]bool, len(all))
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("incomplete experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment ID %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if _, ok := Lookup("fig4"); !ok {
+		t.Error("Lookup(fig4) failed")
+	}
+	if _, ok := Lookup("ext-deucon"); !ok {
+		t.Error("Lookup(ext-deucon) failed")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup(nope) succeeded")
+	}
+	ids := IDs()
+	if len(ids) != 13 {
+		t.Fatalf("IDs() returned %d entries", len(ids))
+	}
+}
+
+func TestTableExperimentsOutput(t *testing.T) {
+	var sb strings.Builder
+	e, _ := Lookup("table1")
+	if err := e.Run(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"T11", "T21", "T22", "T31", "35", "45", "700", "900"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 output missing %q:\n%s", want, out)
+		}
+	}
+	sb.Reset()
+	e, _ = Lookup("table2")
+	if err := e.Run(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out = sb.String()
+	for _, want := range []string{"SIMPLE", "MEDIUM", "1000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStabilityExperimentOutput(t *testing.T) {
+	var sb strings.Builder
+	e, _ := Lookup("stability")
+	if err := e.Run(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "critical uniform gain") {
+		t.Fatalf("stability output: %s", sb.String())
+	}
+}
+
+func TestControllerKindString(t *testing.T) {
+	if KindEUCON.String() != "EUCON" || KindOPEN.String() != "OPEN" || KindNone.String() != "NONE" {
+		t.Error("ControllerKind.String mismatch")
+	}
+	if got := ControllerKind(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown kind String = %q", got)
+	}
+}
+
+func TestDynamicETFSchedule(t *testing.T) {
+	sched := DynamicETF()
+	tests := []struct {
+		t    float64
+		want float64
+	}{
+		{0, 0.5},
+		{50 * workload.SamplingPeriod, 0.5},
+		{100 * workload.SamplingPeriod, 0.9},
+		{150 * workload.SamplingPeriod, 0.9},
+		{250 * workload.SamplingPeriod, 0.33},
+	}
+	for _, tc := range tests {
+		if got := sched.At(tc.t); got != tc.want {
+			t.Errorf("etf(%v) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestExtDeuconConverges(t *testing.T) {
+	tr, ctrl, err := RunMediumDynamicDeucon(200, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := workload.Medium().DefaultSetPoints()
+	for p := 0; p < 4; p++ {
+		m := metrics.Mean(metrics.Window(metrics.Column(tr.Utilization, p), 160, 200))
+		if math.Abs(m-b[p]) > 0.06 {
+			t.Errorf("DEUCON P%d post-step mean = %v, want ≈ %v", p+1, m, b[p])
+		}
+	}
+	if ctrl.LocalControllers() != 4 {
+		t.Errorf("local controllers = %d, want 4", ctrl.LocalControllers())
+	}
+}
+
+func TestExtMissRatioEuconBeatsOpenUnderOverload(t *testing.T) {
+	// With execution times 1.5× the estimates, OPEN's fixed rates push
+	// every processor past the schedulable bound (≈1.1 demand) and miss
+	// deadlines persistently; EUCON regulates back to the Liu–Layland set
+	// points and recovers. (Note Experiment II itself never exceeds
+	// etf = 0.9, so OPEN does not miss there — the contrast needs an
+	// underestimated workload.)
+	trE, err := RunMediumSteady(KindEUCON, 1.5, 150, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trO, err := RunMediumSteady(KindOPEN, 1.5, 150, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	missE, missO := 0, 0
+	for k := 75; k < 150; k++ {
+		missE += trE.Periods[k].SubtaskMisses
+		missO += trO.Periods[k].SubtaskMisses
+	}
+	if missO == 0 {
+		t.Fatal("OPEN missed no deadlines at etf = 1.5; overload not realized")
+	}
+	if missE >= missO {
+		t.Errorf("EUCON missed %d vs OPEN %d in steady overload; want fewer", missE, missO)
+	}
+}
+
+func TestAllExperimentsProduceOutput(t *testing.T) {
+	// End-to-end: every registered experiment (paper artifacts and
+	// extensions) must run and emit data. This regenerates the full
+	// evaluation, so it is skipped in -short mode.
+	if testing.Short() {
+		t.Skip("full experiment regeneration skipped in -short mode")
+	}
+	for _, e := range All() {
+		t.Run(e.ID, func(t *testing.T) {
+			var sb strings.Builder
+			if err := e.Run(&sb); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if sb.Len() == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+func TestTraceForExperiment(t *testing.T) {
+	tr, err := TraceForExperiment("fig3a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Utilization) != DefaultPeriods {
+		t.Fatalf("fig3a trace has %d periods", len(tr.Utilization))
+	}
+	if _, err := TraceForExperiment("table1"); err == nil {
+		t.Fatal("non-trace experiment accepted")
+	}
+}

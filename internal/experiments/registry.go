@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/rtsyslab/eucon/internal/metrics"
+	"github.com/rtsyslab/eucon/internal/workload"
+)
+
+// Experiment is a runnable reproduction of one table or figure.
+type Experiment struct {
+	// ID is the paper artifact identifier (e.g. "fig4").
+	ID string
+	// Title describes what the paper artifact shows.
+	Title string
+	// Run regenerates the artifact, writing its data to w.
+	Run func(w io.Writer) error
+}
+
+// All returns every experiment: the paper artifacts in paper order,
+// followed by the extensions.
+func All() []Experiment {
+	return append(paperExperiments(), Extensions()...)
+}
+
+func paperExperiments() []Experiment {
+	return []Experiment{
+		{ID: "table1", Title: "Table 1: SIMPLE task parameters", Run: runTable1},
+		{ID: "table2", Title: "Table 2: controller parameters", Run: runTable2},
+		{ID: "stability", Title: "Section 6.2: SIMPLE stability bound (paper: 5.95 analytic, 6.5-7 empirical)", Run: runStability},
+		{ID: "fig3a", Title: "Figure 3(a): SIMPLE utilization, etf = 0.5", Run: runFig3a},
+		{ID: "fig3b", Title: "Figure 3(b): SIMPLE utilization, etf = 7 (unstable)", Run: runFig3b},
+		{ID: "fig4", Title: "Figure 4: SIMPLE mean/std of u(P1) vs execution-time factor", Run: runFig4},
+		{ID: "fig5", Title: "Figure 5: MEDIUM mean/std of u(P1) vs execution-time factor, with OPEN", Run: runFig5},
+		{ID: "fig6", Title: "Figure 6: MEDIUM under OPEN with execution-time steps", Run: runFig6},
+		{ID: "fig7", Title: "Figure 7: MEDIUM under EUCON with execution-time steps", Run: runFig7},
+		{ID: "fig8", Title: "Figure 8: task rates under EUCON with execution-time steps", Run: runFig8},
+	}
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns the sorted experiment identifiers.
+func IDs() []string {
+	all := All()
+	ids := make([]string, len(all))
+	for i, e := range all {
+		ids[i] = e.ID
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+func runTable1(w io.Writer) error {
+	sys := workload.Simple()
+	fmt.Fprintln(w, "Tij\tProc\tcij\t1/Rmax\t1/Rmin\t1/r(0)")
+	for i := range sys.Tasks {
+		t := &sys.Tasks[i]
+		for j, st := range t.Subtasks {
+			fmt.Fprintf(w, "T%d%d\tP%d\t%.0f\t%.0f\t%.0f\t%.0f\n",
+				i+1, j+1, st.Processor+1, st.EstimatedCost, 1/t.RateMax, 1/t.RateMin, 1/t.InitialRate)
+		}
+	}
+	return nil
+}
+
+func runTable2(w io.Writer) error {
+	fmt.Fprintln(w, "System\tP\tM\tTref/Ts\tTs")
+	s := workload.SimpleController()
+	m := workload.MediumController()
+	fmt.Fprintf(w, "SIMPLE\t%d\t%d\t%g\t%g\n", s.PredictionHorizon, s.ControlHorizon, s.TrefOverTs, workload.SamplingPeriod)
+	fmt.Fprintf(w, "MEDIUM\t%d\t%d\t%g\t%g\n", m.PredictionHorizon, m.ControlHorizon, m.TrefOverTs, workload.SamplingPeriod)
+	return nil
+}
+
+func runStability(w io.Writer) error {
+	g, err := SimpleCriticalGain()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "SIMPLE critical uniform gain g* = %.4f\n", g)
+	fmt.Fprintf(w, "paper: 5.95 (hand analysis); empirical boundary in paper Figure 4: 6.5-7\n")
+	return nil
+}
+
+func runFig3a(w io.Writer) error {
+	tr, err := RunSimple(0.5, DefaultPeriods, DefaultSeed)
+	if err != nil {
+		return err
+	}
+	printTrace(w, tr)
+	return nil
+}
+
+func runFig3b(w io.Writer) error {
+	tr, err := RunSimple(7, DefaultPeriods, DefaultSeed)
+	if err != nil {
+		return err
+	}
+	printTrace(w, tr)
+	return nil
+}
+
+func printSweep(w io.Writer, points []SweepPoint, withOpen bool) {
+	fmt.Fprint(w, "etf\tmean(u1)\tstd(u1)\tset_point\tacceptable")
+	if withOpen {
+		fmt.Fprint(w, "\topen_expected")
+	}
+	fmt.Fprintln(w)
+	for _, p := range points {
+		fmt.Fprintf(w, "%.2f\t%.4f\t%.4f\t%.4f\t%v", p.ETF, p.P1.Mean, p.P1.StdDev, p.SetPoint, p.Acceptable)
+		if withOpen {
+			fmt.Fprintf(w, "\t%.4f", p.OpenExpected)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func runFig4(w io.Writer) error {
+	points, err := SweepSimple(Fig4ETFs(), DefaultSeed)
+	if err != nil {
+		return err
+	}
+	printSweep(w, points, false)
+	return nil
+}
+
+func runFig5(w io.Writer) error {
+	points, err := SweepMedium(Fig5ETFs(), DefaultSeed)
+	if err != nil {
+		return err
+	}
+	printSweep(w, points, true)
+	return nil
+}
+
+func runFig6(w io.Writer) error {
+	tr, err := RunMediumDynamic(KindOPEN, DefaultPeriods, DefaultSeed)
+	if err != nil {
+		return err
+	}
+	printTrace(w, tr)
+	return nil
+}
+
+func runFig7(w io.Writer) error {
+	tr, err := RunMediumDynamic(KindEUCON, DefaultPeriods, DefaultSeed)
+	if err != nil {
+		return err
+	}
+	printTrace(w, tr)
+	// Report re-convergence after each step, the paper's ~20Ts claim
+	// (measured on a 5-period moving average to suppress jitter).
+	b := workload.Medium().DefaultSetPoints()
+	for p := 0; p < len(b); p++ {
+		series := metrics.Column(tr.Utilization, p)
+		seg := metrics.MovingAverage(metrics.Window(series, 100, 200), 5)
+		st := metrics.SettlingTime(seg, b[p], 0.05)
+		fmt.Fprintf(w, "# P%d settling after +80%% step: %d Ts\n", p+1, st)
+	}
+	return nil
+}
+
+func runFig8(w io.Writer) error {
+	tr, err := RunMediumDynamic(KindEUCON, DefaultPeriods, DefaultSeed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, "period")
+	for i := 0; i < len(tr.Rates[0]); i++ {
+		fmt.Fprintf(w, "\tr(T%d)", i+1)
+	}
+	fmt.Fprintln(w)
+	for k, r := range tr.Rates {
+		fmt.Fprintf(w, "%d", k+1)
+		for _, v := range r {
+			fmt.Fprintf(w, "\t%.6f", v)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

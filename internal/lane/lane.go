@@ -1,0 +1,143 @@
+// Package lane implements the feedback lanes of the EUCON architecture
+// (paper §4): the TCP connections carrying utilization reports from each
+// processor's utilization monitor to the centralized controller, and rate
+// commands from the controller back to each processor's rate modulator.
+//
+// The wire format is length-prefixed JSON: a 4-byte big-endian frame length
+// followed by one JSON-encoded Message. Frames are capped at MaxFrameSize
+// to bound memory under a misbehaving peer. Writes are serialized by a
+// mutex so a Conn may be shared by a reader and a writer goroutine
+// (one reader at a time).
+package lane
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// MaxFrameSize bounds a single frame (1 MiB is far beyond any EUCON
+// message; the cap exists to fail fast on corrupt length prefixes).
+const MaxFrameSize = 1 << 20
+
+// ErrFrameTooLarge is returned when a peer announces a frame above
+// MaxFrameSize.
+var ErrFrameTooLarge = errors.New("lane: frame exceeds maximum size")
+
+// MessageType discriminates protocol messages.
+type MessageType string
+
+// Protocol message types.
+const (
+	// TypeHello registers a node agent with the controller.
+	TypeHello MessageType = "hello"
+	// TypeUtilization reports one sampling period's utilization.
+	TypeUtilization MessageType = "utilization"
+	// TypeRates carries new task rates from the controller.
+	TypeRates MessageType = "rates"
+	// TypeShutdown asks the peer to stop cleanly.
+	TypeShutdown MessageType = "shutdown"
+)
+
+// Message is the single frame payload for all lane traffic. Unused fields
+// are omitted from the wire encoding.
+type Message struct {
+	Type MessageType `json:"type"`
+	// Processor is the 0-based processor index (hello, utilization).
+	Processor int `json:"processor,omitempty"`
+	// Node is a human-readable node name (hello).
+	Node string `json:"node,omitempty"`
+	// Period is the sampling period index k.
+	Period int `json:"period,omitempty"`
+	// Utilization is u_p(k) (utilization messages).
+	Utilization float64 `json:"utilization,omitempty"`
+	// Rates is the full task rate vector (rates messages).
+	Rates []float64 `json:"rates,omitempty"`
+	// Reason annotates shutdown messages.
+	Reason string `json:"reason,omitempty"`
+}
+
+// Conn is a framed, write-serialized connection.
+type Conn struct {
+	nc net.Conn
+
+	writeMu sync.Mutex
+}
+
+// NewConn wraps a net.Conn.
+func NewConn(nc net.Conn) *Conn { return &Conn{nc: nc} }
+
+// Dial connects to a controller at addr with the given timeout.
+func Dial(addr string, timeout time.Duration) (*Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("lane: dial %s: %w", addr, err)
+	}
+	return NewConn(nc), nil
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.nc.Close() }
+
+// RemoteAddr reports the peer address.
+func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }
+
+// Send writes one message, applying the deadline to the whole write (zero
+// deadline means no timeout).
+func (c *Conn) Send(m *Message, deadline time.Duration) error {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("lane: encode %s message: %w", m.Type, err)
+	}
+	if len(body) > MaxFrameSize {
+		return fmt.Errorf("lane: send %s: %w", m.Type, ErrFrameTooLarge)
+	}
+	frame := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(frame, uint32(len(body)))
+	copy(frame[4:], body)
+
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if deadline > 0 {
+		if err := c.nc.SetWriteDeadline(time.Now().Add(deadline)); err != nil {
+			return fmt.Errorf("lane: set write deadline: %w", err)
+		}
+	}
+	if _, err := c.nc.Write(frame); err != nil {
+		return fmt.Errorf("lane: send %s: %w", m.Type, err)
+	}
+	return nil
+}
+
+// Receive reads one message, applying the deadline to the whole read (zero
+// deadline means no timeout). Only one goroutine may call Receive at a
+// time.
+func (c *Conn) Receive(deadline time.Duration) (*Message, error) {
+	if deadline > 0 {
+		if err := c.nc.SetReadDeadline(time.Now().Add(deadline)); err != nil {
+			return nil, fmt.Errorf("lane: set read deadline: %w", err)
+		}
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(c.nc, lenBuf[:]); err != nil {
+		return nil, fmt.Errorf("lane: read frame length: %w", err)
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("lane: frame of %d bytes: %w", n, ErrFrameTooLarge)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(c.nc, body); err != nil {
+		return nil, fmt.Errorf("lane: read frame body: %w", err)
+	}
+	var m Message
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, fmt.Errorf("lane: decode frame: %w", err)
+	}
+	return &m, nil
+}

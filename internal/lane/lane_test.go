@@ -1,0 +1,181 @@
+package lane
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pipePair returns two framed connections linked by an in-memory pipe.
+func pipePair() (*Conn, *Conn) {
+	a, b := net.Pipe()
+	return NewConn(a), NewConn(b)
+}
+
+func TestRoundTrip(t *testing.T) {
+	a, b := pipePair()
+	defer func() { _ = a.Close(); _ = b.Close() }()
+	want := &Message{
+		Type:        TypeUtilization,
+		Processor:   3,
+		Period:      17,
+		Utilization: 0.725,
+	}
+	done := make(chan error, 1)
+	go func() { done <- a.Send(want, time.Second) }()
+	got, err := b.Receive(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != want.Type || got.Processor != want.Processor || got.Period != want.Period || got.Utilization != want.Utilization {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+}
+
+func TestRoundTripRates(t *testing.T) {
+	a, b := pipePair()
+	defer func() { _ = a.Close(); _ = b.Close() }()
+	want := &Message{Type: TypeRates, Period: 4, Rates: []float64{0.01, 0.02, 0.005}}
+	go func() { _ = a.Send(want, time.Second) }()
+	got, err := b.Receive(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rates) != 3 || got.Rates[1] != 0.02 {
+		t.Fatalf("rates = %v", got.Rates)
+	}
+}
+
+func TestMultipleMessagesInOrder(t *testing.T) {
+	a, b := pipePair()
+	defer func() { _ = a.Close(); _ = b.Close() }()
+	const n = 20
+	go func() {
+		for i := 0; i < n; i++ {
+			_ = a.Send(&Message{Type: TypeUtilization, Period: i}, time.Second)
+		}
+	}()
+	for i := 0; i < n; i++ {
+		m, err := b.Receive(time.Second)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if m.Period != i {
+			t.Fatalf("message %d has period %d", i, m.Period)
+		}
+	}
+}
+
+func TestConcurrentWritersDoNotInterleave(t *testing.T) {
+	a, b := pipePair()
+	defer func() { _ = a.Close(); _ = b.Close() }()
+	const perWriter = 25
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := a.Send(&Message{Type: TypeUtilization, Processor: w, Period: i}, time.Second); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}()
+	}
+	seen := 0
+	for seen < 4*perWriter {
+		m, err := b.Receive(time.Second)
+		if err != nil {
+			t.Fatalf("after %d messages: %v", seen, err)
+		}
+		if m.Type != TypeUtilization {
+			t.Fatalf("corrupt frame: %+v", m)
+		}
+		seen++
+	}
+	wg.Wait()
+}
+
+func TestReceiveTimeout(t *testing.T) {
+	a, b := pipePair()
+	defer func() { _ = a.Close(); _ = b.Close() }()
+	_, err := b.Receive(20 * time.Millisecond)
+	if err == nil {
+		t.Fatal("Receive with no sender returned nil error")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("err = %v, want net timeout", err)
+	}
+}
+
+func TestOversizeFrameRejectedOnReceive(t *testing.T) {
+	a, b := net.Pipe()
+	defer func() { _ = a.Close(); _ = b.Close() }()
+	conn := NewConn(b)
+	go func() {
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], MaxFrameSize+1)
+		_, _ = a.Write(hdr[:])
+	}()
+	_, err := conn.Receive(time.Second)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", 100*time.Millisecond); err == nil {
+		t.Fatal("Dial to closed port succeeded")
+	}
+}
+
+func TestDialAndServe(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ln.Close() }()
+	done := make(chan *Message, 1)
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			done <- nil
+			return
+		}
+		m, err := NewConn(nc).Receive(time.Second)
+		if err != nil {
+			done <- nil
+			return
+		}
+		done <- m
+	}()
+	c, err := Dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	if err := c.Send(&Message{Type: TypeHello, Processor: 1, Node: "n1"}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	m := <-done
+	if m == nil || m.Type != TypeHello || m.Node != "n1" {
+		t.Fatalf("server got %+v", m)
+	}
+}
+
+func TestReceiveAfterPeerClose(t *testing.T) {
+	a, b := pipePair()
+	_ = a.Close()
+	if _, err := b.Receive(time.Second); err == nil {
+		t.Fatal("Receive after peer close returned nil error")
+	}
+	_ = b.Close()
+}

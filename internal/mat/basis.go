@@ -1,0 +1,60 @@
+package mat
+
+import "math"
+
+// OrthonormalRange returns an orthonormal basis for the column space of a,
+// as the columns of an a.Rows()×r matrix with r = rank(a), computed by
+// modified Gram–Schmidt with column pivoting by residual norm. Columns with
+// residual norm below tol·‖a‖ are treated as dependent. A nil result means
+// the matrix is (numerically) zero.
+func OrthonormalRange(a *Dense, tol float64) *Dense {
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	m, n := a.Dims()
+	scale := a.MaxAbs()
+	if scale == 0 {
+		return nil
+	}
+	cols := make([][]float64, 0, n)
+	for j := 0; j < n; j++ {
+		cols = append(cols, a.Col(j))
+	}
+	basis := make([][]float64, 0, n)
+	for len(basis) < m {
+		// Pick the remaining column with the largest residual norm.
+		best, bestNorm := -1, 0.0
+		for i, c := range cols {
+			if c == nil {
+				continue
+			}
+			if nn := Norm2(c); nn > bestNorm {
+				best, bestNorm = i, nn
+			}
+		}
+		if best < 0 || bestNorm <= tol*scale*math.Sqrt(float64(m)) {
+			break
+		}
+		q := VecScale(1/bestNorm, cols[best])
+		cols[best] = nil
+		basis = append(basis, q)
+		// Orthogonalize the remaining columns against q.
+		for i, c := range cols {
+			if c == nil {
+				continue
+			}
+			d := Dot(q, c)
+			cols[i] = VecSub(c, VecScale(d, q))
+		}
+	}
+	if len(basis) == 0 {
+		return nil
+	}
+	out := New(m, len(basis))
+	for j, q := range basis {
+		for i, v := range q {
+			out.Set(i, j, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrthonormalRangeFullRank(t *testing.T) {
+	a := MustFromRows([][]float64{{1, 0}, {0, 2}, {0, 0}})
+	q := OrthonormalRange(a, 0)
+	if q == nil || q.Cols() != 2 {
+		t.Fatalf("OrthonormalRange returned %v, want 2 columns", q)
+	}
+	// Columns orthonormal.
+	if got := q.T().Mul(q); !got.Equal(Identity(2), 1e-10) {
+		t.Fatalf("QᵀQ = %v, want I", got)
+	}
+}
+
+func TestOrthonormalRangeRankDeficient(t *testing.T) {
+	a := MustFromRows([][]float64{{1, 2}, {2, 4}}) // rank 1
+	q := OrthonormalRange(a, 0)
+	if q == nil || q.Cols() != 1 {
+		t.Fatalf("rank-1 matrix produced %v columns", q)
+	}
+}
+
+func TestOrthonormalRangeZero(t *testing.T) {
+	if q := OrthonormalRange(New(3, 2), 0); q != nil {
+		t.Fatalf("zero matrix produced basis %v, want nil", q)
+	}
+}
+
+func TestOrthonormalRangeSpansColumns(t *testing.T) {
+	// Every original column must be reproducible from the basis:
+	// ‖(I − QQᵀ)·a_j‖ ≈ 0.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(5)
+		n := 1 + rng.Intn(5)
+		a := randomDense(rng, m, n)
+		q := OrthonormalRange(a, 0)
+		if q == nil {
+			return false
+		}
+		proj := q.Mul(q.T())
+		for j := 0; j < n; j++ {
+			col := a.Col(j)
+			res := VecSub(col, proj.MulVec(col))
+			if Norm2(res) > 1e-8*(1+Norm2(col)) {
+				return false
+			}
+		}
+		// Orthonormality.
+		r := q.Cols()
+		return q.T().Mul(q).Equal(Identity(r), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrthonormalRangeNearDependentColumns(t *testing.T) {
+	a := MustFromRows([][]float64{{1, 1 + 1e-13}, {1, 1}})
+	q := OrthonormalRange(a, 1e-10)
+	if q == nil || q.Cols() != 1 {
+		cols := -1
+		if q != nil {
+			cols = q.Cols()
+		}
+		t.Fatalf("near-dependent columns produced %d basis vectors, want 1", cols)
+	}
+	_ = math.Pi
+}

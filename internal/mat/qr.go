@@ -1,0 +1,114 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// QR holds a Householder QR factorization of an m×n matrix with m ≥ n:
+// A = Q·R with Q orthogonal (stored implicitly as Householder vectors) and R
+// upper triangular. Storage follows the LINPACK convention: the strict upper
+// triangle of qr holds R, each column k at and below the diagonal holds the
+// Householder vector v_k, and rdiag holds R's diagonal.
+type QR struct {
+	qr    *Dense
+	rdiag []float64
+}
+
+// FactorQR computes the QR factorization of a. It requires rows ≥ cols.
+func FactorQR(a *Dense) (*QR, error) {
+	m, n := a.Dims()
+	if m < n {
+		return nil, fmt.Errorf("mat: FactorQR requires rows >= cols, got %dx%d", m, n)
+	}
+	qr := a.Clone()
+	rdiag := make([]float64, n)
+	for k := 0; k < n; k++ {
+		var norm float64
+		for i := k; i < m; i++ {
+			norm = math.Hypot(norm, qr.At(i, k))
+		}
+		if norm == 0 {
+			rdiag[k] = 0
+			continue
+		}
+		if qr.At(k, k) < 0 {
+			norm = -norm
+		}
+		for i := k; i < m; i++ {
+			qr.Set(i, k, qr.At(i, k)/norm)
+		}
+		qr.Set(k, k, qr.At(k, k)+1)
+		for j := k + 1; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += qr.At(i, k) * qr.At(i, j)
+			}
+			s = -s / qr.At(k, k)
+			for i := k; i < m; i++ {
+				qr.Set(i, j, qr.At(i, j)+s*qr.At(i, k))
+			}
+		}
+		rdiag[k] = -norm
+	}
+	return &QR{qr: qr, rdiag: rdiag}, nil
+}
+
+// SolveLeastSquares returns argmin‖Ax − b‖₂ via the factorization. It
+// returns ErrSingular when R is rank-deficient to working precision.
+func (f *QR) SolveLeastSquares(b []float64) ([]float64, error) {
+	m, n := f.qr.Dims()
+	if len(b) != m {
+		return nil, fmt.Errorf("mat: QR solve length mismatch: %d vs %d", len(b), m)
+	}
+	y := VecClone(b)
+	// Apply Qᵀ to b by applying each Householder reflector in order.
+	for k := 0; k < n; k++ {
+		vk := f.qr.At(k, k)
+		if f.rdiag[k] == 0 || vk == 0 {
+			continue
+		}
+		var s float64
+		for i := k; i < m; i++ {
+			s += f.qr.At(i, k) * y[i]
+		}
+		s = -s / vk
+		for i := k; i < m; i++ {
+			y[i] += s * f.qr.At(i, k)
+		}
+	}
+	// Back-substitute R·x = y[:n].
+	x := make([]float64, n)
+	scale := f.maxRDiag()
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.qr.At(i, j) * x[j]
+		}
+		d := f.rdiag[i]
+		if math.Abs(d) < 1e-13*scale || d == 0 {
+			return nil, fmt.Errorf("least-squares back-substitution at column %d: %w", i, ErrSingular)
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+func (f *QR) maxRDiag() float64 {
+	max := 1.0
+	for _, v := range f.rdiag {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// LeastSquares solves argmin‖Ax − b‖₂ directly (factor + solve).
+func LeastSquares(a *Dense, b []float64) ([]float64, error) {
+	f, err := FactorQR(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveLeastSquares(b)
+}

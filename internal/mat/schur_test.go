@@ -1,0 +1,181 @@
+package mat
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// eigSetsMatch greedily pairs each eigenvalue in a with its closest match
+// in b — tolerant of conjugate pairs sorting differently across solvers.
+func eigSetsMatch(a, b []complex128, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	used := make([]bool, len(b))
+	for _, ea := range a {
+		best, bestD := -1, 0.0
+		for j, eb := range b {
+			if used[j] {
+				continue
+			}
+			if d := cmplx.Abs(ea - eb); best < 0 || d < bestD {
+				best, bestD = j, d
+			}
+		}
+		if best < 0 || bestD > tol*(1+cmplx.Abs(ea)) {
+			return false
+		}
+		used[best] = true
+	}
+	return true
+}
+
+func sortEigs(e []complex128) {
+	sort.Slice(e, func(i, j int) bool {
+		if real(e[i]) != real(e[j]) {
+			return real(e[i]) < real(e[j])
+		}
+		return imag(e[i]) < imag(e[j])
+	})
+}
+
+func TestEigenvaluesQRDiagonal(t *testing.T) {
+	eigs, err := EigenvaluesQR(Diag([]float64{3, -1, 7}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortEigs(eigs)
+	want := []float64{-1, 3, 7}
+	for i, e := range eigs {
+		if math.Abs(real(e)-want[i]) > 1e-10 || math.Abs(imag(e)) > 1e-10 {
+			t.Errorf("eig[%d] = %v, want %v", i, e, want[i])
+		}
+	}
+}
+
+func TestEigenvaluesQRComplexPair(t *testing.T) {
+	a := MustFromRows([][]float64{{0, -2}, {2, 0}}) // ±2i
+	eigs, err := EigenvaluesQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range eigs {
+		if math.Abs(real(e)) > 1e-10 || math.Abs(math.Abs(imag(e))-2) > 1e-10 {
+			t.Errorf("eigenvalue %v, want ±2i", e)
+		}
+	}
+}
+
+func TestEigenvaluesQRNonSquare(t *testing.T) {
+	if _, err := EigenvaluesQR(New(2, 3)); err == nil {
+		t.Fatal("non-square accepted")
+	}
+}
+
+func TestEigenvaluesQREmpty(t *testing.T) {
+	eigs, err := EigenvaluesQR(New(0, 0))
+	if err != nil || len(eigs) != 0 {
+		t.Fatalf("empty matrix: eigs=%v err=%v", eigs, err)
+	}
+}
+
+func TestEigenvaluesQRMatchesCharPolySmall(t *testing.T) {
+	// Both eigensolvers must agree on small random matrices.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		a := randomDense(rng, n, n)
+		qr, err := EigenvaluesQR(a)
+		if err != nil {
+			return false
+		}
+		cp, err := Eigenvalues(a)
+		if err != nil {
+			return false
+		}
+		return eigSetsMatch(qr, cp, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEigenvaluesQRTraceAndDetInvariants(t *testing.T) {
+	// Σλ = trace(A) and Πλ = det(A) for random matrices, including sizes
+	// where the characteristic-polynomial route would be fragile.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(20)
+		a := randomDense(rng, n, n)
+		eigs, err := EigenvaluesQR(a)
+		if err != nil {
+			return false
+		}
+		if len(eigs) != n {
+			return false
+		}
+		var sum complex128
+		prod := complex(1, 0)
+		for _, e := range eigs {
+			sum += e
+			prod *= e
+		}
+		var tr float64
+		for i := 0; i < n; i++ {
+			tr += a.At(i, i)
+		}
+		if math.Abs(real(sum)-tr) > 1e-6*(1+math.Abs(tr)) || math.Abs(imag(sum)) > 1e-6 {
+			return false
+		}
+		det := Det(a)
+		scale := math.Max(1, math.Abs(det))
+		return cmplx.Abs(prod-complex(det, 0)) < 1e-5*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEigenvaluesQRDefectiveMatrix(t *testing.T) {
+	// Jordan block: defective but the eigenvalues are still 2, 2.
+	a := MustFromRows([][]float64{{2, 1}, {0, 2}})
+	eigs, err := EigenvaluesQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range eigs {
+		if cmplx.Abs(e-2) > 1e-7 {
+			t.Errorf("eigenvalue %v, want 2", e)
+		}
+	}
+}
+
+func TestHessenbergPreservesEigenvalues(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomDense(rng, 6, 6)
+	h := hessenberg(a)
+	// Hessenberg structure.
+	for i := 2; i < 6; i++ {
+		for j := 0; j < i-1; j++ {
+			if h.At(i, j) != 0 {
+				t.Fatalf("h[%d][%d] = %v, want 0", i, j, h.At(i, j))
+			}
+		}
+	}
+	// Same characteristic polynomial (similarity transform).
+	ca, err := CharPoly(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := CharPoly(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VecEqual(ca, ch, 1e-7) {
+		t.Fatalf("char polys differ:\n%v\n%v", ca, ch)
+	}
+}

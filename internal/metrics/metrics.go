@@ -1,0 +1,141 @@
+// Package metrics computes the time-series statistics the EUCON paper
+// reports: per-window mean and standard deviation of utilization, the
+// paper's acceptability criterion (§7.1: average within ±0.02 of the set
+// point and standard deviation below 0.05), and settling times.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// AcceptableMeanError and AcceptableStdDev are the paper's thresholds for
+// acceptable steady-state performance (§7.1).
+const (
+	AcceptableMeanError = 0.02
+	AcceptableStdDev    = 0.05
+)
+
+// Column extracts series i from a per-period matrix (e.g. trace
+// utilizations: rows[k][i]).
+func Column(rows [][]float64, i int) []float64 {
+	out := make([]float64, len(rows))
+	for k, row := range rows {
+		out[k] = row[i]
+	}
+	return out
+}
+
+// Window returns s[from:to) with bounds clamped to the series.
+func Window(s []float64, from, to int) []float64 {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(s) {
+		to = len(s)
+	}
+	if from >= to {
+		return nil
+	}
+	return s[from:to]
+}
+
+// Mean returns the arithmetic mean of s (0 for an empty series).
+func Mean(s []float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return sum / float64(len(s))
+}
+
+// StdDev returns the population standard deviation of s (0 for fewer than
+// two samples).
+func StdDev(s []float64) float64 {
+	if len(s) < 2 {
+		return 0
+	}
+	m := Mean(s)
+	var sum float64
+	for _, v := range s {
+		d := v - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(s)))
+}
+
+// Summary bundles the statistics the paper plots per run (Figures 4, 5).
+type Summary struct {
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary over s.
+func Summarize(s []float64) Summary {
+	if len(s) == 0 {
+		return Summary{}
+	}
+	out := Summary{Mean: Mean(s), StdDev: StdDev(s), Min: s[0], Max: s[0]}
+	for _, v := range s {
+		out.Min = math.Min(out.Min, v)
+		out.Max = math.Max(out.Max, v)
+	}
+	return out
+}
+
+// Acceptable applies the paper's acceptability criterion against set point
+// b: |mean − b| ≤ 0.02 and σ < 0.05.
+func (s Summary) Acceptable(b float64) bool {
+	return math.Abs(s.Mean-b) <= AcceptableMeanError && s.StdDev < AcceptableStdDev
+}
+
+// String renders the summary for experiment tables.
+func (s Summary) String() string {
+	return fmt.Sprintf("mean=%.4f std=%.4f min=%.4f max=%.4f", s.Mean, s.StdDev, s.Min, s.Max)
+}
+
+// MovingAverage returns the trailing moving average of s with the given
+// window (window ≤ 1 returns a copy). Element k averages
+// s[max(0,k−window+1) .. k].
+func MovingAverage(s []float64, window int) []float64 {
+	out := make([]float64, len(s))
+	if window <= 1 {
+		copy(out, s)
+		return out
+	}
+	var sum float64
+	for k, v := range s {
+		sum += v
+		if k >= window {
+			sum -= s[k-window]
+		}
+		n := k + 1
+		if n > window {
+			n = window
+		}
+		out[k] = sum / float64(n)
+	}
+	return out
+}
+
+// SettlingTime returns the first index k such that every subsequent sample
+// stays within tol of target, or -1 when the series never settles. This is
+// the "re-converges within 20Ts" measurement of Experiment II.
+func SettlingTime(s []float64, target, tol float64) int {
+	settled := -1
+	for k, v := range s {
+		if math.Abs(v-target) <= tol {
+			if settled < 0 {
+				settled = k
+			}
+		} else {
+			settled = -1
+		}
+	}
+	return settled
+}

@@ -1,0 +1,169 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v, want 2", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+	if got := StdDev([]float64{5}); got != 0 {
+		t.Fatalf("StdDev(single) = %v, want 0", got)
+	}
+	if got := StdDev(nil); got != 0 {
+		t.Fatalf("StdDev(nil) = %v, want 0", got)
+	}
+}
+
+func TestStdDevNonNegativeProperty(t *testing.T) {
+	f := func(s []float64) bool {
+		for _, v := range s {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true // skip degenerate float inputs
+			}
+		}
+		return StdDev(s) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStdDevShiftInvariantProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		s := make([]float64, 10)
+		for i := range s {
+			s[i] = float64((int(seed)*31 + i*17) % 100)
+		}
+		shifted := make([]float64, len(s))
+		for i := range s {
+			shifted[i] = s[i] + 1000
+		}
+		return math.Abs(StdDev(s)-StdDev(shifted)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColumn(t *testing.T) {
+	rows := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	if got := Column(rows, 1); !equal(got, []float64{2, 4, 6}) {
+		t.Fatalf("Column = %v", got)
+	}
+}
+
+func TestWindow(t *testing.T) {
+	s := []float64{0, 1, 2, 3, 4}
+	if got := Window(s, 1, 3); !equal(got, []float64{1, 2}) {
+		t.Fatalf("Window(1,3) = %v", got)
+	}
+	if got := Window(s, -5, 99); !equal(got, s) {
+		t.Fatalf("Window(clamped) = %v", got)
+	}
+	if got := Window(s, 3, 2); got != nil {
+		t.Fatalf("Window(empty) = %v, want nil", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.Mean != 2 || s.Min != 1 || s.Max != 3 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	if got := Summarize(nil); got != (Summary{}) {
+		t.Fatalf("Summarize(nil) = %+v, want zero", got)
+	}
+	if s.String() == "" {
+		t.Error("String is empty")
+	}
+}
+
+func TestAcceptable(t *testing.T) {
+	// Paper §7.1: acceptable iff |mean − B| ≤ 0.02 and σ < 0.05.
+	tests := []struct {
+		name string
+		s    Summary
+		b    float64
+		want bool
+	}{
+		{"on target", Summary{Mean: 0.828, StdDev: 0.01}, 0.828, true},
+		{"mean near threshold", Summary{Mean: 0.8479, StdDev: 0.01}, 0.828, true},
+		{"mean too far", Summary{Mean: 0.86, StdDev: 0.01}, 0.828, false},
+		{"too oscillatory", Summary{Mean: 0.828, StdDev: 0.06}, 0.828, false},
+		{"std at threshold", Summary{Mean: 0.828, StdDev: 0.05}, 0.828, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.s.Acceptable(tc.b); got != tc.want {
+				t.Fatalf("Acceptable = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSettlingTime(t *testing.T) {
+	s := []float64{0.2, 0.5, 0.7, 0.82, 0.83, 0.828, 0.829}
+	if got := SettlingTime(s, 0.828, 0.01); got != 3 {
+		t.Fatalf("SettlingTime = %d, want 3", got)
+	}
+	if got := SettlingTime([]float64{0, 0, 0}, 1, 0.1); got != -1 {
+		t.Fatalf("SettlingTime(never) = %d, want -1", got)
+	}
+	// Excursion after settling resets the settling point.
+	s2 := []float64{0.83, 0.2, 0.83, 0.83}
+	if got := SettlingTime(s2, 0.828, 0.01); got != 2 {
+		t.Fatalf("SettlingTime(excursion) = %d, want 2", got)
+	}
+}
+
+func equal(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMovingAverage(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5}
+	got := MovingAverage(s, 3)
+	want := []float64{1, 1.5, 2, 3, 4}
+	if !equal(got, want) {
+		t.Fatalf("MovingAverage = %v, want %v", got, want)
+	}
+	if got := MovingAverage(s, 1); !equal(got, s) {
+		t.Fatalf("window 1 = %v, want copy of input", got)
+	}
+	cp := MovingAverage(s, 0)
+	cp[0] = 99
+	if s[0] != 1 {
+		t.Fatal("MovingAverage returned a view, want a copy")
+	}
+	if got := MovingAverage(nil, 3); len(got) != 0 {
+		t.Fatalf("MovingAverage(nil) = %v", got)
+	}
+}
+
+func TestMovingAverageConstantSeries(t *testing.T) {
+	s := []float64{7, 7, 7, 7}
+	if got := MovingAverage(s, 3); !equal(got, s) {
+		t.Fatalf("moving average of constant series = %v", got)
+	}
+}

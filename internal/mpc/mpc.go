@@ -1,0 +1,392 @@
+// Package mpc implements the model predictive controller at the heart of
+// EUCON (paper §6.1): receding-horizon control of the linear
+// difference-equation model
+//
+//	u(k) = u(k−1) + F·Δr(k−1)
+//
+// minimizing the cost function (7) — tracking error against an exponential
+// reference trajectory plus a control-change penalty — subject to output
+// constraints u ≤ B and actuator box constraints R_min ≤ r ≤ R_max. The
+// constrained optimization is transformed to an inequality-constrained
+// least-squares problem and solved by internal/qp, mirroring the paper's
+// use of MATLAB's lsqlin.
+package mpc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/rtsyslab/eucon/internal/mat"
+	"github.com/rtsyslab/eucon/internal/qp"
+)
+
+// Config holds the controller tuning parameters (paper Table 2).
+type Config struct {
+	// PredictionHorizon is P: how many sampling periods ahead outputs are
+	// predicted.
+	PredictionHorizon int
+	// ControlHorizon is M ≤ P: how many future control moves are decision
+	// variables; moves beyond M are zero.
+	ControlHorizon int
+	// TrefOverTs is the reference-trajectory time constant divided by the
+	// sampling period (Tref/Ts in eq. 8). Larger values give slower, smoother
+	// convergence.
+	TrefOverTs float64
+	// QWeights are per-output tracking weights w_i (eq. 7); nil means all 1.
+	QWeights []float64
+	// RWeights are per-input control-penalty weights; nil means all 1.
+	RWeights []float64
+	// DisableOutputConstraints drops the hard u(k+i|k) ≤ B constraints,
+	// leaving only the actuator box. Used for ablation studies.
+	DisableOutputConstraints bool
+	// Solver tunes the underlying QP solver.
+	Solver qp.Options
+}
+
+func (c Config) validate(n, m int) error {
+	if c.PredictionHorizon < 1 {
+		return fmt.Errorf("mpc: prediction horizon %d must be >= 1", c.PredictionHorizon)
+	}
+	if c.ControlHorizon < 1 || c.ControlHorizon > c.PredictionHorizon {
+		return fmt.Errorf("mpc: control horizon %d must be in [1, %d]", c.ControlHorizon, c.PredictionHorizon)
+	}
+	if c.TrefOverTs <= 0 {
+		return errors.New("mpc: TrefOverTs must be positive")
+	}
+	if c.QWeights != nil && len(c.QWeights) != n {
+		return fmt.Errorf("mpc: QWeights has length %d, want %d", len(c.QWeights), n)
+	}
+	if c.RWeights != nil && len(c.RWeights) != m {
+		return fmt.Errorf("mpc: RWeights has length %d, want %d", len(c.RWeights), m)
+	}
+	for _, w := range c.QWeights {
+		if w < 0 {
+			return errors.New("mpc: QWeights must be non-negative")
+		}
+	}
+	for _, w := range c.RWeights {
+		if w < 0 {
+			return errors.New("mpc: RWeights must be non-negative")
+		}
+	}
+	return nil
+}
+
+// Controller is a MIMO receding-horizon controller for the EUCON plant
+// model. It is not safe for concurrent use.
+type Controller struct {
+	f         *mat.Dense // n×m allocation matrix
+	setPoints []float64  // B, length n
+	rmin      []float64  // length m
+	rmax      []float64  // length m
+	cfg       Config
+	n, m      int
+
+	sqrtQ []float64 // √QWeights
+	sqrtR []float64 // √RWeights
+	lam   []float64 // λ_i = 1 − e^{−i/(Tref/Ts)} for i = 1..P
+
+	prevDelta []float64 // Δr(k−1), for the control penalty
+}
+
+// StepResult reports one control computation.
+type StepResult struct {
+	// DeltaR is the applied control input Δr(k) (first move of the optimal
+	// trajectory).
+	DeltaR []float64
+	// NewRates is r(k−1) + Δr(k), clipped to the rate bounds.
+	NewRates []float64
+	// PredictedUtil is the model's one-step utilization prediction
+	// u(k) + F·Δr(k).
+	PredictedUtil []float64
+	// OutputConstraintsRelaxed reports that the utilization constraints had
+	// to be dropped this period because no rate vector could satisfy them
+	// (severe overload); the tracking term still steers u toward B.
+	OutputConstraintsRelaxed bool
+	// SolverIterations counts active-set iterations used.
+	SolverIterations int
+}
+
+// New builds a controller for the allocation matrix f (n processors × m
+// tasks), utilization set points, and per-task rate bounds.
+func New(f *mat.Dense, setPoints, rmin, rmax []float64, cfg Config) (*Controller, error) {
+	n, m := f.Dims()
+	if n == 0 || m == 0 {
+		return nil, fmt.Errorf("mpc: empty allocation matrix %dx%d", n, m)
+	}
+	if len(setPoints) != n {
+		return nil, fmt.Errorf("mpc: setPoints has length %d, want %d", len(setPoints), n)
+	}
+	if len(rmin) != m || len(rmax) != m {
+		return nil, fmt.Errorf("mpc: rate bounds have lengths %d/%d, want %d", len(rmin), len(rmax), m)
+	}
+	for i := range rmin {
+		if rmin[i] > rmax[i] {
+			return nil, fmt.Errorf("mpc: rmin[%d] = %g > rmax[%d] = %g", i, rmin[i], i, rmax[i])
+		}
+	}
+	if err := cfg.validate(n, m); err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		f:         f.Clone(),
+		setPoints: mat.VecClone(setPoints),
+		rmin:      mat.VecClone(rmin),
+		rmax:      mat.VecClone(rmax),
+		cfg:       cfg,
+		n:         n,
+		m:         m,
+		prevDelta: make([]float64, m),
+	}
+	c.sqrtQ = mat.Constant(n, 1)
+	if cfg.QWeights != nil {
+		for i, w := range cfg.QWeights {
+			c.sqrtQ[i] = math.Sqrt(w)
+		}
+	}
+	c.sqrtR = mat.Constant(m, 1)
+	if cfg.RWeights != nil {
+		for i, w := range cfg.RWeights {
+			c.sqrtR[i] = math.Sqrt(w)
+		}
+	}
+	c.lam = make([]float64, cfg.PredictionHorizon+1)
+	for i := 1; i <= cfg.PredictionHorizon; i++ {
+		c.lam[i] = 1 - math.Exp(-float64(i)/cfg.TrefOverTs)
+	}
+	return c, nil
+}
+
+// SetPoints returns a copy of the current utilization set points.
+func (c *Controller) SetPoints() []float64 { return mat.VecClone(c.setPoints) }
+
+// UpdateSetPoints changes the utilization set points online (paper §3.3,
+// overload protection: set points can be lowered in anticipation of load).
+func (c *Controller) UpdateSetPoints(b []float64) error {
+	if len(b) != c.n {
+		return fmt.Errorf("mpc: set points have length %d, want %d", len(b), c.n)
+	}
+	copy(c.setPoints, b)
+	return nil
+}
+
+// Reset clears the controller's memory of the previous control move.
+func (c *Controller) Reset() {
+	for i := range c.prevDelta {
+		c.prevDelta[i] = 0
+	}
+}
+
+// Step computes the control input for the next sampling period from the
+// measured utilizations u(k) and the currently applied rates r(k−1).
+func (c *Controller) Step(u, rates []float64) (*StepResult, error) {
+	if len(u) != c.n {
+		return nil, fmt.Errorf("mpc: utilization vector has length %d, want %d", len(u), c.n)
+	}
+	if len(rates) != c.m {
+		return nil, fmt.Errorf("mpc: rate vector has length %d, want %d", len(rates), c.m)
+	}
+	cmat, d := c.buildLeastSquares(u)
+
+	// Pick a feasible starting point analytically instead of relying on the
+	// solver's generic (and expensive) phase-1. Δr = 0 is feasible unless a
+	// processor is over its set point; in that case "all rates to R_min" is
+	// the most aggressive recovery available — F is non-negative, so if even
+	// that violates the output constraints, the constraint set is infeasible
+	// and the hard utilization constraints must be relaxed for this period.
+	relaxed := false
+	a, b := c.buildConstraints(u, rates, true)
+	z0 := make([]float64, c.m*c.cfg.ControlHorizon)
+	if maxViolation(a, b, z0) > 1e-9 {
+		for j := 0; j < c.m; j++ {
+			z0[j] = c.rmin[j] - rates[j]
+		}
+		if maxViolation(a, b, z0) > 1e-9 && !c.cfg.DisableOutputConstraints {
+			relaxed = true
+			a, b = c.buildConstraints(u, rates, false)
+			for j := range z0 {
+				z0[j] = 0
+			}
+		}
+	}
+	res, err := qp.SolveLSI(cmat, d, a, b, z0, c.cfg.Solver)
+	if err != nil && errors.Is(err, qp.ErrInfeasible) && !relaxed && !c.cfg.DisableOutputConstraints {
+		// Belt and braces: fall back to the always-feasible rate box.
+		relaxed = true
+		a, b = c.buildConstraints(u, rates, false)
+		res, err = qp.SolveLSI(cmat, d, a, b, make([]float64, c.m*c.cfg.ControlHorizon), c.cfg.Solver)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("mpc: solve control QP: %w", err)
+	}
+
+	delta := mat.VecClone(res.X[:c.m])
+	newRates := make([]float64, c.m)
+	for i := range newRates {
+		nr := rates[i] + delta[i]
+		// Guard against solver tolerance drift outside the box.
+		nr = math.Max(c.rmin[i], math.Min(c.rmax[i], nr))
+		newRates[i] = nr
+		delta[i] = nr - rates[i]
+	}
+	copy(c.prevDelta, delta)
+	return &StepResult{
+		DeltaR:                   delta,
+		NewRates:                 newRates,
+		PredictedUtil:            mat.VecAdd(u, c.f.MulVec(delta)),
+		OutputConstraintsRelaxed: relaxed,
+		SolverIterations:         res.Iterations,
+	}, nil
+}
+
+// maxViolation returns the largest constraint violation of A·z ≤ b at z.
+func maxViolation(a *mat.Dense, b, z []float64) float64 {
+	var v float64
+	for i := 0; i < a.Rows(); i++ {
+		if d := mat.Dot(a.Row(i), z) - b[i]; d > v {
+			v = d
+		}
+	}
+	return v
+}
+
+// buildLeastSquares assembles C and d such that the MPC cost (7) equals
+// ‖C·z − d‖² for the stacked move vector z = [Δr(k|k); …; Δr(k+M−1|k)].
+func (c *Controller) buildLeastSquares(u []float64) (*mat.Dense, []float64) {
+	p, mh := c.cfg.PredictionHorizon, c.cfg.ControlHorizon
+	nz := c.m * mh
+	rows := c.n*p + c.m*mh
+	cm := mat.New(rows, nz)
+	d := make([]float64, rows)
+
+	// Tracking blocks: √Q·F·S_i·z ≈ √Q·(ref(k+i|k) − u(k)) where S_i sums
+	// the first min(i, M) moves and ref − u = λ_i·(B − u).
+	for i := 1; i <= p; i++ {
+		rowBase := (i - 1) * c.n
+		blocks := i
+		if blocks > mh {
+			blocks = mh
+		}
+		for r := 0; r < c.n; r++ {
+			for blk := 0; blk < blocks; blk++ {
+				for j := 0; j < c.m; j++ {
+					cm.Set(rowBase+r, blk*c.m+j, c.sqrtQ[r]*c.f.At(r, j))
+				}
+			}
+			d[rowBase+r] = c.sqrtQ[r] * c.lam[i] * (c.setPoints[r] - u[r])
+		}
+	}
+	// Control-change penalty blocks: √R·(z_i − z_{i−1}), with z_{−1} the
+	// previously applied Δr(k−1).
+	base := c.n * p
+	for i := 0; i < mh; i++ {
+		for j := 0; j < c.m; j++ {
+			row := base + i*c.m + j
+			cm.Set(row, i*c.m+j, c.sqrtR[j])
+			if i == 0 {
+				d[row] = c.sqrtR[j] * c.prevDelta[j]
+			} else {
+				cm.Set(row, (i-1)*c.m+j, -c.sqrtR[j])
+			}
+		}
+	}
+	return cm, d
+}
+
+// buildConstraints assembles A·z ≤ b: cumulative rate box constraints for
+// every move, plus (optionally) the predicted-utilization constraints
+// u(k+i|k) ≤ B for i = 1..P.
+func (c *Controller) buildConstraints(u, rates []float64, withOutput bool) (*mat.Dense, []float64) {
+	p, mh := c.cfg.PredictionHorizon, c.cfg.ControlHorizon
+	nz := c.m * mh
+	rows := 2 * c.m * mh
+	outputRows := 0
+	if withOutput && !c.cfg.DisableOutputConstraints {
+		outputRows = c.n * p
+	}
+	a := mat.New(rows+outputRows, nz)
+	b := make([]float64, rows+outputRows)
+
+	// Rate box: for each horizon step i, r(k−1) + Σ_{j≤i} Δr_j ∈ [Rmin, Rmax].
+	for i := 0; i < mh; i++ {
+		for j := 0; j < c.m; j++ {
+			up := 2 * (i*c.m + j)
+			lo := up + 1
+			for blk := 0; blk <= i; blk++ {
+				a.Set(up, blk*c.m+j, 1)
+				a.Set(lo, blk*c.m+j, -1)
+			}
+			b[up] = c.rmax[j] - rates[j]
+			b[lo] = rates[j] - c.rmin[j]
+		}
+	}
+	if outputRows > 0 {
+		base := rows
+		for i := 1; i <= p; i++ {
+			blocks := i
+			if blocks > mh {
+				blocks = mh
+			}
+			for r := 0; r < c.n; r++ {
+				row := base + (i-1)*c.n + r
+				for blk := 0; blk < blocks; blk++ {
+					for j := 0; j < c.m; j++ {
+						a.Set(row, blk*c.m+j, c.f.At(r, j))
+					}
+				}
+				b[row] = c.setPoints[r] - u[r]
+			}
+		}
+	}
+	return a, b
+}
+
+// Gains returns the unconstrained feedback gain matrices (K_e, K_d) of the
+// controller: when no constraint is active, the applied move is
+//
+//	Δr(k) = K_e·(B − u(k)) + K_d·Δr(k−1).
+//
+// These matrices drive the closed-loop stability analysis of paper §6.2.
+func (c *Controller) Gains() (ke, kd *mat.Dense, err error) {
+	// The least-squares stack is C·z = d with d linear in e = B − u(k) and
+	// in Δr(k−1). Solve for each basis vector of e and of Δr(k−1).
+	ke = mat.New(c.m, c.n)
+	kd = mat.New(c.m, c.m)
+	u := make([]float64, c.n)
+	cmat, _ := c.buildLeastSquares(u)
+	fac, err := mat.FactorQR(cmat)
+	if err != nil {
+		return nil, nil, fmt.Errorf("mpc: factor gain system: %w", err)
+	}
+	p, mh := c.cfg.PredictionHorizon, c.cfg.ControlHorizon
+	rows := c.n*p + c.m*mh
+	// Basis responses for e.
+	for col := 0; col < c.n; col++ {
+		d := make([]float64, rows)
+		for i := 1; i <= p; i++ {
+			d[(i-1)*c.n+col] = c.sqrtQ[col] * c.lam[i]
+		}
+		z, err := fac.SolveLeastSquares(d)
+		if err != nil {
+			return nil, nil, fmt.Errorf("mpc: gain solve (e basis %d): %w", col, err)
+		}
+		for r := 0; r < c.m; r++ {
+			ke.Set(r, col, z[r])
+		}
+	}
+	// Basis responses for Δr(k−1).
+	base := c.n * p
+	for col := 0; col < c.m; col++ {
+		d := make([]float64, rows)
+		d[base+col] = c.sqrtR[col]
+		z, err := fac.SolveLeastSquares(d)
+		if err != nil {
+			return nil, nil, fmt.Errorf("mpc: gain solve (Δr basis %d): %w", col, err)
+		}
+		for r := 0; r < c.m; r++ {
+			kd.Set(r, col, z[r])
+		}
+	}
+	return ke, kd, nil
+}

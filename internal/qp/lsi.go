@@ -1,0 +1,129 @@
+package qp
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/rtsyslab/eucon/internal/mat"
+)
+
+// regularization added to CᵀC so the least-squares Hessian is strictly
+// positive definite even when C is rank deficient (common in EUCON: more
+// tasks than processors makes F wide).
+const lsiRegularization = 1e-8
+
+// SolveLSI solves the inequality-constrained least-squares problem
+//
+//	minimize  ‖C·x − d‖₂²
+//	subject to A·x ≤ b
+//
+// the same problem MATLAB's lsqlin solves. x0 is a starting point that need
+// not be feasible: an infeasible start triggers a phase-1 solve. When the
+// constraint set itself is infeasible, ErrInfeasible is returned.
+func SolveLSI(c *mat.Dense, d []float64, a *mat.Dense, b []float64, x0 []float64, opts Options) (*Result, error) {
+	n := c.Cols()
+	if len(d) != c.Rows() {
+		return nil, fmt.Errorf("qp: d has length %d, want %d", len(d), c.Rows())
+	}
+	if len(x0) != n {
+		return nil, fmt.Errorf("qp: x0 has length %d, want %d", len(x0), n)
+	}
+	// H = 2·(CᵀC + εI), f = −2·Cᵀd: the factor 2 keeps ½xᵀHx + fᵀx equal to
+	// ‖Cx − d‖² − ‖d‖².
+	ct := c.T()
+	h := ct.Mul(c).Scale(2)
+	scale := math.Max(1, h.MaxAbs())
+	for i := 0; i < n; i++ {
+		h.Set(i, i, h.At(i, i)+lsiRegularization*scale)
+	}
+	f := mat.VecScale(-2, ct.MulVec(d))
+
+	start := mat.VecClone(x0)
+	if a != nil && maxViolation(a, b, start) > 1e-9 {
+		feasible, err := FindFeasible(a, b, start, opts)
+		if err != nil {
+			return nil, fmt.Errorf("phase-1 for constrained least squares: %w", err)
+		}
+		start = feasible
+	}
+	res, err := Solve(h, f, a, b, start, opts)
+	if err != nil {
+		return res, err
+	}
+	// Report the true least-squares objective rather than the QP form.
+	r := mat.VecSub(c.MulVec(res.X), d)
+	res.Objective = mat.Dot(r, r)
+	return res, nil
+}
+
+// FindFeasible returns a point satisfying A·x ≤ b, obtained by solving the
+// phase-1 slack program
+//
+//	minimize  ½‖s‖² + ½ε‖x − x0‖²
+//	subject to A·x − s ≤ b,  −s ≤ 0
+//
+// starting from the trivially feasible (x0, max(0, A·x0 − b)). If the
+// minimal slack is positive the constraints are infeasible and
+// ErrInfeasible is returned.
+func FindFeasible(a *mat.Dense, b, x0 []float64, opts Options) ([]float64, error) {
+	if a == nil || a.Rows() == 0 {
+		return mat.VecClone(x0), nil
+	}
+	n := a.Cols()
+	m := a.Rows()
+	if len(x0) != n {
+		return nil, fmt.Errorf("qp: x0 has length %d, want %d", len(x0), n)
+	}
+	// The ε-regularization on x leaves a residual violation of roughly
+	// ε·(initial violation); keep ε small and refine with a second pass when
+	// needed.
+	const eps = 1e-10
+	// Variables z = (x, s).
+	h := mat.New(n+m, n+m)
+	for i := 0; i < n; i++ {
+		h.Set(i, i, eps)
+	}
+	for i := 0; i < m; i++ {
+		h.Set(n+i, n+i, 1)
+	}
+	f := make([]float64, n+m)
+	// Constraints: [A −I]·z ≤ b and [0 −I]·z ≤ 0.
+	cons := mat.New(2*m, n+m)
+	rhs := make([]float64, 2*m)
+	for i := 0; i < m; i++ {
+		row := a.Row(i)
+		for j := 0; j < n; j++ {
+			cons.Set(i, j, row[j])
+		}
+		cons.Set(i, n+i, -1)
+		rhs[i] = b[i]
+		cons.Set(m+i, n+i, -1)
+		rhs[m+i] = 0
+	}
+	z0 := make([]float64, n+m)
+	x := mat.VecClone(x0)
+	for pass := 0; pass < 3; pass++ {
+		copy(z0, x)
+		for i := 0; i < n; i++ {
+			f[i] = -eps * x[i] // anchor the regularizer at the current point
+		}
+		for i := 0; i < m; i++ {
+			z0[n+i] = 0
+			if v := mat.Dot(a.Row(i), x) - b[i]; v > 0 {
+				z0[n+i] = v
+			}
+		}
+		res, err := Solve(h, f, cons, rhs, z0, opts)
+		if err != nil {
+			return nil, fmt.Errorf("phase-1 QP: %w", err)
+		}
+		copy(x, res.X[:n])
+		if maxViolation(a, b, x) <= 1e-9 {
+			return x, nil
+		}
+	}
+	if v := maxViolation(a, b, x); v > 1e-6 {
+		return nil, fmt.Errorf("qp: minimal constraint violation %g after phase-1: %w", v, ErrInfeasible)
+	}
+	return x, nil
+}

@@ -1,0 +1,261 @@
+// Package qp implements a dense primal active-set solver for strictly
+// convex quadratic programs and inequality-constrained least-squares
+// problems. It is the Go replacement for the MATLAB lsqlin solver that the
+// EUCON paper's controller used (an active-set method in the style of Gill,
+// Murray and Wright, "Practical Optimization").
+//
+// Problems have the form
+//
+//	minimize   ½·xᵀHx + fᵀx
+//	subject to A·x ≤ b
+//
+// with H symmetric positive definite. Constrained least squares
+// (min ‖Cx − d‖₂² s.t. Ax ≤ b) is handled by SolveLSI, which forms
+// H = CᵀC + εI to guarantee strict convexity. A phase-1 slack program is
+// used to recover a feasible start when the caller's initial point violates
+// the constraints, which happens in EUCON whenever a processor is overloaded
+// (u(k) > B makes Δr = 0 infeasible for the output constraints).
+package qp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/rtsyslab/eucon/internal/mat"
+)
+
+// ErrInfeasible is returned when no point satisfies the constraints to
+// within tolerance.
+var ErrInfeasible = errors.New("qp: constraints are infeasible")
+
+// ErrMaxIterations is returned when the active-set loop fails to converge;
+// the best iterate found so far accompanies the error in Result.X.
+var ErrMaxIterations = errors.New("qp: active-set iteration limit reached")
+
+// Options tunes the solver. The zero value selects sensible defaults.
+type Options struct {
+	// MaxIter caps active-set iterations. Default: 50·(n + rows(A)) + 100.
+	MaxIter int
+	// Tol is the feasibility and optimality tolerance. Default: 1e-9.
+	Tol float64
+}
+
+func (o Options) withDefaults(n, m int) Options {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 50*(n+m) + 100
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-9
+	}
+	return o
+}
+
+// Result reports a solve outcome.
+type Result struct {
+	// X is the minimizer (or best iterate on error).
+	X []float64
+	// Objective is ½xᵀHx + fᵀx at X.
+	Objective float64
+	// Iterations is the number of active-set iterations performed.
+	Iterations int
+	// Active lists the indices of constraints active at X.
+	Active []int
+}
+
+// Solve minimizes ½xᵀHx + fᵀx subject to a·x ≤ b, starting from the
+// feasible point x0. H must be symmetric positive definite and x0 must
+// satisfy the constraints (use FindFeasible otherwise).
+func Solve(h *mat.Dense, f []float64, a *mat.Dense, b []float64, x0 []float64, opts Options) (*Result, error) {
+	n := len(f)
+	if h.Rows() != n || h.Cols() != n {
+		return nil, fmt.Errorf("qp: H is %dx%d, want %dx%d", h.Rows(), h.Cols(), n, n)
+	}
+	m := 0
+	if a != nil {
+		m = a.Rows()
+		if a.Cols() != n {
+			return nil, fmt.Errorf("qp: A has %d columns, want %d", a.Cols(), n)
+		}
+		if len(b) != m {
+			return nil, fmt.Errorf("qp: b has length %d, want %d", len(b), m)
+		}
+	}
+	if len(x0) != n {
+		return nil, fmt.Errorf("qp: x0 has length %d, want %d", len(x0), n)
+	}
+	opts = opts.withDefaults(n, m)
+
+	x := mat.VecClone(x0)
+	if v := maxViolation(a, b, x); v > 1e-6 {
+		return nil, fmt.Errorf("qp: x0 violates constraints by %g: %w", v, ErrInfeasible)
+	}
+
+	// Working set: indices of constraints treated as equalities.
+	working := make([]int, 0, n)
+	inWorking := make([]bool, m)
+	// Seed the working set with constraints active at x0.
+	for i := 0; i < m; i++ {
+		if len(working) >= n {
+			break
+		}
+		if math.Abs(mat.Dot(a.Row(i), x)-b[i]) <= opts.Tol {
+			if addIfIndependent(a, working, i) {
+				working = append(working, i)
+				inWorking[i] = true
+			}
+		}
+	}
+
+	iter := 0
+	for ; iter < opts.MaxIter; iter++ {
+		g := mat.VecAdd(h.MulVec(x), f)
+		p, lambda, err := solveKKT(h, a, working, g)
+		if err != nil {
+			// Degenerate working set: drop the most recently added
+			// constraint and retry.
+			if len(working) == 0 {
+				return nil, fmt.Errorf("qp: KKT solve failed with empty working set: %w", err)
+			}
+			last := working[len(working)-1]
+			working = working[:len(working)-1]
+			inWorking[last] = false
+			continue
+		}
+		if mat.NormInf(p) <= opts.Tol*(1+mat.NormInf(x)) {
+			// Stationary on the working set: check multipliers.
+			minIdx, minVal := -1, -opts.Tol
+			for wi, l := range lambda {
+				if l < minVal {
+					minIdx, minVal = wi, l
+				}
+			}
+			if minIdx < 0 {
+				return &Result{
+					X:          x,
+					Objective:  objective(h, f, x),
+					Iterations: iter,
+					Active:     append([]int(nil), working...),
+				}, nil
+			}
+			// Drop the constraint with the most negative multiplier.
+			dropped := working[minIdx]
+			working = append(working[:minIdx], working[minIdx+1:]...)
+			inWorking[dropped] = false
+			continue
+		}
+		// Line search to the nearest blocking constraint.
+		alpha, blocking := 1.0, -1
+		for i := 0; i < m; i++ {
+			if inWorking[i] {
+				continue
+			}
+			ai := a.Row(i)
+			denom := mat.Dot(ai, p)
+			if denom <= opts.Tol {
+				continue
+			}
+			step := (b[i] - mat.Dot(ai, x)) / denom
+			if step < alpha {
+				alpha, blocking = step, i
+			}
+		}
+		if alpha < 0 {
+			alpha = 0
+		}
+		for i := range x {
+			x[i] += alpha * p[i]
+		}
+		if blocking >= 0 && len(working) < n {
+			if addIfIndependent(a, working, blocking) {
+				working = append(working, blocking)
+				inWorking[blocking] = true
+			} else if alpha == 0 {
+				// Degenerate zero step onto a dependent constraint: give the
+				// multiplier check a chance by treating it as stationary next
+				// round; avoid infinite loops via the iteration cap.
+				continue
+			}
+		}
+	}
+	return &Result{
+		X:          x,
+		Objective:  objective(h, f, x),
+		Iterations: iter,
+		Active:     append([]int(nil), working...),
+	}, ErrMaxIterations
+}
+
+// addIfIndependent reports whether row idx of a is linearly independent of
+// the rows already in the working set (so the KKT system stays nonsingular).
+func addIfIndependent(a *mat.Dense, working []int, idx int) bool {
+	if len(working) == 0 {
+		return mat.Norm2(a.Row(idx)) > 0
+	}
+	// Solve min‖Awᵀy − aᵢ‖: a tiny residual means aᵢ ∈ span(rows of Aw).
+	n := a.Cols()
+	awt := mat.New(n, len(working))
+	for j, w := range working {
+		row := a.Row(w)
+		for i := 0; i < n; i++ {
+			awt.Set(i, j, row[i])
+		}
+	}
+	ai := a.Row(idx)
+	y, err := mat.LeastSquares(awt, ai)
+	if err != nil {
+		return true // rank-deficient basis is handled by the KKT fallback
+	}
+	res := mat.VecSub(awt.MulVec(y), ai)
+	return mat.Norm2(res) > 1e-9*(1+mat.Norm2(ai))
+}
+
+// solveKKT solves the equality-constrained subproblem
+//
+//	min ½pᵀHp + gᵀp  s.t.  Aw·p = 0
+//
+// returning the step p and the Lagrange multipliers of the working
+// constraints.
+func solveKKT(h *mat.Dense, a *mat.Dense, working []int, g []float64) (p, lambda []float64, err error) {
+	n := h.Rows()
+	k := len(working)
+	kkt := mat.New(n+k, n+k)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			kkt.Set(i, j, h.At(i, j))
+		}
+	}
+	for wi, w := range working {
+		row := a.Row(w)
+		for j := 0; j < n; j++ {
+			kkt.Set(n+wi, j, row[j])
+			kkt.Set(j, n+wi, row[j])
+		}
+	}
+	rhs := make([]float64, n+k)
+	for i := 0; i < n; i++ {
+		rhs[i] = -g[i]
+	}
+	sol, err := mat.SolveVec(kkt, rhs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("solve KKT system: %w", err)
+	}
+	return sol[:n], sol[n:], nil
+}
+
+func objective(h *mat.Dense, f []float64, x []float64) float64 {
+	return 0.5*mat.Dot(x, h.MulVec(x)) + mat.Dot(f, x)
+}
+
+func maxViolation(a *mat.Dense, b, x []float64) float64 {
+	if a == nil {
+		return 0
+	}
+	var v float64
+	for i := 0; i < a.Rows(); i++ {
+		if d := mat.Dot(a.Row(i), x) - b[i]; d > v {
+			v = d
+		}
+	}
+	return v
+}

@@ -1,0 +1,207 @@
+// Package sched provides fixed-priority schedulability analysis for the
+// rate-monotonic processors EUCON controls: the Liu–Layland utilization
+// test the paper's set points come from (eq. 13), the tighter hyperbolic
+// bound, exact response-time analysis, and an admission test — the
+// "admission control" adaptation mechanism the paper names as an
+// alternative actuator (§3.2, §6.2).
+//
+// Within EUCON these analyses close the loop on the paper's central
+// argument: if each processor's utilization is held at or below the
+// schedulable bound of its subtasks, every subdeadline — and therefore
+// every end-to-end deadline — is met.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/rtsyslab/eucon/internal/task"
+)
+
+// Job is one periodic job stream on a processor under RMS: an execution
+// time and a period (deadline = period, the paper's subdeadline
+// convention).
+type Job struct {
+	// Cost is the worst-case execution time.
+	Cost float64
+	// Period is the invocation period (and implicit deadline).
+	Period float64
+	// Name labels the job in diagnostics.
+	Name string
+}
+
+// Utilization returns Σ C_i/T_i.
+func Utilization(jobs []Job) float64 {
+	var u float64
+	for _, j := range jobs {
+		u += j.Cost / j.Period
+	}
+	return u
+}
+
+// LiuLaylandSchedulable applies the classic sufficient test
+// U ≤ n(2^{1/n} − 1).
+func LiuLaylandSchedulable(jobs []Job) bool {
+	return Utilization(jobs) <= task.LiuLaylandBound(len(jobs))+1e-12
+}
+
+// HyperbolicSchedulable applies the Bini–Buttazzo hyperbolic bound
+// Π(U_i + 1) ≤ 2 — strictly tighter than Liu–Layland.
+func HyperbolicSchedulable(jobs []Job) bool {
+	prod := 1.0
+	for _, j := range jobs {
+		prod *= j.Cost/j.Period + 1
+	}
+	return prod <= 2+1e-12
+}
+
+// ResponseTimes computes the exact worst-case response time of every job
+// under preemptive RMS via the standard fixed-point iteration
+//
+//	R = C_i + Σ_{j ∈ hp(i)} ⌈R/T_j⌉·C_j.
+//
+// Jobs need not be sorted; priority is by period (shorter = higher, ties
+// by input order). A response time of +Inf marks a job whose iteration
+// diverges past its period×divergence cap (unschedulable).
+func ResponseTimes(jobs []Job) ([]float64, error) {
+	for i, j := range jobs {
+		if j.Cost <= 0 || j.Period <= 0 {
+			return nil, fmt.Errorf("sched: job %d (%s) has non-positive cost %g or period %g", i, j.Name, j.Cost, j.Period)
+		}
+	}
+	order := make([]int, len(jobs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return jobs[order[a]].Period < jobs[order[b]].Period
+	})
+	resp := make([]float64, len(jobs))
+	for rank, idx := range order {
+		me := jobs[idx]
+		r := me.Cost
+		// Fixed point with a divergence cap at the deadline (= period): a
+		// response past the deadline is a miss regardless of convergence.
+		for iter := 0; iter < 1000; iter++ {
+			next := me.Cost
+			for h := 0; h < rank; h++ {
+				hj := jobs[order[h]]
+				next += math.Ceil(r/hj.Period) * hj.Cost
+			}
+			if next == r {
+				break
+			}
+			r = next
+			if r > me.Period {
+				r = math.Inf(1)
+				break
+			}
+		}
+		resp[idx] = r
+	}
+	return resp, nil
+}
+
+// RTASchedulable applies exact response-time analysis: every job's
+// worst-case response time is at most its period.
+func RTASchedulable(jobs []Job) (bool, error) {
+	resp, err := ResponseTimes(jobs)
+	if err != nil {
+		return false, err
+	}
+	for i, r := range resp {
+		if r > jobs[i].Period {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// ProcessorJobs projects a system at the given task rates onto one
+// processor: each hosted subtask becomes a job with period 1/r and cost
+// equal to its estimated execution time (subdeadline = period, the paper's
+// evaluation convention).
+func ProcessorJobs(sys *task.System, rates []float64, p int) ([]Job, error) {
+	if len(rates) != len(sys.Tasks) {
+		return nil, fmt.Errorf("sched: %d rates for %d tasks", len(rates), len(sys.Tasks))
+	}
+	var jobs []Job
+	for i := range sys.Tasks {
+		if rates[i] <= 0 {
+			return nil, fmt.Errorf("sched: task %s has non-positive rate %g", sys.Tasks[i].Name, rates[i])
+		}
+		for j, st := range sys.Tasks[i].Subtasks {
+			if st.Processor != p {
+				continue
+			}
+			jobs = append(jobs, Job{
+				Cost:   st.EstimatedCost,
+				Period: 1 / rates[i],
+				Name:   fmt.Sprintf("%s.%d", sys.Tasks[i].Name, j+1),
+			})
+		}
+	}
+	return jobs, nil
+}
+
+// SystemSchedulable reports whether every processor passes exact RTA at
+// the given rates. When it returns false, the second result names the
+// first failing processor (0-based).
+func SystemSchedulable(sys *task.System, rates []float64) (bool, int, error) {
+	for p := 0; p < sys.Processors; p++ {
+		jobs, err := ProcessorJobs(sys, rates, p)
+		if err != nil {
+			return false, -1, err
+		}
+		ok, err := RTASchedulable(jobs)
+		if err != nil {
+			return false, -1, err
+		}
+		if !ok {
+			return false, p, nil
+		}
+	}
+	return true, -1, nil
+}
+
+// Admit is the admission-control adaptation mechanism: it reports whether
+// adding candidate (at its initial rate) keeps every processor it touches
+// schedulable by exact RTA, given the current system and rates. The
+// candidate is not added; callers admit by appending it to the system.
+func Admit(sys *task.System, rates []float64, candidate task.Task) (bool, error) {
+	if err := candidate.Validate(); err != nil {
+		return false, fmt.Errorf("sched: candidate: %w", err)
+	}
+	touched := make(map[int]bool)
+	for _, st := range candidate.Subtasks {
+		if st.Processor >= sys.Processors {
+			return false, fmt.Errorf("sched: candidate touches processor %d of %d", st.Processor, sys.Processors)
+		}
+		touched[st.Processor] = true
+	}
+	for p := range touched {
+		jobs, err := ProcessorJobs(sys, rates, p)
+		if err != nil {
+			return false, err
+		}
+		for j, st := range candidate.Subtasks {
+			if st.Processor != p {
+				continue
+			}
+			jobs = append(jobs, Job{
+				Cost:   st.EstimatedCost,
+				Period: 1 / candidate.InitialRate,
+				Name:   fmt.Sprintf("%s.%d", candidate.Name, j+1),
+			})
+		}
+		ok, err := RTASchedulable(jobs)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,30 @@
+package sim
+
+// RateController decides the task rates applied in the next sampling
+// period. Implementations include the EUCON MPC controller (package core)
+// and the OPEN open-loop baseline (package baseline).
+type RateController interface {
+	// Name identifies the controller in traces.
+	Name() string
+	// Rates returns the rates for sampling period k+1 given the utilization
+	// vector u(k) measured over period k and the currently applied rates.
+	// Implementations must return a slice of the same length as rates and
+	// must respect each task's rate bounds.
+	Rates(k int, u, rates []float64) ([]float64, error)
+}
+
+// FixedRates is a RateController that never changes rates (pure open loop
+// with whatever rates the tasks started with).
+type FixedRates struct{}
+
+var _ RateController = FixedRates{}
+
+// Name implements RateController.
+func (FixedRates) Name() string { return "FIXED" }
+
+// Rates implements RateController by echoing the current rates.
+func (FixedRates) Rates(_ int, _, rates []float64) ([]float64, error) {
+	out := make([]float64, len(rates))
+	copy(out, rates)
+	return out, nil
+}

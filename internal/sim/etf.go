@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ETFStep is one segment of an execution-time factor schedule: from time At
+// (in time units) onward, actual mean execution times are Factor times the
+// design-time estimates.
+type ETFStep struct {
+	At     float64
+	Factor float64
+}
+
+// ETFSchedule is a piecewise-constant execution-time factor over simulated
+// time (paper §7.1: etf_ij(k) = a_ij(k)/c_ij, shared by all subtasks). The
+// zero value means etf = 1 everywhere (actual times match estimates).
+type ETFSchedule struct {
+	steps []ETFStep
+}
+
+// ConstantETF returns a schedule with a single factor for the whole run.
+func ConstantETF(factor float64) ETFSchedule {
+	return ETFSchedule{steps: []ETFStep{{At: 0, Factor: factor}}}
+}
+
+// StepETF builds a schedule from explicit steps; steps are sorted by time.
+// It returns an error when any factor is non-positive.
+func StepETF(steps ...ETFStep) (ETFSchedule, error) {
+	out := make([]ETFStep, len(steps))
+	copy(out, steps)
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	for _, s := range out {
+		if s.Factor <= 0 {
+			return ETFSchedule{}, fmt.Errorf("sim: execution-time factor %g at t=%g must be positive", s.Factor, s.At)
+		}
+	}
+	return ETFSchedule{steps: out}, nil
+}
+
+// At returns the factor in effect at time t. Before the first step (or with
+// no steps at all) the factor is 1.
+func (s ETFSchedule) At(t float64) float64 {
+	f := 1.0
+	for _, st := range s.steps {
+		if st.At > t {
+			break
+		}
+		f = st.Factor
+	}
+	return f
+}

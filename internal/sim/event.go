@@ -1,0 +1,57 @@
+package sim
+
+import "container/heap"
+
+// eventKind orders simultaneous events: completions free processors before
+// new releases contend for them, and sampling observes a settled state.
+type eventKind int
+
+const (
+	evCompletion eventKind = iota + 1
+	evRelease
+	evSampling
+)
+
+// event is a scheduled simulator occurrence.
+type event struct {
+	at   float64
+	kind eventKind
+	seq  uint64 // global tie-break and stale-event detection
+
+	// evCompletion: the processor whose running job tentatively finishes.
+	proc int
+	// evRelease: the job to enqueue.
+	job *job
+	// evRelease of a first subtask: the periodic-release sequence that must
+	// still be current for the event to be valid.
+	relSeq uint64
+}
+
+type eventQueue []*event
+
+var _ heap.Interface = (*eventQueue)(nil)
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	if q[i].kind != q[j].kind {
+		return q[i].kind < q[j].kind
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}

@@ -1,0 +1,194 @@
+package sim_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/rtsyslab/eucon/internal/sim"
+	"github.com/rtsyslab/eucon/internal/task"
+	"github.com/rtsyslab/eucon/internal/workload"
+)
+
+func oneTaskSystemX(c, rate float64) *task.System {
+	return &task.System{
+		Name:       "one",
+		Processors: 1,
+		Tasks: []task.Task{
+			{
+				Name:        "T1",
+				Subtasks:    []task.Subtask{{Processor: 0, EstimatedCost: c}},
+				RateMin:     rate / 10,
+				RateMax:     rate * 10,
+				InitialRate: rate,
+			},
+		},
+	}
+}
+
+func chainSystemX(c1, c2, rate float64) *task.System {
+	return &task.System{
+		Name:       "chain",
+		Processors: 2,
+		Tasks: []task.Task{
+			{
+				Name: "T1",
+				Subtasks: []task.Subtask{
+					{Processor: 0, EstimatedCost: c1},
+					{Processor: 1, EstimatedCost: c2},
+				},
+				RateMin:     rate / 10,
+				RateMax:     rate * 10,
+				InitialRate: rate,
+			},
+		},
+	}
+}
+
+func mustRunX(t *testing.T, cfg sim.Config) *sim.Trace {
+	t.Helper()
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestSimulatorInvariantsOnRandomWorkloads checks conservation laws on
+// randomly generated workloads:
+//
+//   - every utilization sample lies in [0, 1],
+//   - completed never exceeds released,
+//   - misses never exceed completions,
+//   - per-period counters sum to the aggregates,
+//   - recorded rates respect every task's bounds.
+func TestSimulatorInvariantsOnRandomWorkloads(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		procs := 2 + rng.Intn(4)
+		sys, err := workload.Random(workload.RandomConfig{
+			Processors:     procs,
+			EndToEndTasks:  procs + rng.Intn(5),
+			LocalTasks:     rng.Intn(3),
+			MaxChainLength: 2 + rng.Intn(2),
+			MinCost:        10,
+			MaxCost:        60,
+		}, rng)
+		if err != nil {
+			return false
+		}
+		cfg := sim.Config{
+			System:         sys,
+			SamplingPeriod: 1000,
+			Periods:        20,
+			ETF:            sim.ConstantETF(0.25 + 2*rng.Float64()),
+			Jitter:         0.3 * rng.Float64(),
+			Seed:           seed,
+		}
+		s, err := sim.New(cfg)
+		if err != nil {
+			return false
+		}
+		tr, err := s.Run()
+		if err != nil {
+			return false
+		}
+		for _, u := range tr.Utilization {
+			for _, v := range u {
+				if v < 0 || v > 1 {
+					return false
+				}
+			}
+		}
+		if tr.Stats.CompletedJobs > tr.Stats.ReleasedJobs {
+			return false
+		}
+		if tr.Stats.SubtaskDeadlineMisses > tr.Stats.CompletedJobs {
+			return false
+		}
+		if tr.Stats.EndToEndDeadlineMisses > tr.Stats.EndToEndCompletions {
+			return false
+		}
+		var rel, comp int
+		for _, ps := range tr.Periods {
+			rel += ps.Released
+			comp += ps.Completed
+		}
+		if rel != tr.Stats.ReleasedJobs || comp != tr.Stats.CompletedJobs {
+			return false
+		}
+		rmin, rmax := sys.RateBounds()
+		for _, r := range tr.Rates {
+			for i := range r {
+				if r[i] < rmin[i]-1e-12 || r[i] > rmax[i]+1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBusyTimeMatchesCompletedWork cross-checks the utilization monitor
+// against job accounting: with deterministic execution times and no
+// overload, total busy time ≈ cost × completions (small boundary effects
+// from jobs spanning the final window).
+func TestBusyTimeMatchesCompletedWork(t *testing.T) {
+	const (
+		cost    = 10.0
+		rate    = 0.02
+		periods = 50
+		ts      = 1000.0
+	)
+	tr := mustRunX(t, sim.Config{System: oneTaskSystemX(cost, rate), SamplingPeriod: ts, Periods: periods})
+	var busy float64
+	for _, u := range tr.Utilization {
+		busy += u[0] * ts
+	}
+	workDone := cost * float64(tr.Stats.CompletedJobs)
+	if diff := busy - workDone; diff < -cost || diff > cost {
+		t.Fatalf("busy time %v vs completed work %v: differ by more than one job", busy, workDone)
+	}
+}
+
+// TestReleaseGuardMinimumSeparation verifies the release-guard property
+// directly: with the second stage much faster than its period would allow
+// (predecessor finishes instantly), successor completions are still spaced
+// at least one period apart — i.e., the successor count per window never
+// exceeds the task's rate.
+func TestReleaseGuardMinimumSeparation(t *testing.T) {
+	sys := chainSystemX(1, 1, 0.01) // period 100, tiny costs
+	tr := mustRunX(t, sim.Config{System: sys, SamplingPeriod: 1000, Periods: 20})
+	// Each window can complete at most ⌈Ts·r⌉ + 1 end-to-end instances.
+	for k, ps := range tr.Periods {
+		if ps.EndToEndCompletions > 11 {
+			t.Fatalf("period %d: %d end-to-end completions exceed rate-limited maximum", k, ps.EndToEndCompletions)
+		}
+	}
+}
+
+// TestDeterministicTraceAcrossControllers ensures FixedRates and nil
+// controller produce identical plants (the controller hook itself must not
+// perturb simulation state).
+func TestDeterministicTraceAcrossControllers(t *testing.T) {
+	base := sim.Config{System: workload.Simple(), SamplingPeriod: 1000, Periods: 15, Seed: 3}
+	trNil := mustRunX(t, base)
+	withFixed := base
+	withFixed.Controller = sim.FixedRates{}
+	trFixed := mustRunX(t, withFixed)
+	for k := range trNil.Utilization {
+		for p := range trNil.Utilization[k] {
+			if trNil.Utilization[k][p] != trFixed.Utilization[k][p] {
+				t.Fatalf("period %d P%d: nil controller %v != FixedRates %v",
+					k, p+1, trNil.Utilization[k][p], trFixed.Utilization[k][p])
+			}
+		}
+	}
+}

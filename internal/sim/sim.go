@@ -1,0 +1,540 @@
+// Package sim is an event-driven simulator for distributed real-time
+// systems executing end-to-end periodic tasks — the Go equivalent of the
+// C++ simulation environment in the EUCON paper's evaluation (§7.1).
+//
+// Each processor schedules its subtasks with preemptive Rate Monotonic
+// Scheduling (RMS); precedence constraints between subsequent subtasks are
+// enforced by the release guard protocol (Sun & Liu), which keeps every
+// subtask periodic at its task's rate. A utilization monitor measures the
+// busy fraction of each processor per sampling period, and a rate modulator
+// applies the controller's new rates at sampling boundaries. Network delay
+// is ignored, as in the paper.
+//
+// The simulator is deterministic for a fixed Config.Seed.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/rtsyslab/eucon/internal/task"
+)
+
+// timeEps absorbs floating-point drift when comparing virtual times.
+const timeEps = 1e-9
+
+// Config describes one simulation run.
+type Config struct {
+	// System is the workload to simulate. Required.
+	System *task.System
+	// SamplingPeriod is Ts in time units. Required, positive.
+	SamplingPeriod float64
+	// Periods is the number of sampling periods to simulate. Required,
+	// positive.
+	Periods int
+	// Controller adjusts task rates at each sampling boundary; nil keeps
+	// the initial rates for the whole run.
+	Controller RateController
+	// ETF is the execution-time factor schedule (zero value: etf = 1).
+	ETF ETFSchedule
+	// Jitter, in [0, 1), draws each job's execution time uniformly from
+	// [mean·(1−Jitter), mean·(1+Jitter)]. Zero means deterministic
+	// execution times (the paper's SIMPLE runs); MEDIUM uses uniform random
+	// execution times.
+	Jitter float64
+	// Seed drives all randomness; runs with equal seeds are identical.
+	Seed int64
+	// MaxBacklog, when positive, sheds load under overload: a subtask
+	// release is skipped while that subtask already has MaxBacklog
+	// incomplete jobs in the system. This models DRE applications that
+	// drop work rather than queue it unboundedly (e.g. sensor frames);
+	// zero disables shedding.
+	MaxBacklog int
+}
+
+func (c *Config) validate() error {
+	if c.System == nil {
+		return errors.New("sim: Config.System is nil")
+	}
+	if err := c.System.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	if c.SamplingPeriod <= 0 {
+		return fmt.Errorf("sim: sampling period %g must be positive", c.SamplingPeriod)
+	}
+	if c.Periods <= 0 {
+		return fmt.Errorf("sim: period count %d must be positive", c.Periods)
+	}
+	if c.Jitter < 0 || c.Jitter >= 1 {
+		return fmt.Errorf("sim: jitter %g must be in [0, 1)", c.Jitter)
+	}
+	return nil
+}
+
+// job is one invocation of one subtask.
+type job struct {
+	taskIdx    int
+	subIdx     int
+	proc       int
+	release    float64 // actual release time
+	remaining  float64 // execution time still needed
+	deadline   float64 // subtask deadline (release + period at release)
+	chainStart float64 // release time of the chain's first subtask
+	chainDL    float64 // absolute end-to-end deadline of the chain
+}
+
+// processor is the run state of one CPU.
+type processor struct {
+	ready    jobHeap // pending jobs ordered by RMS priority, excluding running
+	running  *job
+	runStart float64 // when the running job last got the CPU
+	busy     float64 // busy time accumulated in the current window
+	seq      uint64  // valid completion-event sequence for running
+}
+
+// jobHeap is a priority queue of ready jobs under RMS: shortest current
+// period first. Periods are live values owned by the simulator, so the heap
+// must be re-initialized (heap.Init) whenever task rates change.
+type jobHeap struct {
+	jobs []*job
+	sim  *Simulator
+}
+
+func (h *jobHeap) Len() int { return len(h.jobs) }
+
+func (h *jobHeap) Less(i, j int) bool {
+	return h.sim.higherPriority(h.jobs[i], h.jobs[j])
+}
+
+func (h *jobHeap) Swap(i, j int) { h.jobs[i], h.jobs[j] = h.jobs[j], h.jobs[i] }
+
+func (h *jobHeap) Push(x any) { h.jobs = append(h.jobs, x.(*job)) }
+
+func (h *jobHeap) Pop() any {
+	old := h.jobs
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	h.jobs = old[:n-1]
+	return j
+}
+
+// Stats aggregates counters over a run.
+type Stats struct {
+	// ReleasedJobs counts subtask invocations released.
+	ReleasedJobs int
+	// CompletedJobs counts subtask invocations completed.
+	CompletedJobs int
+	// SubtaskDeadlineMisses counts subtask completions after their
+	// subdeadline.
+	SubtaskDeadlineMisses int
+	// EndToEndCompletions counts completed end-to-end instances.
+	EndToEndCompletions int
+	// EndToEndDeadlineMisses counts end-to-end instances finishing after
+	// their end-to-end deadline.
+	EndToEndDeadlineMisses int
+	// ControllerErrors counts sampling periods where the controller
+	// returned an error (rates kept unchanged).
+	ControllerErrors int
+	// SkippedJobs counts releases shed because the subtask's backlog
+	// reached Config.MaxBacklog.
+	SkippedJobs int
+}
+
+// PeriodStats are the per-sampling-period counters behind the aggregate
+// Stats, enabling deadline-miss-ratio time series.
+type PeriodStats struct {
+	// Released and Completed count subtask jobs in this period.
+	Released, Completed int
+	// SubtaskMisses counts subtask completions past their subdeadline.
+	SubtaskMisses int
+	// EndToEndCompletions and EndToEndMisses count whole task instances.
+	EndToEndCompletions, EndToEndMisses int
+}
+
+// MissRatio returns the subtask deadline miss ratio of the period (0 when
+// nothing completed).
+func (p PeriodStats) MissRatio() float64 {
+	if p.Completed == 0 {
+		return 0
+	}
+	return float64(p.SubtaskMisses) / float64(p.Completed)
+}
+
+// Trace is the full per-period record of a run.
+type Trace struct {
+	// Controller is the name of the rate controller used.
+	Controller string
+	// SamplingPeriod is Ts.
+	SamplingPeriod float64
+	// Utilization[k][p] is processor p's measured utilization in sampling
+	// period k (k = 0 is the first period).
+	Utilization [][]float64
+	// Rates[k][i] is task i's rate during sampling period k.
+	Rates [][]float64
+	// Periods[k] holds the per-period job counters.
+	Periods []PeriodStats
+	// Stats holds aggregate counters.
+	Stats Stats
+}
+
+// Simulator runs one configuration. Create with New, drive with Run.
+type Simulator struct {
+	cfg    Config
+	sys    *task.System
+	rng    *rand.Rand
+	events eventQueue
+	seq    uint64
+	now    float64
+
+	procs []processor
+	rates []float64
+
+	// releaseSeq[i] invalidates stale first-subtask release events for task
+	// i after a rate change reschedules them.
+	releaseSeq  []uint64
+	lastRelease [][]float64 // per task, per subtask: last release time
+	backlog     [][]int     // per task, per subtask: incomplete jobs in flight
+
+	trace Trace
+	cur   PeriodStats // counters for the in-progress sampling period
+}
+
+// New validates cfg and builds a Simulator.
+func New(cfg Config) (*Simulator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	sys := cfg.System
+	s := &Simulator{
+		cfg:         cfg,
+		sys:         sys,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		procs:       make([]processor, sys.Processors),
+		rates:       sys.InitialRates(),
+		releaseSeq:  make([]uint64, len(sys.Tasks)),
+		lastRelease: make([][]float64, len(sys.Tasks)),
+	}
+	s.backlog = make([][]int, len(sys.Tasks))
+	for i := range sys.Tasks {
+		s.lastRelease[i] = make([]float64, len(sys.Tasks[i].Subtasks))
+		for j := range s.lastRelease[i] {
+			s.lastRelease[i][j] = -1 // never released
+		}
+		s.backlog[i] = make([]int, len(sys.Tasks[i].Subtasks))
+	}
+	for p := range s.procs {
+		s.procs[p].ready.sim = s
+	}
+	name := "NONE"
+	if cfg.Controller != nil {
+		name = cfg.Controller.Name()
+	}
+	s.trace = Trace{
+		Controller:     name,
+		SamplingPeriod: cfg.SamplingPeriod,
+		Utilization:    make([][]float64, 0, cfg.Periods),
+		Rates:          make([][]float64, 0, cfg.Periods),
+	}
+	return s, nil
+}
+
+// Run executes the configured number of sampling periods and returns the
+// trace. Run may only be called once per Simulator.
+func (s *Simulator) Run() (*Trace, error) {
+	// Initial releases of every task's first subtask at t = 0.
+	for i := range s.sys.Tasks {
+		s.scheduleFirstRelease(i, 0)
+	}
+	// Sampling boundaries at k·Ts.
+	for k := 1; k <= s.cfg.Periods; k++ {
+		s.push(&event{at: float64(k) * s.cfg.SamplingPeriod, kind: evSampling})
+	}
+
+	end := float64(s.cfg.Periods) * s.cfg.SamplingPeriod
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(*event)
+		if e.at > end+timeEps {
+			break
+		}
+		s.now = e.at
+		switch e.kind {
+		case evRelease:
+			s.handleRelease(e)
+		case evCompletion:
+			s.handleCompletion(e)
+		case evSampling:
+			if err := s.handleSampling(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &s.trace, nil
+}
+
+func (s *Simulator) push(e *event) *event {
+	s.seq++
+	e.seq = s.seq
+	heap.Push(&s.events, e)
+	return e
+}
+
+// period returns task i's current period 1/r_i.
+func (s *Simulator) period(i int) float64 { return 1 / s.rates[i] }
+
+// drawExecTime draws the actual execution time for a subtask released now.
+func (s *Simulator) drawExecTime(taskIdx, subIdx int) float64 {
+	mean := s.sys.Tasks[taskIdx].Subtasks[subIdx].EstimatedCost * s.cfg.ETF.At(s.now)
+	if s.cfg.Jitter == 0 {
+		return mean
+	}
+	lo := mean * (1 - s.cfg.Jitter)
+	hi := mean * (1 + s.cfg.Jitter)
+	return lo + s.rng.Float64()*(hi-lo)
+}
+
+// scheduleFirstRelease schedules the periodic release of task i's first
+// subtask at time at.
+func (s *Simulator) scheduleFirstRelease(i int, at float64) {
+	s.releaseSeq[i]++
+	s.push(&event{
+		at:     at,
+		kind:   evRelease,
+		job:    &job{taskIdx: i, subIdx: 0, release: at},
+		relSeq: s.releaseSeq[i],
+	})
+}
+
+// handleRelease admits a job to its processor's ready queue.
+func (s *Simulator) handleRelease(e *event) {
+	j := e.job
+	t := &s.sys.Tasks[j.taskIdx]
+	if j.subIdx == 0 {
+		// Stale periodic release (rescheduled after a rate change)?
+		if e.relSeq != s.releaseSeq[j.taskIdx] {
+			return
+		}
+		period := s.period(j.taskIdx)
+		j.chainStart = s.now
+		j.chainDL = s.now + float64(len(t.Subtasks))*period
+		// Schedule the next periodic release.
+		s.scheduleFirstRelease(j.taskIdx, s.now+period)
+	}
+	// Load shedding: skip the release when this subtask's backlog is full.
+	if s.cfg.MaxBacklog > 0 && s.backlog[j.taskIdx][j.subIdx] >= s.cfg.MaxBacklog {
+		s.trace.Stats.SkippedJobs++
+		return
+	}
+	period := s.period(j.taskIdx)
+	j.proc = t.Subtasks[j.subIdx].Processor
+	j.release = s.now
+	j.deadline = s.now + period
+	j.remaining = s.drawExecTime(j.taskIdx, j.subIdx)
+	s.lastRelease[j.taskIdx][j.subIdx] = s.now
+	s.backlog[j.taskIdx][j.subIdx]++
+	s.trace.Stats.ReleasedJobs++
+	s.cur.Released++
+
+	p := &s.procs[j.proc]
+	heap.Push(&p.ready, j)
+	s.dispatch(j.proc)
+}
+
+// handleCompletion finishes the running job on a processor if the event is
+// still valid.
+func (s *Simulator) handleCompletion(e *event) {
+	p := &s.procs[e.proc]
+	if e.seq != p.seq || p.running == nil {
+		return // superseded by a preemption or rate change
+	}
+	s.accrue(e.proc)
+	j := p.running
+	if j.remaining > timeEps {
+		// Numerical drift: reschedule the residue.
+		s.scheduleCompletion(e.proc)
+		return
+	}
+	p.running = nil
+	s.completeJob(j)
+	s.dispatch(e.proc)
+}
+
+// completeJob records statistics and releases the successor subtask under
+// the release guard protocol.
+func (s *Simulator) completeJob(j *job) {
+	s.trace.Stats.CompletedJobs++
+	s.cur.Completed++
+	s.backlog[j.taskIdx][j.subIdx]--
+	if s.now > j.deadline+timeEps {
+		s.trace.Stats.SubtaskDeadlineMisses++
+		s.cur.SubtaskMisses++
+	}
+	t := &s.sys.Tasks[j.taskIdx]
+	if j.subIdx == len(t.Subtasks)-1 {
+		s.trace.Stats.EndToEndCompletions++
+		s.cur.EndToEndCompletions++
+		if s.now > j.chainDL+timeEps {
+			s.trace.Stats.EndToEndDeadlineMisses++
+			s.cur.EndToEndMisses++
+		}
+		return
+	}
+	// Release guard: the successor is released at
+	// max(predecessor completion, previous release + period), keeping it
+	// periodic with minimum separation of one period.
+	next := j.subIdx + 1
+	guard := s.now
+	if last := s.lastRelease[j.taskIdx][next]; last >= 0 {
+		if g := last + s.period(j.taskIdx); g > guard {
+			guard = g
+		}
+	}
+	s.push(&event{
+		at:   guard,
+		kind: evRelease,
+		job: &job{
+			taskIdx:    j.taskIdx,
+			subIdx:     next,
+			chainStart: j.chainStart,
+			chainDL:    j.chainDL,
+		},
+	})
+}
+
+// accrue charges CPU time to the running job up to the current instant.
+func (s *Simulator) accrue(procIdx int) {
+	p := &s.procs[procIdx]
+	if p.running == nil {
+		return
+	}
+	elapsed := s.now - p.runStart
+	if elapsed <= 0 {
+		return
+	}
+	p.running.remaining -= elapsed
+	if p.running.remaining < 0 {
+		p.running.remaining = 0
+	}
+	p.busy += elapsed
+	p.runStart = s.now
+}
+
+// dispatch re-evaluates which job should hold processor procIdx under RMS
+// (shortest current period first) and schedules its completion.
+func (s *Simulator) dispatch(procIdx int) {
+	s.accrue(procIdx)
+	p := &s.procs[procIdx]
+	if p.running != nil {
+		// Fast path: the incumbent keeps the CPU unless a higher-priority
+		// job is waiting.
+		if p.ready.Len() == 0 || !s.higherPriority(p.ready.jobs[0], p.running) {
+			return
+		}
+		heap.Push(&p.ready, p.running)
+		p.running = nil
+	}
+	if p.ready.Len() == 0 {
+		return
+	}
+	p.running = heap.Pop(&p.ready).(*job)
+	p.runStart = s.now
+	s.scheduleCompletion(procIdx)
+}
+
+// higherPriority implements RMS with deterministic tie-breaking: shorter
+// current period wins; ties break by task index, then subtask index, then
+// earlier release.
+func (s *Simulator) higherPriority(a, b *job) bool {
+	pa, pb := s.period(a.taskIdx), s.period(b.taskIdx)
+	if pa != pb {
+		return pa < pb
+	}
+	if a.taskIdx != b.taskIdx {
+		return a.taskIdx < b.taskIdx
+	}
+	if a.subIdx != b.subIdx {
+		return a.subIdx < b.subIdx
+	}
+	return a.release < b.release
+}
+
+func (s *Simulator) scheduleCompletion(procIdx int) {
+	p := &s.procs[procIdx]
+	e := s.push(&event{at: s.now + p.running.remaining, kind: evCompletion, proc: procIdx})
+	p.seq = e.seq
+}
+
+// handleSampling closes the current sampling window: it records
+// utilizations and rates, consults the controller, and applies new rates.
+func (s *Simulator) handleSampling() error {
+	k := len(s.trace.Utilization)
+	u := make([]float64, len(s.procs))
+	for i := range s.procs {
+		s.accrue(i)
+		u[i] = s.procs[i].busy / s.cfg.SamplingPeriod
+		if u[i] > 1 {
+			u[i] = 1
+		}
+		s.procs[i].busy = 0
+	}
+	s.trace.Utilization = append(s.trace.Utilization, u)
+	s.trace.Periods = append(s.trace.Periods, s.cur)
+	s.cur = PeriodStats{}
+	applied := make([]float64, len(s.rates))
+	copy(applied, s.rates)
+	s.trace.Rates = append(s.trace.Rates, applied)
+
+	if s.cfg.Controller == nil {
+		return nil
+	}
+	newRates, err := s.cfg.Controller.Rates(k, u, applied)
+	if err != nil {
+		// A controller failure must not crash the plant: keep current rates.
+		s.trace.Stats.ControllerErrors++
+		return nil
+	}
+	if len(newRates) != len(s.rates) {
+		return fmt.Errorf("sim: controller %s returned %d rates, want %d", s.cfg.Controller.Name(), len(newRates), len(s.rates))
+	}
+	s.applyRates(newRates)
+	return nil
+}
+
+// applyRates installs new task rates, clamped to each task's bounds, and
+// reschedules pending periodic releases to honor the new periods.
+func (s *Simulator) applyRates(newRates []float64) {
+	changed := false
+	for i, r := range newRates {
+		t := &s.sys.Tasks[i]
+		if r < t.RateMin {
+			r = t.RateMin
+		}
+		if r > t.RateMax {
+			r = t.RateMax
+		}
+		if r != s.rates[i] {
+			s.rates[i] = r
+			changed = true
+			// Re-time the next periodic release of the first subtask.
+			next := s.now
+			if last := s.lastRelease[i][0]; last >= 0 {
+				if g := last + s.period(i); g > next {
+					next = g
+				}
+			}
+			s.scheduleFirstRelease(i, next)
+		}
+	}
+	if !changed {
+		return
+	}
+	// Periods changed, so RMS priorities changed: restore each ready heap's
+	// invariant under the new order and re-dispatch so preemption reflects
+	// it.
+	for p := range s.procs {
+		heap.Init(&s.procs[p].ready)
+		s.dispatch(p)
+	}
+}

@@ -1,0 +1,480 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/rtsyslab/eucon/internal/task"
+)
+
+// oneTaskSystem is a single task with one subtask of cost c on one
+// processor.
+func oneTaskSystem(c, rate float64) *task.System {
+	return &task.System{
+		Name:       "one",
+		Processors: 1,
+		Tasks: []task.Task{
+			{
+				Name:        "T1",
+				Subtasks:    []task.Subtask{{Processor: 0, EstimatedCost: c}},
+				RateMin:     rate / 10,
+				RateMax:     rate * 10,
+				InitialRate: rate,
+			},
+		},
+	}
+}
+
+// chainSystem is one task with two subtasks on two processors.
+func chainSystem(c1, c2, rate float64) *task.System {
+	return &task.System{
+		Name:       "chain",
+		Processors: 2,
+		Tasks: []task.Task{
+			{
+				Name: "T1",
+				Subtasks: []task.Subtask{
+					{Processor: 0, EstimatedCost: c1},
+					{Processor: 1, EstimatedCost: c2},
+				},
+				RateMin:     rate / 10,
+				RateMax:     rate * 10,
+				InitialRate: rate,
+			},
+		},
+	}
+}
+
+func mustRun(t *testing.T, cfg Config) *Trace {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestConfigValidation(t *testing.T) {
+	sys := oneTaskSystem(10, 0.01)
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{"nil system", Config{SamplingPeriod: 1000, Periods: 10}},
+		{"zero sampling period", Config{System: sys, Periods: 10}},
+		{"zero periods", Config{System: sys, SamplingPeriod: 1000}},
+		{"bad jitter", Config{System: sys, SamplingPeriod: 1000, Periods: 10, Jitter: 1.5}},
+		{
+			"invalid system",
+			Config{System: &task.System{Name: "bad", Processors: 1}, SamplingPeriod: 1000, Periods: 10},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New(tc.cfg); err == nil {
+				t.Fatal("New accepted invalid config")
+			}
+		})
+	}
+}
+
+func TestUtilizationMatchesAnalytic(t *testing.T) {
+	// cost 10 at rate 0.02 → utilization 0.2 exactly (deterministic times,
+	// period 50 divides Ts = 1000).
+	tr := mustRun(t, Config{System: oneTaskSystem(10, 0.02), SamplingPeriod: 1000, Periods: 10})
+	for k, u := range tr.Utilization {
+		if math.Abs(u[0]-0.2) > 1e-9 {
+			t.Fatalf("period %d: u = %v, want 0.2", k, u[0])
+		}
+	}
+}
+
+func TestUtilizationScalesWithETF(t *testing.T) {
+	cfg := Config{
+		System:         oneTaskSystem(10, 0.02),
+		SamplingPeriod: 1000,
+		Periods:        10,
+		ETF:            ConstantETF(2.5),
+	}
+	tr := mustRun(t, cfg)
+	last := tr.Utilization[len(tr.Utilization)-1]
+	if math.Abs(last[0]-0.5) > 1e-9 {
+		t.Fatalf("u = %v with etf 2.5, want 0.5", last[0])
+	}
+}
+
+func TestETFStepChangesMidRun(t *testing.T) {
+	sched, err := StepETF(ETFStep{At: 0, Factor: 0.5}, ETFStep{At: 5000, Factor: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		System:         oneTaskSystem(10, 0.02),
+		SamplingPeriod: 1000,
+		Periods:        10,
+		ETF:            sched,
+	}
+	tr := mustRun(t, cfg)
+	if u := tr.Utilization[2][0]; math.Abs(u-0.1) > 1e-9 {
+		t.Fatalf("period 2: u = %v, want 0.1 (etf 0.5)", u)
+	}
+	if u := tr.Utilization[8][0]; math.Abs(u-0.2) > 1e-9 {
+		t.Fatalf("period 8: u = %v, want 0.2 (etf 1.0)", u)
+	}
+}
+
+func TestStepETFRejectsNonPositive(t *testing.T) {
+	if _, err := StepETF(ETFStep{At: 0, Factor: 0}); err == nil {
+		t.Fatal("StepETF accepted factor 0")
+	}
+}
+
+func TestETFScheduleDefaults(t *testing.T) {
+	var s ETFSchedule
+	if got := s.At(123); got != 1 {
+		t.Fatalf("zero-value schedule At = %v, want 1", got)
+	}
+	s2, err := StepETF(ETFStep{At: 100, Factor: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.At(50); got != 1 {
+		t.Fatalf("before first step At = %v, want 1", got)
+	}
+	if got := s2.At(100); got != 3 {
+		t.Fatalf("at step At = %v, want 3", got)
+	}
+}
+
+func TestOverloadSaturatesAtOne(t *testing.T) {
+	// cost 10, rate 0.2 → demand 2.0: the processor must be busy the whole
+	// window but the monitor reports at most 1.
+	tr := mustRun(t, Config{System: oneTaskSystem(10, 0.2), SamplingPeriod: 1000, Periods: 5})
+	for k, u := range tr.Utilization {
+		if math.Abs(u[0]-1.0) > 1e-9 {
+			t.Fatalf("period %d: u = %v, want 1.0 under overload", k, u[0])
+		}
+	}
+	if tr.Stats.SubtaskDeadlineMisses == 0 {
+		t.Error("no subtask deadline misses under 200% overload")
+	}
+}
+
+func TestNoMissesWhenUnderloaded(t *testing.T) {
+	tr := mustRun(t, Config{System: oneTaskSystem(10, 0.02), SamplingPeriod: 1000, Periods: 20})
+	if tr.Stats.SubtaskDeadlineMisses != 0 {
+		t.Fatalf("%d subtask misses at 20%% load, want 0", tr.Stats.SubtaskDeadlineMisses)
+	}
+	if tr.Stats.EndToEndDeadlineMisses != 0 {
+		t.Fatalf("%d end-to-end misses at 20%% load, want 0", tr.Stats.EndToEndDeadlineMisses)
+	}
+}
+
+func TestChainBothProcessorsLoaded(t *testing.T) {
+	// Chain of two subtasks: both processors should see c·r utilization.
+	tr := mustRun(t, Config{System: chainSystem(10, 20, 0.01), SamplingPeriod: 1000, Periods: 20})
+	last := tr.Utilization[len(tr.Utilization)-1]
+	if math.Abs(last[0]-0.1) > 0.02 {
+		t.Errorf("P1 u = %v, want ≈ 0.1", last[0])
+	}
+	if math.Abs(last[1]-0.2) > 0.02 {
+		t.Errorf("P2 u = %v, want ≈ 0.2", last[1])
+	}
+	if tr.Stats.EndToEndCompletions == 0 {
+		t.Error("no end-to-end completions")
+	}
+}
+
+func TestPrecedenceNeverOverlaps(t *testing.T) {
+	// With a chain T11 → T12, the number of T12 releases can never exceed
+	// T11 completions. Indirect check: end-to-end completions ≈ rate ×
+	// duration when underloaded.
+	tr := mustRun(t, Config{System: chainSystem(10, 10, 0.01), SamplingPeriod: 1000, Periods: 30})
+	want := int(0.01 * 1000 * 30) // 300 instances
+	if tr.Stats.EndToEndCompletions < want-3 || tr.Stats.EndToEndCompletions > want {
+		t.Fatalf("end-to-end completions = %d, want ≈ %d", tr.Stats.EndToEndCompletions, want)
+	}
+}
+
+func TestRMSPreemption(t *testing.T) {
+	// A short-period task must meet its deadlines even when a long-period
+	// task with a huge execution time shares the processor (preemption).
+	sys := &task.System{
+		Name:       "preempt",
+		Processors: 1,
+		Tasks: []task.Task{
+			{
+				Name:     "fast",
+				Subtasks: []task.Subtask{{Processor: 0, EstimatedCost: 5}},
+				RateMin:  0.001, RateMax: 0.1, InitialRate: 0.02, // period 50
+			},
+			{
+				Name:     "slow",
+				Subtasks: []task.Subtask{{Processor: 0, EstimatedCost: 300}},
+				RateMin:  0.0001, RateMax: 0.01, InitialRate: 0.002, // period 500
+			},
+		},
+	}
+	tr := mustRun(t, Config{System: sys, SamplingPeriod: 1000, Periods: 10})
+	// Total demand: 5·0.02 + 300·0.002 = 0.7; RMS with harmonic-ish periods
+	// should schedule the fast task without misses.
+	if tr.Stats.SubtaskDeadlineMisses != 0 {
+		t.Fatalf("%d misses, want 0 (fast task must preempt slow)", tr.Stats.SubtaskDeadlineMisses)
+	}
+	last := tr.Utilization[len(tr.Utilization)-1]
+	if math.Abs(last[0]-0.7) > 0.02 {
+		t.Fatalf("u = %v, want ≈ 0.7", last[0])
+	}
+}
+
+// doublingController doubles all rates at period 5.
+type doublingController struct{}
+
+func (doublingController) Name() string { return "DOUBLE" }
+
+func (doublingController) Rates(k int, _, rates []float64) ([]float64, error) {
+	out := make([]float64, len(rates))
+	copy(out, rates)
+	if k == 4 {
+		for i := range out {
+			out[i] *= 2
+		}
+	}
+	return out, nil
+}
+
+func TestRateModulatorAppliesControllerOutput(t *testing.T) {
+	cfg := Config{
+		System:         oneTaskSystem(10, 0.01),
+		SamplingPeriod: 1000,
+		Periods:        12,
+		Controller:     doublingController{},
+	}
+	tr := mustRun(t, cfg)
+	if u := tr.Utilization[2][0]; math.Abs(u-0.1) > 1e-6 {
+		t.Errorf("before doubling: u = %v, want 0.1", u)
+	}
+	if u := tr.Utilization[10][0]; math.Abs(u-0.2) > 0.01 {
+		t.Errorf("after doubling: u = %v, want ≈ 0.2", u)
+	}
+	if got := tr.Rates[10][0]; math.Abs(got-0.02) > 1e-9 {
+		t.Errorf("recorded rate = %v, want 0.02", got)
+	}
+	if tr.Controller != "DOUBLE" {
+		t.Errorf("trace controller = %q", tr.Controller)
+	}
+}
+
+// clampController asks for rates outside the bounds.
+type clampController struct{}
+
+func (clampController) Name() string { return "CLAMP" }
+
+func (clampController) Rates(int, []float64, []float64) ([]float64, error) {
+	return []float64{99999}, nil
+}
+
+func TestRateModulatorClampsToBounds(t *testing.T) {
+	sys := oneTaskSystem(10, 0.01) // RateMax = 0.1
+	cfg := Config{System: sys, SamplingPeriod: 1000, Periods: 6, Controller: clampController{}}
+	tr := mustRun(t, cfg)
+	for k := 2; k < len(tr.Rates); k++ {
+		if tr.Rates[k][0] > sys.Tasks[0].RateMax+1e-12 {
+			t.Fatalf("period %d: rate %v above RateMax", k, tr.Rates[k][0])
+		}
+	}
+}
+
+// failingController always errors.
+type failingController struct{}
+
+func (failingController) Name() string { return "FAIL" }
+
+func (failingController) Rates(int, []float64, []float64) ([]float64, error) {
+	return nil, errTest
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "test error" }
+
+func TestControllerErrorKeepsRates(t *testing.T) {
+	cfg := Config{
+		System:         oneTaskSystem(10, 0.01),
+		SamplingPeriod: 1000,
+		Periods:        5,
+		Controller:     failingController{},
+	}
+	tr := mustRun(t, cfg)
+	if tr.Stats.ControllerErrors != 5 {
+		t.Fatalf("ControllerErrors = %d, want 5", tr.Stats.ControllerErrors)
+	}
+	for k, r := range tr.Rates {
+		if r[0] != 0.01 {
+			t.Fatalf("period %d: rate %v changed despite controller errors", k, r[0])
+		}
+	}
+}
+
+func TestFixedRatesController(t *testing.T) {
+	cfg := Config{
+		System:         oneTaskSystem(10, 0.01),
+		SamplingPeriod: 1000,
+		Periods:        5,
+		Controller:     FixedRates{},
+	}
+	tr := mustRun(t, cfg)
+	for _, r := range tr.Rates {
+		if r[0] != 0.01 {
+			t.Fatalf("FixedRates changed rates: %v", r)
+		}
+	}
+}
+
+func TestJitterDeterministicPerSeed(t *testing.T) {
+	cfg := Config{
+		System:         oneTaskSystem(10, 0.02),
+		SamplingPeriod: 1000,
+		Periods:        10,
+		Jitter:         0.5,
+		Seed:           42,
+	}
+	tr1 := mustRun(t, cfg)
+	tr2 := mustRun(t, cfg)
+	if !reflect.DeepEqual(tr1.Utilization, tr2.Utilization) {
+		t.Fatal("same seed produced different traces")
+	}
+	cfg.Seed = 43
+	tr3 := mustRun(t, cfg)
+	if reflect.DeepEqual(tr1.Utilization, tr3.Utilization) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestJitterPreservesMeanUtilization(t *testing.T) {
+	cfg := Config{
+		System:         oneTaskSystem(10, 0.02),
+		SamplingPeriod: 1000,
+		Periods:        200,
+		Jitter:         0.5,
+		Seed:           7,
+	}
+	tr := mustRun(t, cfg)
+	var sum float64
+	for _, u := range tr.Utilization {
+		sum += u[0]
+	}
+	mean := sum / float64(len(tr.Utilization))
+	if math.Abs(mean-0.2) > 0.01 {
+		t.Fatalf("mean u = %v with ±50%% jitter, want ≈ 0.2", mean)
+	}
+}
+
+func TestTraceShape(t *testing.T) {
+	tr := mustRun(t, Config{System: chainSystem(10, 20, 0.01), SamplingPeriod: 500, Periods: 7})
+	if len(tr.Utilization) != 7 {
+		t.Fatalf("got %d utilization samples, want 7", len(tr.Utilization))
+	}
+	if len(tr.Rates) != 7 {
+		t.Fatalf("got %d rate samples, want 7", len(tr.Rates))
+	}
+	for _, u := range tr.Utilization {
+		if len(u) != 2 {
+			t.Fatalf("utilization row has %d processors, want 2", len(u))
+		}
+	}
+	if tr.SamplingPeriod != 500 {
+		t.Fatalf("SamplingPeriod = %v, want 500", tr.SamplingPeriod)
+	}
+}
+
+func TestReleasedAtLeastCompleted(t *testing.T) {
+	tr := mustRun(t, Config{System: oneTaskSystem(10, 0.2), SamplingPeriod: 1000, Periods: 10})
+	if tr.Stats.CompletedJobs > tr.Stats.ReleasedJobs {
+		t.Fatalf("completed %d > released %d", tr.Stats.CompletedJobs, tr.Stats.ReleasedJobs)
+	}
+	if tr.Stats.ReleasedJobs == 0 {
+		t.Fatal("no jobs released")
+	}
+}
+
+func TestMaxBacklogShedsLoad(t *testing.T) {
+	// 200% overload: without shedding the backlog grows; with MaxBacklog=1
+	// releases are skipped and the in-flight count stays bounded.
+	cfg := Config{System: oneTaskSystem(10, 0.2), SamplingPeriod: 1000, Periods: 10}
+	trUnbounded := mustRun(t, cfg)
+	if trUnbounded.Stats.SkippedJobs != 0 {
+		t.Fatalf("shedding disabled but %d jobs skipped", trUnbounded.Stats.SkippedJobs)
+	}
+	cfg.MaxBacklog = 1
+	tr := mustRun(t, cfg)
+	if tr.Stats.SkippedJobs == 0 {
+		t.Fatal("no jobs shed at 200% overload with MaxBacklog = 1")
+	}
+	inFlight := tr.Stats.ReleasedJobs - tr.Stats.CompletedJobs
+	if inFlight > 1 {
+		t.Fatalf("%d jobs in flight, want ≤ MaxBacklog", inFlight)
+	}
+	// The processor stays saturated regardless of shedding.
+	for k, u := range tr.Utilization {
+		if u[0] < 0.99 {
+			t.Fatalf("period %d: u = %v, want saturated", k, u[0])
+		}
+	}
+}
+
+func TestMaxBacklogNoEffectUnderload(t *testing.T) {
+	cfg := Config{System: oneTaskSystem(10, 0.02), SamplingPeriod: 1000, Periods: 10, MaxBacklog: 1}
+	tr := mustRun(t, cfg)
+	if tr.Stats.SkippedJobs != 0 {
+		t.Fatalf("%d jobs shed at 20%% load, want 0", tr.Stats.SkippedJobs)
+	}
+}
+
+func TestPeriodStatsRecorded(t *testing.T) {
+	tr := mustRun(t, Config{System: oneTaskSystem(10, 0.02), SamplingPeriod: 1000, Periods: 10})
+	if len(tr.Periods) != 10 {
+		t.Fatalf("got %d period records, want 10", len(tr.Periods))
+	}
+	var released, completed int
+	for k, ps := range tr.Periods {
+		released += ps.Released
+		completed += ps.Completed
+		if ps.SubtaskMisses != 0 {
+			t.Errorf("period %d: %d misses at 20%% load", k, ps.SubtaskMisses)
+		}
+		if ps.MissRatio() != 0 {
+			t.Errorf("period %d: miss ratio %v", k, ps.MissRatio())
+		}
+	}
+	if released != tr.Stats.ReleasedJobs {
+		t.Errorf("per-period released sum %d != aggregate %d", released, tr.Stats.ReleasedJobs)
+	}
+	if completed != tr.Stats.CompletedJobs {
+		t.Errorf("per-period completed sum %d != aggregate %d", completed, tr.Stats.CompletedJobs)
+	}
+}
+
+func TestPeriodStatsMissRatioUnderOverload(t *testing.T) {
+	tr := mustRun(t, Config{System: oneTaskSystem(10, 0.2), SamplingPeriod: 1000, Periods: 10})
+	last := tr.Periods[len(tr.Periods)-1]
+	if last.MissRatio() == 0 {
+		t.Fatal("no per-period misses under 200% overload")
+	}
+	var e2ec, e2em int
+	for _, ps := range tr.Periods {
+		e2ec += ps.EndToEndCompletions
+		e2em += ps.EndToEndMisses
+	}
+	if e2ec != tr.Stats.EndToEndCompletions || e2em != tr.Stats.EndToEndDeadlineMisses {
+		t.Errorf("per-period end-to-end sums (%d, %d) != aggregates (%d, %d)",
+			e2ec, e2em, tr.Stats.EndToEndCompletions, tr.Stats.EndToEndDeadlineMisses)
+	}
+}

@@ -1,0 +1,47 @@
+package stability_test
+
+import (
+	"testing"
+
+	"github.com/rtsyslab/eucon/internal/mpc"
+	"github.com/rtsyslab/eucon/internal/stability"
+	"github.com/rtsyslab/eucon/internal/task"
+	"github.com/rtsyslab/eucon/internal/workload"
+)
+
+func TestMediumCriticalGainWiderThanSimple(t *testing.T) {
+	// Table 2 gives MEDIUM longer horizons "to guarantee stability in a
+	// larger system": its critical gain should be at least SIMPLE's.
+	med := workload.Medium()
+	c, err := mpc.New(
+		med.AllocationMatrix(),
+		med.DefaultSetPoints(),
+		mustBounds(med),
+		mustBoundsMax(med),
+		mpc.Config{PredictionHorizon: 4, ControlHorizon: 2, TrefOverTs: 4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ke, kd, err := c.Gains()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := stability.CriticalGain(med.AllocationMatrix(), ke, kd, 1, 20, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g < 6 || g > 14 {
+		t.Fatalf("MEDIUM critical gain = %v, want within [6, 14]", g)
+	}
+}
+
+func mustBounds(s *task.System) []float64 {
+	rmin, _ := s.RateBounds()
+	return rmin
+}
+
+func mustBoundsMax(s *task.System) []float64 {
+	_, rmax := s.RateBounds()
+	return rmax
+}

@@ -1,0 +1,206 @@
+// Package task defines the flexible end-to-end task model of the EUCON
+// paper (§3.1): a system of m periodic end-to-end tasks, each a chain of
+// subtasks allocated to n processors, with adjustable invocation rates.
+//
+// Time throughout the project is measured in abstract "time units" exactly
+// as in the paper's evaluation; rates are in invocations per time unit.
+package task
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/rtsyslab/eucon/internal/mat"
+)
+
+// Subtask is one stage of an end-to-end task, pinned to a processor.
+type Subtask struct {
+	// Processor is the index (0-based) of the processor executing this
+	// subtask.
+	Processor int
+	// EstimatedCost is the design-time execution-time estimate c_ij in time
+	// units. Actual execution times at run time may differ arbitrarily.
+	EstimatedCost float64
+}
+
+// Task is a periodic end-to-end task: a chain of subtasks under precedence
+// constraints, all sharing the task's invocation rate. The rate may be
+// adjusted at run time within [RateMin, RateMax].
+type Task struct {
+	// Name identifies the task in traces and logs (e.g. "T1").
+	Name string
+	// Subtasks is the precedence chain; Subtasks[j] cannot start an
+	// invocation before Subtasks[j-1] finishes it.
+	Subtasks []Subtask
+	// RateMin and RateMax bound the admissible invocation rate
+	// (invocations per time unit).
+	RateMin, RateMax float64
+	// InitialRate is the rate r_i(0) before the controller acts.
+	InitialRate float64
+}
+
+// Validate checks the task for internal consistency.
+func (t *Task) Validate() error {
+	if t.Name == "" {
+		return errors.New("task: empty name")
+	}
+	if len(t.Subtasks) == 0 {
+		return fmt.Errorf("task %s: no subtasks", t.Name)
+	}
+	for j, st := range t.Subtasks {
+		if st.Processor < 0 {
+			return fmt.Errorf("task %s subtask %d: negative processor index", t.Name, j)
+		}
+		if st.EstimatedCost <= 0 {
+			return fmt.Errorf("task %s subtask %d: estimated cost %g must be positive", t.Name, j, st.EstimatedCost)
+		}
+	}
+	if t.RateMin <= 0 || t.RateMax <= 0 {
+		return fmt.Errorf("task %s: rate bounds must be positive, got [%g, %g]", t.Name, t.RateMin, t.RateMax)
+	}
+	if t.RateMin > t.RateMax {
+		return fmt.Errorf("task %s: RateMin %g > RateMax %g", t.Name, t.RateMin, t.RateMax)
+	}
+	if t.InitialRate < t.RateMin || t.InitialRate > t.RateMax {
+		return fmt.Errorf("task %s: initial rate %g outside [%g, %g]", t.Name, t.InitialRate, t.RateMin, t.RateMax)
+	}
+	return nil
+}
+
+// EndToEndDeadline returns the task's relative end-to-end deadline for a
+// given rate, using the paper's evaluation convention d_i = n_i / r_i
+// (each subtask gets one period as its subdeadline).
+func (t *Task) EndToEndDeadline(rate float64) float64 {
+	return float64(len(t.Subtasks)) / rate
+}
+
+// System is a complete workload: a set of end-to-end tasks over a fixed
+// number of processors.
+type System struct {
+	// Name identifies the configuration (e.g. "SIMPLE", "MEDIUM").
+	Name string
+	// Tasks is the task set; task i corresponds to rate input r_i.
+	Tasks []Task
+	// Processors is the processor count n.
+	Processors int
+}
+
+// Validate checks the whole system: every task valid, every subtask mapped
+// to an existing processor, and every processor hosting at least one
+// subtask.
+func (s *System) Validate() error {
+	if s.Processors <= 0 {
+		return fmt.Errorf("system %s: processor count %d must be positive", s.Name, s.Processors)
+	}
+	if len(s.Tasks) == 0 {
+		return fmt.Errorf("system %s: no tasks", s.Name)
+	}
+	used := make([]bool, s.Processors)
+	seen := make(map[string]bool, len(s.Tasks))
+	for i := range s.Tasks {
+		t := &s.Tasks[i]
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("system %s: %w", s.Name, err)
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("system %s: duplicate task name %q", s.Name, t.Name)
+		}
+		seen[t.Name] = true
+		for j, st := range t.Subtasks {
+			if st.Processor >= s.Processors {
+				return fmt.Errorf("system %s: task %s subtask %d on processor %d, only %d processors", s.Name, t.Name, j, st.Processor, s.Processors)
+			}
+			used[st.Processor] = true
+		}
+	}
+	for p, ok := range used {
+		if !ok {
+			return fmt.Errorf("system %s: processor %d hosts no subtasks", s.Name, p)
+		}
+	}
+	return nil
+}
+
+// AllocationMatrix returns the n×m subtask allocation matrix F of the paper
+// (§5): F[i][j] is the sum of estimated costs of task j's subtasks on
+// processor i (zero when task j has no subtask there). F maps rate changes
+// to estimated utilization changes: Δb = F·Δr.
+func (s *System) AllocationMatrix() *mat.Dense {
+	f := mat.New(s.Processors, len(s.Tasks))
+	for j := range s.Tasks {
+		for _, st := range s.Tasks[j].Subtasks {
+			f.Set(st.Processor, j, f.At(st.Processor, j)+st.EstimatedCost)
+		}
+	}
+	return f
+}
+
+// SubtaskCount returns the number of subtasks hosted on processor p.
+func (s *System) SubtaskCount(p int) int {
+	count := 0
+	for i := range s.Tasks {
+		for _, st := range s.Tasks[i].Subtasks {
+			if st.Processor == p {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// TotalSubtasks returns the number of subtasks across all tasks.
+func (s *System) TotalSubtasks() int {
+	total := 0
+	for i := range s.Tasks {
+		total += len(s.Tasks[i].Subtasks)
+	}
+	return total
+}
+
+// InitialRates returns the vector r(0).
+func (s *System) InitialRates() []float64 {
+	r := make([]float64, len(s.Tasks))
+	for i := range s.Tasks {
+		r[i] = s.Tasks[i].InitialRate
+	}
+	return r
+}
+
+// RateBounds returns the vectors R_min and R_max.
+func (s *System) RateBounds() (rmin, rmax []float64) {
+	rmin = make([]float64, len(s.Tasks))
+	rmax = make([]float64, len(s.Tasks))
+	for i := range s.Tasks {
+		rmin[i] = s.Tasks[i].RateMin
+		rmax[i] = s.Tasks[i].RateMax
+	}
+	return rmin, rmax
+}
+
+// EstimatedUtilization returns F·r: the utilization of each processor
+// predicted from the design-time cost estimates at the given rates.
+func (s *System) EstimatedUtilization(rates []float64) []float64 {
+	return s.AllocationMatrix().MulVec(rates)
+}
+
+// LiuLaylandBound returns the RMS schedulable utilization bound
+// m·(2^{1/m} − 1) for m tasks on one processor (Liu & Layland 1973). Zero
+// tasks yield a bound of 1 (an idle processor trivially meets deadlines).
+func LiuLaylandBound(m int) float64 {
+	if m <= 0 {
+		return 1
+	}
+	return float64(m) * (math.Pow(2, 1/float64(m)) - 1)
+}
+
+// DefaultSetPoints returns the utilization set point for every processor
+// following the paper's evaluation setup (eq. 13): the Liu–Layland bound of
+// the number of subtasks hosted on each processor.
+func (s *System) DefaultSetPoints() []float64 {
+	b := make([]float64, s.Processors)
+	for p := range b {
+		b[p] = LiuLaylandBound(s.SubtaskCount(p))
+	}
+	return b
+}

@@ -1,0 +1,190 @@
+package task
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/rtsyslab/eucon/internal/mat"
+)
+
+// paperExample is the 3-task/2-processor example from paper §5.
+func paperExample() *System {
+	return &System{
+		Name:       "example",
+		Processors: 2,
+		Tasks: []Task{
+			{Name: "T1", Subtasks: []Subtask{{Processor: 0, EstimatedCost: 11}}, RateMin: 0.001, RateMax: 0.03, InitialRate: 0.01},
+			{Name: "T2", Subtasks: []Subtask{{Processor: 0, EstimatedCost: 21}, {Processor: 1, EstimatedCost: 22}}, RateMin: 0.001, RateMax: 0.03, InitialRate: 0.01},
+			{Name: "T3", Subtasks: []Subtask{{Processor: 1, EstimatedCost: 31}}, RateMin: 0.001, RateMax: 0.03, InitialRate: 0.01},
+		},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := paperExample().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	base := func() *System { return paperExample() }
+	tests := []struct {
+		name    string
+		mutate  func(*System)
+		wantSub string
+	}{
+		{"no processors", func(s *System) { s.Processors = 0 }, "processor count"},
+		{"no tasks", func(s *System) { s.Tasks = nil }, "no tasks"},
+		{"empty task name", func(s *System) { s.Tasks[0].Name = "" }, "empty name"},
+		{"duplicate task name", func(s *System) { s.Tasks[1].Name = "T1" }, "duplicate"},
+		{"no subtasks", func(s *System) { s.Tasks[0].Subtasks = nil }, "no subtasks"},
+		{"negative processor", func(s *System) { s.Tasks[0].Subtasks[0].Processor = -1 }, "negative processor"},
+		{"processor out of range", func(s *System) { s.Tasks[0].Subtasks[0].Processor = 9 }, "only 2 processors"},
+		{"zero cost", func(s *System) { s.Tasks[0].Subtasks[0].EstimatedCost = 0 }, "must be positive"},
+		{"zero rate min", func(s *System) { s.Tasks[0].RateMin = 0 }, "rate bounds"},
+		{"inverted bounds", func(s *System) { s.Tasks[0].RateMin = 1; s.Tasks[0].RateMax = 0.5; s.Tasks[0].InitialRate = 0.7 }, "RateMin"},
+		{"initial rate out of range", func(s *System) { s.Tasks[0].InitialRate = 99 }, "initial rate"},
+		{
+			"idle processor",
+			func(s *System) {
+				s.Tasks[1].Subtasks[1].Processor = 0
+				s.Tasks[2].Subtasks[0].Processor = 0
+			},
+			"hosts no subtasks",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			s := base()
+			tc.mutate(s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatal("Validate() = nil, want error")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("Validate() = %q, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestAllocationMatrixPaperExample(t *testing.T) {
+	// Paper §5: F = [[c11, c21, 0], [0, c22, c31]].
+	f := paperExample().AllocationMatrix()
+	want := mat.MustFromRows([][]float64{{11, 21, 0}, {0, 22, 31}})
+	if !f.Equal(want, 0) {
+		t.Fatalf("F = %v, want %v", f, want)
+	}
+}
+
+func TestAllocationMatrixAccumulatesSameProcessor(t *testing.T) {
+	// Two subtasks of the same task on the same processor add their costs.
+	s := &System{
+		Name:       "loop",
+		Processors: 2,
+		Tasks: []Task{
+			{
+				Name: "T1",
+				Subtasks: []Subtask{
+					{Processor: 0, EstimatedCost: 5},
+					{Processor: 1, EstimatedCost: 7},
+					{Processor: 0, EstimatedCost: 3},
+				},
+				RateMin: 0.001, RateMax: 1, InitialRate: 0.01,
+			},
+		},
+	}
+	f := s.AllocationMatrix()
+	want := mat.MustFromRows([][]float64{{8}, {7}})
+	if !f.Equal(want, 0) {
+		t.Fatalf("F = %v, want %v", f, want)
+	}
+}
+
+func TestEstimatedUtilization(t *testing.T) {
+	s := paperExample()
+	u := s.EstimatedUtilization([]float64{0.01, 0.01, 0.01})
+	want := []float64{0.32, 0.53}
+	if !mat.VecEqual(u, want, 1e-12) {
+		t.Fatalf("EstimatedUtilization = %v, want %v", u, want)
+	}
+}
+
+func TestSubtaskCount(t *testing.T) {
+	s := paperExample()
+	if got := s.SubtaskCount(0); got != 2 {
+		t.Errorf("SubtaskCount(0) = %d, want 2", got)
+	}
+	if got := s.SubtaskCount(1); got != 2 {
+		t.Errorf("SubtaskCount(1) = %d, want 2", got)
+	}
+	if got := s.TotalSubtasks(); got != 4 {
+		t.Errorf("TotalSubtasks = %d, want 4", got)
+	}
+}
+
+func TestInitialRatesAndBounds(t *testing.T) {
+	s := paperExample()
+	if got := s.InitialRates(); !mat.VecEqual(got, []float64{0.01, 0.01, 0.01}, 0) {
+		t.Errorf("InitialRates = %v", got)
+	}
+	rmin, rmax := s.RateBounds()
+	if !mat.VecEqual(rmin, []float64{0.001, 0.001, 0.001}, 0) || !mat.VecEqual(rmax, []float64{0.03, 0.03, 0.03}, 0) {
+		t.Errorf("RateBounds = %v, %v", rmin, rmax)
+	}
+}
+
+func TestLiuLaylandBound(t *testing.T) {
+	tests := []struct {
+		m    int
+		want float64
+	}{
+		{0, 1},
+		{1, 1},
+		{2, 0.8284},
+		{7, 0.7286}, // the paper reports B₁ = 0.729 for MEDIUM's P1
+	}
+	for _, tc := range tests {
+		if got := LiuLaylandBound(tc.m); math.Abs(got-tc.want) > 5e-4 {
+			t.Errorf("LiuLaylandBound(%d) = %v, want %v", tc.m, got, tc.want)
+		}
+	}
+}
+
+func TestLiuLaylandBoundMonotoneDecreasing(t *testing.T) {
+	f := func(m uint8) bool {
+		k := int(m%30) + 1
+		return LiuLaylandBound(k+1) <= LiuLaylandBound(k)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLiuLaylandBoundLimit(t *testing.T) {
+	// As m → ∞ the bound approaches ln 2 ≈ 0.693.
+	if got := LiuLaylandBound(100000); math.Abs(got-math.Ln2) > 1e-4 {
+		t.Fatalf("LiuLaylandBound(1e5) = %v, want ≈ ln2", got)
+	}
+}
+
+func TestDefaultSetPoints(t *testing.T) {
+	// Two subtasks per processor in the paper example: B = 0.828 on both
+	// (the SIMPLE set point in §7.2).
+	b := paperExample().DefaultSetPoints()
+	for p, v := range b {
+		if math.Abs(v-0.8284) > 5e-4 {
+			t.Errorf("set point for P%d = %v, want 0.828", p+1, v)
+		}
+	}
+}
+
+func TestEndToEndDeadline(t *testing.T) {
+	s := paperExample()
+	// T2 has 2 subtasks: deadline at rate 0.01 is 200.
+	if got := s.Tasks[1].EndToEndDeadline(0.01); math.Abs(got-200) > 1e-12 {
+		t.Fatalf("EndToEndDeadline = %v, want 200", got)
+	}
+}

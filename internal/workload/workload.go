@@ -1,0 +1,229 @@
+// Package workload provides the two evaluation configurations of the EUCON
+// paper — SIMPLE (Table 1) and MEDIUM (§7.1) — plus a random workload
+// generator for stress and property testing.
+//
+// SIMPLE is fully specified by the paper. MEDIUM is described only by its
+// shape (12 tasks with 25 subtasks on 4 processors; 8 end-to-end tasks and
+// 4 local tasks; uniform-random execution times; B₁ = 0.729, implying 7
+// subtasks on P1); the concrete parameters here were synthesized to match
+// every published property, with rate ranges wide enough that the
+// utilization set points are reachable for all evaluated execution-time
+// factors. See DESIGN.md ("Substitutions").
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/rtsyslab/eucon/internal/core"
+	"github.com/rtsyslab/eucon/internal/task"
+)
+
+// SamplingPeriod is Ts from Table 2: 1000 time units for both
+// configurations.
+const SamplingPeriod = 1000.0
+
+// MediumJitter is the execution-time jitter used for MEDIUM runs: each
+// job's execution time is drawn uniformly from ±15% around its mean,
+// realizing the paper's "uniform random distribution" of execution times.
+const MediumJitter = 0.15
+
+// Simple returns the SIMPLE configuration (paper Table 1): 3 tasks, 4
+// subtasks, 2 processors. Rate parameters are given as periods in the
+// paper; here they are converted to rates.
+func Simple() *task.System {
+	return &task.System{
+		Name:       "SIMPLE",
+		Processors: 2,
+		Tasks: []task.Task{
+			{
+				Name:        "T1",
+				Subtasks:    []task.Subtask{{Processor: 0, EstimatedCost: 35}},
+				RateMin:     1.0 / 700,
+				RateMax:     1.0 / 35,
+				InitialRate: 1.0 / 60,
+			},
+			{
+				Name: "T2",
+				Subtasks: []task.Subtask{
+					{Processor: 0, EstimatedCost: 35},
+					{Processor: 1, EstimatedCost: 35},
+				},
+				RateMin:     1.0 / 700,
+				RateMax:     1.0 / 35,
+				InitialRate: 1.0 / 90,
+			},
+			{
+				Name:        "T3",
+				Subtasks:    []task.Subtask{{Processor: 1, EstimatedCost: 45}},
+				RateMin:     1.0 / 900,
+				RateMax:     1.0 / 45,
+				InitialRate: 1.0 / 100,
+			},
+		},
+	}
+}
+
+// Medium returns the MEDIUM configuration: 12 tasks (25 subtasks) on 4
+// processors — 8 end-to-end tasks spanning multiple processors and 4 local
+// tasks (T9–T12), one per processor. P1 hosts 7 subtasks so its
+// Liu–Layland set point is 0.729 as the paper reports.
+func Medium() *task.System {
+	// Rate ranges bracket the set points for every evaluated execution-time
+	// factor: at etf = 0.1 the set points are reachable below R_max
+	// (period 25), and at etf = 6 the R_min rates (period 4000) keep every
+	// processor below its set point.
+	chain := func(name string, stages []task.Subtask, initPeriod float64) task.Task {
+		return task.Task{
+			Name:        name,
+			Subtasks:    stages,
+			RateMin:     1.0 / 4000,
+			RateMax:     1.0 / 25,
+			InitialRate: 1.0 / initPeriod,
+		}
+	}
+	st := func(proc int, cost float64) task.Subtask {
+		return task.Subtask{Processor: proc, EstimatedCost: cost}
+	}
+	return &task.System{
+		Name:       "MEDIUM",
+		Processors: 4,
+		Tasks: []task.Task{
+			chain("T1", []task.Subtask{st(0, 30), st(1, 25), st(2, 20)}, 500),
+			chain("T2", []task.Subtask{st(1, 40), st(3, 30)}, 520),
+			chain("T3", []task.Subtask{st(2, 25), st(3, 35), st(0, 20)}, 540),
+			chain("T4", []task.Subtask{st(3, 30), st(1, 25), st(0, 35)}, 560),
+			chain("T5", []task.Subtask{st(0, 45), st(2, 30)}, 480),
+			chain("T6", []task.Subtask{st(1, 25), st(2, 35), st(3, 30)}, 460),
+			chain("T7", []task.Subtask{st(3, 50), st(0, 25)}, 440),
+			chain("T8", []task.Subtask{st(2, 30), st(0, 20), st(1, 35)}, 580),
+			chain("T9", []task.Subtask{st(0, 40)}, 420),
+			chain("T10", []task.Subtask{st(1, 45)}, 430),
+			chain("T11", []task.Subtask{st(2, 50)}, 450),
+			chain("T12", []task.Subtask{st(3, 35)}, 470),
+		},
+	}
+}
+
+// SimpleController returns the SIMPLE controller parameters from Table 2:
+// P = 2, M = 1, Tref/Ts = 4.
+func SimpleController() core.Config {
+	return core.Config{PredictionHorizon: 2, ControlHorizon: 1, TrefOverTs: 4}
+}
+
+// MediumController returns the MEDIUM controller parameters from Table 2:
+// P = 4, M = 2, Tref/Ts = 4 (larger horizons to guarantee stability in the
+// larger system). A light EWMA measurement filter (α = 0.3) counters the
+// window-quantization noise of MEDIUM's many short-period subtasks; see
+// core.Config.MeasurementFilter.
+func MediumController() core.Config {
+	return core.Config{PredictionHorizon: 4, ControlHorizon: 2, TrefOverTs: 4, MeasurementFilter: 0.3}
+}
+
+// RandomConfig parameterizes the random workload generator.
+type RandomConfig struct {
+	// Processors is the processor count (>= 1).
+	Processors int
+	// EndToEndTasks is the number of multi-subtask tasks.
+	EndToEndTasks int
+	// LocalTasks is the number of single-subtask tasks.
+	LocalTasks int
+	// MaxChainLength caps the subtasks per end-to-end task (>= 2).
+	MaxChainLength int
+	// MinCost and MaxCost bound the estimated execution times.
+	MinCost, MaxCost float64
+}
+
+func (c RandomConfig) validate() error {
+	if c.Processors < 1 {
+		return fmt.Errorf("workload: %d processors", c.Processors)
+	}
+	if c.EndToEndTasks+c.LocalTasks < 1 {
+		return fmt.Errorf("workload: no tasks requested")
+	}
+	if c.EndToEndTasks > 0 && (c.MaxChainLength < 2 || c.Processors < 2) {
+		return fmt.Errorf("workload: end-to-end tasks need MaxChainLength >= 2 and >= 2 processors")
+	}
+	if c.MinCost <= 0 || c.MaxCost < c.MinCost {
+		return fmt.Errorf("workload: bad cost range [%g, %g]", c.MinCost, c.MaxCost)
+	}
+	// Each end-to-end task contributes at least 2 subtasks; coverage of every
+	// processor requires at least Processors subtasks in total.
+	if 2*c.EndToEndTasks+c.LocalTasks < c.Processors {
+		return fmt.Errorf("workload: %d end-to-end + %d local tasks cannot cover %d processors", c.EndToEndTasks, c.LocalTasks, c.Processors)
+	}
+	return nil
+}
+
+// Random generates a pseudo-random, always-valid workload: every processor
+// hosts at least one subtask, chains never place consecutive subtasks on
+// the same processor, and rate ranges are wide enough for meaningful
+// control. Generation is deterministic in rng.
+func Random(cfg RandomConfig, rng *rand.Rand) (*task.System, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cost := func() float64 { return cfg.MinCost + rng.Float64()*(cfg.MaxCost-cfg.MinCost) }
+	sys := &task.System{Name: "RANDOM", Processors: cfg.Processors}
+	// Greedy coverage: prefer processors that host nothing yet, so every
+	// processor ends up with at least one subtask (guaranteed by the
+	// 2·E + L ≥ Processors precondition).
+	uncovered := make(map[int]bool, cfg.Processors)
+	for p := 0; p < cfg.Processors; p++ {
+		uncovered[p] = true
+	}
+	pick := func(exclude int) int {
+		for p := 0; p < cfg.Processors; p++ {
+			if uncovered[p] && p != exclude {
+				delete(uncovered, p)
+				return p
+			}
+		}
+		p := rng.Intn(cfg.Processors)
+		for p == exclude {
+			p = rng.Intn(cfg.Processors)
+		}
+		delete(uncovered, p)
+		return p
+	}
+	for i := 0; i < cfg.EndToEndTasks; i++ {
+		length := 2
+		if cfg.MaxChainLength > 2 {
+			length += rng.Intn(cfg.MaxChainLength - 1)
+		}
+		subs := make([]task.Subtask, 0, length)
+		proc := pick(-1)
+		for j := 0; j < length; j++ {
+			subs = append(subs, task.Subtask{Processor: proc, EstimatedCost: cost()})
+			if j < length-1 {
+				proc = pick(proc) // next stage on a different processor
+			}
+		}
+		sys.Tasks = append(sys.Tasks, newRandomTask(fmt.Sprintf("E%d", i+1), subs, rng))
+	}
+	for i := 0; i < cfg.LocalTasks; i++ {
+		subs := []task.Subtask{{Processor: pick(-1), EstimatedCost: cost()}}
+		sys.Tasks = append(sys.Tasks, newRandomTask(fmt.Sprintf("L%d", i+1), subs, rng))
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: generated system invalid: %w", err)
+	}
+	return sys, nil
+}
+
+func newRandomTask(name string, subs []task.Subtask, rng *rand.Rand) task.Task {
+	// Scale periods off the chain's total cost so initial utilization is
+	// moderate and the rate range brackets the set points comfortably.
+	var total float64
+	for _, s := range subs {
+		total += s.EstimatedCost
+	}
+	base := total * (4 + 4*rng.Float64()) // initial period: 4–8× total cost
+	return task.Task{
+		Name:        name,
+		Subtasks:    subs,
+		RateMin:     1 / (base * 8),
+		RateMax:     1 / (total * 1.5),
+		InitialRate: 1 / base,
+	}
+}

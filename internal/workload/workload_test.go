@@ -1,0 +1,212 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/rtsyslab/eucon/internal/mat"
+	"github.com/rtsyslab/eucon/internal/qp"
+	"github.com/rtsyslab/eucon/internal/task"
+)
+
+func TestSimpleMatchesTable1(t *testing.T) {
+	sys := Simple()
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Processors != 2 || len(sys.Tasks) != 3 || sys.TotalSubtasks() != 4 {
+		t.Fatalf("SIMPLE shape: %d procs, %d tasks, %d subtasks", sys.Processors, len(sys.Tasks), sys.TotalSubtasks())
+	}
+	f := sys.AllocationMatrix()
+	want := mat.MustFromRows([][]float64{{35, 35, 0}, {0, 35, 45}})
+	if !f.Equal(want, 0) {
+		t.Fatalf("F = %v, want %v (Table 1)", f, want)
+	}
+	// Initial periods 60, 90, 100.
+	r := sys.InitialRates()
+	for i, p := range []float64{60, 90, 100} {
+		if math.Abs(1/r[i]-p) > 1e-9 {
+			t.Errorf("initial period of T%d = %v, want %v", i+1, 1/r[i], p)
+		}
+	}
+	// Set points: 2 subtasks per processor → 0.828 (paper §7.2).
+	for p, b := range sys.DefaultSetPoints() {
+		if math.Abs(b-0.8284) > 5e-4 {
+			t.Errorf("set point P%d = %v, want 0.828", p+1, b)
+		}
+	}
+}
+
+func TestMediumShape(t *testing.T) {
+	sys := Medium()
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Processors != 4 {
+		t.Fatalf("MEDIUM has %d processors, want 4", sys.Processors)
+	}
+	if len(sys.Tasks) != 12 {
+		t.Fatalf("MEDIUM has %d tasks, want 12", len(sys.Tasks))
+	}
+	if sys.TotalSubtasks() != 25 {
+		t.Fatalf("MEDIUM has %d subtasks, want 25", sys.TotalSubtasks())
+	}
+	// 8 end-to-end + 4 local tasks.
+	endToEnd, local := 0, 0
+	for i := range sys.Tasks {
+		if len(sys.Tasks[i].Subtasks) > 1 {
+			endToEnd++
+		} else {
+			local++
+		}
+	}
+	if endToEnd != 8 || local != 4 {
+		t.Fatalf("MEDIUM has %d end-to-end and %d local tasks, want 8 and 4", endToEnd, local)
+	}
+	// P1 hosts 7 subtasks → B₁ = 0.729 as the paper reports.
+	if got := sys.SubtaskCount(0); got != 7 {
+		t.Fatalf("P1 hosts %d subtasks, want 7", got)
+	}
+	if b := sys.DefaultSetPoints()[0]; math.Abs(b-0.729) > 1e-3 {
+		t.Fatalf("B₁ = %v, want 0.729", b)
+	}
+}
+
+func TestMediumSetPointsReachable(t *testing.T) {
+	// The paper's feasibility assumption: rates within bounds exist with
+	// F·r = B exactly. Verify by constrained least squares.
+	sys := Medium()
+	f := sys.AllocationMatrix()
+	b := sys.DefaultSetPoints()
+	rmin, rmax := sys.RateBounds()
+	m := len(sys.Tasks)
+	a := mat.New(2*m, m)
+	rhs := make([]float64, 2*m)
+	for i := 0; i < m; i++ {
+		a.Set(i, i, 1)
+		rhs[i] = rmax[i]
+		a.Set(m+i, i, -1)
+		rhs[m+i] = -rmin[i]
+	}
+	res, err := qp.SolveLSI(f, b, a, rhs, sys.InitialRates(), qp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Objective > 1e-6 {
+		t.Fatalf("residual ‖F·r − B‖² = %g: set points unreachable within rate bounds", res.Objective)
+	}
+	// Reachable even at etf = 6 (rates at R_min must leave utilization
+	// below B so the sweep in Figure 5 has a feasible equilibrium).
+	uMin := f.MulVec(rmin)
+	for p, v := range uMin {
+		if 6*v >= b[p] {
+			t.Errorf("P%d: 6×u(Rmin) = %v ≥ B = %v: etf sweep infeasible", p+1, 6*v, b[p])
+		}
+	}
+	// And at etf = 0.1 the set point must still be reachable below R_max
+	// (the paper reports EUCON holding 0.729 at etf = 0.1).
+	uMax := f.MulVec(rmax)
+	for p, v := range uMax {
+		if 0.1*v <= b[p] {
+			t.Errorf("P%d: 0.1×u(Rmax) = %v ≤ B = %v: set point unreachable at etf 0.1", p+1, 0.1*v, b[p])
+		}
+	}
+}
+
+func TestMediumConsecutiveStagesOnDistinctProcessors(t *testing.T) {
+	sys := Medium()
+	for i := range sys.Tasks {
+		subs := sys.Tasks[i].Subtasks
+		for j := 1; j < len(subs); j++ {
+			if subs[j].Processor == subs[j-1].Processor {
+				t.Errorf("task %s stages %d-%d share processor %d", sys.Tasks[i].Name, j-1, j, subs[j].Processor)
+			}
+		}
+	}
+}
+
+func TestControllerConfigs(t *testing.T) {
+	s := SimpleController()
+	if s.PredictionHorizon != 2 || s.ControlHorizon != 1 || s.TrefOverTs != 4 {
+		t.Fatalf("SimpleController = %+v, want Table 2 values P=2 M=1 Tref/Ts=4", s)
+	}
+	m := MediumController()
+	if m.PredictionHorizon != 4 || m.ControlHorizon != 2 || m.TrefOverTs != 4 {
+		t.Fatalf("MediumController = %+v, want Table 2 values P=4 M=2 Tref/Ts=4", m)
+	}
+	if SamplingPeriod != 1000 {
+		t.Fatalf("SamplingPeriod = %v, want 1000 (Table 2)", SamplingPeriod)
+	}
+}
+
+func TestRandomGeneratesValidSystems(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		procs := 2 + rng.Intn(6)
+		cfg := RandomConfig{
+			Processors:     procs,
+			EndToEndTasks:  procs + rng.Intn(10), // ensures 2·E + L ≥ Processors
+			LocalTasks:     rng.Intn(5),
+			MaxChainLength: 2 + rng.Intn(4),
+			MinCost:        10,
+			MaxCost:        50,
+		}
+		sys, err := Random(cfg, rng)
+		if err != nil {
+			return false
+		}
+		if sys.Validate() != nil {
+			return false
+		}
+		// Chains never place consecutive stages on one processor.
+		for i := range sys.Tasks {
+			subs := sys.Tasks[i].Subtasks
+			for j := 1; j < len(subs); j++ {
+				if subs[j].Processor == subs[j-1].Processor {
+					return false
+				}
+			}
+		}
+		return len(sys.Tasks) == cfg.EndToEndTasks+cfg.LocalTasks
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bad := []RandomConfig{
+		{Processors: 0, EndToEndTasks: 1, MaxChainLength: 2, MinCost: 1, MaxCost: 2},
+		{Processors: 2, MaxChainLength: 2, MinCost: 1, MaxCost: 2},
+		{Processors: 1, EndToEndTasks: 1, MaxChainLength: 2, MinCost: 1, MaxCost: 2},
+		{Processors: 2, EndToEndTasks: 1, MaxChainLength: 1, MinCost: 1, MaxCost: 2},
+		{Processors: 2, EndToEndTasks: 1, MaxChainLength: 2, MinCost: 0, MaxCost: 2},
+		{Processors: 2, EndToEndTasks: 1, MaxChainLength: 2, MinCost: 3, MaxCost: 2},
+		{Processors: 8, EndToEndTasks: 2, LocalTasks: 1, MaxChainLength: 2, MinCost: 1, MaxCost: 2}, // cannot cover
+	}
+	for i, cfg := range bad {
+		if _, err := Random(cfg, rng); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	cfg := RandomConfig{Processors: 3, EndToEndTasks: 4, LocalTasks: 2, MaxChainLength: 3, MinCost: 10, MaxCost: 40}
+	s1, err := Random(cfg, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Random(cfg, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s1.AllocationMatrix().Equal(s2.AllocationMatrix(), 0) {
+		t.Fatal("same seed produced different systems")
+	}
+}
+
+var _ = []task.Task{} // keep the task import for helper literals above
