@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: check fmt vet build test bench-smoke bench
+
+## check: the tier-1 gate — format, vet, build, race-enabled tests, and a
+## one-iteration benchmark smoke pass. CI and pre-commit both run this.
+check:
+	./scripts/check.sh
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+## bench-smoke: every benchmark for a single iteration under -short, so a
+## broken benchmark fails fast without paying full measurement time.
+bench-smoke:
+	$(GO) test -short -run '^$$' -bench . -benchtime 1x ./...
+
+## bench: the full measured benchmark suite (minutes).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...

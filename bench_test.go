@@ -14,6 +14,7 @@
 package eucon_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -106,13 +107,22 @@ func BenchmarkFig3bSimpleEtf7(b *testing.B) {
 	b.ReportMetric(std, "std-u1")
 }
 
-// BenchmarkFig4SimpleSweep regenerates the Figure 4 sweep on a
-// representative etf subset {0.5, 1, 2, 3, 7}.
-func BenchmarkFig4SimpleSweep(b *testing.B) {
-	etfs := []float64{0.5, 1, 2, 3, 7}
+// fig4BenchETFs is the representative Figure 4 subset swept by the
+// benchmarks.
+var fig4BenchETFs = []float64{0.5, 1, 2, 3, 7}
+
+// fig5BenchETFs is the representative Figure 5 subset swept by the
+// benchmarks.
+var fig5BenchETFs = []float64{0.1, 0.5, 1, 2}
+
+func benchFig4Sweep(b *testing.B, parallelism int) {
 	var acceptable int
 	for i := 0; i < b.N; i++ {
-		pts, err := experiments.SweepSimple(etfs, experiments.DefaultSeed)
+		pts, err := experiments.SweepParallel(context.Background(), experiments.Spec{
+			Workload:    experiments.WorkloadSimple,
+			Seed:        experiments.DefaultSeed,
+			Parallelism: parallelism,
+		}, fig4BenchETFs)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -126,14 +136,25 @@ func BenchmarkFig4SimpleSweep(b *testing.B) {
 	b.ReportMetric(float64(acceptable), "acceptable-points")
 }
 
-// BenchmarkFig5MediumSweep regenerates the Figure 5 sweep on a
-// representative etf subset {0.1, 0.5, 1, 2}; the OPEN comparison line is
-// computed alongside.
-func BenchmarkFig5MediumSweep(b *testing.B) {
-	etfs := []float64{0.1, 0.5, 1, 2}
+// BenchmarkFig4SimpleSweep regenerates the Figure 4 sweep through the
+// worker-pool engine (GOMAXPROCS workers).
+func BenchmarkFig4SimpleSweep(b *testing.B) { benchFig4Sweep(b, 0) }
+
+// BenchmarkFig4SimpleSweepSerial is the single-worker baseline for the
+// sweep-engine speedup comparison.
+func BenchmarkFig4SimpleSweepSerial(b *testing.B) { benchFig4Sweep(b, 1) }
+
+func benchFig5Sweep(b *testing.B, parallelism int) {
+	if testing.Short() {
+		b.Skip("MEDIUM sweep skipped in -short mode")
+	}
 	var worstErr float64
 	for i := 0; i < b.N; i++ {
-		pts, err := experiments.SweepMedium(etfs, experiments.DefaultSeed)
+		pts, err := experiments.SweepParallel(context.Background(), experiments.Spec{
+			Workload:    experiments.WorkloadMedium,
+			Seed:        experiments.DefaultSeed,
+			Parallelism: parallelism,
+		}, fig5BenchETFs)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -150,10 +171,22 @@ func BenchmarkFig5MediumSweep(b *testing.B) {
 	b.ReportMetric(worstErr, "worst-mean-error")
 }
 
+// BenchmarkFig5MediumSweep regenerates the Figure 5 sweep through the
+// worker-pool engine (GOMAXPROCS workers); the OPEN comparison line is
+// computed alongside.
+func BenchmarkFig5MediumSweep(b *testing.B) { benchFig5Sweep(b, 0) }
+
+// BenchmarkFig5MediumSweepSerial is the single-worker baseline for the
+// sweep-engine speedup comparison.
+func BenchmarkFig5MediumSweepSerial(b *testing.B) { benchFig5Sweep(b, 1) }
+
 // BenchmarkFig6OpenDynamic regenerates Figure 6: MEDIUM under OPEN with
 // execution-time steps — utilization tracks the load instead of the set
 // point.
 func BenchmarkFig6OpenDynamic(b *testing.B) {
+	if testing.Short() {
+		b.Skip("MEDIUM dynamic run skipped in -short mode")
+	}
 	var swing float64
 	for i := 0; i < b.N; i++ {
 		tr, err := experiments.RunMediumDynamic(experiments.KindOPEN, experiments.DefaultPeriods, experiments.DefaultSeed)
@@ -171,6 +204,9 @@ func BenchmarkFig6OpenDynamic(b *testing.B) {
 // BenchmarkFig7EuconDynamic regenerates Figure 7: MEDIUM under EUCON with
 // execution-time steps — re-convergence to the set points.
 func BenchmarkFig7EuconDynamic(b *testing.B) {
+	if testing.Short() {
+		b.Skip("MEDIUM dynamic run skipped in -short mode")
+	}
 	var settle float64
 	for i := 0; i < b.N; i++ {
 		tr, err := experiments.RunMediumDynamic(experiments.KindEUCON, experiments.DefaultPeriods, experiments.DefaultSeed)
@@ -188,6 +224,9 @@ func BenchmarkFig7EuconDynamic(b *testing.B) {
 // of the Figure 7 run (rates drop on the +80% step, rise on the −67%
 // step).
 func BenchmarkFig8EuconRates(b *testing.B) {
+	if testing.Short() {
+		b.Skip("MEDIUM dynamic run skipped in -short mode")
+	}
 	var ratio float64
 	for i := 0; i < b.N; i++ {
 		tr, err := experiments.RunMediumDynamic(experiments.KindEUCON, experiments.DefaultPeriods, experiments.DefaultSeed)
@@ -325,6 +364,7 @@ func BenchmarkControllerStepSimple(b *testing.B) {
 	}
 	u := []float64{0.5, 0.6}
 	rates := sys.InitialRates()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ctrl.Rates(i, u, rates); err != nil {
@@ -344,6 +384,7 @@ func BenchmarkControllerStepMedium(b *testing.B) {
 	}
 	u := []float64{0.5, 0.6, 0.55, 0.65}
 	rates := sys.InitialRates()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ctrl.Rates(i, u, rates); err != nil {
@@ -376,6 +417,7 @@ func BenchmarkControllerStepLarge(b *testing.B) {
 		u[i] = 0.5
 	}
 	rates := sys.InitialRates()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ctrl.Rates(i, u, rates); err != nil {
@@ -406,9 +448,46 @@ func BenchmarkQPSolver(b *testing.B) {
 		}
 	}
 	x0 := make([]float64, n)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := qp.SolveLSI(cm, d, a, bb, x0, qp.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQPSolverReused measures the same problem through a prepared LSI:
+// the Hessian factorization is cached and scratch buffers are reused across
+// solves, the MPC controller's steady-state path.
+func BenchmarkQPSolverReused(b *testing.B) {
+	rng := newRand(5)
+	const n, m = 24, 64
+	cm := mat.New(n+n, n)
+	d := make([]float64, 2*n)
+	for i := 0; i < 2*n; i++ {
+		d[i] = rng.NormFloat64()
+		for j := 0; j < n; j++ {
+			cm.Set(i, j, rng.NormFloat64())
+		}
+	}
+	a := mat.New(m, n)
+	bb := make([]float64, m)
+	for i := 0; i < m; i++ {
+		bb[i] = 1 + rng.Float64()
+		for j := 0; j < n; j++ {
+			a.Set(i, j, rng.NormFloat64())
+		}
+	}
+	x0 := make([]float64, n)
+	solver, err := qp.NewLSI(cm, qp.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.Solve(d, a, bb, x0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -457,6 +536,9 @@ func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 // BenchmarkDeuconVsEuconMedium compares centralized EUCON and
 // decentralized DEUCON steady-state tracking error on MEDIUM at etf = 1.
 func BenchmarkDeuconVsEuconMedium(b *testing.B) {
+	if testing.Short() {
+		b.Skip("MEDIUM comparison runs skipped in -short mode")
+	}
 	runWith := func(ctrl sim.RateController) float64 {
 		sys := workload.Medium()
 		s, err := sim.New(sim.Config{

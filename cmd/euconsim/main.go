@@ -13,10 +13,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"runtime"
+	"syscall"
 
 	"github.com/rtsyslab/eucon/internal/experiments"
 	"github.com/rtsyslab/eucon/internal/trace"
@@ -30,7 +34,17 @@ func run() int {
 	list := flag.Bool("list", false, "list available experiments")
 	exp := flag.String("exp", "", "experiment ID to run, or \"all\"")
 	csvDir := flag.String("csv", "", "for trace experiments: also write <id>-utilization.csv, <id>-rates.csv, <id>-missratio.csv into this directory")
+	workers := flag.Int("workers", 0, "worker count for sweep experiments (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	// ^C or SIGTERM cancels in-flight simulations at the next sampling
+	// boundary instead of killing mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *workers > 0 {
+		// Sweeps size their pools from GOMAXPROCS; -workers narrows it.
+		runtime.GOMAXPROCS(*workers)
+	}
 
 	switch {
 	case *list:
@@ -41,7 +55,7 @@ func run() int {
 	case *exp == "all":
 		for _, e := range experiments.All() {
 			fmt.Printf("=== %s: %s\n", e.ID, e.Title)
-			if err := e.Run(os.Stdout); err != nil {
+			if err := e.Run(ctx, os.Stdout); err != nil {
 				fmt.Fprintf(os.Stderr, "euconsim: %s: %v\n", e.ID, err)
 				return 1
 			}
@@ -54,7 +68,7 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "euconsim: unknown experiment %q; available: %v\n", *exp, experiments.IDs())
 			return 2
 		}
-		if err := e.Run(os.Stdout); err != nil {
+		if err := e.Run(ctx, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "euconsim: %s: %v\n", e.ID, err)
 			return 1
 		}

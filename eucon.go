@@ -31,6 +31,7 @@
 package eucon
 
 import (
+	"context"
 	"math/rand"
 
 	"github.com/rtsyslab/eucon/internal/baseline"
@@ -102,11 +103,18 @@ func NewOpenBaseline(sys *System, setPoints []float64) (*OpenBaseline, error) {
 // Simulate runs the event-driven simulator for cfg.Periods sampling
 // periods and returns the trace.
 func Simulate(cfg SimulationConfig) (*Trace, error) {
+	return SimulateContext(context.Background(), cfg)
+}
+
+// SimulateContext is Simulate with cancellation: the context is checked at
+// every sampling boundary and the run aborts with ctx.Err() once it is
+// done.
+func SimulateContext(ctx context.Context, cfg SimulationConfig) (*Trace, error) {
 	s, err := sim.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return s.Run()
+	return s.RunContext(ctx)
 }
 
 // ConstantETF returns a schedule where actual execution times are factor

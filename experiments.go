@@ -1,0 +1,54 @@
+package eucon
+
+import (
+	"context"
+
+	"github.com/rtsyslab/eucon/internal/experiments"
+)
+
+// Unified experiment API (see internal/experiments): a declarative
+// ExperimentSpec drives single runs (RunExperiment), serial sweeps
+// (SweepExperiment), and worker-pool sweeps (SweepExperimentParallel) over
+// the paper's workloads.
+
+type (
+	// ExperimentSpec describes one experiment run or sweep; zero values of
+	// optional fields select the paper defaults.
+	ExperimentSpec = experiments.Spec
+	// ExperimentWorkload selects a paper workload (SIMPLE or MEDIUM).
+	ExperimentWorkload = experiments.WorkloadKind
+	// ExperimentController selects the rate controller of a spec.
+	ExperimentController = experiments.ControllerKind
+	// SweepPoint is one x-value of a Figure 4/5-style sweep series.
+	SweepPoint = experiments.SweepPoint
+)
+
+// Workload and controller kinds for ExperimentSpec.
+const (
+	WorkloadSimple = experiments.WorkloadSimple
+	WorkloadMedium = experiments.WorkloadMedium
+
+	ControllerEUCON  = experiments.KindEUCON
+	ControllerOPEN   = experiments.KindOPEN
+	ControllerNone   = experiments.KindNone
+	ControllerDEUCON = experiments.KindDEUCON
+)
+
+// RunExperiment executes one simulation described by spec and returns its
+// trace. The context is checked at every sampling boundary.
+func RunExperiment(ctx context.Context, spec ExperimentSpec) (*Trace, error) {
+	return experiments.Run(ctx, spec)
+}
+
+// SweepExperiment runs spec once per execution-time factor, serially, and
+// summarizes P1's steady-state utilization per point.
+func SweepExperiment(ctx context.Context, spec ExperimentSpec, etfs []float64) ([]SweepPoint, error) {
+	return experiments.Sweep(ctx, spec, etfs)
+}
+
+// SweepExperimentParallel is SweepExperiment fanned across a worker pool
+// of spec.Parallelism goroutines. The returned series is bit-identical to
+// SweepExperiment's regardless of worker count.
+func SweepExperimentParallel(ctx context.Context, spec ExperimentSpec, etfs []float64) ([]SweepPoint, error) {
+	return experiments.SweepParallel(ctx, spec, etfs)
+}

@@ -247,7 +247,7 @@ func RunNode(ctx context.Context, cfg NodeConfig) error {
 	if cfg.SamplingPeriod <= 0 {
 		cfg.SamplingPeriod = 1
 	}
-	l, err := lane.Dial(cfg.Addr, cfg.Timeout)
+	l, err := lane.DialContext(ctx, cfg.Addr, cfg.Timeout)
 	if err != nil {
 		return err
 	}

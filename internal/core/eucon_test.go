@@ -270,3 +270,32 @@ func TestResetClearsFilter(t *testing.T) {
 		}
 	}
 }
+
+// TestRatesSteadyStateAllocs guards the hot-path optimization: after
+// warm-up, one control period must stay near-allocation-free (the C stack,
+// its factorization, the constraint matrices, and all solver scratch are
+// cached on the controller; only the small result slices escape).
+func TestRatesSteadyStateAllocs(t *testing.T) {
+	c, err := New(simpleSystem(), nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := []float64{0.5, 0.6}
+	rates := simpleSystem().InitialRates()
+	for i := 0; i < 10; i++ { // warm the solver's active-set memory
+		if _, err := c.Rates(i, u, rates); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := c.Rates(0, u, rates); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The seed implementation allocated ~94 per step on SIMPLE; the cached
+	// controller needs only the per-step result slices. Allow headroom for
+	// an occasional active-set excursion.
+	if allocs > 18 {
+		t.Errorf("steady-state Rates allocates %.0f objects/op, want <= 18", allocs)
+	}
+}

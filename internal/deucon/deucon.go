@@ -23,6 +23,8 @@ package deucon
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"github.com/rtsyslab/eucon/internal/mat"
 	"github.com/rtsyslab/eucon/internal/mpc"
@@ -39,6 +41,12 @@ type Config struct {
 	ControlHorizon int
 	// TrefOverTs is the local reference time constant; 0 selects 4.
 	TrefOverTs float64
+	// Parallelism caps how many local MPC solves run concurrently within
+	// one control period — the decentralized solves are independent, as
+	// they would be on physically separate processors. 0 selects
+	// GOMAXPROCS; 1 solves serially. Results are identical for every
+	// setting.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -50,6 +58,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TrefOverTs == 0 {
 		c.TrefOverTs = 4
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	return c
 }
@@ -207,6 +218,12 @@ func newLocal(sys *task.System, f *mat.Dense, setPoints []float64, p int, led, s
 func (c *Controller) Name() string { return "DEUCON" }
 
 // Rates implements sim.RateController: one decentralized control period.
+// The local solves are independent — each local MPC reads only this
+// period's shared measurements and last period's announcements, and
+// controls a disjoint set of tasks — so they run on up to
+// Config.Parallelism goroutines, mirroring the physically parallel
+// processors of a real deployment. Results are merged in processor order,
+// making the outcome identical for every parallelism setting.
 func (c *Controller) Rates(_ int, u, rates []float64) ([]float64, error) {
 	if len(u) != c.sys.Processors {
 		return nil, fmt.Errorf("deucon: utilization vector has length %d, want %d", len(u), c.sys.Processors)
@@ -215,39 +232,44 @@ func (c *Controller) Rates(_ int, u, rates []float64) ([]float64, error) {
 		return nil, fmt.Errorf("deucon: rate vector has length %d, want %d", len(rates), len(c.sys.Tasks))
 	}
 	c.periods++
+
+	results := make([]*mpc.StepResult, len(c.locals))
+	errs := make([]error, len(c.locals))
+	if workers := min(c.cfg.Parallelism, len(c.locals)); workers <= 1 {
+		for i, l := range c.locals {
+			results[i], errs[i] = c.stepLocal(l, u, rates)
+		}
+	} else {
+		var wg sync.WaitGroup
+		jobs := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					results[i], errs[i] = c.stepLocal(c.locals[i], u, rates)
+				}
+			}()
+		}
+		for i := range c.locals {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+
+	// Deterministic merge in local (processor) order: led task sets are
+	// disjoint, counters accumulate in a fixed order, and the first failing
+	// processor wins error reporting.
 	out := make([]float64, len(rates))
 	copy(out, rates)
 	next := make([]float64, len(c.announced))
-
-	for _, l := range c.locals {
-		// Local view: own + neighbor utilizations, adjusted by the effect
-		// of OTHER leaders' previously announced plans so the local model
-		// does not double-react to their corrections.
-		uLocal := make([]float64, len(l.scope))
-		for ri, proc := range l.scope {
-			adj := u[proc]
-			for j := range c.sys.Tasks {
-				if c.leaderOf(j) != l.proc && c.announced[j] != 0 {
-					adj += c.f.At(proc, j) * c.announced[j]
-				}
-			}
-			if adj < 0 {
-				adj = 0
-			}
-			if adj > 1 {
-				adj = 1
-			}
-			uLocal[ri] = adj
-			c.messages++ // utilization report (own report is free, but count uniformly)
+	for i, l := range c.locals {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("deucon: local step on P%d: %w", l.proc+1, errs[i])
 		}
-		rLed := make([]float64, len(l.led))
-		for ci, t := range l.led {
-			rLed[ci] = rates[t]
-		}
-		res, err := l.ctrl.Step(uLocal, rLed)
-		if err != nil {
-			return nil, fmt.Errorf("deucon: local step on P%d: %w", l.proc+1, err)
-		}
+		c.messages += len(l.scope) // utilization reports (own report counted uniformly)
+		res := results[i]
 		for ci, t := range l.led {
 			out[t] = res.NewRates[ci]
 			next[t] = res.DeltaR[ci]
@@ -256,6 +278,37 @@ func (c *Controller) Rates(_ int, u, rates []float64) ([]float64, error) {
 	}
 	copy(c.announced, next)
 	return out, nil
+}
+
+// stepLocal runs one processor's local MPC for the current period. It
+// reads only shared immutable period state (u, rates, the previous
+// period's announcements) and the local's own controller, so distinct
+// locals may step concurrently.
+func (c *Controller) stepLocal(l *local, u, rates []float64) (*mpc.StepResult, error) {
+	// Local view: own + neighbor utilizations, adjusted by the effect of
+	// OTHER leaders' previously announced plans so the local model does not
+	// double-react to their corrections.
+	uLocal := make([]float64, len(l.scope))
+	for ri, proc := range l.scope {
+		adj := u[proc]
+		for j := range c.sys.Tasks {
+			if c.leaderOf(j) != l.proc && c.announced[j] != 0 {
+				adj += c.f.At(proc, j) * c.announced[j]
+			}
+		}
+		if adj < 0 {
+			adj = 0
+		}
+		if adj > 1 {
+			adj = 1
+		}
+		uLocal[ri] = adj
+	}
+	rLed := make([]float64, len(l.led))
+	for ci, t := range l.led {
+		rLed[ci] = rates[t]
+	}
+	return l.ctrl.Step(uLocal, rLed)
 }
 
 // Messages reports the total number of control-plane messages exchanged so

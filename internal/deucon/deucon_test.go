@@ -223,3 +223,47 @@ func TestRatesDimensionErrors(t *testing.T) {
 		t.Errorf("Name = %q", ctrl.Name())
 	}
 }
+
+// TestRatesParallelismDeterministic drives identical closed-loop input
+// sequences through controllers at several Parallelism settings: the rate
+// trajectories and message counters must be bit-identical, since the
+// parallel solves merge in processor order.
+func TestRatesParallelismDeterministic(t *testing.T) {
+	sys := workload.Medium()
+	drive := func(par int) ([][]float64, int) {
+		ctrl, err := New(sys, nil, Config{Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(7))
+		rates := sys.InitialRates()
+		var outs [][]float64
+		for k := 0; k < 40; k++ {
+			u := make([]float64, sys.Processors)
+			for i := range u {
+				u[i] = 0.3 + 0.6*rng.Float64()
+			}
+			next, err := ctrl.Rates(k, u, rates)
+			if err != nil {
+				t.Fatalf("parallelism %d period %d: %v", par, k, err)
+			}
+			outs = append(outs, next)
+			rates = next
+		}
+		return outs, ctrl.Messages()
+	}
+	refOuts, refMsgs := drive(1)
+	for _, par := range []int{2, 4, 8} {
+		outs, msgs := drive(par)
+		if msgs != refMsgs {
+			t.Errorf("parallelism %d: messages = %d, want %d", par, msgs, refMsgs)
+		}
+		for k := range refOuts {
+			for i := range refOuts[k] {
+				if outs[k][i] != refOuts[k][i] {
+					t.Fatalf("parallelism %d: rate[%d][%d] = %v, want %v (bit-exact)", par, k, i, outs[k][i], refOuts[k][i])
+				}
+			}
+		}
+	}
+}

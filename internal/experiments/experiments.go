@@ -6,11 +6,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"github.com/rtsyslab/eucon/internal/baseline"
 	"github.com/rtsyslab/eucon/internal/core"
+	"github.com/rtsyslab/eucon/internal/deucon"
 	"github.com/rtsyslab/eucon/internal/metrics"
 	"github.com/rtsyslab/eucon/internal/sim"
 	"github.com/rtsyslab/eucon/internal/task"
@@ -25,6 +27,7 @@ const (
 	KindEUCON ControllerKind = iota + 1
 	KindOPEN
 	KindNone
+	KindDEUCON
 )
 
 // String implements fmt.Stringer.
@@ -36,6 +39,8 @@ func (k ControllerKind) String() string {
 		return "OPEN"
 	case KindNone:
 		return "NONE"
+	case KindDEUCON:
+		return "DEUCON"
 	default:
 		return fmt.Sprintf("ControllerKind(%d)", int(k))
 	}
@@ -60,6 +65,8 @@ func newController(kind ControllerKind, sys *task.System, cfg core.Config) (sim.
 		return core.New(sys, nil, cfg)
 	case KindOPEN:
 		return baseline.NewOpen(sys, nil)
+	case KindDEUCON:
+		return deucon.New(sys, nil, deucon.Config{})
 	case KindNone:
 		return nil, nil
 	default:
@@ -69,49 +76,28 @@ func newController(kind ControllerKind, sys *task.System, cfg core.Config) (sim.
 
 // RunSimple simulates the SIMPLE workload under EUCON with a constant
 // execution-time factor (Figure 3 runs). SIMPLE uses deterministic
-// execution times, as in the paper.
+// execution times, as in the paper. It is a thin wrapper over Run.
 func RunSimple(etf float64, periods int, seed int64) (*sim.Trace, error) {
-	sys := workload.Simple()
-	ctrl, err := newController(KindEUCON, sys, workload.SimpleController())
-	if err != nil {
-		return nil, err
-	}
-	s, err := sim.New(sim.Config{
-		System:         sys,
-		SamplingPeriod: workload.SamplingPeriod,
-		Periods:        periods,
-		Controller:     ctrl,
-		ETF:            sim.ConstantETF(etf),
-		Seed:           seed,
+	return Run(context.Background(), Spec{
+		Workload: WorkloadSimple,
+		ETF:      sim.ConstantETF(etf),
+		Periods:  periods,
+		Seed:     seed,
 	})
-	if err != nil {
-		return nil, err
-	}
-	return s.Run()
 }
 
 // RunMediumSteady simulates the MEDIUM workload with a constant
 // execution-time factor under the chosen controller (Figure 5 runs).
-// MEDIUM uses uniform-random execution times.
+// MEDIUM uses uniform-random execution times. It is a thin wrapper over
+// Run.
 func RunMediumSteady(kind ControllerKind, etf float64, periods int, seed int64) (*sim.Trace, error) {
-	sys := workload.Medium()
-	ctrl, err := newController(kind, sys, workload.MediumController())
-	if err != nil {
-		return nil, err
-	}
-	s, err := sim.New(sim.Config{
-		System:         sys,
-		SamplingPeriod: workload.SamplingPeriod,
-		Periods:        periods,
-		Controller:     ctrl,
-		ETF:            sim.ConstantETF(etf),
-		Jitter:         workload.MediumJitter,
-		Seed:           seed,
+	return Run(context.Background(), Spec{
+		Workload:   WorkloadMedium,
+		Controller: kind,
+		ETF:        sim.ConstantETF(etf),
+		Periods:    periods,
+		Seed:       seed,
 	})
-	if err != nil {
-		return nil, err
-	}
-	return s.Run()
 }
 
 // DynamicETF is the Experiment II schedule: etf = 0.5 initially, 0.9 from
@@ -132,26 +118,15 @@ func DynamicETF() sim.ETFSchedule {
 }
 
 // RunMediumDynamic simulates MEDIUM under the Experiment II execution-time
-// steps (Figures 6–8).
+// steps (Figures 6–8). It is a thin wrapper over Run.
 func RunMediumDynamic(kind ControllerKind, periods int, seed int64) (*sim.Trace, error) {
-	sys := workload.Medium()
-	ctrl, err := newController(kind, sys, workload.MediumController())
-	if err != nil {
-		return nil, err
-	}
-	s, err := sim.New(sim.Config{
-		System:         sys,
-		SamplingPeriod: workload.SamplingPeriod,
-		Periods:        periods,
-		Controller:     ctrl,
-		ETF:            DynamicETF(),
-		Jitter:         workload.MediumJitter,
-		Seed:           seed,
+	return Run(context.Background(), Spec{
+		Workload:   WorkloadMedium,
+		Controller: kind,
+		ETF:        DynamicETF(),
+		Periods:    periods,
+		Seed:       seed,
 	})
-	if err != nil {
-		return nil, err
-	}
-	return s.Run()
 }
 
 // SweepPoint is one x-value of Figures 4 and 5: steady-state utilization
@@ -171,52 +146,16 @@ type SweepPoint struct {
 }
 
 // SweepSimple produces the Figure 4 series: SIMPLE under EUCON across
-// execution-time factors.
+// execution-time factors. It is a thin wrapper over SweepParallel.
 func SweepSimple(etfs []float64, seed int64) ([]SweepPoint, error) {
-	sys := workload.Simple()
-	b := sys.DefaultSetPoints()[0]
-	points := make([]SweepPoint, 0, len(etfs))
-	for _, etf := range etfs {
-		tr, err := RunSimple(etf, DefaultPeriods, seed)
-		if err != nil {
-			return nil, fmt.Errorf("sweep simple etf=%g: %w", etf, err)
-		}
-		s := metrics.Summarize(metrics.Window(metrics.Column(tr.Utilization, 0), WindowStart, WindowEnd))
-		points = append(points, SweepPoint{
-			ETF:        etf,
-			P1:         s,
-			SetPoint:   b,
-			Acceptable: s.Acceptable(b),
-		})
-	}
-	return points, nil
+	return SweepParallel(context.Background(), Spec{Workload: WorkloadSimple, Seed: seed}, etfs)
 }
 
 // SweepMedium produces the Figure 5 series: MEDIUM under EUCON across
-// execution-time factors, with the analytic OPEN expectation alongside.
+// execution-time factors, with the analytic OPEN expectation alongside. It
+// is a thin wrapper over SweepParallel.
 func SweepMedium(etfs []float64, seed int64) ([]SweepPoint, error) {
-	sys := workload.Medium()
-	b := sys.DefaultSetPoints()[0]
-	open, err := baseline.NewOpen(sys, nil)
-	if err != nil {
-		return nil, err
-	}
-	points := make([]SweepPoint, 0, len(etfs))
-	for _, etf := range etfs {
-		tr, err := RunMediumSteady(KindEUCON, etf, DefaultPeriods, seed)
-		if err != nil {
-			return nil, fmt.Errorf("sweep medium etf=%g: %w", etf, err)
-		}
-		s := metrics.Summarize(metrics.Window(metrics.Column(tr.Utilization, 0), WindowStart, WindowEnd))
-		points = append(points, SweepPoint{
-			ETF:          etf,
-			P1:           s,
-			SetPoint:     b,
-			Acceptable:   s.Acceptable(b),
-			OpenExpected: open.ExpectedUtilization(sys, etf)[0],
-		})
-	}
-	return points, nil
+	return SweepParallel(context.Background(), Spec{Workload: WorkloadMedium, Seed: seed}, etfs)
 }
 
 // SimpleCriticalGain reproduces the paper's §6.2 stability example: the

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -244,7 +245,7 @@ func TestRegistryComplete(t *testing.T) {
 func TestTableExperimentsOutput(t *testing.T) {
 	var sb strings.Builder
 	e, _ := Lookup("table1")
-	if err := e.Run(&sb); err != nil {
+	if err := e.Run(context.Background(), &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -255,7 +256,7 @@ func TestTableExperimentsOutput(t *testing.T) {
 	}
 	sb.Reset()
 	e, _ = Lookup("table2")
-	if err := e.Run(&sb); err != nil {
+	if err := e.Run(context.Background(), &sb); err != nil {
 		t.Fatal(err)
 	}
 	out = sb.String()
@@ -269,7 +270,7 @@ func TestTableExperimentsOutput(t *testing.T) {
 func TestStabilityExperimentOutput(t *testing.T) {
 	var sb strings.Builder
 	e, _ := Lookup("stability")
-	if err := e.Run(&sb); err != nil {
+	if err := e.Run(context.Background(), &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "critical uniform gain") {
@@ -360,7 +361,7 @@ func TestAllExperimentsProduceOutput(t *testing.T) {
 	for _, e := range All() {
 		t.Run(e.ID, func(t *testing.T) {
 			var sb strings.Builder
-			if err := e.Run(&sb); err != nil {
+			if err := e.Run(context.Background(), &sb); err != nil {
 				t.Fatalf("%s: %v", e.ID, err)
 			}
 			if sb.Len() == 0 {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -37,33 +38,26 @@ func Extensions() []Experiment {
 }
 
 // RunMediumDynamicDeucon runs the Experiment II schedule under the
-// decentralized controller.
+// decentralized controller. It returns the controller alongside the trace
+// so callers can inspect its message counters.
 func RunMediumDynamicDeucon(periods int, seed int64) (*sim.Trace, *deucon.Controller, error) {
-	sys := workload.Medium()
+	spec := Spec{Workload: WorkloadMedium, Controller: KindDEUCON, Periods: periods, Seed: seed}.normalized()
+	sys, wp, err := spec.workload()
+	if err != nil {
+		return nil, nil, err
+	}
 	ctrl, err := deucon.New(sys, nil, deucon.Config{})
 	if err != nil {
 		return nil, nil, err
 	}
-	s, err := sim.New(sim.Config{
-		System:         sys,
-		SamplingPeriod: workload.SamplingPeriod,
-		Periods:        periods,
-		Controller:     ctrl,
-		ETF:            DynamicETF(),
-		Jitter:         workload.MediumJitter,
-		Seed:           seed,
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	tr, err := s.Run()
+	tr, err := runWith(context.Background(), spec, sys, wp, ctrl, DynamicETF(), seed)
 	if err != nil {
 		return nil, nil, err
 	}
 	return tr, ctrl, nil
 }
 
-func runExtDeucon(w io.Writer) error {
+func runExtDeucon(_ context.Context, w io.Writer) error {
 	tr, ctrl, err := RunMediumDynamicDeucon(DefaultPeriods, DefaultSeed)
 	if err != nil {
 		return err
@@ -78,13 +72,13 @@ func runExtDeucon(w io.Writer) error {
 	return nil
 }
 
-func runExtMissRatio(w io.Writer) error {
+func runExtMissRatio(ctx context.Context, w io.Writer) error {
 	fmt.Fprintln(w, "period\tmiss_ratio_eucon\tmiss_ratio_open")
-	trE, err := RunMediumDynamic(KindEUCON, DefaultPeriods, DefaultSeed)
+	trE, err := Run(ctx, Spec{Workload: WorkloadMedium, ETF: DynamicETF(), Seed: DefaultSeed})
 	if err != nil {
 		return err
 	}
-	trO, err := RunMediumDynamic(KindOPEN, DefaultPeriods, DefaultSeed)
+	trO, err := Run(ctx, Spec{Workload: WorkloadMedium, Controller: KindOPEN, ETF: DynamicETF(), Seed: DefaultSeed})
 	if err != nil {
 		return err
 	}
@@ -97,7 +91,7 @@ func runExtMissRatio(w io.Writer) error {
 	return nil
 }
 
-func runExtStabilityMedium(w io.Writer) error {
+func runExtStabilityMedium(_ context.Context, w io.Writer) error {
 	sys := workload.Medium()
 	ctrl, err := core.New(sys, nil, workload.MediumController())
 	if err != nil {

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 
 	"github.com/rtsyslab/eucon/internal/metrics"
+	"github.com/rtsyslab/eucon/internal/sim"
 	"github.com/rtsyslab/eucon/internal/workload"
 )
 
@@ -15,8 +17,9 @@ type Experiment struct {
 	ID string
 	// Title describes what the paper artifact shows.
 	Title string
-	// Run regenerates the artifact, writing its data to w.
-	Run func(w io.Writer) error
+	// Run regenerates the artifact, writing its data to w. Cancellation of
+	// ctx aborts in-flight simulations at the next sampling boundary.
+	Run func(ctx context.Context, w io.Writer) error
 }
 
 // All returns every experiment: the paper artifacts in paper order,
@@ -61,7 +64,7 @@ func IDs() []string {
 	return ids
 }
 
-func runTable1(w io.Writer) error {
+func runTable1(_ context.Context, w io.Writer) error {
 	sys := workload.Simple()
 	fmt.Fprintln(w, "Tij\tProc\tcij\t1/Rmax\t1/Rmin\t1/r(0)")
 	for i := range sys.Tasks {
@@ -74,7 +77,7 @@ func runTable1(w io.Writer) error {
 	return nil
 }
 
-func runTable2(w io.Writer) error {
+func runTable2(_ context.Context, w io.Writer) error {
 	fmt.Fprintln(w, "System\tP\tM\tTref/Ts\tTs")
 	s := workload.SimpleController()
 	m := workload.MediumController()
@@ -83,7 +86,7 @@ func runTable2(w io.Writer) error {
 	return nil
 }
 
-func runStability(w io.Writer) error {
+func runStability(_ context.Context, w io.Writer) error {
 	g, err := SimpleCriticalGain()
 	if err != nil {
 		return err
@@ -93,8 +96,8 @@ func runStability(w io.Writer) error {
 	return nil
 }
 
-func runFig3a(w io.Writer) error {
-	tr, err := RunSimple(0.5, DefaultPeriods, DefaultSeed)
+func runFig3a(ctx context.Context, w io.Writer) error {
+	tr, err := Run(ctx, Spec{Workload: WorkloadSimple, ETF: sim.ConstantETF(0.5), Seed: DefaultSeed})
 	if err != nil {
 		return err
 	}
@@ -102,8 +105,8 @@ func runFig3a(w io.Writer) error {
 	return nil
 }
 
-func runFig3b(w io.Writer) error {
-	tr, err := RunSimple(7, DefaultPeriods, DefaultSeed)
+func runFig3b(ctx context.Context, w io.Writer) error {
+	tr, err := Run(ctx, Spec{Workload: WorkloadSimple, ETF: sim.ConstantETF(7), Seed: DefaultSeed})
 	if err != nil {
 		return err
 	}
@@ -126,8 +129,8 @@ func printSweep(w io.Writer, points []SweepPoint, withOpen bool) {
 	}
 }
 
-func runFig4(w io.Writer) error {
-	points, err := SweepSimple(Fig4ETFs(), DefaultSeed)
+func runFig4(ctx context.Context, w io.Writer) error {
+	points, err := SweepParallel(ctx, Spec{Workload: WorkloadSimple, Seed: DefaultSeed}, Fig4ETFs())
 	if err != nil {
 		return err
 	}
@@ -135,8 +138,8 @@ func runFig4(w io.Writer) error {
 	return nil
 }
 
-func runFig5(w io.Writer) error {
-	points, err := SweepMedium(Fig5ETFs(), DefaultSeed)
+func runFig5(ctx context.Context, w io.Writer) error {
+	points, err := SweepParallel(ctx, Spec{Workload: WorkloadMedium, Seed: DefaultSeed}, Fig5ETFs())
 	if err != nil {
 		return err
 	}
@@ -144,8 +147,8 @@ func runFig5(w io.Writer) error {
 	return nil
 }
 
-func runFig6(w io.Writer) error {
-	tr, err := RunMediumDynamic(KindOPEN, DefaultPeriods, DefaultSeed)
+func runFig6(ctx context.Context, w io.Writer) error {
+	tr, err := Run(ctx, Spec{Workload: WorkloadMedium, Controller: KindOPEN, ETF: DynamicETF(), Seed: DefaultSeed})
 	if err != nil {
 		return err
 	}
@@ -153,8 +156,8 @@ func runFig6(w io.Writer) error {
 	return nil
 }
 
-func runFig7(w io.Writer) error {
-	tr, err := RunMediumDynamic(KindEUCON, DefaultPeriods, DefaultSeed)
+func runFig7(ctx context.Context, w io.Writer) error {
+	tr, err := Run(ctx, Spec{Workload: WorkloadMedium, ETF: DynamicETF(), Seed: DefaultSeed})
 	if err != nil {
 		return err
 	}
@@ -171,8 +174,8 @@ func runFig7(w io.Writer) error {
 	return nil
 }
 
-func runFig8(w io.Writer) error {
-	tr, err := RunMediumDynamic(KindEUCON, DefaultPeriods, DefaultSeed)
+func runFig8(ctx context.Context, w io.Writer) error {
+	tr, err := Run(ctx, Spec{Workload: WorkloadMedium, ETF: DynamicETF(), Seed: DefaultSeed})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,311 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/rtsyslab/eucon/internal/baseline"
+	"github.com/rtsyslab/eucon/internal/core"
+	"github.com/rtsyslab/eucon/internal/metrics"
+	"github.com/rtsyslab/eucon/internal/sim"
+	"github.com/rtsyslab/eucon/internal/task"
+	"github.com/rtsyslab/eucon/internal/workload"
+)
+
+// WorkloadKind selects one of the paper's workload configurations.
+type WorkloadKind int
+
+// Workload kinds.
+const (
+	// WorkloadSimple is the paper's SIMPLE system (Table 1): deterministic
+	// execution times, P=2/M=1 controller.
+	WorkloadSimple WorkloadKind = iota + 1
+	// WorkloadMedium is the paper's MEDIUM system: uniform-random execution
+	// times, P=4/M=2 controller.
+	WorkloadMedium
+)
+
+// String implements fmt.Stringer.
+func (k WorkloadKind) String() string {
+	switch k {
+	case WorkloadSimple:
+		return "SIMPLE"
+	case WorkloadMedium:
+		return "MEDIUM"
+	default:
+		return fmt.Sprintf("WorkloadKind(%d)", int(k))
+	}
+}
+
+// Spec describes one experiment run or sweep in the unified API. The zero
+// values of optional fields select the paper defaults, so
+//
+//	Run(ctx, Spec{Workload: WorkloadSimple})
+//
+// reproduces a Figure 3 style run under EUCON at etf = 1.
+type Spec struct {
+	// Workload selects the system and its controller parameters (Table 2).
+	// Required. Execution-time jitter is a property of the workload, as in
+	// the paper: SIMPLE is deterministic, MEDIUM draws uniform-random
+	// execution times.
+	Workload WorkloadKind
+	// Controller selects the rate controller. Zero selects KindEUCON.
+	Controller ControllerKind
+	// ETF is the execution-time factor schedule for Run (zero: etf = 1).
+	// Sweeps ignore it: each sweep point installs its own constant factor.
+	ETF sim.ETFSchedule
+	// Periods is the run length in sampling periods. Zero selects
+	// DefaultPeriods (300, the span of the paper's figures).
+	Periods int
+	// Seed drives all randomness. Replication r of a sweep point uses
+	// Seed + r, so runs are reproducible and replications independent.
+	Seed int64
+	// Replications is the number of independently seeded runs per sweep
+	// point; their measurement windows are pooled into the point's summary.
+	// Zero selects 1 (the paper's single-run sweeps). Run ignores it.
+	Replications int
+	// Parallelism caps the worker count of SweepParallel. Zero selects
+	// GOMAXPROCS. Run and Sweep ignore it.
+	Parallelism int
+}
+
+// normalized returns a copy with defaults applied.
+func (s Spec) normalized() Spec {
+	if s.Controller == 0 {
+		s.Controller = KindEUCON
+	}
+	if s.Periods == 0 {
+		s.Periods = DefaultPeriods
+	}
+	if s.Replications <= 0 {
+		s.Replications = 1
+	}
+	if s.Parallelism <= 0 {
+		s.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return s
+}
+
+// workload materializes the system, controller parameters, and jitter for
+// the spec's workload kind.
+func (s Spec) workload() (*task.System, workloadParams, error) {
+	switch s.Workload {
+	case WorkloadSimple:
+		return workload.Simple(), workloadParams{cfg: workload.SimpleController(), jitter: 0}, nil
+	case WorkloadMedium:
+		return workload.Medium(), workloadParams{cfg: workload.MediumController(), jitter: workload.MediumJitter}, nil
+	default:
+		return nil, workloadParams{}, fmt.Errorf("experiments: unknown workload kind %d", int(s.Workload))
+	}
+}
+
+type workloadParams struct {
+	cfg    core.Config
+	jitter float64
+}
+
+// Run executes one simulation described by spec and returns its trace. The
+// context is checked at every sampling boundary.
+func Run(ctx context.Context, spec Spec) (*sim.Trace, error) {
+	spec = spec.normalized()
+	sys, wp, err := spec.workload()
+	if err != nil {
+		return nil, err
+	}
+	ctrl, err := newController(spec.Controller, sys, wp.cfg)
+	if err != nil {
+		return nil, err
+	}
+	return runWith(ctx, spec, sys, wp, ctrl, spec.ETF, spec.Seed)
+}
+
+// runWith runs one simulation with an already-built controller; sweeps and
+// the DEUCON extension share it so every entry point drives the simulator
+// identically.
+func runWith(ctx context.Context, spec Spec, sys *task.System, wp workloadParams, ctrl sim.RateController, etf sim.ETFSchedule, seed int64) (*sim.Trace, error) {
+	s, err := sim.New(sim.Config{
+		System:         sys,
+		SamplingPeriod: workload.SamplingPeriod,
+		Periods:        spec.Periods,
+		Controller:     ctrl,
+		ETF:            etf,
+		Jitter:         wp.jitter,
+		Seed:           seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s.RunContext(ctx)
+}
+
+// Sweep runs spec once per execution-time factor, serially in the caller's
+// goroutine, and summarizes P1's steady-state utilization per point — the
+// Figure 4/5 series. Results are identical to SweepParallel with any
+// worker count.
+func Sweep(ctx context.Context, spec Spec, etfs []float64) ([]SweepPoint, error) {
+	spec = spec.normalized()
+	sw, err := newSweep(spec, etfs)
+	if err != nil {
+		return nil, err
+	}
+	for job := 0; job < sw.jobs(); job++ {
+		if err := sw.run(ctx, job); err != nil {
+			return nil, err
+		}
+	}
+	return sw.points()
+}
+
+// SweepParallel is Sweep fanned across a worker pool: the (etf,
+// replication) grid is distributed over min(Parallelism, jobs) workers.
+// Every job is an independently seeded simulation, and results are indexed
+// by grid position rather than completion order, so the returned series is
+// bit-identical to Sweep's regardless of worker count or scheduling. The
+// first failure (or context cancellation) stops the remaining work.
+func SweepParallel(ctx context.Context, spec Spec, etfs []float64) ([]SweepPoint, error) {
+	spec = spec.normalized()
+	sw, err := newSweep(spec, etfs)
+	if err != nil {
+		return nil, err
+	}
+	n := sw.jobs()
+	workers := spec.Parallelism
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for job := 0; job < n; job++ {
+			if err := sw.run(ctx, job); err != nil {
+				return nil, err
+			}
+		}
+		return sw.points()
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	jobs := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range jobs {
+				if err := sw.run(ctx, job); err != nil {
+					errOnce.Do(func() {
+						firstErr = err
+						cancel() // stop the other workers promptly
+					})
+					return
+				}
+			}
+		}()
+	}
+feed:
+	for job := 0; job < n; job++ {
+		select {
+		case jobs <- job:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("experiments: sweep canceled: %w", err)
+	}
+	return sw.points()
+}
+
+// sweep holds the shared state of one sweep: the job grid and the
+// position-indexed windows. run may be called concurrently for distinct
+// job indices.
+type sweep struct {
+	spec Spec
+	sys  *task.System
+	wp   workloadParams
+	etfs []float64
+	open *baseline.Open // analytic comparator, MEDIUM only
+
+	// windows[etfIdx*Replications + rep] is that run's P1 measurement
+	// window; jobs write disjoint slots, so no locking is needed.
+	windows [][]float64
+}
+
+func newSweep(spec Spec, etfs []float64) (*sweep, error) {
+	sys, wp, err := spec.workload()
+	if err != nil {
+		return nil, err
+	}
+	sw := &sweep{
+		spec:    spec,
+		sys:     sys,
+		wp:      wp,
+		etfs:    etfs,
+		windows: make([][]float64, len(etfs)*spec.Replications),
+	}
+	if spec.Workload == WorkloadMedium {
+		if sw.open, err = baseline.NewOpen(sys, nil); err != nil {
+			return nil, err
+		}
+	}
+	return sw, nil
+}
+
+func (s *sweep) jobs() int { return len(s.etfs) * s.spec.Replications }
+
+// run executes grid position job and stores its measurement window.
+func (s *sweep) run(ctx context.Context, job int) error {
+	etfIdx, rep := job/s.spec.Replications, job%s.spec.Replications
+	etf := s.etfs[etfIdx]
+	// Each worker needs its own controller: the MPC caches solver state
+	// across sampling periods and is not safe for concurrent use.
+	ctrl, err := newController(s.spec.Controller, s.sys, s.wp.cfg)
+	if err != nil {
+		return err
+	}
+	tr, err := runWith(ctx, s.spec, s.sys, s.wp, ctrl, sim.ConstantETF(etf), s.spec.Seed+int64(rep))
+	if err != nil {
+		return fmt.Errorf("sweep %s etf=%g rep=%d: %w", s.spec.Workload, etf, rep, err)
+	}
+	s.windows[job] = metrics.Window(metrics.Column(tr.Utilization, 0), WindowStart, WindowEnd)
+	return nil
+}
+
+// points aggregates the stored windows into the ordered SweepPoint series,
+// pooling replications per execution-time factor.
+func (s *sweep) points() ([]SweepPoint, error) {
+	b := s.sys.DefaultSetPoints()[0]
+	points := make([]SweepPoint, 0, len(s.etfs))
+	for i, etf := range s.etfs {
+		var pooled []float64
+		for rep := 0; rep < s.spec.Replications; rep++ {
+			w := s.windows[i*s.spec.Replications+rep]
+			if w == nil {
+				return nil, fmt.Errorf("experiments: sweep point etf=%g rep=%d missing", etf, rep)
+			}
+			pooled = append(pooled, w...)
+		}
+		sum := metrics.Summarize(pooled)
+		p := SweepPoint{
+			ETF:        etf,
+			P1:         sum,
+			SetPoint:   b,
+			Acceptable: sum.Acceptable(b),
+		}
+		if s.open != nil {
+			p.OpenExpected = s.open.ExpectedUtilization(s.sys, etf)[0]
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}

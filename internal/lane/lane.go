@@ -11,6 +11,7 @@
 package lane
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -74,7 +75,15 @@ func NewConn(nc net.Conn) *Conn { return &Conn{nc: nc} }
 
 // Dial connects to a controller at addr with the given timeout.
 func Dial(addr string, timeout time.Duration) (*Conn, error) {
-	nc, err := net.DialTimeout("tcp", addr, timeout)
+	return DialContext(context.Background(), addr, timeout)
+}
+
+// DialContext is Dial with cancellation: an already-canceled or
+// mid-dial-canceled context aborts the connection attempt with ctx.Err()
+// wrapped in the returned error.
+func DialContext(ctx context.Context, addr string, timeout time.Duration) (*Conn, error) {
+	d := net.Dialer{Timeout: timeout}
+	nc, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("lane: dial %s: %w", addr, err)
 	}

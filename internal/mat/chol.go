@@ -47,29 +47,42 @@ func FactorCholesky(a *Dense) (*Cholesky, error) {
 
 // SolveVec solves A·x = b using the factorization.
 func (c *Cholesky) SolveVec(b []float64) ([]float64, error) {
-	n := c.l.rows
-	if len(b) != n {
-		return nil, fmt.Errorf("mat: Cholesky solve length mismatch: %d vs %d", len(b), n)
-	}
-	// L·y = b
-	y := make([]float64, n)
-	for i := 0; i < n; i++ {
-		s := b[i]
-		for j := 0; j < i; j++ {
-			s -= c.l.At(i, j) * y[j]
-		}
-		y[i] = s / c.l.At(i, i)
-	}
-	// Lᵀ·x = y
-	x := make([]float64, n)
-	for i := n - 1; i >= 0; i-- {
-		s := y[i]
-		for j := i + 1; j < n; j++ {
-			s -= c.l.At(j, i) * x[j]
-		}
-		x[i] = s / c.l.At(i, i)
+	x := make([]float64, len(b))
+	if err := c.SolveVecTo(x, b); err != nil {
+		return nil, err
 	}
 	return x, nil
+}
+
+// SolveVecTo solves A·x = b into dst without allocating. dst and b may
+// alias.
+func (c *Cholesky) SolveVecTo(dst, b []float64) error {
+	n := c.l.rows
+	if len(b) != n {
+		return fmt.Errorf("mat: Cholesky solve length mismatch: %d vs %d", len(b), n)
+	}
+	if len(dst) != n {
+		return fmt.Errorf("mat: Cholesky solve destination length mismatch: %d vs %d", len(dst), n)
+	}
+	copy(dst, b)
+	// L·y = b, overwriting dst with y.
+	for i := 0; i < n; i++ {
+		s := dst[i]
+		for j := 0; j < i; j++ {
+			s -= c.l.At(i, j) * dst[j]
+		}
+		dst[i] = s / c.l.At(i, i)
+	}
+	// Lᵀ·x = y, overwriting dst with x. Row i only reads dst[j] for j > i,
+	// which already hold final x values.
+	for i := n - 1; i >= 0; i-- {
+		s := dst[i]
+		for j := i + 1; j < n; j++ {
+			s -= c.l.At(j, i) * dst[j]
+		}
+		dst[i] = s / c.l.At(i, i)
+	}
+	return nil
 }
 
 // L returns a copy of the lower-triangular factor.

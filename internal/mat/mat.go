@@ -124,6 +124,17 @@ func (m *Dense) Row(i int) []float64 {
 	return out
 }
 
+// RowView returns row i as a slice aliasing the matrix storage: no copy is
+// made, and writes through the slice mutate the matrix. Intended for
+// read-mostly hot loops (dot products against constraint rows); use Row
+// when the caller may outlive or mutate independently of m.
+func (m *Dense) RowView(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("mat: row %d out of bounds for %dx%d matrix", i, m.rows, m.cols))
+	}
+	return m.data[i*m.cols : (i+1)*m.cols : (i+1)*m.cols]
+}
+
 // Col returns a copy of column j.
 func (m *Dense) Col(j int) []float64 {
 	if j < 0 || j >= m.cols {
@@ -232,6 +243,26 @@ func (m *Dense) MulVec(v []float64) []float64 {
 		out[i] = s
 	}
 	return out
+}
+
+// MulVecTo computes the matrix-vector product m·v into dst, which must
+// have length equal to the row count. It performs no allocation; dst may
+// not alias v.
+func (m *Dense) MulVecTo(dst, v []float64) {
+	if m.cols != len(v) {
+		panic(fmt.Sprintf("mat: MulVecTo dimension mismatch: %dx%d · %d-vector", m.rows, m.cols, len(v)))
+	}
+	if len(dst) != m.rows {
+		panic(fmt.Sprintf("mat: MulVecTo destination length %d, want %d", len(dst), m.rows))
+	}
+	for i := 0; i < m.rows; i++ {
+		mi := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, mv := range mi {
+			s += mv * v[j]
+		}
+		dst[i] = s
+	}
 }
 
 // Slice returns a copy of the submatrix with rows [r0,r1) and columns

@@ -75,6 +75,12 @@ func (c Config) validate(n, m int) error {
 
 // Controller is a MIMO receding-horizon controller for the EUCON plant
 // model. It is not safe for concurrent use.
+//
+// Everything that does not depend on the measurements is computed once at
+// construction and cached: the least-squares stack C (and, inside the LSI
+// solver, its Hessian CᵀC with Cholesky factorization) and both constraint
+// matrices. Step only refreshes the right-hand sides, so the steady-state
+// control path performs no matrix assembly and near-zero allocation.
 type Controller struct {
 	f         *mat.Dense // n×m allocation matrix
 	setPoints []float64  // B, length n
@@ -88,6 +94,18 @@ type Controller struct {
 	lam   []float64 // λ_i = 1 − e^{−i/(Tref/Ts)} for i = 1..P
 
 	prevDelta []float64 // Δr(k−1), for the control penalty
+
+	// Cached problem structure (constant across sampling periods).
+	cmat  *mat.Dense // least-squares stack C; only d changes per period
+	lsi   *qp.LSI    // caches CᵀC + Cholesky, scratch, warm-start set
+	aFull *mat.Dense // rate box + output constraints (output part empty when disabled)
+	aBox  *mat.Dense // rate box only (the relaxation fallback)
+
+	// Per-period scratch (right-hand sides and starting point).
+	dbuf        []float64
+	bFull, bBox []float64
+	z0          []float64
+	prevRelaxed bool // which constraint variant the warm-start set refers to
 }
 
 // StepResult reports one control computation.
@@ -155,6 +173,20 @@ func New(f *mat.Dense, setPoints, rmin, rmax []float64, cfg Config) (*Controller
 	for i := 1; i <= cfg.PredictionHorizon; i++ {
 		c.lam[i] = 1 - math.Exp(-float64(i)/cfg.TrefOverTs)
 	}
+	// Hoist every measurement-independent part of the optimization out of
+	// the per-period path.
+	c.cmat = c.buildLeastSquaresMatrix()
+	lsi, err := qp.NewLSI(c.cmat, cfg.Solver)
+	if err != nil {
+		return nil, fmt.Errorf("mpc: prepare least-squares solver: %w", err)
+	}
+	c.lsi = lsi
+	c.aFull = c.buildConstraintMatrix(true)
+	c.aBox = c.buildConstraintMatrix(false)
+	c.dbuf = make([]float64, c.cmat.Rows())
+	c.bFull = make([]float64, c.aFull.Rows())
+	c.bBox = make([]float64, c.aBox.Rows())
+	c.z0 = make([]float64, m*cfg.ControlHorizon)
 	return c, nil
 }
 
@@ -171,11 +203,14 @@ func (c *Controller) UpdateSetPoints(b []float64) error {
 	return nil
 }
 
-// Reset clears the controller's memory of the previous control move.
+// Reset clears the controller's memory of the previous control move and
+// the solver's warm-start state.
 func (c *Controller) Reset() {
 	for i := range c.prevDelta {
 		c.prevDelta[i] = 0
 	}
+	c.lsi.ResetWarmStart()
+	c.prevRelaxed = false
 }
 
 // Step computes the control input for the next sampling period from the
@@ -187,7 +222,7 @@ func (c *Controller) Step(u, rates []float64) (*StepResult, error) {
 	if len(rates) != c.m {
 		return nil, fmt.Errorf("mpc: rate vector has length %d, want %d", len(rates), c.m)
 	}
-	cmat, d := c.buildLeastSquares(u)
+	c.fillLeastSquaresRHS(u, c.dbuf)
 
 	// Pick a feasible starting point analytically instead of relying on the
 	// solver's generic (and expensive) phase-1. Δr = 0 is feasible unless a
@@ -196,30 +231,46 @@ func (c *Controller) Step(u, rates []float64) (*StepResult, error) {
 	// that violates the output constraints, the constraint set is infeasible
 	// and the hard utilization constraints must be relaxed for this period.
 	relaxed := false
-	a, b := c.buildConstraints(u, rates, true)
-	z0 := make([]float64, c.m*c.cfg.ControlHorizon)
+	a, b := c.aFull, c.bFull
+	c.fillConstraintRHS(u, rates, true, b)
+	z0 := c.z0
+	for j := range z0 {
+		z0[j] = 0
+	}
 	if maxViolation(a, b, z0) > 1e-9 {
 		for j := 0; j < c.m; j++ {
 			z0[j] = c.rmin[j] - rates[j]
 		}
 		if maxViolation(a, b, z0) > 1e-9 && !c.cfg.DisableOutputConstraints {
 			relaxed = true
-			a, b = c.buildConstraints(u, rates, false)
+			a, b = c.aBox, c.bBox
+			c.fillConstraintRHS(u, rates, false, b)
 			for j := range z0 {
 				z0[j] = 0
 			}
 		}
 	}
-	res, err := qp.SolveLSI(cmat, d, a, b, z0, c.cfg.Solver)
+	// The warm-start set indexes constraint rows, so it is only meaningful
+	// while the constraint variant is unchanged.
+	if relaxed != c.prevRelaxed {
+		c.lsi.ResetWarmStart()
+	}
+	res, err := c.lsi.Solve(c.dbuf, a, b, z0)
 	if err != nil && errors.Is(err, qp.ErrInfeasible) && !relaxed && !c.cfg.DisableOutputConstraints {
 		// Belt and braces: fall back to the always-feasible rate box.
 		relaxed = true
-		a, b = c.buildConstraints(u, rates, false)
-		res, err = qp.SolveLSI(cmat, d, a, b, make([]float64, c.m*c.cfg.ControlHorizon), c.cfg.Solver)
+		a, b = c.aBox, c.bBox
+		c.fillConstraintRHS(u, rates, false, b)
+		for j := range z0 {
+			z0[j] = 0
+		}
+		c.lsi.ResetWarmStart()
+		res, err = c.lsi.Solve(c.dbuf, a, b, z0)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("mpc: solve control QP: %w", err)
 	}
+	c.prevRelaxed = relaxed
 
 	delta := mat.VecClone(res.X[:c.m])
 	newRates := make([]float64, c.m)
@@ -244,24 +295,26 @@ func (c *Controller) Step(u, rates []float64) (*StepResult, error) {
 func maxViolation(a *mat.Dense, b, z []float64) float64 {
 	var v float64
 	for i := 0; i < a.Rows(); i++ {
-		if d := mat.Dot(a.Row(i), z) - b[i]; d > v {
+		if d := mat.Dot(a.RowView(i), z) - b[i]; d > v {
 			v = d
 		}
 	}
 	return v
 }
 
-// buildLeastSquares assembles C and d such that the MPC cost (7) equals
-// ‖C·z − d‖² for the stacked move vector z = [Δr(k|k); …; Δr(k+M−1|k)].
-func (c *Controller) buildLeastSquares(u []float64) (*mat.Dense, []float64) {
+// buildLeastSquaresMatrix assembles the constant stack C such that the MPC
+// cost (7) equals ‖C·z − d‖² for the stacked move vector
+// z = [Δr(k|k); …; Δr(k+M−1|k)]. C depends only on F, the weights, and the
+// horizons, so it is built once at construction; the measurement-dependent
+// d is refreshed per period by fillLeastSquaresRHS.
+func (c *Controller) buildLeastSquaresMatrix() *mat.Dense {
 	p, mh := c.cfg.PredictionHorizon, c.cfg.ControlHorizon
 	nz := c.m * mh
 	rows := c.n*p + c.m*mh
 	cm := mat.New(rows, nz)
-	d := make([]float64, rows)
 
 	// Tracking blocks: √Q·F·S_i·z ≈ √Q·(ref(k+i|k) − u(k)) where S_i sums
-	// the first min(i, M) moves and ref − u = λ_i·(B − u).
+	// the first min(i, M) moves.
 	for i := 1; i <= p; i++ {
 		rowBase := (i - 1) * c.n
 		blocks := i
@@ -274,7 +327,6 @@ func (c *Controller) buildLeastSquares(u []float64) (*mat.Dense, []float64) {
 					cm.Set(rowBase+r, blk*c.m+j, c.sqrtQ[r]*c.f.At(r, j))
 				}
 			}
-			d[rowBase+r] = c.sqrtQ[r] * c.lam[i] * (c.setPoints[r] - u[r])
 		}
 	}
 	// Control-change penalty blocks: √R·(z_i − z_{i−1}), with z_{−1} the
@@ -284,20 +336,44 @@ func (c *Controller) buildLeastSquares(u []float64) (*mat.Dense, []float64) {
 		for j := 0; j < c.m; j++ {
 			row := base + i*c.m + j
 			cm.Set(row, i*c.m+j, c.sqrtR[j])
-			if i == 0 {
-				d[row] = c.sqrtR[j] * c.prevDelta[j]
-			} else {
+			if i > 0 {
 				cm.Set(row, (i-1)*c.m+j, -c.sqrtR[j])
 			}
 		}
 	}
-	return cm, d
+	return cm
 }
 
-// buildConstraints assembles A·z ≤ b: cumulative rate box constraints for
-// every move, plus (optionally) the predicted-utilization constraints
-// u(k+i|k) ≤ B for i = 1..P.
-func (c *Controller) buildConstraints(u, rates []float64, withOutput bool) (*mat.Dense, []float64) {
+// fillLeastSquaresRHS refreshes d for the current measurements: the
+// tracking targets ref − u = λ_i·(B − u) and the previous move in the
+// control-penalty rows.
+func (c *Controller) fillLeastSquaresRHS(u, d []float64) {
+	p, mh := c.cfg.PredictionHorizon, c.cfg.ControlHorizon
+	for i := 1; i <= p; i++ {
+		rowBase := (i - 1) * c.n
+		for r := 0; r < c.n; r++ {
+			d[rowBase+r] = c.sqrtQ[r] * c.lam[i] * (c.setPoints[r] - u[r])
+		}
+	}
+	base := c.n * p
+	for i := 0; i < mh; i++ {
+		for j := 0; j < c.m; j++ {
+			row := base + i*c.m + j
+			if i == 0 {
+				d[row] = c.sqrtR[j] * c.prevDelta[j]
+			} else {
+				d[row] = 0
+			}
+		}
+	}
+}
+
+// buildConstraintMatrix assembles the constant A of A·z ≤ b: cumulative
+// rate box constraints for every move, plus (when withOutput and not
+// disabled) the predicted-utilization constraint rows u(k+i|k) ≤ B for
+// i = 1..P. Only b depends on the measurements; fillConstraintRHS
+// refreshes it per period.
+func (c *Controller) buildConstraintMatrix(withOutput bool) *mat.Dense {
 	p, mh := c.cfg.PredictionHorizon, c.cfg.ControlHorizon
 	nz := c.m * mh
 	rows := 2 * c.m * mh
@@ -306,7 +382,6 @@ func (c *Controller) buildConstraints(u, rates []float64, withOutput bool) (*mat
 		outputRows = c.n * p
 	}
 	a := mat.New(rows+outputRows, nz)
-	b := make([]float64, rows+outputRows)
 
 	// Rate box: for each horizon step i, r(k−1) + Σ_{j≤i} Δr_j ∈ [Rmin, Rmax].
 	for i := 0; i < mh; i++ {
@@ -317,8 +392,6 @@ func (c *Controller) buildConstraints(u, rates []float64, withOutput bool) (*mat
 				a.Set(up, blk*c.m+j, 1)
 				a.Set(lo, blk*c.m+j, -1)
 			}
-			b[up] = c.rmax[j] - rates[j]
-			b[lo] = rates[j] - c.rmin[j]
 		}
 	}
 	if outputRows > 0 {
@@ -335,11 +408,31 @@ func (c *Controller) buildConstraints(u, rates []float64, withOutput bool) (*mat
 						a.Set(row, blk*c.m+j, c.f.At(r, j))
 					}
 				}
-				b[row] = c.setPoints[r] - u[r]
 			}
 		}
 	}
-	return a, b
+	return a
+}
+
+// fillConstraintRHS refreshes b for the current measurements and applied
+// rates. withOutput must match the matrix the b slice belongs to.
+func (c *Controller) fillConstraintRHS(u, rates []float64, withOutput bool, b []float64) {
+	p, mh := c.cfg.PredictionHorizon, c.cfg.ControlHorizon
+	for i := 0; i < mh; i++ {
+		for j := 0; j < c.m; j++ {
+			up := 2 * (i*c.m + j)
+			b[up] = c.rmax[j] - rates[j]
+			b[up+1] = rates[j] - c.rmin[j]
+		}
+	}
+	if withOutput && !c.cfg.DisableOutputConstraints {
+		base := 2 * c.m * mh
+		for i := 1; i <= p; i++ {
+			for r := 0; r < c.n; r++ {
+				b[base+(i-1)*c.n+r] = c.setPoints[r] - u[r]
+			}
+		}
+	}
 }
 
 // Gains returns the unconstrained feedback gain matrices (K_e, K_d) of the
@@ -353,9 +446,7 @@ func (c *Controller) Gains() (ke, kd *mat.Dense, err error) {
 	// in Δr(k−1). Solve for each basis vector of e and of Δr(k−1).
 	ke = mat.New(c.m, c.n)
 	kd = mat.New(c.m, c.m)
-	u := make([]float64, c.n)
-	cmat, _ := c.buildLeastSquares(u)
-	fac, err := mat.FactorQR(cmat)
+	fac, err := mat.FactorQR(c.cmat)
 	if err != nil {
 		return nil, nil, fmt.Errorf("mpc: factor gain system: %w", err)
 	}

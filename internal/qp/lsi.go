@@ -12,6 +12,108 @@ import (
 // tasks than processors makes F wide).
 const lsiRegularization = 1e-8
 
+// LSI is a reusable solver for inequality-constrained least-squares
+// problems sharing one stacked matrix C:
+//
+//	minimize  ‖C·x − d‖₂²
+//	subject to A·x ≤ b
+//
+// Building an LSI once and calling Solve per right-hand side caches
+// H = 2·(CᵀC + εI), its Cholesky factorization, and Cᵀ across solves, and
+// reuses all solver scratch buffers — the MPC controller's steady-state
+// hot path. An LSI additionally warm-starts each solve from the previous
+// solve's active set. It is not safe for concurrent use; independent
+// goroutines must each own an LSI.
+type LSI struct {
+	c     *mat.Dense // retained to report the true least-squares objective
+	ct    *mat.Dense
+	h     *mat.Dense
+	hchol *mat.Cholesky
+
+	f     []float64 // −2·Cᵀd scratch
+	start []float64 // feasible starting point scratch
+	resid []float64 // C·x − d scratch
+	warm  []int     // previous solve's active set
+	ws    workspace
+	opts  Options
+}
+
+// NewLSI prepares a reusable solver for the fixed stack C. The matrix is
+// captured by reference; callers must not mutate it afterwards.
+func NewLSI(c *mat.Dense, opts Options) (*LSI, error) {
+	n := c.Cols()
+	ct := c.T()
+	// H = 2·(CᵀC + εI), f = −2·Cᵀd: the factor 2 keeps ½xᵀHx + fᵀx equal to
+	// ‖Cx − d‖² − ‖d‖².
+	h := ct.Mul(c).Scale(2)
+	scale := math.Max(1, h.MaxAbs())
+	for i := 0; i < n; i++ {
+		h.Set(i, i, h.At(i, i)+lsiRegularization*scale)
+	}
+	hchol, err := mat.FactorCholesky(h)
+	if err != nil {
+		return nil, fmt.Errorf("qp: factor least-squares Hessian: %w", err)
+	}
+	return &LSI{
+		c:     c,
+		ct:    ct,
+		h:     h,
+		hchol: hchol,
+		f:     make([]float64, n),
+		start: make([]float64, n),
+		resid: make([]float64, c.Rows()),
+		opts:  opts,
+	}, nil
+}
+
+// Solve minimizes ‖C·x − d‖² subject to A·x ≤ b from the starting point
+// x0, which need not be feasible (an infeasible start triggers a phase-1
+// solve). The constraint matrix may differ between calls; the warm-start
+// active set is only reused when it stays meaningful for the caller's
+// constraint ordering.
+func (s *LSI) Solve(d []float64, a *mat.Dense, b []float64, x0 []float64) (*Result, error) {
+	n := s.c.Cols()
+	if len(d) != s.c.Rows() {
+		return nil, fmt.Errorf("qp: d has length %d, want %d", len(d), s.c.Rows())
+	}
+	if len(x0) != n {
+		return nil, fmt.Errorf("qp: x0 has length %d, want %d", len(x0), n)
+	}
+	s.ct.MulVecTo(s.f, d)
+	for i := range s.f {
+		s.f[i] *= -2
+	}
+	start := s.start
+	copy(start, x0)
+	if a != nil && maxViolation(a, b, start) > 1e-9 {
+		feasible, err := FindFeasible(a, b, start, s.opts)
+		if err != nil {
+			return nil, fmt.Errorf("phase-1 for constrained least squares: %w", err)
+		}
+		copy(start, feasible)
+	}
+	opts := s.opts
+	opts.WarmStart = s.warm
+	res, err := solveActiveSet(s.h, s.hchol, s.f, a, b, start, opts, &s.ws)
+	if err != nil {
+		return res, err
+	}
+	s.warm = append(s.warm[:0], res.Active...)
+	// Report the true least-squares objective rather than the QP form.
+	s.c.MulVecTo(s.resid, res.X)
+	var obj float64
+	for i, v := range s.resid {
+		r := v - d[i]
+		obj += r * r
+	}
+	res.Objective = obj
+	return res, nil
+}
+
+// ResetWarmStart drops the remembered active set (e.g. when the caller
+// switches to a constraint system with different row meaning).
+func (s *LSI) ResetWarmStart() { s.warm = s.warm[:0] }
+
 // SolveLSI solves the inequality-constrained least-squares problem
 //
 //	minimize  ‖C·x − d‖₂²
@@ -19,41 +121,14 @@ const lsiRegularization = 1e-8
 //
 // the same problem MATLAB's lsqlin solves. x0 is a starting point that need
 // not be feasible: an infeasible start triggers a phase-1 solve. When the
-// constraint set itself is infeasible, ErrInfeasible is returned.
+// constraint set itself is infeasible, ErrInfeasible is returned. Callers
+// solving the same C repeatedly should build an LSI instead.
 func SolveLSI(c *mat.Dense, d []float64, a *mat.Dense, b []float64, x0 []float64, opts Options) (*Result, error) {
-	n := c.Cols()
-	if len(d) != c.Rows() {
-		return nil, fmt.Errorf("qp: d has length %d, want %d", len(d), c.Rows())
-	}
-	if len(x0) != n {
-		return nil, fmt.Errorf("qp: x0 has length %d, want %d", len(x0), n)
-	}
-	// H = 2·(CᵀC + εI), f = −2·Cᵀd: the factor 2 keeps ½xᵀHx + fᵀx equal to
-	// ‖Cx − d‖² − ‖d‖².
-	ct := c.T()
-	h := ct.Mul(c).Scale(2)
-	scale := math.Max(1, h.MaxAbs())
-	for i := 0; i < n; i++ {
-		h.Set(i, i, h.At(i, i)+lsiRegularization*scale)
-	}
-	f := mat.VecScale(-2, ct.MulVec(d))
-
-	start := mat.VecClone(x0)
-	if a != nil && maxViolation(a, b, start) > 1e-9 {
-		feasible, err := FindFeasible(a, b, start, opts)
-		if err != nil {
-			return nil, fmt.Errorf("phase-1 for constrained least squares: %w", err)
-		}
-		start = feasible
-	}
-	res, err := Solve(h, f, a, b, start, opts)
+	s, err := NewLSI(c, opts)
 	if err != nil {
-		return res, err
+		return nil, err
 	}
-	// Report the true least-squares objective rather than the QP form.
-	r := mat.VecSub(c.MulVec(res.X), d)
-	res.Objective = mat.Dot(r, r)
-	return res, nil
+	return s.Solve(d, a, b, x0)
 }
 
 // FindFeasible returns a point satisfying A·x ≤ b, obtained by solving the
@@ -91,7 +166,7 @@ func FindFeasible(a *mat.Dense, b, x0 []float64, opts Options) ([]float64, error
 	cons := mat.New(2*m, n+m)
 	rhs := make([]float64, 2*m)
 	for i := 0; i < m; i++ {
-		row := a.Row(i)
+		row := a.RowView(i)
 		for j := 0; j < n; j++ {
 			cons.Set(i, j, row[j])
 		}
@@ -102,6 +177,9 @@ func FindFeasible(a *mat.Dense, b, x0 []float64, opts Options) ([]float64, error
 	}
 	z0 := make([]float64, n+m)
 	x := mat.VecClone(x0)
+	// Phase-1 is the cold path, so clear any caller warm start: its indices
+	// refer to the original constraint system, not the slack program.
+	opts.WarmStart = nil
 	for pass := 0; pass < 3; pass++ {
 		copy(z0, x)
 		for i := 0; i < n; i++ {
@@ -109,7 +187,7 @@ func FindFeasible(a *mat.Dense, b, x0 []float64, opts Options) ([]float64, error
 		}
 		for i := 0; i < m; i++ {
 			z0[n+i] = 0
-			if v := mat.Dot(a.Row(i), x) - b[i]; v > 0 {
+			if v := mat.Dot(a.RowView(i), x) - b[i]; v > 0 {
 				z0[n+i] = v
 			}
 		}

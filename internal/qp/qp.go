@@ -11,10 +11,18 @@
 //
 // with H symmetric positive definite. Constrained least squares
 // (min ‖Cx − d‖₂² s.t. Ax ≤ b) is handled by SolveLSI, which forms
-// H = CᵀC + εI to guarantee strict convexity. A phase-1 slack program is
+// H = CᵀC + εI to guarantee strict convexity; callers that solve the same
+// C against many right-hand sides (the MPC hot path) should build an LSI
+// once and reuse it, which caches H and its Cholesky factorization and
+// keeps per-solve work allocation-light. A phase-1 slack program is
 // used to recover a feasible start when the caller's initial point violates
 // the constraints, which happens in EUCON whenever a processor is overloaded
 // (u(k) > B makes Δr = 0 infeasible for the output constraints).
+//
+// Internally each active-set iteration solves the equality-constrained
+// subproblem through the Schur complement Aw·H⁻¹·Awᵀ of the cached H
+// factorization, so the per-iteration dense solve is k×k (k = working-set
+// size, at most the variable count) instead of (n+k)×(n+k).
 package qp
 
 import (
@@ -39,6 +47,12 @@ type Options struct {
 	MaxIter int
 	// Tol is the feasibility and optimality tolerance. Default: 1e-9.
 	Tol float64
+	// WarmStart lists constraint indices to try first when seeding the
+	// working set (typically the active set of the previous, similar
+	// solve). Only constraints that are actually active at the starting
+	// point are admitted, so warm starting changes the search order but
+	// never correctness. Out-of-range indices are ignored.
+	WarmStart []int
 }
 
 func (o Options) withDefaults(n, m int) Options {
@@ -63,6 +77,44 @@ type Result struct {
 	Active []int
 }
 
+// workspace holds the per-solve scratch buffers so repeated solves through
+// an LSI allocate (almost) nothing. A zero workspace is ready for use;
+// ensure sizes it on demand.
+type workspace struct {
+	x, g, hg, p []float64
+	hat         [][]float64 // H⁻¹·a_w for each working constraint
+	working     []int
+	inWorking   []bool
+}
+
+func (ws *workspace) ensure(n, m int) {
+	if cap(ws.x) < n {
+		ws.x = make([]float64, n)
+		ws.g = make([]float64, n)
+		ws.hg = make([]float64, n)
+		ws.p = make([]float64, n)
+		ws.hat = make([][]float64, n)
+		for i := range ws.hat {
+			ws.hat[i] = make([]float64, n)
+		}
+	}
+	ws.x = ws.x[:n]
+	ws.g = ws.g[:n]
+	ws.hg = ws.hg[:n]
+	ws.p = ws.p[:n]
+	if cap(ws.inWorking) < m {
+		ws.inWorking = make([]bool, m)
+	}
+	ws.inWorking = ws.inWorking[:m]
+	for i := range ws.inWorking {
+		ws.inWorking[i] = false
+	}
+	if ws.working == nil {
+		ws.working = make([]int, 0, n)
+	}
+	ws.working = ws.working[:0]
+}
+
 // Solve minimizes ½xᵀHx + fᵀx subject to a·x ≤ b, starting from the
 // feasible point x0. H must be symmetric positive definite and x0 must
 // satisfy the constraints (use FindFeasible otherwise).
@@ -71,6 +123,17 @@ func Solve(h *mat.Dense, f []float64, a *mat.Dense, b []float64, x0 []float64, o
 	if h.Rows() != n || h.Cols() != n {
 		return nil, fmt.Errorf("qp: H is %dx%d, want %dx%d", h.Rows(), h.Cols(), n, n)
 	}
+	hchol, err := mat.FactorCholesky(h)
+	if err != nil {
+		return nil, fmt.Errorf("qp: factor H: %w", err)
+	}
+	return solveActiveSet(h, hchol, f, a, b, x0, opts, &workspace{})
+}
+
+// solveActiveSet is the primal active-set loop behind Solve and LSI.Solve.
+// hchol is the Cholesky factorization of h; ws supplies reusable scratch.
+func solveActiveSet(h *mat.Dense, hchol *mat.Cholesky, f []float64, a *mat.Dense, b []float64, x0 []float64, opts Options, ws *workspace) (*Result, error) {
+	n := len(f)
 	m := 0
 	if a != nil {
 		m = a.Rows()
@@ -86,31 +149,46 @@ func Solve(h *mat.Dense, f []float64, a *mat.Dense, b []float64, x0 []float64, o
 	}
 	opts = opts.withDefaults(n, m)
 
-	x := mat.VecClone(x0)
+	ws.ensure(n, m)
+	x := ws.x
+	copy(x, x0)
 	if v := maxViolation(a, b, x); v > 1e-6 {
 		return nil, fmt.Errorf("qp: x0 violates constraints by %g: %w", v, ErrInfeasible)
 	}
 
-	// Working set: indices of constraints treated as equalities.
-	working := make([]int, 0, n)
-	inWorking := make([]bool, m)
-	// Seed the working set with constraints active at x0.
-	for i := 0; i < m; i++ {
-		if len(working) >= n {
-			break
+	// Working set: indices of constraints treated as equalities. Seed with
+	// constraints active at x0, trying the caller's warm-start set first so
+	// a solve that resembles the previous one starts from (nearly) the
+	// optimal working set.
+	working := ws.working
+	inWorking := ws.inWorking
+	seed := func(i int) {
+		if len(working) >= n || inWorking[i] {
+			return
 		}
-		if math.Abs(mat.Dot(a.Row(i), x)-b[i]) <= opts.Tol {
+		if math.Abs(mat.Dot(a.RowView(i), x)-b[i]) <= opts.Tol {
 			if addIfIndependent(a, working, i) {
 				working = append(working, i)
 				inWorking[i] = true
 			}
 		}
 	}
+	for _, i := range opts.WarmStart {
+		if i >= 0 && i < m {
+			seed(i)
+		}
+	}
+	for i := 0; i < m; i++ {
+		seed(i)
+	}
 
 	iter := 0
 	for ; iter < opts.MaxIter; iter++ {
-		g := mat.VecAdd(h.MulVec(x), f)
-		p, lambda, err := solveKKT(h, a, working, g)
+		h.MulVecTo(ws.g, x)
+		for i := range ws.g {
+			ws.g[i] += f[i]
+		}
+		p, lambda, err := solveKKT(hchol, a, working, ws.g, ws)
 		if err != nil {
 			// Degenerate working set: drop the most recently added
 			// constraint and retry.
@@ -131,12 +209,7 @@ func Solve(h *mat.Dense, f []float64, a *mat.Dense, b []float64, x0 []float64, o
 				}
 			}
 			if minIdx < 0 {
-				return &Result{
-					X:          x,
-					Objective:  objective(h, f, x),
-					Iterations: iter,
-					Active:     append([]int(nil), working...),
-				}, nil
+				return result(h, f, x, iter, working), nil
 			}
 			// Drop the constraint with the most negative multiplier.
 			dropped := working[minIdx]
@@ -150,7 +223,7 @@ func Solve(h *mat.Dense, f []float64, a *mat.Dense, b []float64, x0 []float64, o
 			if inWorking[i] {
 				continue
 			}
-			ai := a.Row(i)
+			ai := a.RowView(i)
 			denom := mat.Dot(ai, p)
 			if denom <= opts.Tol {
 				continue
@@ -178,30 +251,36 @@ func Solve(h *mat.Dense, f []float64, a *mat.Dense, b []float64, x0 []float64, o
 			}
 		}
 	}
+	return result(h, f, x, iter, working), ErrMaxIterations
+}
+
+// result copies the iterate out of the workspace into a caller-owned
+// Result.
+func result(h *mat.Dense, f, x []float64, iter int, working []int) *Result {
 	return &Result{
-		X:          x,
+		X:          mat.VecClone(x),
 		Objective:  objective(h, f, x),
 		Iterations: iter,
 		Active:     append([]int(nil), working...),
-	}, ErrMaxIterations
+	}
 }
 
 // addIfIndependent reports whether row idx of a is linearly independent of
 // the rows already in the working set (so the KKT system stays nonsingular).
 func addIfIndependent(a *mat.Dense, working []int, idx int) bool {
 	if len(working) == 0 {
-		return mat.Norm2(a.Row(idx)) > 0
+		return mat.Norm2(a.RowView(idx)) > 0
 	}
 	// Solve min‖Awᵀy − aᵢ‖: a tiny residual means aᵢ ∈ span(rows of Aw).
 	n := a.Cols()
 	awt := mat.New(n, len(working))
 	for j, w := range working {
-		row := a.Row(w)
+		row := a.RowView(w)
 		for i := 0; i < n; i++ {
 			awt.Set(i, j, row[i])
 		}
 	}
-	ai := a.Row(idx)
+	ai := a.RowView(idx)
 	y, err := mat.LeastSquares(awt, ai)
 	if err != nil {
 		return true // rank-deficient basis is handled by the KKT fallback
@@ -215,32 +294,50 @@ func addIfIndependent(a *mat.Dense, working []int, idx int) bool {
 //	min ½pᵀHp + gᵀp  s.t.  Aw·p = 0
 //
 // returning the step p and the Lagrange multipliers of the working
-// constraints.
-func solveKKT(h *mat.Dense, a *mat.Dense, working []int, g []float64) (p, lambda []float64, err error) {
-	n := h.Rows()
+// constraints. It uses the cached Cholesky factorization of H and the
+// Schur complement S = Aw·H⁻¹·Awᵀ, so the only dense solve is k×k.
+// Both returned slices alias workspace storage valid until the next call.
+func solveKKT(hchol *mat.Cholesky, a *mat.Dense, working []int, g []float64, ws *workspace) (p, lambda []float64, err error) {
+	hg := ws.hg
+	if err := hchol.SolveVecTo(hg, g); err != nil {
+		return nil, nil, fmt.Errorf("solve KKT system: %w", err)
+	}
+	p = ws.p
 	k := len(working)
-	kkt := mat.New(n+k, n+k)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			kkt.Set(i, j, h.At(i, j))
+	if k == 0 {
+		for i := range p {
+			p[i] = -hg[i]
 		}
+		return p, nil, nil
 	}
 	for wi, w := range working {
-		row := a.Row(w)
-		for j := 0; j < n; j++ {
-			kkt.Set(n+wi, j, row[j])
-			kkt.Set(j, n+wi, row[j])
+		if err := hchol.SolveVecTo(ws.hat[wi], a.RowView(w)); err != nil {
+			return nil, nil, fmt.Errorf("solve KKT system: %w", err)
 		}
 	}
-	rhs := make([]float64, n+k)
-	for i := 0; i < n; i++ {
-		rhs[i] = -g[i]
+	// S·λ = −Aw·H⁻¹·g with S[i][j] = a_i·H⁻¹·a_j.
+	s := mat.New(k, k)
+	rhs := make([]float64, k)
+	for i, w := range working {
+		ai := a.RowView(w)
+		for j := 0; j < k; j++ {
+			s.Set(i, j, mat.Dot(ai, ws.hat[j]))
+		}
+		rhs[i] = -mat.Dot(ai, hg)
 	}
-	sol, err := mat.SolveVec(kkt, rhs)
+	lambda, err = mat.SolveVec(s, rhs)
 	if err != nil {
 		return nil, nil, fmt.Errorf("solve KKT system: %w", err)
 	}
-	return sol[:n], sol[n:], nil
+	// p = −H⁻¹·g − Σ λ_j·H⁻¹·a_j.
+	for i := range p {
+		v := -hg[i]
+		for j := 0; j < k; j++ {
+			v -= lambda[j] * ws.hat[j][i]
+		}
+		p[i] = v
+	}
+	return p, lambda, nil
 }
 
 func objective(h *mat.Dense, f []float64, x []float64) float64 {
@@ -253,7 +350,7 @@ func maxViolation(a *mat.Dense, b, x []float64) float64 {
 	}
 	var v float64
 	for i := 0; i < a.Rows(); i++ {
-		if d := mat.Dot(a.Row(i), x) - b[i]; d > v {
+		if d := mat.Dot(a.RowView(i), x) - b[i]; d > v {
 			v = d
 		}
 	}

@@ -15,6 +15,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -244,6 +245,13 @@ func New(cfg Config) (*Simulator, error) {
 // Run executes the configured number of sampling periods and returns the
 // trace. Run may only be called once per Simulator.
 func (s *Simulator) Run() (*Trace, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation: the context is checked at every
+// sampling boundary (the natural control-loop granularity), and the run
+// stops with ctx.Err() once it is done. Partial trace data is discarded.
+func (s *Simulator) RunContext(ctx context.Context) (*Trace, error) {
 	// Initial releases of every task's first subtask at t = 0.
 	for i := range s.sys.Tasks {
 		s.scheduleFirstRelease(i, 0)
@@ -266,6 +274,9 @@ func (s *Simulator) Run() (*Trace, error) {
 		case evCompletion:
 			s.handleCompletion(e)
 		case evSampling:
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("sim: run canceled: %w", err)
+			}
 			if err := s.handleSampling(); err != nil {
 				return nil, err
 			}

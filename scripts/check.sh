@@ -1,0 +1,28 @@
+#!/bin/sh
+# Tier-1 check: gofmt, vet, build, race-enabled tests, benchmark smoke.
+# Usage: ./scripts/check.sh   (or: make check)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:"
+	echo "$unformatted"
+	exit 1
+fi
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> benchmark smoke (1 iteration, -short)"
+go test -short -run '^$' -bench . -benchtime 1x ./...
+
+echo "==> OK"
