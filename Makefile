@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test bench-smoke bench
+.PHONY: check fmt vet build test bench-smoke bench bench-json
 
 ## check: the tier-1 gate — format, vet, build, race-enabled tests, and a
 ## one-iteration benchmark smoke pass. CI and pre-commit both run this.
@@ -28,3 +28,8 @@ bench-smoke:
 ## bench: the full measured benchmark suite (minutes).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+## bench-json: append today's key-benchmark numbers and sweep-output digests
+## to BENCH_<date>.json (the committed perf-trend record).
+bench-json:
+	./scripts/bench_trend.sh

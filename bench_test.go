@@ -494,8 +494,12 @@ func BenchmarkQPSolverReused(b *testing.B) {
 }
 
 // BenchmarkSimulatorMedium measures raw simulator throughput (MEDIUM, no
-// controller) per simulated sampling period.
+// controller) with a fresh simulator per run — the cost a one-shot caller
+// pays. The remaining allocations are construction-time only (pools,
+// trace backing, workload build); the event loop itself is allocation-free
+// (see BenchmarkSimulatorSteadyState).
 func BenchmarkSimulatorMedium(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s, err := sim.New(sim.Config{
 			System:         workload.Medium(),
@@ -505,6 +509,38 @@ func BenchmarkSimulatorMedium(b *testing.B) {
 			Seed:           1,
 		})
 		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorSteadyState measures the simulator's steady-state cost:
+// one warm Reset+Run cycle on a reused simulator, the per-replication cost
+// sweep workers pay. With warm pools and pre-sized trace buffers this is
+// allocation-free — 0 allocs/op is the pinned budget
+// (TestSteadyStateEventLoopAllocFree enforces it).
+func BenchmarkSimulatorSteadyState(b *testing.B) {
+	cfg := sim.Config{
+		System:         workload.Medium(),
+		SamplingPeriod: workload.SamplingPeriod,
+		Periods:        50,
+		Jitter:         workload.MediumJitter,
+		Seed:           1,
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil { // warm the pools and buffers
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Reset(cfg); err != nil {
 			b.Fatal(err)
 		}
 		if _, err := s.Run(); err != nil {

@@ -16,6 +16,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -35,6 +37,7 @@ func run() int {
 	exp := flag.String("exp", "", "experiment ID to run, or \"all\"")
 	csvDir := flag.String("csv", "", "for trace experiments: also write <id>-utilization.csv, <id>-rates.csv, <id>-missratio.csv into this directory")
 	workers := flag.Int("workers", 0, "worker count for sweep experiments (0 = GOMAXPROCS)")
+	digest := flag.Bool("sweep-digest", false, "print JSON digests of the Figure 4/5 sweep series at 1, 2, and 8 workers, then exit (scripts/bench_trend.sh snapshots these to prove sweep outputs stay bit-identical across worker counts and PRs)")
 	flag.Parse()
 
 	// ^C or SIGTERM cancels in-flight simulations at the next sampling
@@ -47,6 +50,12 @@ func run() int {
 	}
 
 	switch {
+	case *digest:
+		if err := sweepDigests(ctx, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "euconsim: sweep digest: %v\n", err)
+			return 1
+		}
+		return 0
 	case *list:
 		for _, e := range experiments.All() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Title)
@@ -83,6 +92,42 @@ func run() int {
 		flag.Usage()
 		return 2
 	}
+}
+
+// sweepDigests runs the paper's two sweep grids at 1, 2, and 8 workers and
+// prints one JSON line per (grid, worker count) with an FNV-64a digest of
+// the full-precision point series. Equal digests across worker counts prove
+// the parallel engine's outputs are bit-identical to the serial ones;
+// equal digests across PRs prove a perf change did not move the science.
+func sweepDigests(ctx context.Context, w io.Writer) error {
+	grids := []struct {
+		name     string
+		workload experiments.WorkloadKind
+		etfs     []float64
+	}{
+		{"fig4", experiments.WorkloadSimple, experiments.Fig4ETFs()},
+		{"fig5", experiments.WorkloadMedium, experiments.Fig5ETFs()},
+	}
+	for _, g := range grids {
+		for _, workers := range []int{1, 2, 8} {
+			pts, err := experiments.SweepParallel(ctx, experiments.Spec{
+				Workload:    g.workload,
+				Seed:        experiments.DefaultSeed,
+				Parallelism: workers,
+			}, g.etfs)
+			if err != nil {
+				return fmt.Errorf("%s workers=%d: %w", g.name, workers, err)
+			}
+			h := fnv.New64a()
+			for _, p := range pts {
+				fmt.Fprintf(h, "%.17g %.17g %.17g %.17g %v %.17g\n",
+					p.ETF, p.P1.Mean, p.P1.StdDev, p.SetPoint, p.Acceptable, p.OpenExpected)
+			}
+			fmt.Fprintf(w, "{\"sweep\":%q,\"workers\":%d,\"points\":%d,\"digest\":\"%016x\"}\n",
+				g.name, workers, len(pts), h.Sum64())
+		}
+	}
+	return nil
 }
 
 // exportCSV rebuilds the experiment's trace and writes the three CSV views

@@ -60,6 +60,11 @@ func NewOpen(sys *task.System, setPoints []float64) (*Open, error) {
 // Name implements sim.RateController.
 func (*Open) Name() string { return "OPEN" }
 
+// Reset is a no-op: OPEN carries no per-run state (the design-time rates
+// are fixed). It exists so run harnesses that reset controllers between
+// replications can reuse an Open without re-solving the assignment QP.
+func (*Open) Reset() {}
+
 // Rates implements sim.RateController with the fixed design-time rates.
 func (o *Open) Rates(int, []float64, []float64) ([]float64, error) {
 	out := make([]float64, len(o.rates))

@@ -153,11 +153,16 @@ func (c *Controller) UpdateSetPoints(b []float64) error {
 	return nil
 }
 
-// Reset clears the controller's move memory and measurement-filter state
-// (e.g. between runs).
+// Reset restores the controller to its post-New state between runs: the
+// MPC's move memory, warm-start cache, and measurement-filter state are
+// cleared and the step counters restart. A Reset controller drives a run
+// bit-identically to a freshly built one, which lets sweep workers reuse
+// one controller across replications.
 func (c *Controller) Reset() {
 	c.mpc.Reset()
 	c.filtered = nil
+	c.relaxed = 0
+	c.steps = 0
 }
 
 // RelaxedPeriods reports how many sampling periods required dropping the

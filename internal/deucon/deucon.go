@@ -311,6 +311,22 @@ func (c *Controller) stepLocal(l *local, u, rates []float64) (*mpc.StepResult, e
 	return l.ctrl.Step(uLocal, rLed)
 }
 
+// Reset restores the controller to its post-New state: every local MPC's
+// move memory and warm-start cache is cleared, the announced-plan exchange
+// is emptied, and the message and period counters restart. A Reset
+// controller drives a run bit-identically to a freshly built one, which
+// lets sweep workers reuse one controller across replications.
+func (c *Controller) Reset() {
+	for _, l := range c.locals {
+		l.ctrl.Reset()
+	}
+	for i := range c.announced {
+		c.announced[i] = 0
+	}
+	c.messages = 0
+	c.periods = 0
+}
+
 // Messages reports the total number of control-plane messages exchanged so
 // far (utilization reports plus plan announcements).
 func (c *Controller) Messages() int { return c.messages }

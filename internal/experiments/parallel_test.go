@@ -4,6 +4,9 @@ import (
 	"context"
 	"errors"
 	"testing"
+
+	"github.com/rtsyslab/eucon/internal/metrics"
+	"github.com/rtsyslab/eucon/internal/sim"
 )
 
 // sweepTestSpec keeps the determinism matrix cheap: SIMPLE closed loop,
@@ -73,6 +76,86 @@ func TestSweepReplicationsPoolWindows(t *testing.T) {
 	}
 	if single[0].SetPoint != pooled[0].SetPoint {
 		t.Errorf("set point changed with replications: %v vs %v", single[0].SetPoint, pooled[0].SetPoint)
+	}
+}
+
+// TestSweepPooledDeterministicMedium extends the determinism matrix to the
+// pooled worker path on the jittered workload: MEDIUM with replications
+// exercises simulator Reset (rng reseeding, pool recycling) and EUCON
+// controller Reset on every worker, and must stay bit-identical across
+// 1, 2, and 8 workers and to the serial engine.
+func TestSweepPooledDeterministicMedium(t *testing.T) {
+	spec := Spec{
+		Workload:     WorkloadMedium,
+		Periods:      110,
+		Seed:         DefaultSeed,
+		Replications: 2,
+	}
+	etfs := []float64{0.5, 1}
+	ref, err := Sweep(context.Background(), spec, etfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		sp := spec
+		sp.Parallelism = workers
+		got, err := SweepParallel(context.Background(), sp, etfs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Errorf("workers=%d point %d: %+v, want bit-identical %+v", workers, i, got[i], ref[i])
+			}
+		}
+	}
+	// Cross-check the first point against fresh construction: Run builds a
+	// new controller and simulator per call, so this pins the pooled
+	// Reset-reusing engine to the non-pooled path bit-exactly.
+	var pooled []float64
+	for rep := 0; rep < spec.Replications; rep++ {
+		tr, err := Run(context.Background(), Spec{
+			Workload: WorkloadMedium,
+			Periods:  spec.Periods,
+			ETF:      sim.ConstantETF(etfs[0]),
+			Seed:     spec.Seed + int64(rep),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pooled = append(pooled, metrics.Window(metrics.Column(tr.Utilization, 0), WindowStart, WindowEnd)...)
+	}
+	if sum := metrics.Summarize(pooled); sum != ref[0].P1 {
+		t.Errorf("fresh-construction summary %+v != pooled sweep point %+v", sum, ref[0].P1)
+	}
+}
+
+// TestSweepPooledDeterministicDeucon covers the remaining shipped
+// controller's Reset path: a reused DEUCON controller (local MPC state and
+// the announced-plan exchange cleared between jobs) must reproduce the
+// serial series bit-exactly.
+func TestSweepPooledDeterministicDeucon(t *testing.T) {
+	spec := Spec{
+		Workload:   WorkloadMedium,
+		Controller: KindDEUCON,
+		Periods:    110, // the measurement window opens at 100 Ts
+		Seed:       DefaultSeed,
+	}
+	etfs := []float64{0.5, 1}
+	ref, err := Sweep(context.Background(), spec, etfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := spec
+	sp.Parallelism = 2
+	got, err := SweepParallel(context.Background(), sp, etfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Errorf("point %d: %+v, want bit-identical %+v", i, got[i], ref[i])
+		}
 	}
 }
 

@@ -121,11 +121,11 @@ func Run(ctx context.Context, spec Spec) (*sim.Trace, error) {
 	return runWith(ctx, spec, sys, wp, ctrl, spec.ETF, spec.Seed)
 }
 
-// runWith runs one simulation with an already-built controller; sweeps and
-// the DEUCON extension share it so every entry point drives the simulator
-// identically.
-func runWith(ctx context.Context, spec Spec, sys *task.System, wp workloadParams, ctrl sim.RateController, etf sim.ETFSchedule, seed int64) (*sim.Trace, error) {
-	s, err := sim.New(sim.Config{
+// simConfig is the one place a Spec turns into a simulator configuration,
+// so every entry point — single runs, serial sweeps, parallel sweep
+// workers — drives the simulator identically.
+func simConfig(spec Spec, sys *task.System, wp workloadParams, ctrl sim.RateController, etf sim.ETFSchedule, seed int64) sim.Config {
+	return sim.Config{
 		System:         sys,
 		SamplingPeriod: workload.SamplingPeriod,
 		Periods:        spec.Periods,
@@ -133,7 +133,13 @@ func runWith(ctx context.Context, spec Spec, sys *task.System, wp workloadParams
 		ETF:            etf,
 		Jitter:         wp.jitter,
 		Seed:           seed,
-	})
+	}
+}
+
+// runWith runs one simulation with an already-built controller; single
+// runs and the DEUCON extension share it.
+func runWith(ctx context.Context, spec Spec, sys *task.System, wp workloadParams, ctrl sim.RateController, etf sim.ETFSchedule, seed int64) (*sim.Trace, error) {
+	s, err := sim.New(simConfig(spec, sys, wp, ctrl, etf, seed))
 	if err != nil {
 		return nil, err
 	}
@@ -150,8 +156,9 @@ func Sweep(ctx context.Context, spec Spec, etfs []float64) ([]SweepPoint, error)
 	if err != nil {
 		return nil, err
 	}
+	w := sw.newWorker()
 	for job := 0; job < sw.jobs(); job++ {
-		if err := sw.run(ctx, job); err != nil {
+		if err := w.run(ctx, job); err != nil {
 			return nil, err
 		}
 	}
@@ -176,8 +183,9 @@ func SweepParallel(ctx context.Context, spec Spec, etfs []float64) ([]SweepPoint
 		workers = n
 	}
 	if workers <= 1 {
+		w := sw.newWorker()
 		for job := 0; job < n; job++ {
-			if err := sw.run(ctx, job); err != nil {
+			if err := w.run(ctx, job); err != nil {
 				return nil, err
 			}
 		}
@@ -196,8 +204,12 @@ func SweepParallel(ctx context.Context, spec Spec, etfs []float64) ([]SweepPoint
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each goroutine owns one worker: its simulator, controller,
+			// and object pools are confined to this goroutine for the whole
+			// sweep, so recycled events and jobs never cross goroutines.
+			sww := sw.newWorker()
 			for job := range jobs {
-				if err := sw.run(ctx, job); err != nil {
+				if err := sww.run(ctx, job); err != nil {
 					errOnce.Do(func() {
 						firstErr = err
 						cancel() // stop the other workers promptly
@@ -263,20 +275,73 @@ func newSweep(spec Spec, etfs []float64) (*sweep, error) {
 
 func (s *sweep) jobs() int { return len(s.etfs) * s.spec.Replications }
 
+// sweepWorker executes sweep jobs sequentially on one goroutine, keeping
+// one simulator and one controller alive across all of them. The simulator
+// is Reset between jobs (recycling its event/job pools and trace buffers)
+// and the controller is Reset when it supports it, so a replication costs
+// no steady-state allocations instead of a full rebuild. Both resets
+// restore exact post-construction state, keeping results bit-identical to
+// fresh per-job construction — the determinism tests pin this.
+type sweepWorker struct {
+	sw   *sweep
+	sim  *sim.Simulator
+	ctrl sim.RateController
+	// built records that ctrl was constructed (it may legitimately be nil
+	// for KindNone, so nil alone cannot mean "not yet built").
+	built bool
+}
+
+func (s *sweep) newWorker() *sweepWorker { return &sweepWorker{sw: s} }
+
+// resettable is the optional controller interface sweepWorker uses to
+// reuse controllers across jobs. All shipped controllers implement it;
+// third-party ones that don't are rebuilt per job.
+type resettable interface{ Reset() }
+
+// controller returns a controller in post-construction state: the reused
+// one when it supports Reset, a fresh build otherwise.
+func (w *sweepWorker) controller() (sim.RateController, error) {
+	if w.built {
+		if r, ok := w.ctrl.(resettable); ok {
+			r.Reset()
+			return w.ctrl, nil
+		}
+		if w.ctrl == nil { // KindNone: nothing to reset or rebuild
+			return nil, nil
+		}
+	}
+	ctrl, err := newController(w.sw.spec.Controller, w.sw.sys, w.sw.wp.cfg)
+	if err != nil {
+		return nil, err
+	}
+	w.ctrl, w.built = ctrl, true
+	return ctrl, nil
+}
+
 // run executes grid position job and stores its measurement window.
-func (s *sweep) run(ctx context.Context, job int) error {
+func (w *sweepWorker) run(ctx context.Context, job int) error {
+	s := w.sw
 	etfIdx, rep := job/s.spec.Replications, job%s.spec.Replications
 	etf := s.etfs[etfIdx]
-	// Each worker needs its own controller: the MPC caches solver state
-	// across sampling periods and is not safe for concurrent use.
-	ctrl, err := newController(s.spec.Controller, s.sys, s.wp.cfg)
+	ctrl, err := w.controller()
 	if err != nil {
 		return err
 	}
-	tr, err := runWith(ctx, s.spec, s.sys, s.wp, ctrl, sim.ConstantETF(etf), s.spec.Seed+int64(rep))
+	cfg := simConfig(s.spec, s.sys, s.wp, ctrl, sim.ConstantETF(etf), s.spec.Seed+int64(rep))
+	if w.sim == nil {
+		w.sim, err = sim.New(cfg)
+	} else {
+		err = w.sim.Reset(cfg)
+	}
 	if err != nil {
 		return fmt.Errorf("sweep %s etf=%g rep=%d: %w", s.spec.Workload, etf, rep, err)
 	}
+	tr, err := w.sim.RunContext(ctx)
+	if err != nil {
+		return fmt.Errorf("sweep %s etf=%g rep=%d: %w", s.spec.Workload, etf, rep, err)
+	}
+	// Column copies out of the trace, so the window survives the next
+	// Reset of this worker's simulator.
 	s.windows[job] = metrics.Window(metrics.Column(tr.Utilization, 0), WindowStart, WindowEnd)
 	return nil
 }

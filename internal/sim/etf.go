@@ -26,17 +26,38 @@ func ConstantETF(factor float64) ETFSchedule {
 }
 
 // StepETF builds a schedule from explicit steps; steps are sorted by time.
-// It returns an error when any factor is non-positive.
+// The sort is stable so callers passing equal step times get a
+// deterministic schedule, but such schedules are ambiguous and rejected by
+// validation: step times must be strictly increasing. It returns an error
+// when any factor is non-positive or any step time is duplicated.
 func StepETF(steps ...ETFStep) (ETFSchedule, error) {
 	out := make([]ETFStep, len(steps))
 	copy(out, steps)
-	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
 	for _, s := range out {
 		if s.Factor <= 0 {
 			return ETFSchedule{}, fmt.Errorf("sim: execution-time factor %g at t=%g must be positive", s.Factor, s.At)
 		}
 	}
-	return ETFSchedule{steps: out}, nil
+	sched := ETFSchedule{steps: out}
+	if err := sched.validate(); err != nil {
+		return ETFSchedule{}, fmt.Errorf("sim: %w", err)
+	}
+	return sched, nil
+}
+
+// validate rejects ambiguous schedules: after sorting, step times must be
+// strictly increasing (duplicates would make the factor at the shared
+// instant depend on argument order). Config.validate calls this so every
+// simulation run checks its schedule explicitly.
+func (s ETFSchedule) validate() error {
+	for i := 1; i < len(s.steps); i++ {
+		if s.steps[i].At <= s.steps[i-1].At {
+			return fmt.Errorf("etf schedule: step times must be strictly increasing, got t=%g after t=%g",
+				s.steps[i].At, s.steps[i-1].At)
+		}
+	}
+	return nil
 }
 
 // At returns the factor in effect at time t. Before the first step (or with

@@ -1,7 +1,5 @@
 package sim
 
-import "container/heap"
-
 // eventKind orders simultaneous events: completions free processors before
 // new releases contend for them, and sampling observes a settled state.
 type eventKind int
@@ -12,7 +10,9 @@ const (
 	evSampling
 )
 
-// event is a scheduled simulator occurrence.
+// event is a scheduled simulator occurrence. Events are pooled: the
+// Simulator recycles them through its free list once handled, so no event
+// pointer may be retained after its handler returns.
 type event struct {
 	at   float64
 	kind eventKind
@@ -27,31 +27,79 @@ type event struct {
 	relSeq uint64
 }
 
-type eventQueue []*event
-
-var _ heap.Interface = (*eventQueue)(nil)
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	if q[i].kind != q[j].kind {
-		return q[i].kind < q[j].kind
-	}
-	return q[i].seq < q[j].seq
+// eventQueue is a flat 4-ary min-heap of pending events ordered by
+// (at, kind, seq). The order is total — seq is unique per event — so the
+// pop sequence is independent of heap arity and insertion order, keeping
+// runs bit-identical to any other correct priority queue.
+//
+// The queue is concrete-typed on purpose: container/heap routes every Push
+// and Pop through interface method calls and `any` conversions on the hot
+// path; a 4-ary layout additionally halves the tree depth and keeps sibling
+// comparisons within one cache line of pointers.
+type eventQueue struct {
+	ev []*event
 }
 
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+// eventBefore is the strict total order of the queue.
+func eventBefore(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	return a.seq < b.seq
+}
 
-func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) len() int { return len(q.ev) }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+func (q *eventQueue) push(e *event) {
+	q.ev = append(q.ev, e)
+	// Sift up.
+	i := len(q.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !eventBefore(q.ev[i], q.ev[parent]) {
+			break
+		}
+		q.ev[i], q.ev[parent] = q.ev[parent], q.ev[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() *event {
+	top := q.ev[0]
+	n := len(q.ev) - 1
+	q.ev[0] = q.ev[n]
+	q.ev[n] = nil
+	q.ev = q.ev[:n]
+	if n > 1 {
+		q.siftDown(0)
+	}
+	return top
+}
+
+func (q *eventQueue) siftDown(i int) {
+	n := len(q.ev)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if eventBefore(q.ev[c], q.ev[best]) {
+				best = c
+			}
+		}
+		if !eventBefore(q.ev[best], q.ev[i]) {
+			return
+		}
+		q.ev[i], q.ev[best] = q.ev[best], q.ev[i]
+		i = best
+	}
 }

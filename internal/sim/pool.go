@@ -1,0 +1,79 @@
+package sim
+
+// Free lists for the two object kinds churned by the event loop. Both are
+// simple LIFO stacks owned by one Simulator: recycled objects never cross
+// simulators (and therefore never cross goroutines — each sweep worker owns
+// its simulator), so no synchronization is needed and the race detector can
+// prove the property on parallel sweeps.
+//
+// Ownership discipline: an event or job pointer lives in exactly one place
+// at a time — the event queue, a processor's ready queue, a processor's
+// running slot, or a free list. Handlers must recycle an object in the same
+// step that drops the last reference to it; after putEvent/putJob the
+// pointer must not be touched again.
+
+// newEvent returns a zeroed event, recycling from the free list when
+// possible. Steady state never allocates: the pool high-water mark is the
+// maximum number of simultaneously pending events, reached during the first
+// few sampling periods.
+func (s *Simulator) newEvent() *event {
+	if n := len(s.freeEvents); n > 0 {
+		e := s.freeEvents[n-1]
+		s.freeEvents[n-1] = nil
+		s.freeEvents = s.freeEvents[:n-1]
+		*e = event{}
+		return e
+	}
+	return &event{}
+}
+
+// putEvent recycles a handled (or stale) event. The caller must have taken
+// ownership of e.job first — putEvent does not free the job, because on the
+// release path the job outlives its carrying event.
+func (s *Simulator) putEvent(e *event) {
+	s.freeEvents = append(s.freeEvents, e)
+}
+
+// newJob returns a zeroed job, recycling from the free list when possible.
+func (s *Simulator) newJob() *job {
+	if n := len(s.freeJobs); n > 0 {
+		j := s.freeJobs[n-1]
+		s.freeJobs[n-1] = nil
+		s.freeJobs = s.freeJobs[:n-1]
+		*j = job{}
+		return j
+	}
+	return &job{}
+}
+
+// putJob recycles a completed, shed, or stale job.
+func (s *Simulator) putJob(j *job) {
+	s.freeJobs = append(s.freeJobs, j)
+}
+
+// recycleInFlight drains every live event and job — pending events (and the
+// jobs they carry), ready queues, and running slots — back into the free
+// lists. Reset uses it so a reused Simulator re-enters its first sampling
+// period with warm pools instead of reallocating the working set.
+func (s *Simulator) recycleInFlight() {
+	for _, e := range s.events.ev {
+		if e.job != nil {
+			s.putJob(e.job)
+		}
+		s.putEvent(e)
+	}
+	clear(s.events.ev)
+	s.events.ev = s.events.ev[:0]
+	for p := range s.procs {
+		pr := &s.procs[p]
+		for _, j := range pr.ready.jobs {
+			s.putJob(j)
+		}
+		clear(pr.ready.jobs)
+		pr.ready.jobs = pr.ready.jobs[:0]
+		if pr.running != nil {
+			s.putJob(pr.running)
+			pr.running = nil
+		}
+	}
+}

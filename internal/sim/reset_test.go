@@ -1,0 +1,137 @@
+package sim_test
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/rtsyslab/eucon/internal/sim"
+	"github.com/rtsyslab/eucon/internal/workload"
+)
+
+// mediumCfg is a jittered closed-plant configuration exercising every
+// pooled path: preemption, chains, rate-independent randomness.
+func mediumCfg(seed int64) sim.Config {
+	return sim.Config{
+		System:         workload.Medium(),
+		SamplingPeriod: workload.SamplingPeriod,
+		Periods:        30,
+		Jitter:         workload.MediumJitter,
+		Seed:           seed,
+	}
+}
+
+// TestResetReproducesFreshTrace is the Reset contract: a reused simulator
+// must reproduce a fresh simulator's trace exactly — including after an
+// intermediate run with a different seed, a different workload shape, and
+// shedding, which leaves the pools and buffers maximally perturbed.
+func TestResetReproducesFreshTrace(t *testing.T) {
+	cfg := mediumCfg(42)
+	fresh, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reused, err := sim.New(mediumCfg(7)) // different seed first
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reused.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Perturb with a different shape (SIMPLE: fewer processors and tasks)
+	// plus overload shedding.
+	simpleCfg := sim.Config{
+		System:         workload.Simple(),
+		SamplingPeriod: workload.SamplingPeriod,
+		Periods:        40,
+		ETF:            sim.ConstantETF(9),
+		MaxBacklog:     1,
+		Seed:           3,
+	}
+	if err := reused.Reset(simpleCfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reused.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := reused.Reset(cfg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := reused.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Utilization, got.Utilization) {
+		t.Error("reused simulator's utilization trace differs from fresh simulator's")
+	}
+	if !reflect.DeepEqual(want.Rates, got.Rates) {
+		t.Error("reused simulator's rate trace differs from fresh simulator's")
+	}
+	if !reflect.DeepEqual(want.Periods, got.Periods) {
+		t.Error("reused simulator's period stats differ from fresh simulator's")
+	}
+	if want.Stats != got.Stats {
+		t.Errorf("reused stats %+v != fresh stats %+v", got.Stats, want.Stats)
+	}
+}
+
+// TestResetRejectsInvalidConfig ensures Reset validates like New and the
+// simulator keeps working after a rejected Reset.
+func TestResetRejectsInvalidConfig(t *testing.T) {
+	s, err := sim.New(mediumCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reset(sim.Config{}); err == nil {
+		t.Fatal("Reset accepted an invalid config")
+	}
+	if err := s.Reset(mediumCfg(1)); err != nil {
+		t.Fatalf("Reset after rejected config: %v", err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSteadyStateEventLoopAllocFree is the pinned allocation budget of the
+// tentpole: once the pools are warm, a full Reset+Run cycle — releases,
+// preemptions, completions, sampling — must not allocate at all. This
+// mirrors the MPC steady-state budget test from the controller hot path.
+func TestSteadyStateEventLoopAllocFree(t *testing.T) {
+	cfg := mediumCfg(5)
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil { // warm the pools and buffers
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if err := s.Reset(cfg); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Reset+Run allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestETFDuplicateStepsRejected covers the Config.validate guard: schedules
+// with duplicated step times are ambiguous and must be rejected both at
+// construction and at run configuration.
+func TestETFDuplicateStepsRejected(t *testing.T) {
+	if _, err := sim.StepETF(sim.ETFStep{At: 100, Factor: 2}, sim.ETFStep{At: 100, Factor: 3}); err == nil {
+		t.Error("StepETF accepted duplicate step times")
+	}
+	if _, err := sim.StepETF(sim.ETFStep{At: 0, Factor: 1}, sim.ETFStep{At: 50, Factor: 2}); err != nil {
+		t.Errorf("StepETF rejected strictly increasing steps: %v", err)
+	}
+}

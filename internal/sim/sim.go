@@ -10,11 +10,16 @@
 // applies the controller's new rates at sampling boundaries. Network delay
 // is ignored, as in the paper.
 //
-// The simulator is deterministic for a fixed Config.Seed.
+// The simulator is deterministic for a fixed Config.Seed, and its
+// steady-state event loop is allocation-free: events and jobs are recycled
+// through per-simulator free lists, the event queue and per-processor ready
+// queues are flat concrete-typed heaps, and trace rows are carved out of
+// buffers pre-sized for the whole run. A Simulator can be reused across
+// runs with Reset, which keeps those pools and buffers warm — the intended
+// pattern for sweep workers (see internal/experiments).
 package sim
 
 import (
-	"container/heap"
 	"context"
 	"errors"
 	"fmt"
@@ -55,12 +60,18 @@ type Config struct {
 	MaxBacklog int
 }
 
-func (c *Config) validate() error {
+// validate checks the configuration. validatedSys, when non-nil and equal
+// to c.System, marks a system this simulator already validated on a
+// previous New/Reset; the structural walk (which allocates) is then
+// skipped, keeping Reset with an unchanged system allocation-free.
+func (c *Config) validate(validatedSys *task.System) error {
 	if c.System == nil {
 		return errors.New("sim: Config.System is nil")
 	}
-	if err := c.System.Validate(); err != nil {
-		return fmt.Errorf("sim: %w", err)
+	if c.System != validatedSys {
+		if err := c.System.Validate(); err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
 	}
 	if c.SamplingPeriod <= 0 {
 		return fmt.Errorf("sim: sampling period %g must be positive", c.SamplingPeriod)
@@ -71,10 +82,15 @@ func (c *Config) validate() error {
 	if c.Jitter < 0 || c.Jitter >= 1 {
 		return fmt.Errorf("sim: jitter %g must be in [0, 1)", c.Jitter)
 	}
+	if err := c.ETF.validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
 	return nil
 }
 
-// job is one invocation of one subtask.
+// job is one invocation of one subtask. Jobs are pooled: the Simulator
+// recycles them through its free list on completion, shedding, or
+// staleness, so no job pointer may be retained past those points.
 type job struct {
 	taskIdx    int
 	subIdx     int
@@ -93,33 +109,6 @@ type processor struct {
 	runStart float64 // when the running job last got the CPU
 	busy     float64 // busy time accumulated in the current window
 	seq      uint64  // valid completion-event sequence for running
-}
-
-// jobHeap is a priority queue of ready jobs under RMS: shortest current
-// period first. Periods are live values owned by the simulator, so the heap
-// must be re-initialized (heap.Init) whenever task rates change.
-type jobHeap struct {
-	jobs []*job
-	sim  *Simulator
-}
-
-func (h *jobHeap) Len() int { return len(h.jobs) }
-
-func (h *jobHeap) Less(i, j int) bool {
-	return h.sim.higherPriority(h.jobs[i], h.jobs[j])
-}
-
-func (h *jobHeap) Swap(i, j int) { h.jobs[i], h.jobs[j] = h.jobs[j], h.jobs[i] }
-
-func (h *jobHeap) Push(x any) { h.jobs = append(h.jobs, x.(*job)) }
-
-func (h *jobHeap) Pop() any {
-	old := h.jobs
-	n := len(old)
-	j := old[n-1]
-	old[n-1] = nil
-	h.jobs = old[:n-1]
-	return j
 }
 
 // Stats aggregates counters over a run.
@@ -164,7 +153,10 @@ func (p PeriodStats) MissRatio() float64 {
 	return float64(p.SubtaskMisses) / float64(p.Completed)
 }
 
-// Trace is the full per-period record of a run.
+// Trace is the full per-period record of a run. Its slices are owned by
+// the Simulator that produced it and are overwritten by the next Reset;
+// callers that outlive the Simulator (or Reset it) must copy what they
+// need first.
 type Trace struct {
 	// Controller is the name of the rate controller used.
 	Controller string
@@ -181,7 +173,8 @@ type Trace struct {
 	Stats Stats
 }
 
-// Simulator runs one configuration. Create with New, drive with Run.
+// Simulator runs one configuration. Create with New, drive with Run, and
+// reuse across runs with Reset.
 type Simulator struct {
 	cfg    Config
 	sys    *task.System
@@ -195,9 +188,23 @@ type Simulator struct {
 
 	// releaseSeq[i] invalidates stale first-subtask release events for task
 	// i after a rate change reschedules them.
-	releaseSeq  []uint64
-	lastRelease [][]float64 // per task, per subtask: last release time
-	backlog     [][]int     // per task, per subtask: incomplete jobs in flight
+	releaseSeq []uint64
+
+	// subOff[i] is task i's base index into the flat per-subtask arrays
+	// below: subtask (i, j) lives at subOff[i]+j.
+	subOff      []int
+	lastRelease []float64 // per subtask: last release time (-1: never)
+	backlog     []int     // per subtask: incomplete jobs in flight
+
+	// Free lists (see pool.go).
+	freeEvents []*event
+	freeJobs   []*job
+
+	// utilBacking and ratesBacking hold every trace row of the run
+	// contiguously; handleSampling carves rows out of them so the sampling
+	// path does not allocate.
+	utilBacking  []float64
+	ratesBacking []float64
 
 	trace Trace
 	cur   PeriodStats // counters for the in-progress sampling period
@@ -205,45 +212,133 @@ type Simulator struct {
 
 // New validates cfg and builds a Simulator.
 func New(cfg Config) (*Simulator, error) {
-	if err := cfg.validate(); err != nil {
+	s := &Simulator{}
+	if err := s.Reset(cfg); err != nil {
 		return nil, err
-	}
-	sys := cfg.System
-	s := &Simulator{
-		cfg:         cfg,
-		sys:         sys,
-		rng:         rand.New(rand.NewSource(cfg.Seed)),
-		procs:       make([]processor, sys.Processors),
-		rates:       sys.InitialRates(),
-		releaseSeq:  make([]uint64, len(sys.Tasks)),
-		lastRelease: make([][]float64, len(sys.Tasks)),
-	}
-	s.backlog = make([][]int, len(sys.Tasks))
-	for i := range sys.Tasks {
-		s.lastRelease[i] = make([]float64, len(sys.Tasks[i].Subtasks))
-		for j := range s.lastRelease[i] {
-			s.lastRelease[i][j] = -1 // never released
-		}
-		s.backlog[i] = make([]int, len(sys.Tasks[i].Subtasks))
-	}
-	for p := range s.procs {
-		s.procs[p].ready.sim = s
-	}
-	name := "NONE"
-	if cfg.Controller != nil {
-		name = cfg.Controller.Name()
-	}
-	s.trace = Trace{
-		Controller:     name,
-		SamplingPeriod: cfg.SamplingPeriod,
-		Utilization:    make([][]float64, 0, cfg.Periods),
-		Rates:          make([][]float64, 0, cfg.Periods),
 	}
 	return s, nil
 }
 
+// Reset validates cfg and rebinds the Simulator to it, recycling every
+// buffer, pool object, and trace row of the previous run. After Reset the
+// Simulator behaves exactly like one freshly built with New(cfg): runs are
+// bit-identical to a fresh simulator's for the same config, which the
+// determinism tests pin. Any Trace returned by a previous Run is
+// invalidated. Reset does not allocate when the new config's shape (number
+// of processors, tasks, subtasks, and periods) fits the previous one.
+func (s *Simulator) Reset(cfg Config) error {
+	if err := cfg.validate(s.sys); err != nil {
+		return err
+	}
+	// Reclaim the previous run's working set before any slice is resized.
+	s.recycleInFlight()
+
+	sys := cfg.System
+	s.cfg = cfg
+	s.sys = sys
+	if s.rng == nil {
+		s.rng = rand.New(rand.NewSource(cfg.Seed))
+	} else {
+		s.rng.Seed(cfg.Seed)
+	}
+	s.seq = 0
+	s.now = 0
+	s.cur = PeriodStats{}
+
+	s.procs = growProcs(s.procs, sys.Processors)
+	for p := range s.procs {
+		pr := &s.procs[p]
+		pr.ready.sim = s
+		pr.running = nil
+		pr.runStart = 0
+		pr.busy = 0
+		pr.seq = 0
+	}
+
+	nTasks := len(sys.Tasks)
+	s.rates = growFloats(s.rates, nTasks)
+	s.releaseSeq = growUints(s.releaseSeq, nTasks)
+	s.subOff = growInts(s.subOff, nTasks)
+	nSubs := 0
+	for i := range sys.Tasks {
+		s.rates[i] = sys.Tasks[i].InitialRate
+		s.releaseSeq[i] = 0
+		s.subOff[i] = nSubs
+		nSubs += len(sys.Tasks[i].Subtasks)
+	}
+	s.lastRelease = growFloats(s.lastRelease, nSubs)
+	s.backlog = growInts(s.backlog, nSubs)
+	for i := 0; i < nSubs; i++ {
+		s.lastRelease[i] = -1 // never released
+		s.backlog[i] = 0
+	}
+
+	name := "NONE"
+	if cfg.Controller != nil {
+		name = cfg.Controller.Name()
+	}
+	s.utilBacking = growFloats(s.utilBacking, cfg.Periods*sys.Processors)
+	s.ratesBacking = growFloats(s.ratesBacking, cfg.Periods*nTasks)
+	s.trace.Controller = name
+	s.trace.SamplingPeriod = cfg.SamplingPeriod
+	s.trace.Utilization = growRows(s.trace.Utilization, cfg.Periods)
+	s.trace.Rates = growRows(s.trace.Rates, cfg.Periods)
+	s.trace.Periods = growPeriodStats(s.trace.Periods, cfg.Periods)
+	s.trace.Stats = Stats{}
+	return nil
+}
+
+// growFloats, growInts, growUints, growRows, and growPeriodStats return a
+// slice of the requested length, reusing the backing array when it is
+// large enough. Contents are unspecified; callers overwrite them.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int, n)
+}
+
+func growUints(s []uint64, n int) []uint64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]uint64, n)
+}
+
+func growRows(s [][]float64, n int) [][]float64 {
+	if cap(s) >= n {
+		return s[:0]
+	}
+	return make([][]float64, 0, n)
+}
+
+func growPeriodStats(s []PeriodStats, n int) []PeriodStats {
+	if cap(s) >= n {
+		return s[:0]
+	}
+	return make([]PeriodStats, 0, n)
+}
+
+// growProcs resizes the processor table, preserving each slot's ready-queue
+// backing array so reuse stays allocation-free.
+func growProcs(s []processor, n int) []processor {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	out := make([]processor, n)
+	copy(out, s)
+	return out
+}
+
 // Run executes the configured number of sampling periods and returns the
-// trace. Run may only be called once per Simulator.
+// trace. Run may only be called once per New or Reset.
 func (s *Simulator) Run() (*Trace, error) {
 	return s.RunContext(context.Background())
 }
@@ -258,13 +353,22 @@ func (s *Simulator) RunContext(ctx context.Context) (*Trace, error) {
 	}
 	// Sampling boundaries at k·Ts.
 	for k := 1; k <= s.cfg.Periods; k++ {
-		s.push(&event{at: float64(k) * s.cfg.SamplingPeriod, kind: evSampling})
+		e := s.newEvent()
+		e.at = float64(k) * s.cfg.SamplingPeriod
+		e.kind = evSampling
+		s.push(e)
 	}
 
 	end := float64(s.cfg.Periods) * s.cfg.SamplingPeriod
-	for len(s.events) > 0 {
-		e := heap.Pop(&s.events).(*event)
+	for s.events.len() > 0 {
+		e := s.events.pop()
 		if e.at > end+timeEps {
+			// Past the horizon: this event and anything still queued are
+			// reclaimed by the next Reset.
+			if e.job != nil {
+				s.putJob(e.job)
+			}
+			s.putEvent(e)
 			break
 		}
 		s.now = e.at
@@ -281,6 +385,8 @@ func (s *Simulator) RunContext(ctx context.Context) (*Trace, error) {
 				return nil, err
 			}
 		}
+		// Handlers take ownership of e.job; the event itself is done.
+		s.putEvent(e)
 	}
 	return &s.trace, nil
 }
@@ -288,7 +394,7 @@ func (s *Simulator) RunContext(ctx context.Context) (*Trace, error) {
 func (s *Simulator) push(e *event) *event {
 	s.seq++
 	e.seq = s.seq
-	heap.Push(&s.events, e)
+	s.events.push(e)
 	return e
 }
 
@@ -296,8 +402,8 @@ func (s *Simulator) push(e *event) *event {
 func (s *Simulator) period(i int) float64 { return 1 / s.rates[i] }
 
 // drawExecTime draws the actual execution time for a subtask released now.
-func (s *Simulator) drawExecTime(taskIdx, subIdx int) float64 {
-	mean := s.sys.Tasks[taskIdx].Subtasks[subIdx].EstimatedCost * s.cfg.ETF.At(s.now)
+func (s *Simulator) drawExecTime(estimatedCost float64) float64 {
+	mean := estimatedCost * s.cfg.ETF.At(s.now)
 	if s.cfg.Jitter == 0 {
 		return mean
 	}
@@ -310,46 +416,52 @@ func (s *Simulator) drawExecTime(taskIdx, subIdx int) float64 {
 // subtask at time at.
 func (s *Simulator) scheduleFirstRelease(i int, at float64) {
 	s.releaseSeq[i]++
-	s.push(&event{
-		at:     at,
-		kind:   evRelease,
-		job:    &job{taskIdx: i, subIdx: 0, release: at},
-		relSeq: s.releaseSeq[i],
-	})
+	j := s.newJob()
+	j.taskIdx = i
+	j.release = at
+	e := s.newEvent()
+	e.at = at
+	e.kind = evRelease
+	e.job = j
+	e.relSeq = s.releaseSeq[i]
+	s.push(e)
 }
 
 // handleRelease admits a job to its processor's ready queue.
 func (s *Simulator) handleRelease(e *event) {
 	j := e.job
-	t := &s.sys.Tasks[j.taskIdx]
+	ti := j.taskIdx
+	t := &s.sys.Tasks[ti]
+	period := s.period(ti)
 	if j.subIdx == 0 {
 		// Stale periodic release (rescheduled after a rate change)?
-		if e.relSeq != s.releaseSeq[j.taskIdx] {
+		if e.relSeq != s.releaseSeq[ti] {
+			s.putJob(j)
 			return
 		}
-		period := s.period(j.taskIdx)
 		j.chainStart = s.now
 		j.chainDL = s.now + float64(len(t.Subtasks))*period
 		// Schedule the next periodic release.
-		s.scheduleFirstRelease(j.taskIdx, s.now+period)
+		s.scheduleFirstRelease(ti, s.now+period)
 	}
+	sub := s.subOff[ti] + j.subIdx
 	// Load shedding: skip the release when this subtask's backlog is full.
-	if s.cfg.MaxBacklog > 0 && s.backlog[j.taskIdx][j.subIdx] >= s.cfg.MaxBacklog {
+	if s.cfg.MaxBacklog > 0 && s.backlog[sub] >= s.cfg.MaxBacklog {
 		s.trace.Stats.SkippedJobs++
+		s.putJob(j)
 		return
 	}
-	period := s.period(j.taskIdx)
-	j.proc = t.Subtasks[j.subIdx].Processor
+	st := &t.Subtasks[j.subIdx]
+	j.proc = st.Processor
 	j.release = s.now
 	j.deadline = s.now + period
-	j.remaining = s.drawExecTime(j.taskIdx, j.subIdx)
-	s.lastRelease[j.taskIdx][j.subIdx] = s.now
-	s.backlog[j.taskIdx][j.subIdx]++
+	j.remaining = s.drawExecTime(st.EstimatedCost)
+	s.lastRelease[sub] = s.now
+	s.backlog[sub]++
 	s.trace.Stats.ReleasedJobs++
 	s.cur.Released++
 
-	p := &s.procs[j.proc]
-	heap.Push(&p.ready, j)
+	s.procs[j.proc].ready.push(j)
 	s.dispatch(j.proc)
 }
 
@@ -369,15 +481,16 @@ func (s *Simulator) handleCompletion(e *event) {
 	}
 	p.running = nil
 	s.completeJob(j)
+	s.putJob(j)
 	s.dispatch(e.proc)
 }
 
 // completeJob records statistics and releases the successor subtask under
-// the release guard protocol.
+// the release guard protocol. The caller still owns j and recycles it.
 func (s *Simulator) completeJob(j *job) {
 	s.trace.Stats.CompletedJobs++
 	s.cur.Completed++
-	s.backlog[j.taskIdx][j.subIdx]--
+	s.backlog[s.subOff[j.taskIdx]+j.subIdx]--
 	if s.now > j.deadline+timeEps {
 		s.trace.Stats.SubtaskDeadlineMisses++
 		s.cur.SubtaskMisses++
@@ -397,21 +510,21 @@ func (s *Simulator) completeJob(j *job) {
 	// periodic with minimum separation of one period.
 	next := j.subIdx + 1
 	guard := s.now
-	if last := s.lastRelease[j.taskIdx][next]; last >= 0 {
+	if last := s.lastRelease[s.subOff[j.taskIdx]+next]; last >= 0 {
 		if g := last + s.period(j.taskIdx); g > guard {
 			guard = g
 		}
 	}
-	s.push(&event{
-		at:   guard,
-		kind: evRelease,
-		job: &job{
-			taskIdx:    j.taskIdx,
-			subIdx:     next,
-			chainStart: j.chainStart,
-			chainDL:    j.chainDL,
-		},
-	})
+	succ := s.newJob()
+	succ.taskIdx = j.taskIdx
+	succ.subIdx = next
+	succ.chainStart = j.chainStart
+	succ.chainDL = j.chainDL
+	e := s.newEvent()
+	e.at = guard
+	e.kind = evRelease
+	e.job = succ
+	s.push(e)
 }
 
 // accrue charges CPU time to the running job up to the current instant.
@@ -440,16 +553,16 @@ func (s *Simulator) dispatch(procIdx int) {
 	if p.running != nil {
 		// Fast path: the incumbent keeps the CPU unless a higher-priority
 		// job is waiting.
-		if p.ready.Len() == 0 || !s.higherPriority(p.ready.jobs[0], p.running) {
+		if p.ready.len() == 0 || !s.higherPriority(p.ready.peek(), p.running) {
 			return
 		}
-		heap.Push(&p.ready, p.running)
+		p.ready.push(p.running)
 		p.running = nil
 	}
-	if p.ready.Len() == 0 {
+	if p.ready.len() == 0 {
 		return
 	}
-	p.running = heap.Pop(&p.ready).(*job)
+	p.running = p.ready.pop()
 	p.runStart = s.now
 	s.scheduleCompletion(procIdx)
 }
@@ -473,15 +586,22 @@ func (s *Simulator) higherPriority(a, b *job) bool {
 
 func (s *Simulator) scheduleCompletion(procIdx int) {
 	p := &s.procs[procIdx]
-	e := s.push(&event{at: s.now + p.running.remaining, kind: evCompletion, proc: procIdx})
+	e := s.newEvent()
+	e.at = s.now + p.running.remaining
+	e.kind = evCompletion
+	e.proc = procIdx
+	s.push(e)
 	p.seq = e.seq
 }
 
 // handleSampling closes the current sampling window: it records
 // utilizations and rates, consults the controller, and applies new rates.
+// Trace rows are slices of the run-length backing buffers, so the steady
+// state allocates nothing here.
 func (s *Simulator) handleSampling() error {
 	k := len(s.trace.Utilization)
-	u := make([]float64, len(s.procs))
+	np := len(s.procs)
+	u := s.utilBacking[k*np : (k+1)*np : (k+1)*np]
 	for i := range s.procs {
 		s.accrue(i)
 		u[i] = s.procs[i].busy / s.cfg.SamplingPeriod
@@ -493,7 +613,8 @@ func (s *Simulator) handleSampling() error {
 	s.trace.Utilization = append(s.trace.Utilization, u)
 	s.trace.Periods = append(s.trace.Periods, s.cur)
 	s.cur = PeriodStats{}
-	applied := make([]float64, len(s.rates))
+	nt := len(s.rates)
+	applied := s.ratesBacking[k*nt : (k+1)*nt : (k+1)*nt]
 	copy(applied, s.rates)
 	s.trace.Rates = append(s.trace.Rates, applied)
 
@@ -530,7 +651,7 @@ func (s *Simulator) applyRates(newRates []float64) {
 			changed = true
 			// Re-time the next periodic release of the first subtask.
 			next := s.now
-			if last := s.lastRelease[i][0]; last >= 0 {
+			if last := s.lastRelease[s.subOff[i]]; last >= 0 {
 				if g := last + s.period(i); g > next {
 					next = g
 				}
@@ -545,7 +666,7 @@ func (s *Simulator) applyRates(newRates []float64) {
 	// invariant under the new order and re-dispatch so preemption reflects
 	// it.
 	for p := range s.procs {
-		heap.Init(&s.procs[p].ready)
+		s.procs[p].ready.reinit()
 		s.dispatch(p)
 	}
 }

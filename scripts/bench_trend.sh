@@ -1,0 +1,41 @@
+#!/bin/sh
+# bench_trend.sh appends a dated JSON snapshot of the key benchmarks and the
+# sweep-output digests to BENCH_<date>.json, tracking the performance
+# trajectory of the simulator core across PRs.
+#
+# Each benchmark line records ns/op, B/op, and allocs/op from -benchmem; each
+# digest line records an FNV-64a hash of a full-precision sweep series at a
+# given worker count (equal digests across worker counts and across PRs prove
+# the outputs are bit-identical, so a perf change did not move the science).
+#
+# Usage: scripts/bench_trend.sh [outfile]    (or: make bench-json)
+#   BENCHTIME=20x scripts/bench_trend.sh     # override the benchtime
+set -eu
+cd "$(dirname "$0")/.."
+
+date="$(date +%Y-%m-%d)"
+out="${1:-BENCH_${date}.json}"
+benchtime="${BENCHTIME:-10x}"
+
+benches='BenchmarkSimulatorMedium$|BenchmarkSimulatorSteadyState$|BenchmarkFig4SimpleSweep$|BenchmarkFig4SimpleSweepSerial$|BenchmarkControllerStepMedium$|BenchmarkDeuconLocalStep$'
+
+go test -run '^$' -bench "$benches" -benchmem -benchtime "$benchtime" . |
+awk -v date="$date" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+	ns = ""; bytes = ""; allocs = ""
+	for (i = 2; i <= NF; i++) {
+		if ($i == "ns/op")     ns     = $(i-1)
+		if ($i == "B/op")      bytes  = $(i-1)
+		if ($i == "allocs/op") allocs = $(i-1)
+	}
+	printf "{\"date\":\"%s\",\"bench\":\"%s\",\"iters\":%s,\"ns_per_op\":%s", date, name, $2, ns
+	if (bytes != "")  printf ",\"b_per_op\":%s,\"allocs_per_op\":%s", bytes, allocs
+	print "}"
+}' >>"$out"
+
+go run ./cmd/euconsim -sweep-digest |
+	sed "s/^{/{\"date\":\"${date}\",/" >>"$out"
+
+echo "appended benchmark snapshot to $out"
