@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test bench-smoke bench bench-json
+.PHONY: check fmt vet lint lint-fixtures build test bench-smoke bench bench-json
 
 ## check: the tier-1 gate — format, vet, build, race-enabled tests, and a
 ## one-iteration benchmark smoke pass. CI and pre-commit both run this.
@@ -8,11 +8,22 @@ check:
 	./scripts/check.sh
 
 fmt:
-	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
-		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	@out=$$(gofmt -s -l .); if [ -n "$$out" ]; then \
+		echo "gofmt -s needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
+
+## lint: euconlint (cmd/euconlint), the repo's own static-analysis suite —
+## determinism, noalloc, floatsafety, pooldiscipline, and aliasing
+## invariants. Exits nonzero on any finding.
+lint:
+	$(GO) run ./cmd/euconlint ./...
+
+## lint-fixtures: the analyzer suite's own golden-diagnostic tests (each
+## fixture package must produce exactly its want-commented findings).
+lint-fixtures:
+	$(GO) test ./internal/analysis -run 'TestFixtures|TestExitsNonzeroSemantics|TestDirectiveName|TestAnalyzersHaveDocs' -count=1
 
 build:
 	$(GO) build ./...

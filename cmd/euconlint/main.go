@@ -1,0 +1,164 @@
+// Command euconlint runs the repository's static-analysis suite
+// (internal/analysis) over the module and reports invariant violations as
+// file:line:col diagnostics.
+//
+// Usage:
+//
+//	euconlint [-json] [patterns...]
+//
+// Patterns are package directories relative to the current directory;
+// "./..." (the default) analyzes the whole module, "dir/..." analyzes a
+// subtree, and a plain directory analyzes that one package. Exit status is
+// 0 when the tree is clean, 1 when diagnostics were reported, and 2 when
+// loading or type-checking failed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/rtsyslab/eucon/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array instead of text")
+	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: euconlint [-json] [-list] [patterns...]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Analyzers:\n")
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-16s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	code, err := run(flag.Args(), *jsonOut)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "euconlint: %v\n", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// run loads the requested packages, executes the suite, and prints the
+// diagnostics, returning the process exit code.
+func run(patterns []string, jsonOut bool) (int, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		return 2, err
+	}
+	root, err := findModuleRoot(cwd)
+	if err != nil {
+		return 2, err
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		return 2, err
+	}
+
+	seen := make(map[string]bool)
+	var pkgs []*analysis.Package
+	addAll := func(loaded []*analysis.Package) {
+		for _, p := range loaded {
+			if !seen[p.Path] {
+				seen[p.Path] = true
+				pkgs = append(pkgs, p)
+			}
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			loaded, err := loader.LoadAll()
+			if err != nil {
+				return 2, err
+			}
+			addAll(loaded)
+		case strings.HasSuffix(pat, "/..."):
+			dir := filepath.Join(cwd, filepath.FromSlash(strings.TrimSuffix(pat, "/...")))
+			loaded, err := loader.LoadTree(dir)
+			if err != nil {
+				return 2, err
+			}
+			addAll(loaded)
+		default:
+			dir := filepath.Join(cwd, filepath.FromSlash(pat))
+			rel, err := filepath.Rel(root, dir)
+			if err != nil || strings.HasPrefix(rel, "..") {
+				return 2, fmt.Errorf("pattern %q is outside the module rooted at %s", pat, root)
+			}
+			importPath := loader.ModulePath
+			if rel != "." {
+				importPath += "/" + filepath.ToSlash(rel)
+			}
+			p, err := loader.LoadDir(dir, importPath)
+			if err != nil {
+				return 2, err
+			}
+			addAll([]*analysis.Package{p})
+		}
+	}
+
+	diags := analysis.Run(pkgs)
+	if jsonOut {
+		type jsonDiag struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return 2, err
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
+	}
+	if len(diags) > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// findModuleRoot walks up from dir to the directory containing go.mod.
+func findModuleRoot(dir string) (string, error) {
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

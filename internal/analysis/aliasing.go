@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// runAliasing flags exported functions and methods that return a slice
+// whose backing array is owned by the receiver or a parameter — e.g. a
+// trace accessor handing out the simulator's internal buffer — without a
+// doc comment saying so. Callers who append to or retain such a slice
+// corrupt state they do not own; the contract must be visible at the API
+// boundary ("... aliases the simulator-owned backing array; copy before
+// retaining" or similar wording containing "alias"). Returning a fresh
+// copy, a composite literal, or an append result is fine.
+func runAliasing(p *pass) {
+	for _, f := range p.pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if fd.Recv != nil && !exportedRecv(fd.Recv) {
+				continue
+			}
+			if !returnsSlice(p, fd) || docMentionsAlias(fd) {
+				continue
+			}
+			owned := ownedVars(p, fd)
+			if len(owned) == 0 {
+				continue
+			}
+			checkReturns(p, fd, owned)
+		}
+	}
+}
+
+// exportedRecv reports whether a method's receiver base type is exported.
+func exportedRecv(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return true
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// returnsSlice reports whether any result of fd has slice type.
+func returnsSlice(p *pass, fd *ast.FuncDecl) bool {
+	fn, ok := p.pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	results := fn.Type().(*types.Signature).Results()
+	for i := 0; i < results.Len(); i++ {
+		if _, ok := results.At(i).Type().Underlying().(*types.Slice); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// docMentionsAlias reports whether the function documents its aliasing
+// ("aliases", "aliasing", ...).
+func docMentionsAlias(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	return strings.Contains(strings.ToLower(fd.Doc.Text()), "alias")
+}
+
+// ownedVars collects the receiver and parameter variables of fd: the
+// objects whose backing arrays the caller does not own.
+func ownedVars(p *pass, fd *ast.FuncDecl) map[*types.Var]bool {
+	owned := make(map[*types.Var]bool)
+	add := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if v, ok := p.pkg.Info.Defs[name].(*types.Var); ok {
+					owned[v] = true
+				}
+			}
+		}
+	}
+	add(fd.Recv)
+	add(fd.Type.Params)
+	return owned
+}
+
+// checkReturns flags every returned slice expression rooted in an owned
+// variable. Nested function literals are skipped: their returns belong to
+// the literal, not to fd.
+func checkReturns(p *pass, fd *ast.FuncDecl, owned map[*types.Var]bool) {
+	fn := p.pkg.Info.Defs[fd.Name].(*types.Func)
+	results := fn.Type().(*types.Signature).Results()
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != results.Len() {
+			return true
+		}
+		for i, r := range ret.Results {
+			if _, ok := results.At(i).Type().Underlying().(*types.Slice); !ok {
+				continue
+			}
+			if rt := p.pkg.Info.TypeOf(r); rt == nil {
+				continue
+			} else if _, ok := rt.Underlying().(*types.Slice); !ok {
+				continue
+			}
+			root := rootVar(p, r)
+			if root == nil || !owned[root] {
+				continue
+			}
+			p.reportf(r.Pos(),
+				"exported %s returns a slice aliasing %s-owned memory; document the aliasing (doc comment mentioning \"aliases\") or return a copy",
+				fd.Name.Name, ownerKind(fd, root))
+		}
+		return true
+	})
+}
+
+// ownerKind names the kind of owned variable for the diagnostic.
+func ownerKind(fd *ast.FuncDecl, v *types.Var) string {
+	if fd.Recv != nil {
+		for _, field := range fd.Recv.List {
+			for _, name := range field.Names {
+				if name.Name == v.Name() {
+					return "receiver"
+				}
+			}
+		}
+	}
+	return "parameter"
+}
+
+// rootVar unwraps slicing, indexing, field selection, and dereference down
+// to the identifier whose storage the expression views, or nil if the
+// expression creates fresh backing (append, make, composite literal,
+// conversions, calls).
+func rootVar(p *pass, e ast.Expr) *types.Var {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if v, ok := p.pkg.Info.Uses[x].(*types.Var); ok {
+				return v
+			}
+			return nil
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			sel, ok := p.pkg.Info.Selections[x]
+			if !ok || sel.Kind() != types.FieldVal {
+				return nil
+			}
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,208 @@
+// Package analysis implements euconlint: a stdlib-only static-analysis
+// suite (go/ast + go/parser + go/token + go/types, no golang.org/x/tools)
+// that enforces the repository's simulator invariants at analysis time
+// instead of test time:
+//
+//   - determinism: no map-order iteration, wall-clock reads, or global
+//     rand in simulation/controller packages (replayable runs are the
+//     foundation of the sweep-digest reproducibility gate);
+//   - noalloc: functions annotated //eucon:noalloc — the steady-state
+//     event-loop handlers, heap operations, and pool recycle paths — must
+//     be provably free of allocating constructs;
+//   - floatsafety: no raw ==/!= between floating-point operands outside
+//     tests and designated exact-comparison helpers;
+//   - pooldiscipline: no use of a pooled event/job after it has been
+//     recycled to its free list;
+//   - aliasing: exported functions returning slices that alias
+//     receiver/parameter-owned backing arrays must say so in their doc
+//     comment.
+//
+// Every analyzer consumes the same parsed, type-checked Package produced
+// once by the Loader, reports file:line diagnostics, and supports a
+// narrowly scoped annotation escape (see the //eucon: directives in
+// directives.go) so intentional exceptions are visible in the code they
+// exempt.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding at a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check run over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and documentation.
+	Name string
+	// Doc is a one-line description of the enforced invariant.
+	Doc string
+
+	run func(p *pass)
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		{
+			Name: "determinism",
+			Doc:  "no map-order iteration, time.Now, or global math/rand in simulation and controller packages",
+			run:  runDeterminism,
+		},
+		{
+			Name: "noalloc",
+			Doc:  "//eucon:noalloc functions must not contain allocating constructs or call unannotated functions",
+			run:  runNoalloc,
+		},
+		{
+			Name: "floatsafety",
+			Doc:  "no ==/!= between floating-point operands outside tests and //eucon:float-exact helpers",
+			run:  runFloatSafety,
+		},
+		{
+			Name: "pooldiscipline",
+			Doc:  "no use of a pooled event/job after it is recycled via putEvent/putJob",
+			run:  runPoolDiscipline,
+		},
+		{
+			Name: "aliasing",
+			Doc:  "exported functions returning receiver/parameter-backed slices must document the aliasing",
+			run:  runAliasing,
+		},
+	}
+}
+
+// pass carries the per-package state handed to one analyzer run.
+type pass struct {
+	pkg      *Package
+	dirs     *directives
+	analyzer *Analyzer
+
+	// noallocFuncs is the set of //eucon:noalloc-annotated functions across
+	// the whole load set, so calls between annotated functions resolve even
+	// across package boundaries.
+	noallocFuncs map[*types.Func]bool
+
+	out *[]Diagnostic
+}
+
+// reportf records a diagnostic at pos.
+func (p *pass) reportf(pos token.Pos, format string, args ...any) {
+	*p.out = append(*p.out, Diagnostic{
+		Pos:      p.pkg.Fset.Position(pos),
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes every analyzer over every package and returns the combined
+// diagnostics sorted by position. Packages must come from one Loader so
+// type objects are shared and the cross-package //eucon:noalloc call check
+// is sound.
+func Run(pkgs []*Package) []Diagnostic {
+	var out []Diagnostic
+	noalloc := collectNoallocFuncs(pkgs)
+	for _, pkg := range pkgs {
+		dirs := pkg.directives()
+		for _, a := range Analyzers() {
+			a.run(&pass{
+				pkg:          pkg,
+				dirs:         dirs,
+				analyzer:     a,
+				noallocFuncs: noalloc,
+				out:          &out,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// collectNoallocFuncs gathers every //eucon:noalloc-annotated function
+// object in the load set.
+func collectNoallocFuncs(pkgs []*Package) map[*types.Func]bool {
+	set := make(map[*types.Func]bool)
+	for _, pkg := range pkgs {
+		dirs := pkg.directives()
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !dirs.funcHas(fd, dirNoalloc) {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					set[fn] = true
+				}
+			}
+		}
+	}
+	return set
+}
+
+// inScope reports whether a module-relative package path is one of (or
+// below) the listed package paths.
+func inScope(rel string, scope []string) bool {
+	for _, s := range scope {
+		if rel == s || strings.HasPrefix(rel, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeObject resolves the object a call expression invokes: a
+// *types.Func for static function and method calls, a *types.Builtin for
+// builtins, a *types.TypeName (via Uses) for conversions to named types,
+// or nil for calls through function values.
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		// Package-qualified identifier (pkg.Func or pkg.Type).
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// isConversion reports whether the call expression is a type conversion.
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// isFloat reports whether t's underlying type is a floating-point basic
+// type.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

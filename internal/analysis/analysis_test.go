@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// fixtures maps each testdata/src fixture directory to the synthetic import
+// path it is loaded under. Scoped analyzers (determinism, pooldiscipline)
+// key off the module-relative path, so their fixtures mount under
+// internal/sim.
+var fixtures = map[string]string{
+	"determinism": "internal/sim/fixdeterminism",
+	"noalloc":     "fixnoalloc",
+	"floatsafety": "fixfloat",
+	"pool":        "internal/sim/fixpool",
+	"aliasing":    "fixalias",
+}
+
+var wantRe = regexp.MustCompile(`^// want "(.*)"$`)
+
+// wantComment is one golden diagnostic expectation parsed from a fixture.
+type wantComment struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// TestFixtures loads every fixture package, runs the full suite on it, and
+// matches the diagnostics against the fixture's want comments: every want
+// must be produced on its line, and nothing else may be reported.
+func TestFixtures(t *testing.T) {
+	loader := newTestLoader(t)
+	for dir, rel := range fixtures {
+		t.Run(dir, func(t *testing.T) {
+			pkg, err := loader.LoadDir(filepath.Join("testdata", "src", dir), loader.ModulePath+"/"+rel)
+			if err != nil {
+				t.Fatalf("load fixture: %v", err)
+			}
+			wants := parseWants(t, pkg)
+			if len(wants) == 0 {
+				t.Fatalf("fixture %s has no want comments", dir)
+			}
+			for _, d := range Run([]*Package{pkg}) {
+				if !consumeWant(wants, d) {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+			for _, w := range wants {
+				if !w.hit {
+					t.Errorf("%s:%d: want %q, got no matching diagnostic", w.file, w.line, w.re)
+				}
+			}
+		})
+	}
+}
+
+// TestExitsNonzeroSemantics pins the contract the driver exposes: a fixture
+// package must yield diagnostics (euconlint exits 1 on it) and the count
+// must cover every analyzer at least once across the suite.
+func TestExitsNonzeroSemantics(t *testing.T) {
+	loader := newTestLoader(t)
+	seen := make(map[string]int)
+	for dir, rel := range fixtures {
+		pkg, err := loader.LoadDir(filepath.Join("testdata", "src", dir), loader.ModulePath+"/"+rel)
+		if err != nil {
+			t.Fatalf("load fixture %s: %v", dir, err)
+		}
+		diags := Run([]*Package{pkg})
+		if len(diags) == 0 {
+			t.Errorf("fixture %s: no diagnostics; euconlint would exit 0 on it", dir)
+		}
+		for _, d := range diags {
+			seen[d.Analyzer]++
+		}
+	}
+	for _, a := range Analyzers() {
+		if seen[a.Name] == 0 {
+			t.Errorf("analyzer %s produced no diagnostic on any fixture", a.Name)
+		}
+	}
+}
+
+// TestRealTreeClean is the self-application gate: the suite must report
+// nothing on the repository itself, so `euconlint ./...` exits 0 and
+// scripts/check.sh can hard-fail on any regression.
+func TestRealTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	loader := newTestLoader(t)
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; module walk is broken", len(pkgs))
+	}
+	for _, d := range Run(pkgs) {
+		t.Errorf("real tree not clean: %s", d)
+	}
+}
+
+// newTestLoader builds a Loader rooted at the repository (two levels above
+// internal/analysis).
+func newTestLoader(t *testing.T) *Loader {
+	t.Helper()
+	loader, err := NewLoader(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("new loader: %v", err)
+	}
+	return loader
+}
+
+// parseWants extracts the // want "..." expectations from a fixture.
+func parseWants(t *testing.T, pkg *Package) []*wantComment {
+	t.Helper()
+	var wants []*wantComment
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.Contains(c.Text, "// want") {
+						t.Fatalf("malformed want comment: %s", c.Text)
+					}
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("bad want regexp %q: %v", m[1], err)
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				wants = append(wants, &wantComment{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// consumeWant marks the first unhit want matching the diagnostic's file,
+// line, and "analyzer: message" text.
+func consumeWant(wants []*wantComment, d Diagnostic) bool {
+	text := fmt.Sprintf("%s: %s", d.Analyzer, d.Message)
+	for _, w := range wants {
+		if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(text) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// TestDirectiveName pins the directive grammar: no space after //, name up
+// to the first space, justification ignored.
+func TestDirectiveName(t *testing.T) {
+	cases := []struct {
+		text string
+		name string
+		ok   bool
+	}{
+		{"//eucon:noalloc", "noalloc", true},
+		{"//eucon:alloc-ok amortized growth", "alloc-ok", true},
+		{"// eucon:noalloc", "", false},
+		{"//eucon:", "", false},
+		{"// plain comment", "", false},
+	}
+	for _, c := range cases {
+		name, ok := directiveName(c.text)
+		if name != c.name || ok != c.ok {
+			t.Errorf("directiveName(%q) = %q, %v; want %q, %v", c.text, name, ok, c.name, c.ok)
+		}
+	}
+}
+
+// TestAnalyzersHaveDocs keeps the -list output and usage screen meaningful.
+func TestAnalyzersHaveDocs(t *testing.T) {
+	names := make(map[string]bool)
+	for _, a := range Analyzers() {
+		if a.Name == "" || a.Doc == "" || a.run == nil {
+			t.Errorf("analyzer %+v incomplete", a)
+		}
+		if names[a.Name] {
+			t.Errorf("duplicate analyzer name %s", a.Name)
+		}
+		names[a.Name] = true
+	}
+	if len(names) != 5 {
+		t.Errorf("expected 5 analyzers, got %d", len(names))
+	}
+}

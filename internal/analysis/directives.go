@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The //eucon: comment directives recognized by the suite. A directive is
+// a line comment whose text starts exactly with "eucon:" (no space after
+// //, matching Go's convention for machine-readable directives such as
+// //go:noinline); the directive name runs to the first space, and anything
+// after it is a free-form justification that good style should include.
+//
+//   - //eucon:noalloc — on a function's doc comment: the function is part
+//     of the allocation-free steady state and is checked by the noalloc
+//     analyzer; calls between annotated functions are allowed.
+//   - //eucon:alloc-ok — on (or directly above) a statement inside a
+//     noalloc function: the statement is exempt, because it is a cold
+//     path, amortized pool growth, or a provably non-allocating form the
+//     syntactic checker cannot prove.
+//   - //eucon:order-independent — on (or above) a range-over-map
+//     statement, or on a function's doc comment: the loop body is
+//     commutative, so iteration order cannot affect results.
+//   - //eucon:float-exact — on a function's doc comment or on a comparison
+//     line: the ==/!= is intentionally exact (total-order tie-breaks,
+//     change detection, exact-zero guards).
+//   - //eucon:pool-ok — on a line that touches a pooled object after its
+//     recycle call: the use is intentional and safe.
+const (
+	dirNoalloc          = "noalloc"
+	dirAllocOK          = "alloc-ok"
+	dirOrderIndependent = "order-independent"
+	dirFloatExact       = "float-exact"
+	dirPoolOK           = "pool-ok"
+)
+
+// directives indexes the //eucon: comments of one package by file and
+// line, so analyzers can ask "is this statement (or the line above it)
+// annotated?" in O(1).
+type directives struct {
+	fset *token.FileSet
+	// lines maps filename -> line -> directive names present on that line.
+	lines map[string]map[int][]string
+}
+
+// newDirectives scans every comment of the files for //eucon: directives.
+func newDirectives(fset *token.FileSet, files []*ast.File) *directives {
+	d := &directives{fset: fset, lines: make(map[string]map[int][]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, ok := directiveName(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				byLine := d.lines[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]string)
+					d.lines[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], name)
+			}
+		}
+	}
+	return d
+}
+
+// directiveName extracts the directive name from a comment's raw text.
+func directiveName(text string) (string, bool) {
+	rest, ok := strings.CutPrefix(text, "//eucon:")
+	if !ok {
+		return "", false
+	}
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest, rest != ""
+}
+
+// funcHas reports whether the function's doc comment carries the named
+// directive.
+func (d *directives) funcHas(fd *ast.FuncDecl, name string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if got, ok := directiveName(c.Text); ok && got == name {
+			return true
+		}
+	}
+	return false
+}
+
+// lineHas reports whether the named directive appears on pos's line (a
+// trailing comment) or on the line directly above it (a standalone
+// comment).
+func (d *directives) lineHas(pos token.Pos, name string) bool {
+	p := d.fset.Position(pos)
+	byLine := d.lines[p.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range [2]int{p.Line, p.Line - 1} {
+		for _, got := range byLine[line] {
+			if got == name {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// runFloatSafety flags == and != between floating-point operands. Raw
+// float equality is almost always a rounding bug in control and linear
+// algebra code; comparisons should go through a tolerance helper
+// (mat.EqTol) or an exact-zero guard (mat.IsZero). Intentionally exact
+// comparisons — tie-breaks in total orders, change detection on values that
+// are only ever copied, exact-zero structural guards — are exempted by
+// annotating the enclosing function's doc comment or the comparison's line
+// with //eucon:float-exact. Test files are not loaded by the driver, so
+// they are exempt by construction. Comparisons where both operands are
+// constants fold at compile time and are ignored.
+func runFloatSafety(p *pass) {
+	info := p.pkg.Info
+	for _, f := range p.pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			funcExact := p.dirs.funcHas(fd, dirFloatExact)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				xt, yt := info.Types[be.X], info.Types[be.Y]
+				if xt.Type == nil || yt.Type == nil || !isFloat(xt.Type) || !isFloat(yt.Type) {
+					return true
+				}
+				if xt.Value != nil && yt.Value != nil {
+					return true // constant-folded
+				}
+				if funcExact || p.dirs.lineHas(be.Pos(), dirFloatExact) {
+					return true
+				}
+				p.reportf(be.Pos(),
+					"%s between float64 operands is exact; use mat.EqTol/mat.IsZero or annotate //eucon:float-exact with a justification",
+					be.Op)
+				return true
+			})
+		}
+	}
+}

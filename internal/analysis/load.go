@@ -1,0 +1,277 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is the parsed, type-checked form of one Go package: the shared
+// artifact every analyzer consumes. A Package is produced once per import
+// path by a Loader and cached, so the AST is parsed exactly once no matter
+// how many analyzers (or importers) touch it.
+type Package struct {
+	// Fset is the loader-wide file set; diagnostics resolve through it.
+	Fset *token.FileSet
+	// Dir is the package directory on disk.
+	Dir string
+	// Path is the full import path.
+	Path string
+	// Rel is the module-relative package path ("" for the module root,
+	// "internal/sim", ...). Analyzer scoping keys off Rel, so fixture
+	// packages can be loaded under synthetic paths to exercise scoped
+	// analyzers.
+	Rel string
+	// Files are the parsed non-test source files, in file-name order.
+	Files []*ast.File
+	// Types and Info hold the go/types results for Files.
+	Types *types.Package
+	Info  *types.Info
+
+	dirsOnce sync.Once
+	dirs     *directives
+}
+
+// directives returns the package's //eucon: comment index, built on first
+// use.
+func (p *Package) directives() *directives {
+	p.dirsOnce.Do(func() { p.dirs = newDirectives(p.Fset, p.Files) })
+	return p.dirs
+}
+
+// Loader parses and type-checks packages of one module with a shared
+// FileSet and package cache. Module-internal imports are resolved from
+// source inside the module tree; standard-library imports fall back to
+// go/importer's source mode (go/build does not know modules, so the
+// custom resolution is what lets euconlint run without golang.org/x/tools
+// or export data).
+type Loader struct {
+	// Fset is shared by every parsed file.
+	Fset *token.FileSet
+	// ModuleRoot is the absolute directory containing go.mod.
+	ModuleRoot string
+	// ModulePath is the module path declared in go.mod.
+	ModulePath string
+
+	std     types.ImporterFrom
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader builds a loader for the module rooted at moduleRoot.
+func NewLoader(moduleRoot string) (*Loader, error) {
+	root, err := filepath.Abs(moduleRoot)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	// The source importer type-checks the standard library from GOROOT
+	// source. With cgo disabled it selects the pure-Go variants of packages
+	// like net, which is all type checking needs.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("analysis: source importer unavailable")
+	}
+	return &Loader{
+		Fset:       fset,
+		ModuleRoot: root,
+		ModulePath: modPath,
+		std:        std,
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("analysis: read module file: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			path := strings.TrimSpace(rest)
+			if path != "" {
+				return strings.Trim(path, `"`), nil
+			}
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s", gomod)
+}
+
+// Import implements types.Importer: module-internal paths load from the
+// module tree, everything else is delegated to the stdlib source importer.
+// This is what wires the analyzed packages and their dependencies into one
+// consistent type universe.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+		p, err := l.load(filepath.Join(l.ModuleRoot, filepath.FromSlash(rel)), path, rel)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.ImportFrom(path, l.ModuleRoot, 0)
+}
+
+// LoadDir parses and type-checks the single package in dir under the given
+// import path. The path may be synthetic (fixture packages use paths under
+// the scoped internal/ namespace to exercise scoped analyzers).
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	rel := importPath
+	if r, ok := strings.CutPrefix(importPath, l.ModulePath+"/"); ok {
+		rel = r
+	} else if importPath == l.ModulePath {
+		rel = ""
+	}
+	return l.load(dir, importPath, rel)
+}
+
+// LoadAll loads every package of the module (skipping testdata, vendored,
+// hidden, and underscore-prefixed directories), sorted by package path.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	return l.LoadTree(l.ModuleRoot)
+}
+
+// LoadTree loads every package under dir, which must be inside the module.
+func (l *Loader) LoadTree(dir string) ([]*Package, error) {
+	root, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		files, err := goSourceFiles(path)
+		if err != nil {
+			return err
+		}
+		if len(files) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(l.ModuleRoot, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		if rel == "." {
+			rel = ""
+		}
+		importPath := l.ModulePath
+		if rel != "" {
+			importPath += "/" + rel
+		}
+		p, err := l.load(path, importPath, rel)
+		if err != nil {
+			return err
+		}
+		pkgs = append(pkgs, p)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// goSourceFiles lists the non-test Go files of dir in name order.
+func goSourceFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		files = append(files, name)
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// load parses and type-checks one package, memoized by import path.
+func (l *Loader) load(dir, importPath, rel string) (*Package, error) {
+	if p, ok := l.pkgs[importPath]; ok {
+		return p, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	names, err := goSourceFiles(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", importPath, err)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go source files in %s", dir)
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse %s: %w", importPath, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-check %s: %w", importPath, err)
+	}
+	p := &Package{
+		Fset:  l.Fset,
+		Dir:   dir,
+		Path:  importPath,
+		Rel:   rel,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	l.pkgs[importPath] = p
+	return p, nil
+}

@@ -1,0 +1,282 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// noallocSafeBuiltins are builtins that never heap-allocate.
+var noallocSafeBuiltins = map[string]bool{
+	"len": true, "cap": true, "copy": true, "clear": true,
+	"min": true, "max": true, "delete": true,
+	"real": true, "imag": true, "complex": true,
+}
+
+// runNoalloc checks every //eucon:noalloc-annotated function: the
+// steady-state event-loop handlers, flat-heap operations, and pool recycle
+// paths whose allocation-freedom the runtime gate
+// (BenchmarkSimulatorSteadyState at 0 allocs/op) measures and this
+// analyzer proves construct-by-construct. Inside an annotated function the
+// following are diagnosed unless the line carries //eucon:alloc-ok:
+//
+//   - append, make, and new;
+//   - composite literals and closures;
+//   - string concatenation;
+//   - conversions of concrete values to interface types (boxing),
+//     explicit or implicit (call arguments, assignments, returns);
+//   - calls to functions that are not themselves annotated, excepting
+//     non-allocating builtins, math, and methods on math/rand sources;
+//   - dynamic calls (interface methods, function values), which cannot be
+//     verified statically.
+func runNoalloc(p *pass) {
+	for _, f := range p.pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !p.dirs.funcHas(fd, dirNoalloc) {
+				continue
+			}
+			w := &noallocWalker{pass: p, decl: fd}
+			ast.Inspect(fd.Body, w.visit)
+		}
+	}
+}
+
+// noallocWalker carries the per-function state of one noalloc check.
+type noallocWalker struct {
+	pass *pass
+	decl *ast.FuncDecl
+}
+
+// report emits a finding unless the line is exempted via //eucon:alloc-ok.
+func (w *noallocWalker) report(pos token.Pos, format string, args ...any) {
+	if w.pass.dirs.lineHas(pos, dirAllocOK) {
+		return
+	}
+	w.pass.reportf(pos, "%s: "+format,
+		append([]any{"//eucon:noalloc function " + w.decl.Name.Name}, args...)...)
+}
+
+func (w *noallocWalker) visit(n ast.Node) bool {
+	info := w.pass.pkg.Info
+	switch n := n.(type) {
+	case *ast.CompositeLit:
+		w.report(n.Pos(), "composite literal may allocate")
+	case *ast.FuncLit:
+		w.report(n.Pos(), "closure allocates")
+		return false // the closure body is not part of the annotated function
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD {
+			if t := info.TypeOf(n); t != nil {
+				if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					w.report(n.Pos(), "string concatenation allocates")
+				}
+			}
+		}
+	case *ast.AssignStmt:
+		if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 {
+			if t := info.TypeOf(n.Lhs[0]); t != nil {
+				if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					w.report(n.Pos(), "string concatenation allocates")
+				}
+			}
+		}
+		w.checkAssignBoxing(n)
+	case *ast.ValueSpec:
+		w.checkSpecBoxing(n)
+	case *ast.ReturnStmt:
+		w.checkReturnBoxing(n)
+	case *ast.CallExpr:
+		w.checkCall(n)
+	}
+	return true
+}
+
+// checkCall classifies one call inside a noalloc function.
+func (w *noallocWalker) checkCall(call *ast.CallExpr) {
+	info := w.pass.pkg.Info
+	if isConversion(info, call) {
+		// Conversions are free unless they box into an interface.
+		if t := info.TypeOf(call.Fun); t != nil && isInterface(t) && len(call.Args) == 1 {
+			if at := info.TypeOf(call.Args[0]); isBoxedBy(at, t) {
+				w.report(call.Pos(), "conversion of concrete %s to interface %s allocates",
+					typeStr(w.pass, at), typeStr(w.pass, t))
+			}
+		}
+		return
+	}
+	switch obj := calleeObject(info, call).(type) {
+	case *types.Builtin:
+		switch obj.Name() {
+		case "append":
+			w.report(call.Pos(), "append may grow and allocate")
+		case "make":
+			w.report(call.Pos(), "make allocates")
+		case "new":
+			w.report(call.Pos(), "new allocates")
+		default:
+			if !noallocSafeBuiltins[obj.Name()] {
+				w.report(call.Pos(), "builtin %s may allocate", obj.Name())
+			}
+		}
+		return
+	case *types.Func:
+		if w.pass.noallocFuncs[obj] || noallocSafeCallee(obj) {
+			w.checkArgBoxing(call)
+			return
+		}
+		if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil && isInterface(sig.Recv().Type()) {
+			w.report(call.Pos(), "dynamic call of interface method %s cannot be verified allocation-free", obj.Name())
+			return
+		}
+		w.report(call.Pos(), "calls %s, which is not annotated //eucon:noalloc", obj.FullName())
+		return
+	case nil:
+		w.report(call.Pos(), "dynamic call through a function value cannot be verified allocation-free")
+		return
+	}
+	w.checkArgBoxing(call)
+}
+
+// checkArgBoxing flags concrete arguments passed to interface-typed
+// parameters of an otherwise-allowed call.
+func (w *noallocWalker) checkArgBoxing(call *ast.CallExpr) {
+	info := w.pass.pkg.Info
+	ft := info.TypeOf(call.Fun)
+	if ft == nil {
+		return
+	}
+	sig, ok := ft.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				pt = params.At(params.Len() - 1).Type() // []T passed whole
+			} else if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !isInterface(pt) {
+			continue
+		}
+		if at := info.TypeOf(arg); isBoxedBy(at, pt) {
+			w.report(arg.Pos(), "passing concrete %s as interface %s allocates",
+				typeStr(w.pass, at), typeStr(w.pass, pt))
+		}
+	}
+}
+
+// checkAssignBoxing flags assignments that box a concrete value into an
+// interface-typed destination.
+func (w *noallocWalker) checkAssignBoxing(n *ast.AssignStmt) {
+	if len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	info := w.pass.pkg.Info
+	for i, lhs := range n.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+			continue
+		}
+		lt := info.TypeOf(lhs)
+		if lt == nil || !isInterface(lt) {
+			continue
+		}
+		if rt := info.TypeOf(n.Rhs[i]); isBoxedBy(rt, lt) {
+			w.report(n.Rhs[i].Pos(), "assigning concrete %s to interface %s allocates",
+				typeStr(w.pass, rt), typeStr(w.pass, lt))
+		}
+	}
+}
+
+// checkSpecBoxing flags var declarations with an interface type and
+// concrete initializers.
+func (w *noallocWalker) checkSpecBoxing(n *ast.ValueSpec) {
+	if n.Type == nil {
+		return
+	}
+	info := w.pass.pkg.Info
+	lt := info.TypeOf(n.Type)
+	if lt == nil || !isInterface(lt) {
+		return
+	}
+	for _, v := range n.Values {
+		if rt := info.TypeOf(v); isBoxedBy(rt, lt) {
+			w.report(v.Pos(), "assigning concrete %s to interface %s allocates",
+				typeStr(w.pass, rt), typeStr(w.pass, lt))
+		}
+	}
+}
+
+// checkReturnBoxing flags returns of concrete values from interface-typed
+// results.
+func (w *noallocWalker) checkReturnBoxing(n *ast.ReturnStmt) {
+	obj, ok := w.pass.pkg.Info.Defs[w.decl.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	results := obj.Type().(*types.Signature).Results()
+	if results.Len() != len(n.Results) {
+		return
+	}
+	for i, r := range n.Results {
+		rt := results.At(i).Type()
+		if !isInterface(rt) {
+			continue
+		}
+		if at := w.pass.pkg.Info.TypeOf(r); isBoxedBy(at, rt) {
+			w.report(r.Pos(), "returning concrete %s as interface %s allocates",
+				typeStr(w.pass, at), typeStr(w.pass, rt))
+		}
+	}
+}
+
+// noallocSafeCallee allows selected standard-library callees that are
+// known not to allocate: the pure math package and methods on explicitly
+// seeded math/rand generators (the simulator's jitter draws).
+func noallocSafeCallee(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	switch pkg.Path() {
+	case "math":
+		return true
+	case "math/rand", "math/rand/v2":
+		sig, ok := fn.Type().(*types.Signature)
+		return ok && sig.Recv() != nil
+	}
+	return false
+}
+
+// isInterface reports whether t is an interface type (including any).
+func isInterface(t types.Type) bool {
+	return t != nil && types.IsInterface(t)
+}
+
+// isBoxedBy reports whether storing a value of type 'from' into a
+// destination of interface type requires boxing: a concrete, non-nil
+// source.
+func isBoxedBy(from, to types.Type) bool {
+	if from == nil || !isInterface(to) || isInterface(from) {
+		return false
+	}
+	if b, ok := from.(*types.Basic); ok && (b.Kind() == types.UntypedNil || b.Kind() == types.Invalid) {
+		return false
+	}
+	return true
+}
+
+// typeStr renders a type relative to the analyzed package.
+func typeStr(p *pass, t types.Type) string {
+	if t == nil {
+		return "<unknown>"
+	}
+	return types.TypeString(t, types.RelativeTo(p.pkg.Types))
+}

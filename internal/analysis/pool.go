@@ -1,0 +1,290 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// poolFreeMethods are the simulator's free-list recycle entry points. A
+// call s.putEvent(e) / s.putJob(j) transfers ownership of its first
+// argument back to the pool; the pooled object may be zeroed and handed to
+// another caller at any point afterwards.
+var poolFreeMethods = map[string]bool{
+	"putEvent": true,
+	"putJob":   true,
+}
+
+// freeSite records where a pooled variable was recycled.
+type freeSite struct {
+	method string
+	pos    token.Pos
+}
+
+// runPoolDiscipline flags use-after-free on the simulator's pooled events
+// and jobs: a variable read after being passed to putEvent/putJob in the
+// same function, tracked flow-sensitively through the statement list.
+// Reassigning the variable (e = s.newEvent(...)) clears the freed state;
+// conditional frees followed by an early return do not poison the fallthrough
+// path. An intentional post-recycle touch can be exempted per line with
+// //eucon:pool-ok. Scope: internal/sim only — the pools live there.
+func runPoolDiscipline(p *pass) {
+	if !inScope(p.pkg.Rel, []string{"internal/sim"}) {
+		return
+	}
+	for _, f := range p.pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &poolWalker{pass: p}
+			w.block(fd.Body.List, make(map[*types.Var]freeSite))
+		}
+	}
+}
+
+// poolWalker tracks, per statement list, which pooled variables have been
+// recycled.
+type poolWalker struct {
+	pass *pass
+}
+
+// block analyzes one statement list against (and mutating) freed.
+func (w *poolWalker) block(stmts []ast.Stmt, freed map[*types.Var]freeSite) {
+	for _, stmt := range stmts {
+		w.stmt(stmt, freed)
+	}
+}
+
+// stmt checks one statement for uses of freed variables, then applies its
+// free/reassign effects to the freed set.
+func (w *poolWalker) stmt(stmt ast.Stmt, freed map[*types.Var]freeSite) {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		w.block(s.List, freed)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, freed)
+		}
+		w.checkUses(s.Cond, freed)
+		thenFreed := cloneFreed(freed)
+		w.block(s.Body.List, thenFreed)
+		elseFreed := cloneFreed(freed)
+		if s.Else != nil {
+			w.stmt(s.Else, elseFreed)
+		}
+		// A free inside a branch reaches the code after the if only when the
+		// branch can fall through; a branch ending in return/panic/break keeps
+		// its frees to itself.
+		if !terminates(s.Body.List) {
+			mergeFreed(freed, thenFreed)
+		}
+		if s.Else == nil || !stmtTerminates(s.Else) {
+			mergeFreed(freed, elseFreed)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, freed)
+		}
+		if s.Cond != nil {
+			w.checkUses(s.Cond, freed)
+		}
+		body := cloneFreed(freed)
+		w.block(s.Body.List, body)
+		if s.Post != nil {
+			w.stmt(s.Post, body)
+		}
+	case *ast.RangeStmt:
+		w.checkUses(s.X, freed)
+		body := cloneFreed(freed)
+		for _, e := range [2]ast.Expr{s.Key, s.Value} {
+			if id, ok := e.(*ast.Ident); ok {
+				if v := w.identVar(id); v != nil {
+					delete(body, v)
+				}
+			}
+		}
+		w.block(s.Body.List, body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, freed)
+		}
+		if s.Tag != nil {
+			w.checkUses(s.Tag, freed)
+		}
+		w.caseBodies(s.Body, freed)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, freed)
+		}
+		w.checkUses(s.Assign, freed)
+		w.caseBodies(s.Body, freed)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			w.checkUses(rhs, freed)
+		}
+		for _, lhs := range s.Lhs {
+			if _, ok := lhs.(*ast.Ident); !ok {
+				// Writing through a freed pointer (e.next = ...) is a use.
+				w.checkUses(lhs, freed)
+			}
+		}
+		w.applyFrees(s, freed)
+		// A plain-identifier assignment gives the variable a fresh value, so
+		// its freed state is cleared after the statement's own reads.
+		for _, lhs := range s.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if v := w.identVar(id); v != nil {
+					delete(freed, v)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		w.checkUses(s.X, freed)
+		w.applyFrees(s, freed)
+	case *ast.DeferStmt:
+		// Deferred frees run at function exit; uses inside are checked, but
+		// the free effect never reaches subsequent statements.
+		w.checkUses(s.Call, freed)
+	case *ast.GoStmt:
+		w.checkUses(s.Call, freed)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.checkUses(r, freed)
+		}
+	case *ast.IncDecStmt:
+		w.checkUses(s.X, freed)
+	case *ast.SendStmt:
+		w.checkUses(s.Chan, freed)
+		w.checkUses(s.Value, freed)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, freed)
+	case *ast.DeclStmt:
+		w.checkUses(s, freed)
+	}
+}
+
+// caseBodies analyzes each case clause of a switch body with an isolated
+// copy of freed; frees inside a case do not propagate past the switch
+// (every simulator switch-case either returns or fully consumes its
+// object, and joining would require path-sensitive merging).
+func (w *poolWalker) caseBodies(body *ast.BlockStmt, freed map[*types.Var]freeSite) {
+	for _, cs := range body.List {
+		cc, ok := cs.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			w.checkUses(e, freed)
+		}
+		w.block(cc.Body, cloneFreed(freed))
+	}
+}
+
+// checkUses reports every identifier inside n that resolves to a freed
+// variable, unless the line is exempted with //eucon:pool-ok.
+func (w *poolWalker) checkUses(n ast.Node, freed map[*types.Var]freeSite) {
+	if n == nil || len(freed) == 0 {
+		return
+	}
+	ast.Inspect(n, func(child ast.Node) bool {
+		id, ok := child.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v := w.identVar(id)
+		if v == nil {
+			return true
+		}
+		site, isFreed := freed[v]
+		if !isFreed {
+			return true
+		}
+		if w.pass.dirs.lineHas(id.Pos(), dirPoolOK) {
+			return true
+		}
+		w.pass.reportf(id.Pos(),
+			"%s is used after being recycled via %s (line %d); the pool may already have reused it",
+			id.Name, site.method, w.pass.pkg.Fset.Position(site.pos).Line)
+		return true
+	})
+}
+
+// applyFrees records pooled variables recycled by any putEvent/putJob call
+// inside the statement.
+func (w *poolWalker) applyFrees(stmt ast.Stmt, freed map[*types.Var]freeSite) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !poolFreeMethods[sel.Sel.Name] || len(call.Args) == 0 {
+			return true
+		}
+		id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v := w.identVar(id); v != nil {
+			freed[v] = freeSite{method: sel.Sel.Name, pos: call.Pos()}
+		}
+		return true
+	})
+}
+
+// identVar resolves an identifier to the local/parameter variable it
+// names, or nil.
+func (w *poolWalker) identVar(id *ast.Ident) *types.Var {
+	obj := w.pass.pkg.Info.Uses[id]
+	if obj == nil {
+		obj = w.pass.pkg.Info.Defs[id]
+	}
+	v, _ := obj.(*types.Var)
+	return v
+}
+
+// cloneFreed copies a freed set for branch-local analysis.
+func cloneFreed(m map[*types.Var]freeSite) map[*types.Var]freeSite {
+	c := make(map[*types.Var]freeSite, len(m))
+	for k, v := range m { //eucon:order-independent map copy
+		c[k] = v
+	}
+	return c
+}
+
+// mergeFreed folds branch-local frees into the outer set.
+func mergeFreed(dst, src map[*types.Var]freeSite) {
+	for k, v := range src { //eucon:order-independent map merge
+		dst[k] = v
+	}
+}
+
+// terminates reports whether a statement list always transfers control
+// away (return, branch, or panic as its final statement).
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	return stmtTerminates(stmts[len(stmts)-1])
+}
+
+// stmtTerminates reports whether a single statement always transfers
+// control away.
+func stmtTerminates(stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "panic"
+	case *ast.BlockStmt:
+		return terminates(s.List)
+	}
+	return false
+}

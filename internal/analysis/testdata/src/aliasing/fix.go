@@ -1,0 +1,33 @@
+// Package fixalias is a lint fixture for the aliasing analyzer: exported
+// functions returning receiver- or parameter-backed slices must be flagged
+// unless their doc comment documents the aliasing; fresh copies must stay
+// silent.
+package fixalias
+
+// Buffer owns a series.
+type Buffer struct {
+	data []float64
+}
+
+// Data returns the raw series.
+func (b *Buffer) Data() []float64 {
+	return b.data // want "aliasing: exported Data returns a slice aliasing receiver-owned memory"
+}
+
+// Head returns the first n elements.
+func Head(s []float64, n int) []float64 {
+	return s[:n] // want "aliasing: exported Head returns a slice aliasing parameter-owned memory"
+}
+
+// View returns s[from:to). The result aliases s's backing array; copy it
+// before mutating or retaining.
+func View(s []float64, from, to int) []float64 {
+	return s[from:to]
+}
+
+// Clone returns a fresh copy of s.
+func Clone(s []float64) []float64 {
+	out := make([]float64, len(s))
+	copy(out, s)
+	return out
+}

@@ -1,0 +1,58 @@
+// Package fixdeterminism is a lint fixture: each construct the determinism
+// analyzer must flag carries a want comment, and each allowlisted form must
+// stay silent. The package is loaded under a synthetic internal/sim path so
+// the scoped analyzer fires.
+package fixdeterminism
+
+import (
+	"math/rand"
+	"time"
+)
+
+func sumRates(m map[int]float64) float64 {
+	var total float64
+	for _, v := range m { // want "determinism: range over map map\[int\]float64 iterates in randomized order"
+		total += v
+	}
+	return total
+}
+
+// sumRatesAllowed is the function-level allowlist true negative.
+//
+//eucon:order-independent summation is commutative
+func sumRatesAllowed(m map[int]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func countAllowed(m map[int]bool) int {
+	n := 0
+	//eucon:order-independent counting is commutative
+	for range m {
+		n++
+	}
+	return n
+}
+
+func wallClock() time.Time {
+	return time.Now() // want "determinism: time.Now couples simulation results to the wall clock"
+}
+
+func globalRand() float64 {
+	return rand.Float64() // want "determinism: global math/rand draws from the shared unseeded source"
+}
+
+func seededRand(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+var _ = sumRates
+var _ = sumRatesAllowed
+var _ = countAllowed
+var _ = wallClock
+var _ = globalRand
+var _ = seededRand

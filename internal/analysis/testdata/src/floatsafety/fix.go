@@ -1,0 +1,38 @@
+// Package fixfloat is a lint fixture for the floatsafety analyzer: raw
+// float ==/!= must be flagged; //eucon:float-exact functions and lines,
+// integer comparisons, and constant folds must stay silent.
+package fixfloat
+
+func rawEq(a, b float64) bool {
+	return a == b // want "floatsafety: == between float64 operands is exact"
+}
+
+func rawNeq(a, b float64) bool {
+	return a != b // want "floatsafety: != between float64 operands is exact"
+}
+
+// exactFunc is the function-level annotation true negative.
+//
+//eucon:float-exact change detection on copied values
+func exactFunc(a, b float64) bool {
+	return a == b
+}
+
+func exactLine(a float64) bool {
+	return a == 0 //eucon:float-exact exact-zero guard
+}
+
+func intEq(a, b int) bool {
+	return a == b
+}
+
+func constFold() bool {
+	return 1.5 == 2.5
+}
+
+var _ = rawEq
+var _ = rawNeq
+var _ = exactFunc
+var _ = exactLine
+var _ = intEq
+var _ = constFold

@@ -1,0 +1,108 @@
+// Package fixnoalloc is a lint fixture for the noalloc analyzer: every
+// allocating construct inside a //eucon:noalloc function carries a want
+// comment; annotated-to-annotated calls, safe builtins, math, and
+// //eucon:alloc-ok lines must stay silent.
+package fixnoalloc
+
+import "math"
+
+type point struct{ x, y int }
+
+func helper() int { return 0 }
+
+//eucon:noalloc
+func leaf(x int) int { return x + 1 }
+
+//eucon:noalloc
+func sink(v any) { _ = v }
+
+//eucon:noalloc
+func appends(buf []int, n int) []int {
+	return append(buf, n) // want "noalloc: //eucon:noalloc function appends: append may grow and allocate"
+}
+
+//eucon:noalloc
+func makes(n int) {
+	s := make([]int, n) // want "noalloc: .*make allocates"
+	_ = s
+}
+
+//eucon:noalloc
+func news() {
+	p := new(int) // want "noalloc: .*new allocates"
+	_ = p
+}
+
+//eucon:noalloc
+func composite(n int) {
+	v := point{x: n} // want "noalloc: .*composite literal may allocate"
+	_ = v
+}
+
+//eucon:noalloc
+func closure(n int) {
+	f := func() int { return n } // want "noalloc: .*closure allocates"
+	_ = f
+}
+
+//eucon:noalloc
+func concat(a, b string) string {
+	return a + b // want "noalloc: .*string concatenation allocates"
+}
+
+//eucon:noalloc
+func boxReturn(n int) any {
+	return n // want "noalloc: .*returning concrete int as interface .* allocates"
+}
+
+//eucon:noalloc
+func boxAssign(n int) {
+	var i any
+	i = n // want "noalloc: .*assigning concrete int to interface .* allocates"
+	_ = i
+}
+
+//eucon:noalloc
+func boxArg(n int) {
+	sink(n) // want "noalloc: .*passing concrete int as interface .* allocates"
+}
+
+//eucon:noalloc
+func callsUnannotated() int {
+	return helper() // want "noalloc: .*calls .*helper, which is not annotated //eucon:noalloc"
+}
+
+//eucon:noalloc
+func callsAnnotated(x int) int {
+	return leaf(x)
+}
+
+//eucon:noalloc
+func usesMath(x float64) float64 {
+	return math.Sqrt(x)
+}
+
+//eucon:noalloc
+func safeBuiltins(s []int) int {
+	return len(s) + cap(s)
+}
+
+//eucon:noalloc
+func exempted(buf []int) []int {
+	return append(buf, 1) //eucon:alloc-ok fixture: caller pre-sizes the buffer
+}
+
+var _ = appends
+var _ = makes
+var _ = news
+var _ = composite
+var _ = closure
+var _ = concat
+var _ = boxReturn
+var _ = boxAssign
+var _ = boxArg
+var _ = callsUnannotated
+var _ = callsAnnotated
+var _ = usesMath
+var _ = safeBuiltins
+var _ = exempted

@@ -1,0 +1,64 @@
+// Package fixpool is a lint fixture for the pooldiscipline analyzer. It
+// defines its own pool shaped like the simulator's free lists (putEvent /
+// putJob methods) and is loaded under a synthetic internal/sim path so the
+// scoped analyzer fires. Uses after a recycle must be flagged; reassignment,
+// terminated branches, and //eucon:pool-ok lines must stay silent.
+package fixpool
+
+type event struct{ at float64 }
+
+type job struct{ id int }
+
+type pool struct {
+	events []*event
+	jobs   []*job
+}
+
+func (p *pool) putEvent(e *event) { p.events = append(p.events, e) }
+
+func (p *pool) putJob(j *job) { p.jobs = append(p.jobs, j) }
+
+func (p *pool) newEvent() *event { return &event{} }
+
+func useAfterFree(p *pool, e *event) float64 {
+	p.putEvent(e)
+	return e.at // want "pooldiscipline: e is used after being recycled via putEvent"
+}
+
+func useJobAfterFree(p *pool, j *job) int {
+	p.putJob(j)
+	return j.id // want "pooldiscipline: j is used after being recycled via putJob"
+}
+
+func branchLeak(p *pool, e *event, cond bool) float64 {
+	if cond {
+		p.putEvent(e)
+	}
+	return e.at // want "pooldiscipline: e is used after being recycled via putEvent"
+}
+
+func earlyReturn(p *pool, e *event, cond bool) float64 {
+	if cond {
+		p.putEvent(e)
+		return 0
+	}
+	return e.at
+}
+
+func reassigned(p *pool, e *event) float64 {
+	p.putEvent(e)
+	e = p.newEvent()
+	return e.at
+}
+
+func blessed(p *pool, e *event) float64 {
+	p.putEvent(e)
+	return e.at //eucon:pool-ok fixture: reading a field the pool never clears
+}
+
+var _ = useAfterFree
+var _ = useJobAfterFree
+var _ = branchLeak
+var _ = earlyReturn
+var _ = reassigned
+var _ = blessed

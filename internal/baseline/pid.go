@@ -51,10 +51,10 @@ func NewPID(sys *task.System, setPoints []float64, cfg PIDConfig) (*PID, error) 
 	if len(setPoints) != sys.Processors {
 		return nil, fmt.Errorf("pid: %d set points for %d processors", len(setPoints), sys.Processors)
 	}
-	if cfg.Kp == 0 {
+	if mat.IsZero(cfg.Kp) {
 		cfg.Kp = 0.5
 	}
-	if cfg.Ki == 0 {
+	if mat.IsZero(cfg.Ki) {
 		cfg.Ki = 0.1
 	}
 	if cfg.Kp < 0 || cfg.Ki < 0 {

@@ -53,7 +53,7 @@ func (c Config) withDefaults() Config {
 	if c.ControlHorizon == 0 {
 		c.ControlHorizon = 1
 	}
-	if c.TrefOverTs == 0 {
+	if mat.IsZero(c.TrefOverTs) {
 		c.TrefOverTs = 4
 	}
 	return c

@@ -56,7 +56,7 @@ func (c Config) withDefaults() Config {
 	if c.ControlHorizon == 0 {
 		c.ControlHorizon = 1
 	}
-	if c.TrefOverTs == 0 {
+	if mat.IsZero(c.TrefOverTs) {
 		c.TrefOverTs = 4
 	}
 	if c.Parallelism <= 0 {
@@ -157,7 +157,9 @@ func neighborsOf(sys *task.System) [][]int {
 		for _, st := range sys.Tasks[j].Subtasks {
 			procs[st.Processor] = true
 		}
+		//eucon:order-independent symmetric marking; seen[a][b] is set regardless of visit order
 		for a := range procs {
+			//eucon:order-independent inner half of the same symmetric marking
 			for b := range procs {
 				if a != b {
 					seen[a][b] = true
@@ -292,7 +294,7 @@ func (c *Controller) stepLocal(l *local, u, rates []float64) (*mpc.StepResult, e
 	for ri, proc := range l.scope {
 		adj := u[proc]
 		for j := range c.sys.Tasks {
-			if c.leaderOf(j) != l.proc && c.announced[j] != 0 {
+			if c.leaderOf(j) != l.proc && !mat.IsZero(c.announced[j]) {
 				adj += c.f.At(proc, j) * c.announced[j]
 			}
 		}

@@ -13,7 +13,7 @@ func OrthonormalRange(a *Dense, tol float64) *Dense {
 	}
 	m, n := a.Dims()
 	scale := a.MaxAbs()
-	if scale == 0 {
+	if IsZero(scale) {
 		return nil
 	}
 	cols := make([][]float64, 0, n)

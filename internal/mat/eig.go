@@ -51,7 +51,7 @@ func CharPoly(a *Dense) ([]float64, error) {
 // roots.
 func PolyRoots(coeffs []float64) []complex128 {
 	// Strip leading zeros.
-	for len(coeffs) > 0 && coeffs[0] == 0 {
+	for len(coeffs) > 0 && IsZero(coeffs[0]) {
 		coeffs = coeffs[1:]
 	}
 	n := len(coeffs) - 1
@@ -120,7 +120,7 @@ func PolyRoots(coeffs []float64) []complex128 {
 		}
 	}
 	sort.Slice(roots, func(i, j int) bool {
-		if real(roots[i]) != real(roots[j]) {
+		if real(roots[i]) != real(roots[j]) { //eucon:float-exact total-order tie-break for a stable sort
 			return real(roots[i]) < real(roots[j])
 		}
 		return imag(roots[i]) < imag(roots[j])

@@ -51,7 +51,7 @@ func FactorLU(a *Dense) (*LU, error) {
 		for i := k + 1; i < n; i++ {
 			m := lu.At(i, k) / pkk
 			lu.Set(i, k, m)
-			if m == 0 {
+			if IsZero(m) {
 				continue
 			}
 			for j := k + 1; j < n; j++ {

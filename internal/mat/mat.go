@@ -215,7 +215,7 @@ func (m *Dense) Mul(b *Dense) *Dense {
 		mi := m.data[i*m.cols : (i+1)*m.cols]
 		oi := out.data[i*out.cols : (i+1)*out.cols]
 		for k, mv := range mi {
-			if mv == 0 {
+			if IsZero(mv) {
 				continue
 			}
 			bk := b.data[k*b.cols : (k+1)*b.cols]

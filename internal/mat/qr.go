@@ -28,7 +28,7 @@ func FactorQR(a *Dense) (*QR, error) {
 		for i := k; i < m; i++ {
 			norm = math.Hypot(norm, qr.At(i, k))
 		}
-		if norm == 0 {
+		if IsZero(norm) {
 			rdiag[k] = 0
 			continue
 		}
@@ -65,7 +65,7 @@ func (f *QR) SolveLeastSquares(b []float64) ([]float64, error) {
 	// Apply Qᵀ to b by applying each Householder reflector in order.
 	for k := 0; k < n; k++ {
 		vk := f.qr.At(k, k)
-		if f.rdiag[k] == 0 || vk == 0 {
+		if IsZero(f.rdiag[k]) || IsZero(vk) {
 			continue
 		}
 		var s float64
@@ -86,7 +86,7 @@ func (f *QR) SolveLeastSquares(b []float64) ([]float64, error) {
 			s -= f.qr.At(i, j) * x[j]
 		}
 		d := f.rdiag[i]
-		if math.Abs(d) < 1e-13*scale || d == 0 {
+		if math.Abs(d) < 1e-13*scale || IsZero(d) {
 			return nil, fmt.Errorf("least-squares back-substitution at column %d: %w", i, ErrSingular)
 		}
 		x[i] = s / d

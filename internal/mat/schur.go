@@ -33,7 +33,7 @@ func EigenvaluesQR(a *Dense) ([]complex128, error) {
 			l := hi
 			for l > 0 {
 				s := math.Abs(h.At(l-1, l-1)) + math.Abs(h.At(l, l))
-				if s == 0 {
+				if IsZero(s) {
 					s = 1
 				}
 				if math.Abs(h.At(l, l-1)) <= 1e-14*s {
@@ -84,7 +84,7 @@ func hessenberg(a *Dense) *Dense {
 		for i := k + 1; i < n; i++ {
 			norm = math.Hypot(norm, h.At(i, k))
 		}
-		if norm == 0 {
+		if IsZero(norm) {
 			continue
 		}
 		if h.At(k+1, k) < 0 {
@@ -99,7 +99,7 @@ func hessenberg(a *Dense) *Dense {
 		for i := k + 1; i < n; i++ {
 			beta += v[i] * v[i]
 		}
-		if beta == 0 {
+		if IsZero(beta) {
 			continue
 		}
 		// H = I − 2vvᵀ/β applied on both sides: h ← H·h·H.
@@ -194,7 +194,7 @@ func applyReflector3(h *Dense, r0, rcap int, x, y, z float64, n int) {
 	for _, vi := range v {
 		norm = math.Hypot(norm, vi)
 	}
-	if norm == 0 {
+	if IsZero(norm) {
 		return
 	}
 	if v[0] < 0 {
@@ -205,7 +205,7 @@ func applyReflector3(h *Dense, r0, rcap int, x, y, z float64, n int) {
 	for _, vi := range v {
 		beta += vi * vi
 	}
-	if beta == 0 {
+	if IsZero(beta) {
 		return
 	}
 	// Left: rows ← (I − 2vvᵀ/β)·rows.
@@ -235,7 +235,7 @@ func applyReflector3(h *Dense, r0, rcap int, x, y, z float64, n int) {
 // applyReflector2 is the two-row specialization of applyReflector3.
 func applyReflector2(h *Dense, r0 int, x, y float64, n int) {
 	norm := math.Hypot(x, y)
-	if norm == 0 {
+	if IsZero(norm) {
 		return
 	}
 	if x < 0 {
@@ -243,7 +243,7 @@ func applyReflector2(h *Dense, r0 int, x, y float64, n int) {
 	}
 	v0, v1 := x+norm, y
 	beta := v0*v0 + v1*v1
-	if beta == 0 {
+	if IsZero(beta) {
 		return
 	}
 	for j := 0; j < n; j++ {

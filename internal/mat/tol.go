@@ -1,0 +1,21 @@
+package mat
+
+import "math"
+
+// EqTol reports whether a and b are within tol of each other. It is the
+// tolerance comparison the floatsafety analyzer steers code toward when a
+// raw ==/!= between floats would hide rounding error.
+func EqTol(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+// IsZero reports whether x is exactly zero. It exists to centralize the
+// exact-zero structural guards of the linear-algebra kernels (singularity
+// checks, zero-column skips) in one audited place: these guards gate
+// divisions and must be exact, not tolerant, to preserve bit-identical
+// results across runs.
+//
+//eucon:float-exact exact-zero guard by design
+func IsZero(x float64) bool {
+	return x == 0
+}

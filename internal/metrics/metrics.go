@@ -26,7 +26,8 @@ func Column(rows [][]float64, i int) []float64 {
 	return out
 }
 
-// Window returns s[from:to) with bounds clamped to the series.
+// Window returns s[from:to) with bounds clamped to the series. The result
+// aliases s's backing array; copy it before mutating or retaining.
 func Window(s []float64, from, to int) []float64 {
 	if from < 0 {
 		from = 0

@@ -243,7 +243,7 @@ func solveActiveSet(h *mat.Dense, hchol *mat.Cholesky, f []float64, a *mat.Dense
 			if addIfIndependent(a, working, blocking) {
 				working = append(working, blocking)
 				inWorking[blocking] = true
-			} else if alpha == 0 {
+			} else if mat.IsZero(alpha) {
 				// Degenerate zero step onto a dependent constraint: give the
 				// multiplier check a chance by treating it as stationary next
 				// round; avoid infinite loops via the iteration cap.

@@ -89,7 +89,7 @@ func ResponseTimes(jobs []Job) ([]float64, error) {
 				hj := jobs[order[h]]
 				next += math.Ceil(r/hj.Period) * hj.Cost
 			}
-			if next == r {
+			if next == r { //eucon:float-exact fixed-point convergence: iterates are sums of exact multiples and repeat exactly
 				break
 			}
 			r = next

@@ -41,6 +41,9 @@ type eventQueue struct {
 }
 
 // eventBefore is the strict total order of the queue.
+//
+//eucon:noalloc
+//eucon:float-exact tie-break of a total order; equal timestamps must compare equal
 func eventBefore(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
@@ -51,10 +54,12 @@ func eventBefore(a, b *event) bool {
 	return a.seq < b.seq
 }
 
+//eucon:noalloc
 func (q *eventQueue) len() int { return len(q.ev) }
 
+//eucon:noalloc
 func (q *eventQueue) push(e *event) {
-	q.ev = append(q.ev, e)
+	q.ev = append(q.ev, e) //eucon:alloc-ok amortized heap growth; capacity plateaus at the pending-event high-water mark
 	// Sift up.
 	i := len(q.ev) - 1
 	for i > 0 {
@@ -67,6 +72,7 @@ func (q *eventQueue) push(e *event) {
 	}
 }
 
+//eucon:noalloc
 func (q *eventQueue) pop() *event {
 	top := q.ev[0]
 	n := len(q.ev) - 1
@@ -79,6 +85,7 @@ func (q *eventQueue) pop() *event {
 	return top
 }
 
+//eucon:noalloc
 func (q *eventQueue) siftDown(i int) {
 	n := len(q.ev)
 	for {

@@ -16,45 +16,55 @@ package sim
 // possible. Steady state never allocates: the pool high-water mark is the
 // maximum number of simultaneously pending events, reached during the first
 // few sampling periods.
+//
+//eucon:noalloc
 func (s *Simulator) newEvent() *event {
 	if n := len(s.freeEvents); n > 0 {
 		e := s.freeEvents[n-1]
 		s.freeEvents[n-1] = nil
 		s.freeEvents = s.freeEvents[:n-1]
-		*e = event{}
+		*e = event{} //eucon:alloc-ok zeroing store into a pooled object, not an allocation
 		return e
 	}
-	return &event{}
+	return &event{} //eucon:alloc-ok cold-path pool miss; amortized to zero in steady state
 }
 
 // putEvent recycles a handled (or stale) event. The caller must have taken
 // ownership of e.job first — putEvent does not free the job, because on the
 // release path the job outlives its carrying event.
+//
+//eucon:noalloc
 func (s *Simulator) putEvent(e *event) {
-	s.freeEvents = append(s.freeEvents, e)
+	s.freeEvents = append(s.freeEvents, e) //eucon:alloc-ok amortized free-list growth; capacity plateaus at the working set
 }
 
 // newJob returns a zeroed job, recycling from the free list when possible.
+//
+//eucon:noalloc
 func (s *Simulator) newJob() *job {
 	if n := len(s.freeJobs); n > 0 {
 		j := s.freeJobs[n-1]
 		s.freeJobs[n-1] = nil
 		s.freeJobs = s.freeJobs[:n-1]
-		*j = job{}
+		*j = job{} //eucon:alloc-ok zeroing store into a pooled object, not an allocation
 		return j
 	}
-	return &job{}
+	return &job{} //eucon:alloc-ok cold-path pool miss; amortized to zero in steady state
 }
 
 // putJob recycles a completed, shed, or stale job.
+//
+//eucon:noalloc
 func (s *Simulator) putJob(j *job) {
-	s.freeJobs = append(s.freeJobs, j)
+	s.freeJobs = append(s.freeJobs, j) //eucon:alloc-ok amortized free-list growth; capacity plateaus at the working set
 }
 
 // recycleInFlight drains every live event and job — pending events (and the
 // jobs they carry), ready queues, and running slots — back into the free
 // lists. Reset uses it so a reused Simulator re-enters its first sampling
 // period with warm pools instead of reallocating the working set.
+//
+//eucon:noalloc
 func (s *Simulator) recycleInFlight() {
 	for _, e := range s.events.ev {
 		if e.job != nil {

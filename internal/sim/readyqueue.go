@@ -15,13 +15,17 @@ type jobHeap struct {
 	sim  *Simulator
 }
 
+//eucon:noalloc
 func (h *jobHeap) len() int { return len(h.jobs) }
 
 // peek returns the highest-priority ready job; the heap must be non-empty.
+//
+//eucon:noalloc
 func (h *jobHeap) peek() *job { return h.jobs[0] }
 
+//eucon:noalloc
 func (h *jobHeap) push(j *job) {
-	h.jobs = append(h.jobs, j)
+	h.jobs = append(h.jobs, j) //eucon:alloc-ok amortized heap growth; capacity plateaus at the per-processor backlog bound
 	i := len(h.jobs) - 1
 	for i > 0 {
 		parent := (i - 1) / 4
@@ -33,6 +37,7 @@ func (h *jobHeap) push(j *job) {
 	}
 }
 
+//eucon:noalloc
 func (h *jobHeap) pop() *job {
 	top := h.jobs[0]
 	n := len(h.jobs) - 1
@@ -45,6 +50,7 @@ func (h *jobHeap) pop() *job {
 	return top
 }
 
+//eucon:noalloc
 func (h *jobHeap) siftDown(i int) {
 	n := len(h.jobs)
 	for {
@@ -72,6 +78,8 @@ func (h *jobHeap) siftDown(i int) {
 
 // reinit restores the heap invariant after RMS priorities changed under the
 // queued jobs (a rate change altered task periods).
+//
+//eucon:noalloc
 func (h *jobHeap) reinit() {
 	n := len(h.jobs)
 	for i := (n - 2) / 4; i >= 0; i-- {

@@ -391,6 +391,9 @@ func (s *Simulator) RunContext(ctx context.Context) (*Trace, error) {
 	return &s.trace, nil
 }
 
+// push assigns the event its global sequence number and enqueues it.
+//
+//eucon:noalloc
 func (s *Simulator) push(e *event) *event {
 	s.seq++
 	e.seq = s.seq
@@ -399,12 +402,16 @@ func (s *Simulator) push(e *event) *event {
 }
 
 // period returns task i's current period 1/r_i.
+//
+//eucon:noalloc
 func (s *Simulator) period(i int) float64 { return 1 / s.rates[i] }
 
 // drawExecTime draws the actual execution time for a subtask released now.
+//
+//eucon:noalloc
 func (s *Simulator) drawExecTime(estimatedCost float64) float64 {
-	mean := estimatedCost * s.cfg.ETF.At(s.now)
-	if s.cfg.Jitter == 0 {
+	mean := estimatedCost * s.cfg.ETF.At(s.now) //eucon:alloc-ok ETF schedules are value-typed lookups; none allocates
+	if s.cfg.Jitter == 0 {                      //eucon:float-exact Jitter is copied from the config, never computed
 		return mean
 	}
 	lo := mean * (1 - s.cfg.Jitter)
@@ -414,6 +421,8 @@ func (s *Simulator) drawExecTime(estimatedCost float64) float64 {
 
 // scheduleFirstRelease schedules the periodic release of task i's first
 // subtask at time at.
+//
+//eucon:noalloc
 func (s *Simulator) scheduleFirstRelease(i int, at float64) {
 	s.releaseSeq[i]++
 	j := s.newJob()
@@ -428,6 +437,8 @@ func (s *Simulator) scheduleFirstRelease(i int, at float64) {
 }
 
 // handleRelease admits a job to its processor's ready queue.
+//
+//eucon:noalloc
 func (s *Simulator) handleRelease(e *event) {
 	j := e.job
 	ti := j.taskIdx
@@ -467,6 +478,8 @@ func (s *Simulator) handleRelease(e *event) {
 
 // handleCompletion finishes the running job on a processor if the event is
 // still valid.
+//
+//eucon:noalloc
 func (s *Simulator) handleCompletion(e *event) {
 	p := &s.procs[e.proc]
 	if e.seq != p.seq || p.running == nil {
@@ -487,6 +500,8 @@ func (s *Simulator) handleCompletion(e *event) {
 
 // completeJob records statistics and releases the successor subtask under
 // the release guard protocol. The caller still owns j and recycles it.
+//
+//eucon:noalloc
 func (s *Simulator) completeJob(j *job) {
 	s.trace.Stats.CompletedJobs++
 	s.cur.Completed++
@@ -528,6 +543,8 @@ func (s *Simulator) completeJob(j *job) {
 }
 
 // accrue charges CPU time to the running job up to the current instant.
+//
+//eucon:noalloc
 func (s *Simulator) accrue(procIdx int) {
 	p := &s.procs[procIdx]
 	if p.running == nil {
@@ -547,6 +564,8 @@ func (s *Simulator) accrue(procIdx int) {
 
 // dispatch re-evaluates which job should hold processor procIdx under RMS
 // (shortest current period first) and schedules its completion.
+//
+//eucon:noalloc
 func (s *Simulator) dispatch(procIdx int) {
 	s.accrue(procIdx)
 	p := &s.procs[procIdx]
@@ -570,6 +589,9 @@ func (s *Simulator) dispatch(procIdx int) {
 // higherPriority implements RMS with deterministic tie-breaking: shorter
 // current period wins; ties break by task index, then subtask index, then
 // earlier release.
+//
+//eucon:noalloc
+//eucon:float-exact tie-break of a total order; equal periods must compare equal
 func (s *Simulator) higherPriority(a, b *job) bool {
 	pa, pb := s.period(a.taskIdx), s.period(b.taskIdx)
 	if pa != pb {
@@ -584,6 +606,9 @@ func (s *Simulator) higherPriority(a, b *job) bool {
 	return a.release < b.release
 }
 
+// scheduleCompletion schedules the tentative finish of the running job.
+//
+//eucon:noalloc
 func (s *Simulator) scheduleCompletion(procIdx int) {
 	p := &s.procs[procIdx]
 	e := s.newEvent()
@@ -598,6 +623,8 @@ func (s *Simulator) scheduleCompletion(procIdx int) {
 // utilizations and rates, consults the controller, and applies new rates.
 // Trace rows are slices of the run-length backing buffers, so the steady
 // state allocates nothing here.
+//
+//eucon:noalloc
 func (s *Simulator) handleSampling() error {
 	k := len(s.trace.Utilization)
 	np := len(s.procs)
@@ -610,24 +637,25 @@ func (s *Simulator) handleSampling() error {
 		}
 		s.procs[i].busy = 0
 	}
-	s.trace.Utilization = append(s.trace.Utilization, u)
-	s.trace.Periods = append(s.trace.Periods, s.cur)
-	s.cur = PeriodStats{}
+	s.trace.Utilization = append(s.trace.Utilization, u) //eucon:alloc-ok appends a row header into a run-length pre-capped slice
+	s.trace.Periods = append(s.trace.Periods, s.cur)     //eucon:alloc-ok appends into a run-length pre-capped slice
+	s.cur = PeriodStats{}                                //eucon:alloc-ok zeroing store of the accumulator struct
 	nt := len(s.rates)
 	applied := s.ratesBacking[k*nt : (k+1)*nt : (k+1)*nt]
 	copy(applied, s.rates)
-	s.trace.Rates = append(s.trace.Rates, applied)
+	s.trace.Rates = append(s.trace.Rates, applied) //eucon:alloc-ok appends a row header into a run-length pre-capped slice
 
 	if s.cfg.Controller == nil {
 		return nil
 	}
-	newRates, err := s.cfg.Controller.Rates(k, u, applied)
+	newRates, err := s.cfg.Controller.Rates(k, u, applied) //eucon:alloc-ok controller boundary: plugged controllers may allocate; the plant does not
 	if err != nil {
 		// A controller failure must not crash the plant: keep current rates.
 		s.trace.Stats.ControllerErrors++
 		return nil
 	}
 	if len(newRates) != len(s.rates) {
+		//eucon:alloc-ok fatal error path, not steady state
 		return fmt.Errorf("sim: controller %s returned %d rates, want %d", s.cfg.Controller.Name(), len(newRates), len(s.rates))
 	}
 	s.applyRates(newRates)
@@ -636,6 +664,8 @@ func (s *Simulator) handleSampling() error {
 
 // applyRates installs new task rates, clamped to each task's bounds, and
 // reschedules pending periodic releases to honor the new periods.
+//
+//eucon:noalloc
 func (s *Simulator) applyRates(newRates []float64) {
 	changed := false
 	for i, r := range newRates {
@@ -646,7 +676,7 @@ func (s *Simulator) applyRates(newRates []float64) {
 		if r > t.RateMax {
 			r = t.RateMax
 		}
-		if r != s.rates[i] {
+		if r != s.rates[i] { //eucon:float-exact change detection on values that are only ever copied
 			s.rates[i] = r
 			changed = true
 			// Re-time the next periodic release of the first subtask.

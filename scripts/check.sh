@@ -1,20 +1,24 @@
 #!/bin/sh
-# Tier-1 check: gofmt, vet, build, race-enabled tests, benchmark smoke.
+# Tier-1 check: gofmt -s, vet, euconlint, build, race-enabled tests,
+# benchmark smoke, and the steady-state zero-allocation gate.
 # Usage: ./scripts/check.sh   (or: make check)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "==> gofmt"
-unformatted=$(gofmt -l .)
+echo "==> gofmt -s"
+unformatted=$(gofmt -s -l .)
 if [ -n "$unformatted" ]; then
-	echo "gofmt needed on:"
+	echo "gofmt -s needed on:"
 	echo "$unformatted"
 	exit 1
 fi
 
 echo "==> go vet ./..."
 go vet ./...
+
+echo "==> euconlint ./... (make lint)"
+go run ./cmd/euconlint ./...
 
 echo "==> go build ./..."
 go build ./...
@@ -24,5 +28,18 @@ go test -race ./...
 
 echo "==> benchmark smoke (1 iteration, -short)"
 go test -short -run '^$' -bench . -benchtime 1x ./...
+
+echo "==> steady-state allocation gate (BenchmarkSimulatorSteadyState)"
+bench_out=$(go test -run '^$' -bench 'BenchmarkSimulatorSteadyState$' -benchmem -benchtime 5x .)
+echo "$bench_out"
+allocs=$(echo "$bench_out" | awk '/BenchmarkSimulatorSteadyState/ {print $(NF-1)}')
+if [ -z "$allocs" ]; then
+	echo "FAIL: BenchmarkSimulatorSteadyState did not run; the allocation gate has no teeth"
+	exit 1
+fi
+if [ "$allocs" != "0" ]; then
+	echo "FAIL: BenchmarkSimulatorSteadyState reports $allocs allocs/op; the steady state must not allocate"
+	exit 1
+fi
 
 echo "==> OK"
