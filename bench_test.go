@@ -23,6 +23,7 @@ import (
 	"github.com/rtsyslab/eucon/internal/core"
 	"github.com/rtsyslab/eucon/internal/deucon"
 	"github.com/rtsyslab/eucon/internal/experiments"
+	"github.com/rtsyslab/eucon/internal/fault"
 	"github.com/rtsyslab/eucon/internal/mat"
 	"github.com/rtsyslab/eucon/internal/metrics"
 	"github.com/rtsyslab/eucon/internal/qp"
@@ -535,6 +536,46 @@ func BenchmarkSimulatorSteadyState(b *testing.B) {
 		b.Fatal(err)
 	}
 	if _, err := s.Run(); err != nil { // warm the pools and buffers
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Reset(cfg); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorFaultedSteadyState is BenchmarkSimulatorSteadyState
+// with the kitchen-sink fault scenario compiled in: the same warm
+// Reset+Run cycle, but every period now reads the pre-resolved fault
+// tables. Measured against the gated clean benchmark it isolates the fault
+// layer's steady-state overhead (scripts/bench_trend.sh tracks both). The
+// only steady-state allocations are the per-Reset reseeding of the
+// probabilistic injectors' private rand sources; the event loop itself
+// stays allocation-free.
+func BenchmarkSimulatorFaultedSteadyState(b *testing.B) {
+	sc, ok := fault.Lookup("kitchen-sink")
+	if !ok {
+		b.Fatal("kitchen-sink fault scenario not registered")
+	}
+	cfg := sim.Config{
+		System:         workload.Medium(),
+		SamplingPeriod: workload.SamplingPeriod,
+		Periods:        50,
+		Jitter:         workload.MediumJitter,
+		Seed:           1,
+		Faults:         sc.Specs,
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil { // warm the pools and fault tables
 		b.Fatal(err)
 	}
 	b.ReportAllocs()

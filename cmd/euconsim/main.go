@@ -25,7 +25,9 @@ import (
 	"syscall"
 
 	"github.com/rtsyslab/eucon/internal/experiments"
+	"github.com/rtsyslab/eucon/internal/fault"
 	"github.com/rtsyslab/eucon/internal/trace"
+	"github.com/rtsyslab/eucon/internal/workload"
 )
 
 func main() {
@@ -38,6 +40,9 @@ func run() int {
 	csvDir := flag.String("csv", "", "for trace experiments: also write <id>-utilization.csv, <id>-rates.csv, <id>-missratio.csv into this directory")
 	workers := flag.Int("workers", 0, "worker count for sweep experiments (0 = GOMAXPROCS)")
 	digest := flag.Bool("sweep-digest", false, "print JSON digests of the Figure 4/5 sweep series at 1, 2, and 8 workers, then exit (scripts/bench_trend.sh snapshots these to prove sweep outputs stay bit-identical across worker counts and PRs)")
+	faults := flag.String("faults", "", "comma-separated fault scenario names to inject (see -list-faults); runs the canonical 300-period SIMPLE experiment under the scenario and reports robustness and degradation counters")
+	listFaults := flag.Bool("list-faults", false, "list the named fault scenarios")
+	faultDigest := flag.Bool("fault-digest", false, "with -faults: print JSON digests of a faulted SIMPLE sweep at 1, 2, and 8 workers, including robustness metrics, then exit (scripts/check.sh diffs these against scripts/golden/)")
 	flag.Parse()
 
 	// ^C or SIGTERM cancels in-flight simulations at the next sampling
@@ -53,6 +58,27 @@ func run() int {
 	case *digest:
 		if err := sweepDigests(ctx, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "euconsim: sweep digest: %v\n", err)
+			return 1
+		}
+		return 0
+	case *listFaults:
+		for _, sc := range fault.Scenarios() {
+			fmt.Printf("%-22s %s\n", sc.Name, sc.Title)
+		}
+		return 0
+	case *faultDigest:
+		if *faults == "" {
+			fmt.Fprintf(os.Stderr, "euconsim: -fault-digest requires -faults (known scenarios: %v)\n", fault.Names())
+			return 2
+		}
+		if err := faultDigests(ctx, os.Stdout, *faults); err != nil {
+			fmt.Fprintf(os.Stderr, "euconsim: fault digest: %v\n", err)
+			return 1
+		}
+		return 0
+	case *faults != "":
+		if err := faultReport(ctx, os.Stdout, *faults); err != nil {
+			fmt.Fprintf(os.Stderr, "euconsim: faults: %v\n", err)
 			return 1
 		}
 		return 0
@@ -127,6 +153,84 @@ func sweepDigests(ctx context.Context, w io.Writer) error {
 				g.name, workers, len(pts), h.Sum64())
 		}
 	}
+	return nil
+}
+
+// faultDigests runs a faulted SIMPLE sweep over a small execution-time-factor
+// grid at 1, 2, and 8 workers and prints one JSON line per worker count. The
+// hash extends the -sweep-digest format with the per-point robustness metrics
+// (settling time, max overshoot, per-processor time-in-spec), so it pins both
+// the controlled trajectories and the degradation behaviour. The standard
+// -sweep-digest format is untouched. scripts/check.sh diffs the
+// proc2-crash-recover output against scripts/golden/.
+func faultDigests(ctx context.Context, w io.Writer, list string) error {
+	specs, err := fault.Parse(list)
+	if err != nil {
+		return err
+	}
+	etfs := []float64{0.5, 1, 2}
+	for _, workers := range []int{1, 2, 8} {
+		pts, err := experiments.SweepParallel(ctx, experiments.Spec{
+			Workload:    experiments.WorkloadSimple,
+			Seed:        experiments.DefaultSeed,
+			Faults:      specs,
+			Parallelism: workers,
+		}, etfs)
+		if err != nil {
+			return fmt.Errorf("workers=%d: %w", workers, err)
+		}
+		h := fnv.New64a()
+		for _, p := range pts {
+			fmt.Fprintf(h, "%.17g %.17g %.17g %.17g %v %.17g %d %.17g",
+				p.ETF, p.P1.Mean, p.P1.StdDev, p.SetPoint, p.Acceptable, p.OpenExpected,
+				p.Robust.SettlingTime, p.Robust.MaxOvershoot)
+			for _, f := range p.Robust.TimeInSpec {
+				fmt.Fprintf(h, " %.17g", f)
+			}
+			fmt.Fprintln(h)
+		}
+		fmt.Fprintf(w, "{\"faults\":%q,\"workers\":%d,\"points\":%d,\"digest\":\"%016x\"}\n",
+			list, workers, len(pts), h.Sum64())
+	}
+	return nil
+}
+
+// faultReport runs the canonical 300-period SIMPLE experiment under the named
+// fault scenarios and prints the robustness metrics over the measurement
+// window plus the summed degradation counters, so a scenario's end-to-end
+// effect can be inspected without writing a test.
+func faultReport(ctx context.Context, w io.Writer, list string) error {
+	specs, err := fault.Parse(list)
+	if err != nil {
+		return err
+	}
+	tr, err := experiments.Run(ctx, experiments.Spec{
+		Workload: experiments.WorkloadSimple,
+		Seed:     experiments.DefaultSeed,
+		Faults:   specs,
+	})
+	if err != nil {
+		return err
+	}
+	setPoints := workload.Simple().DefaultSetPoints()
+	rb := experiments.TraceRobustness(tr, setPoints, experiments.WindowStart, experiments.WindowEnd)
+	fmt.Fprintf(w, "faults\t%s\n", fault.Format(specs))
+	fmt.Fprintf(w, "workload\tSIMPLE\tperiods\t%d\tseed\t%d\n", len(tr.Utilization), experiments.DefaultSeed)
+	fmt.Fprintf(w, "settling-time\t%d\nmax-overshoot\t%.4f\n", rb.SettlingTime, rb.MaxOvershoot)
+	for p, f := range rb.TimeInSpec {
+		fmt.Fprintf(w, "time-in-spec-P%d\t%.4f\n", p+1, f)
+	}
+	var missing, stale, held, skipped, cmd, down int
+	for _, ps := range tr.Periods {
+		missing += ps.FeedbackMissing
+		stale += ps.FeedbackStale
+		held += ps.HeldSamples
+		skipped += ps.ControlSkipped
+		cmd += ps.RateCmdFaults
+		down += ps.ProcsDown
+	}
+	fmt.Fprintf(w, "feedback-missing\t%d\nfeedback-stale\t%d\nheld-samples\t%d\ncontrol-skipped\t%d\nrate-cmd-faults\t%d\nprocs-down-periods\t%d\ncrash-shed-jobs\t%d\n",
+		missing, stale, held, skipped, cmd, down, tr.Stats.CrashShedJobs)
 	return nil
 }
 

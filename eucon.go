@@ -102,6 +102,11 @@ func NewOpenBaseline(sys *System, setPoints []float64) (*OpenBaseline, error) {
 
 // Simulate runs the event-driven simulator for cfg.Periods sampling
 // periods and returns the trace.
+//
+// Deprecated: use RunExperiment for the declarative experiment API (which
+// also validates fault specs and applies the paper defaults), or
+// SimulateContext when a raw SimulationConfig with cancellation is needed.
+// Simulate remains for source compatibility.
 func Simulate(cfg SimulationConfig) (*Trace, error) {
 	return SimulateContext(context.Background(), cfg)
 }

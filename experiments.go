@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"github.com/rtsyslab/eucon/internal/experiments"
+	"github.com/rtsyslab/eucon/internal/fault"
 )
 
 // Unified experiment API (see internal/experiments): a declarative
@@ -21,6 +22,17 @@ type (
 	ExperimentController = experiments.ControllerKind
 	// SweepPoint is one x-value of a Figure 4/5-style sweep series.
 	SweepPoint = experiments.SweepPoint
+
+	// FaultSpec describes one deterministic fault injector; set
+	// ExperimentSpec.Faults to inject a scenario into a run or sweep.
+	FaultSpec = fault.Spec
+	// FaultKind selects a fault injector (exec, feedback, actuator, crash).
+	FaultKind = fault.Kind
+	// FaultScenario is a named, reusable fault scenario from the registry.
+	FaultScenario = fault.Scenario
+	// Robustness summarizes a run's disturbance response: settling time,
+	// max overshoot, and per-processor time-in-spec (SweepPoint.Robust).
+	Robustness = experiments.Robustness
 )
 
 // Workload and controller kinds for ExperimentSpec.
@@ -33,6 +45,39 @@ const (
 	ControllerNone   = experiments.KindNone
 	ControllerDEUCON = experiments.KindDEUCON
 )
+
+// Fault injector kinds for FaultSpec (see internal/fault for semantics).
+const (
+	FaultExecStep         = fault.ExecStep
+	FaultExecRamp         = fault.ExecRamp
+	FaultFeedbackDrop     = fault.FeedbackDrop
+	FaultFeedbackDelay    = fault.FeedbackDelay
+	FaultFeedbackQuantize = fault.FeedbackQuantize
+	FaultActuatorDrop     = fault.ActuatorDrop
+	FaultActuatorDelay    = fault.ActuatorDelay
+	FaultActuatorClamp    = fault.ActuatorClamp
+	FaultProcCrash        = fault.ProcCrash
+
+	// FaultAll targets every processor, task, or subtask in a FaultSpec.
+	FaultAll = fault.All
+)
+
+// FaultScenarios returns the named fault-scenario catalog in presentation
+// order (the same catalog euconsim -list-faults prints).
+func FaultScenarios() []FaultScenario {
+	return fault.Scenarios()
+}
+
+// LookupFaultScenario finds a named fault scenario.
+func LookupFaultScenario(name string) (FaultScenario, bool) {
+	return fault.Lookup(name)
+}
+
+// ParseFaultScenarios resolves a comma-separated list of scenario names
+// (the euconsim -faults syntax) into one combined FaultSpec list.
+func ParseFaultScenarios(list string) ([]FaultSpec, error) {
+	return fault.Parse(list)
+}
 
 // RunExperiment executes one simulation described by spec and returns its
 // trace. The context is checked at every sampling boundary.

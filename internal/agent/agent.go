@@ -20,6 +20,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"net"
 	"time"
@@ -46,14 +47,25 @@ type CoordinatorConfig struct {
 	Periods int
 	// Timeout bounds each lane operation; zero selects DefaultTimeout.
 	Timeout time.Duration
+	// Degrade keeps the loop alive when a node's utilization report times
+	// out: the missing sample is recorded as NaN (counted in
+	// Result.MissedReports) and handed to the controller, whose
+	// hold-last-sample policy (core.Controller) absorbs it. Without
+	// Degrade a timeout aborts the run, the pre-fault-layer behavior.
+	// Non-timeout lane failures abort either way.
+	Degrade bool
 }
 
 // Result is the coordinator's run record, shaped like a sim.Trace.
 type Result struct {
-	// Utilization[k][p] is processor p's report in period k.
+	// Utilization[k][p] is processor p's report in period k; NaN marks a
+	// report that timed out under CoordinatorConfig.Degrade.
 	Utilization [][]float64
 	// Rates[k] is the rate vector applied for period k+1.
 	Rates [][]float64
+	// MissedReports counts utilization reports replaced by NaN because
+	// they timed out (Degrade mode only).
+	MissedReports int
 }
 
 // Coordinator runs the centralized EUCON feedback loop over TCP lanes.
@@ -115,7 +127,19 @@ func (c *Coordinator) Run(ctx context.Context) (*Result, error) {
 		u := make([]float64, n)
 		for p := 0; p < n; p++ {
 			m, err := c.lanes[p].Receive(c.cfg.Timeout)
+			// In Degrade mode a report lost in transit may surface later as
+			// a stale period; drain anything older than k before judging.
+			for c.cfg.Degrade && err == nil && m.Type == lane.TypeUtilization && m.Period < k {
+				m, err = c.lanes[p].Receive(c.cfg.Timeout)
+			}
 			if err != nil {
+				if c.cfg.Degrade && isTimeout(err) {
+					// Missing sample: degrade instead of aborting. The
+					// controller's hold-last policy substitutes for NaN.
+					u[p] = math.NaN()
+					res.MissedReports++
+					continue
+				}
 				c.shutdown("peer failure")
 				return res, fmt.Errorf("agent: utilization from P%d in period %d: %w", p+1, k, err)
 			}
@@ -194,6 +218,13 @@ func (c *Coordinator) accept(ctx context.Context) error {
 	return nil
 }
 
+// isTimeout reports whether err is a network timeout (an expired lane
+// deadline), the only failure Degrade mode absorbs.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
 // shutdown notifies all connected nodes, best effort.
 func (c *Coordinator) shutdown(reason string) {
 	m := &lane.Message{Type: lane.TypeShutdown, Reason: reason}
@@ -230,6 +261,16 @@ type NodeConfig struct {
 	Interval time.Duration
 	// Timeout bounds each lane operation; zero selects DefaultTimeout.
 	Timeout time.Duration
+	// SendFaults, when non-nil, injects transport faults (drops, delays)
+	// into this node's outbound utilization reports — e.g.
+	// fault.TransportPlan. A report still lost after Retry is abandoned
+	// and the node stays in lockstep, relying on the coordinator's
+	// Degrade mode to substitute the missing sample.
+	SendFaults lane.Plan
+	// Retry governs utilization-report resends over a faulty transport
+	// (capped exponential backoff). The zero value selects the lane
+	// package defaults.
+	Retry lane.RetryPolicy
 }
 
 // RunNode connects to the coordinator and participates in the feedback
@@ -256,6 +297,13 @@ func RunNode(ctx context.Context, cfg NodeConfig) error {
 	hello := &lane.Message{Type: lane.TypeHello, Processor: cfg.Processor, Node: cfg.Name}
 	if err := l.Send(hello, cfg.Timeout); err != nil {
 		return err
+	}
+
+	// Utilization reports go through the fault plan (when configured) and
+	// the retry policy; the hello above and rate receives use the raw lane.
+	var reports lane.Sender = l
+	if cfg.SendFaults != nil {
+		reports = lane.NewFaultConn(l, cfg.SendFaults)
 	}
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -289,8 +337,13 @@ func RunNode(ctx context.Context, cfg NodeConfig) error {
 			u = 1
 		}
 		m := &lane.Message{Type: lane.TypeUtilization, Processor: cfg.Processor, Period: k, Utilization: u}
-		if err := l.Send(m, cfg.Timeout); err != nil {
-			return err
+		if err := lane.SendRetry(ctx, reports, m, cfg.Timeout, cfg.Retry); err != nil {
+			if !errors.Is(err, lane.ErrInjectedDrop) {
+				return err
+			}
+			// The report was lost to an injected transport fault even after
+			// retries. Stay in lockstep and keep listening: the coordinator
+			// degrades around the missing sample and still broadcasts rates.
 		}
 		reply, err := l.Receive(cfg.Timeout)
 		if err != nil {

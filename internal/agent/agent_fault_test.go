@@ -1,0 +1,167 @@
+package agent
+
+import (
+	"context"
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/rtsyslab/eucon/internal/core"
+	"github.com/rtsyslab/eucon/internal/fault"
+	"github.com/rtsyslab/eucon/internal/lane"
+	"github.com/rtsyslab/eucon/internal/sim"
+	"github.com/rtsyslab/eucon/internal/task"
+	"github.com/rtsyslab/eucon/internal/workload"
+)
+
+// dropRange drops every message index in [from, to), defeating retries
+// when the range covers all attempts of one report.
+type dropRange struct{ from, to uint64 }
+
+func (d dropRange) Outcome(n uint64) (bool, time.Duration) { return n >= d.from && n < d.to, 0 }
+
+// startFaultyCluster is startCluster with per-node fault plans and a
+// degrade-mode coordinator.
+func startFaultyCluster(t *testing.T, sys *task.System, ctrl sim.RateController, periods int, timeout time.Duration, plans []lane.Plan, retry lane.RetryPolicy) (*Result, error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(CoordinatorConfig{
+		System:     sys,
+		Controller: ctrl,
+		Listener:   ln,
+		Periods:    periods,
+		Timeout:    timeout,
+		Degrade:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	nodeErrs := make([]error, sys.Processors)
+	for p := 0; p < sys.Processors; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			nodeErrs[p] = RunNode(ctx, NodeConfig{
+				Processor:      p,
+				System:         sys,
+				Addr:           ln.Addr().String(),
+				Name:           "node",
+				ETF:            sim.ConstantETF(0.5),
+				SamplingPeriod: workload.SamplingPeriod,
+				Seed:           int64(p + 1),
+				Timeout:        5 * time.Second,
+				SendFaults:     plans[p],
+				Retry:          retry,
+			})
+		}()
+	}
+	res, runErr := coord.Run(ctx)
+	wg.Wait()
+	for p, err := range nodeErrs {
+		if err != nil {
+			t.Errorf("node P%d: %v", p+1, err)
+		}
+	}
+	return res, runErr
+}
+
+// TestCoordinatorDegradesAroundLostReport is the end-to-end degradation
+// path: one node's period-2 report is dropped beyond its retry budget, the
+// coordinator substitutes NaN and keeps the loop alive, and the EUCON
+// controller's hold-last policy keeps the rate vector finite.
+func TestCoordinatorDegradesAroundLostReport(t *testing.T) {
+	sys := workload.Simple()
+	ctrl, err := core.New(sys, nil, workload.SimpleController())
+	if err != nil {
+		t.Fatal(err)
+	}
+	retry := lane.RetryPolicy{Attempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+	// Node P2's report for period 2 occupies message indices 2, 3, 4
+	// (initial send plus two retries); dropping all three loses it for
+	// good. P1 runs fault-free (a nil plan leaves the raw lane in place).
+	plans := []lane.Plan{nil, dropRange{2, 5}}
+	res, err := startFaultyCluster(t, sys, ctrl, 6, time.Second, plans, retry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Utilization) != 6 {
+		t.Fatalf("run covered %d periods, want 6 despite the lost report", len(res.Utilization))
+	}
+	if res.MissedReports != 1 {
+		t.Errorf("MissedReports = %d, want 1", res.MissedReports)
+	}
+	if !math.IsNaN(res.Utilization[2][1]) {
+		t.Errorf("period 2 P2 utilization = %v, want NaN marker", res.Utilization[2][1])
+	}
+	for k, row := range res.Utilization {
+		if k != 2 {
+			for p, u := range row {
+				if math.IsNaN(u) {
+					t.Errorf("period %d P%d unexpectedly NaN", k, p+1)
+				}
+			}
+		}
+	}
+	for k, rates := range res.Rates {
+		for i, r := range rates {
+			if math.IsNaN(r) || r <= 0 {
+				t.Errorf("period %d rate[%d] = %v; NaN leaked past the degradation policy", k, i, r)
+			}
+		}
+	}
+	held := ctrl.HeldSamples()
+	if held == 0 {
+		t.Error("controller held no samples; the NaN never reached hold-last")
+	}
+}
+
+// TestClusterLossyTransportConverges drives the full loop through a
+// probabilistic fault.TransportPlan on every node: with retries on, 5%
+// per-attempt loss is almost always recovered, degrade mode absorbs the
+// rest, and the closed loop still converges to the set points.
+func TestClusterLossyTransportConverges(t *testing.T) {
+	sys := workload.Simple()
+	ctrl, err := core.New(sys, nil, workload.SimpleController())
+	if err != nil {
+		t.Fatal(err)
+	}
+	retry := lane.RetryPolicy{Attempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+	plans := []lane.Plan{
+		fault.TransportPlan{DropProb: 0.05, Seed: 1},
+		fault.TransportPlan{DropProb: 0.05, DelayProb: 0.1, Delay: time.Millisecond, Seed: 2},
+	}
+	res, err := startFaultyCluster(t, sys, ctrl, 80, time.Second, plans, retry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Utilization) != 80 {
+		t.Fatalf("run covered %d periods, want 80", len(res.Utilization))
+	}
+	b := sys.DefaultSetPoints()
+	for p := 0; p < sys.Processors; p++ {
+		var sum float64
+		n := 0
+		for k := 40; k < 80; k++ {
+			if u := res.Utilization[k][p]; !math.IsNaN(u) {
+				sum += u
+				n++
+			}
+		}
+		if n == 0 {
+			t.Fatalf("P%d: every tail sample missing", p+1)
+		}
+		if mean := sum / float64(n); math.Abs(mean-b[p]) > 0.03 {
+			t.Errorf("P%d tail mean %v over a lossy transport, want ≈ %v", p+1, mean, b[p])
+		}
+	}
+	t.Logf("lossy transport: %d reports degraded around", res.MissedReports)
+}

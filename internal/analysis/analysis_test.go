@@ -13,11 +13,12 @@ import (
 // key off the module-relative path, so their fixtures mount under
 // internal/sim.
 var fixtures = map[string]string{
-	"determinism": "internal/sim/fixdeterminism",
-	"noalloc":     "fixnoalloc",
-	"floatsafety": "fixfloat",
-	"pool":        "internal/sim/fixpool",
-	"aliasing":    "fixalias",
+	"determinism":      "internal/sim/fixdeterminism",
+	"faultdeterminism": "internal/fault/fixinjector",
+	"noalloc":          "fixnoalloc",
+	"floatsafety":      "fixfloat",
+	"pool":             "internal/sim/fixpool",
+	"aliasing":         "fixalias",
 }
 
 var wantRe = regexp.MustCompile(`^// want "(.*)"$`)

@@ -16,6 +16,7 @@ var determinismScope = []string{
 	"internal/deucon",
 	"internal/mpc",
 	"internal/experiments",
+	"internal/fault",
 }
 
 // runDeterminism flags the three classic determinism leaks in the scoped

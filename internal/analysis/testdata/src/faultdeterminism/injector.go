@@ -1,0 +1,62 @@
+// Package fixinjector is a lint fixture for the fault package's
+// determinism contract: an injector that draws from the global math/rand
+// source (or the wall clock) would make fault patterns differ between
+// runs, breaking the bit-identical sweep-digest guarantee. The package is
+// loaded under a synthetic internal/fault path so the scoped determinism
+// analyzer fires.
+package fixinjector
+
+import (
+	"math/rand"
+	"time"
+)
+
+// spec is a stand-in for fault.Spec.
+type spec struct {
+	Magnitude float64
+	Seed      int64
+}
+
+// badInjector resolves drop decisions from the shared unseeded source: two
+// compilations of the same scenario would disagree.
+type badInjector struct {
+	sp spec
+}
+
+func (in *badInjector) resolve(periods int) []bool {
+	drops := make([]bool, periods)
+	for k := range drops {
+		drops[k] = rand.Float64() < in.sp.Magnitude // want "determinism: global math/rand draws from the shared unseeded source"
+	}
+	return drops
+}
+
+// badSeed derives an injector seed from the wall clock, so identical Specs
+// produce different fault patterns on every run.
+func badSeed() int64 {
+	return time.Now().UnixNano() // want "determinism: time.Now couples simulation results to the wall clock"
+}
+
+// goodInjector is the allowlisted form the real package uses: a private
+// rand.Rand seeded from the spec at compile time.
+type goodInjector struct {
+	sp  spec
+	rng *rand.Rand
+}
+
+func newGoodInjector(sp spec) *goodInjector {
+	return &goodInjector{sp: sp, rng: rand.New(rand.NewSource(sp.Seed))}
+}
+
+func (in *goodInjector) resolve(periods int) []bool {
+	drops := make([]bool, periods)
+	for k := range drops {
+		drops[k] = in.rng.Float64() < in.sp.Magnitude
+	}
+	return drops
+}
+
+var _ = (&badInjector{}).resolve
+var _ = badSeed
+var _ = newGoodInjector
+var _ = (&goodInjector{}).resolve

@@ -9,6 +9,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/rtsyslab/eucon/internal/mat"
 	"github.com/rtsyslab/eucon/internal/mpc"
@@ -44,6 +45,14 @@ type Config struct {
 	// point. (The paper does not describe its monitor's smoothing; this is
 	// our documented addition — see EXPERIMENTS.md.)
 	MeasurementFilter float64
+	// StalenessBound tunes the hold-last-sample degradation policy: a
+	// missing utilization sample (NaN, from a lost feedback message) is
+	// substituted with the most recent usable measurement as long as that
+	// measurement is at most StalenessBound sampling periods old. Once any
+	// missing sample is staler than the bound, the controller skips
+	// actuation for the period (holding current rates) rather than steer
+	// the whole system on fiction. 0 selects 4.
+	StalenessBound int
 }
 
 func (c Config) withDefaults() Config {
@@ -55,6 +64,9 @@ func (c Config) withDefaults() Config {
 	}
 	if mat.IsZero(c.TrefOverTs) {
 		c.TrefOverTs = 4
+	}
+	if c.StalenessBound == 0 {
+		c.StalenessBound = 4
 	}
 	return c
 }
@@ -71,9 +83,25 @@ type Controller struct {
 	filtered []float64 // EWMA state when MeasurementFilter > 0
 	relaxed  int
 	steps    int
+
+	// Hold-last-sample degradation state (see Config.StalenessBound):
+	// lastGood[p] is processor p's most recent usable measurement,
+	// sampleAge[p] how many periods ago it was taken (-1: never), and uBuf
+	// the substituted vector handed to the filter and MPC.
+	lastGood  []float64
+	sampleAge []int
+	uBuf      []float64
+
+	degHeld      int  // samples substituted in the last Rates call
+	degSkipped   bool // last Rates call skipped actuation
+	heldTotal    int
+	skippedTotal int
 }
 
-var _ sim.RateController = (*Controller)(nil)
+var (
+	_ sim.RateController      = (*Controller)(nil)
+	_ sim.DegradationReporter = (*Controller)(nil)
+)
 
 // New builds an EUCON controller for the given system and utilization set
 // points (one per processor). Passing nil set points selects the paper's
@@ -98,6 +126,9 @@ func New(sys *task.System, setPoints []float64, cfg Config) (*Controller, error)
 	if cfg.MeasurementFilter < 0 || cfg.MeasurementFilter > 1 {
 		return nil, fmt.Errorf("eucon: measurement filter %g outside [0, 1]", cfg.MeasurementFilter)
 	}
+	if cfg.StalenessBound < 0 {
+		return nil, fmt.Errorf("eucon: staleness bound %d must be >= 0", cfg.StalenessBound)
+	}
 	f := sys.AllocationMatrix()
 	rmin, rmax := sys.RateBounds()
 	m, err := mpc.New(f, setPoints, rmin, rmax, mpc.Config{
@@ -118,7 +149,21 @@ func New(sys *task.System, setPoints []float64, cfg Config) (*Controller, error)
 func (c *Controller) Name() string { return "EUCON" }
 
 // Rates implements sim.RateController: one feedback-loop invocation.
+// Missing measurements (NaN entries in u, e.g. from feedback faults — see
+// internal/fault) engage the hold-last-sample policy before the EWMA
+// filter and MPC ever see the vector; when every substitute would be
+// staler than Config.StalenessBound, the call degrades to skip-and-
+// saturate: the returned slice aliases the rates argument, signalling
+// "keep actuation unchanged" without copying.
 func (c *Controller) Rates(_ int, u, rates []float64) ([]float64, error) {
+	u, ok := c.degradeFeedback(u)
+	if !ok {
+		// Skip-and-saturate: no trustworthy utilization picture exists, so
+		// holding the applied rates is the safest actuation. The MPC's move
+		// memory reconciles itself against the achieved (zero) move on the
+		// next step, so no windup accumulates here.
+		return rates, nil
+	}
 	if a := c.cfg.MeasurementFilter; a > 0 && a < 1 {
 		if c.filtered == nil {
 			c.filtered = append([]float64(nil), u...)
@@ -139,6 +184,79 @@ func (c *Controller) Rates(_ int, u, rates []float64) ([]float64, error) {
 	}
 	return res.NewRates, nil
 }
+
+// degradeFeedback applies the hold-last-sample policy to the measurement
+// vector. It returns the vector to control on and true, or nil and false
+// when the period must be skipped because a missing sample has no
+// substitute within the staleness bound. Vectors without NaN entries pass
+// through untouched, so fault-free runs are bit-identical with or without
+// the policy.
+func (c *Controller) degradeFeedback(u []float64) ([]float64, bool) {
+	c.degHeld = 0
+	c.degSkipped = false
+	if c.lastGood == nil {
+		c.lastGood = make([]float64, len(u))
+		c.sampleAge = make([]int, len(u))
+		for p := range c.sampleAge {
+			c.sampleAge[p] = -1
+		}
+		c.uBuf = make([]float64, len(u))
+	}
+	missing := false
+	skip := false
+	for p, v := range u {
+		if !math.IsNaN(v) {
+			c.lastGood[p] = v
+			c.sampleAge[p] = 0
+			c.uBuf[p] = v
+			continue
+		}
+		missing = true
+		if c.sampleAge[p] >= 0 {
+			c.sampleAge[p]++
+		}
+		switch age := c.sampleAge[p]; {
+		case age < 0:
+			// Never measured: assume the processor sits on its set point,
+			// which contributes zero tracking error and so steers nothing.
+			c.uBuf[p] = c.b[p]
+			c.degHeld++
+		case age <= c.cfg.StalenessBound:
+			c.uBuf[p] = c.lastGood[p]
+			c.degHeld++
+		default:
+			skip = true
+		}
+	}
+	if !missing {
+		return u, true
+	}
+	c.heldTotal += c.degHeld
+	if skip {
+		c.degSkipped = true
+		c.skippedTotal++
+		return nil, false
+	}
+	return c.uBuf, true
+}
+
+// LastDegradation implements sim.DegradationReporter: how many samples the
+// last Rates call substituted via hold-last-sample and whether it skipped
+// actuation entirely.
+func (c *Controller) LastDegradation() (int, bool) { return c.degHeld, c.degSkipped }
+
+// HeldSamples reports the cumulative number of samples substituted through
+// hold-last-sample since construction or Reset.
+func (c *Controller) HeldSamples() int { return c.heldTotal }
+
+// SkippedPeriods reports how many control invocations were skipped because
+// missing feedback exceeded the staleness bound.
+func (c *Controller) SkippedPeriods() int { return c.skippedTotal }
+
+// AntiWindupSyncs reports how many per-task MPC move-memory entries had to
+// be reconciled against the achieved rate move because actuation diverged
+// from the command (see internal/mpc).
+func (c *Controller) AntiWindupSyncs() int { return c.mpc.AntiWindupSyncs() }
 
 // SetPoints returns the current utilization set points.
 func (c *Controller) SetPoints() []float64 { return c.mpc.SetPoints() }
@@ -163,6 +281,13 @@ func (c *Controller) Reset() {
 	c.filtered = nil
 	c.relaxed = 0
 	c.steps = 0
+	for p := range c.sampleAge {
+		c.sampleAge[p] = -1
+	}
+	c.degHeld = 0
+	c.degSkipped = false
+	c.heldTotal = 0
+	c.skippedTotal = 0
 }
 
 // RelaxedPeriods reports how many sampling periods required dropping the

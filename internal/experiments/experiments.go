@@ -143,6 +143,11 @@ type SweepPoint struct {
 	// OpenExpected is the analytic OPEN utilization etf·B (Figure 5 only;
 	// zero for SIMPLE sweeps).
 	OpenExpected float64
+	// Robust is the worst case across the point's replications of each
+	// run's robustness metrics (settling time, overshoot, time-in-spec).
+	// Note the TimeInSpec slice makes SweepPoint non-comparable; compare
+	// points with reflect.DeepEqual or field-wise.
+	Robust Robustness
 }
 
 // SweepSimple produces the Figure 4 series: SIMPLE under EUCON across

@@ -3,11 +3,17 @@ package experiments
 import (
 	"context"
 	"errors"
+	"reflect"
 	"testing"
 
 	"github.com/rtsyslab/eucon/internal/metrics"
 	"github.com/rtsyslab/eucon/internal/sim"
 )
+
+// samePoint compares SweepPoints bit-exactly. SweepPoint is non-comparable
+// (Robust.TimeInSpec is a slice), so the determinism tests use DeepEqual,
+// which compares float64 fields by their exact values.
+func samePoint(a, b SweepPoint) bool { return reflect.DeepEqual(a, b) }
 
 // sweepTestSpec keeps the determinism matrix cheap: SIMPLE closed loop,
 // short runs, two replications per point.
@@ -39,7 +45,7 @@ func TestSweepParallelDeterministic(t *testing.T) {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
 		for i := range ref {
-			if got[i] != ref[i] {
+			if !samePoint(got[i], ref[i]) {
 				t.Errorf("workers=%d point %d: %+v, want bit-identical %+v", workers, i, got[i], ref[i])
 			}
 		}
@@ -65,7 +71,7 @@ func TestSweepReplicationsPoolWindows(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if pooled[0] != again[0] {
+	if !samePoint(pooled[0], again[0]) {
 		t.Errorf("replicated sweep not deterministic: %+v vs %+v", pooled[0], again[0])
 	}
 	// SIMPLE is deterministic given a seed, but replications use distinct
@@ -104,7 +110,7 @@ func TestSweepPooledDeterministicMedium(t *testing.T) {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
 		for i := range ref {
-			if got[i] != ref[i] {
+			if !samePoint(got[i], ref[i]) {
 				t.Errorf("workers=%d point %d: %+v, want bit-identical %+v", workers, i, got[i], ref[i])
 			}
 		}
@@ -153,7 +159,7 @@ func TestSweepPooledDeterministicDeucon(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range ref {
-		if got[i] != ref[i] {
+		if !samePoint(got[i], ref[i]) {
 			t.Errorf("point %d: %+v, want bit-identical %+v", i, got[i], ref[i])
 		}
 	}
@@ -216,7 +222,7 @@ func TestSweepMatchesLegacyWrappers(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range legacy {
-		if legacy[i] != unified[i] {
+		if !samePoint(legacy[i], unified[i]) {
 			t.Errorf("point %d: legacy %+v != unified %+v", i, legacy[i], unified[i])
 		}
 	}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/rtsyslab/eucon/internal/sim"
+)
+
+// syntheticTrace builds a one-processor trace from a utilization series.
+func syntheticTrace(u []float64) *sim.Trace {
+	rows := make([][]float64, len(u))
+	for k, v := range u {
+		rows[k] = []float64{v}
+	}
+	return &sim.Trace{Utilization: rows}
+}
+
+func TestTraceRobustness(t *testing.T) {
+	// Constant series at the set point: settles immediately, fully in
+	// spec, no overshoot.
+	flat := make([]float64, 20)
+	for k := range flat {
+		flat[k] = 0.8
+	}
+	r := TraceRobustness(syntheticTrace(flat), []float64{0.8}, 10, 20)
+	if r.SettlingTime != 0 || r.MaxOvershoot != 0 || r.TimeInSpec[0] != 1 {
+		t.Errorf("flat series robustness = %+v, want settle 0, overshoot 0, in-spec 1", r)
+	}
+
+	// A step that recovers: out of spec early, overshoot recorded inside
+	// the window, settles at the recovery.
+	step := make([]float64, 20)
+	for k := range step {
+		switch {
+		case k < 12:
+			step[k] = 0.8
+		case k < 14:
+			step[k] = 0.95
+		default:
+			step[k] = 0.8
+		}
+	}
+	r = TraceRobustness(syntheticTrace(step), []float64{0.8}, 10, 20)
+	if r.SettlingTime <= 0 {
+		t.Errorf("step series settling = %d, want > 0", r.SettlingTime)
+	}
+	if r.MaxOvershoot < 0.149 || r.MaxOvershoot > 0.151 {
+		t.Errorf("step series overshoot = %g, want 0.15", r.MaxOvershoot)
+	}
+	if r.TimeInSpec[0] != 0.8 { // 2 of 10 window periods out of spec
+		t.Errorf("step series in-spec = %g, want 0.8", r.TimeInSpec[0])
+	}
+
+	// A diverging series never settles.
+	div := make([]float64, 20)
+	for k := range div {
+		div[k] = 0.8 + 0.05*float64(k)
+	}
+	r = TraceRobustness(syntheticTrace(div), []float64{0.8}, 10, 20)
+	if r.SettlingTime != -1 {
+		t.Errorf("diverging series settling = %d, want -1", r.SettlingTime)
+	}
+
+	// Window clamping past the trace end.
+	r = TraceRobustness(syntheticTrace(flat), []float64{0.8}, 10, 300)
+	if r.TimeInSpec[0] != 1 {
+		t.Errorf("clamped window in-spec = %g, want 1", r.TimeInSpec[0])
+	}
+}
+
+func TestWorseRobustness(t *testing.T) {
+	a := Robustness{SettlingTime: 5, MaxOvershoot: 0.1, TimeInSpec: []float64{1, 0.9}}
+	b := Robustness{SettlingTime: 12, MaxOvershoot: 0.05, TimeInSpec: []float64{0.8, 0.95}}
+	got := worseRobustness(a, b)
+	if got.SettlingTime != 12 || got.MaxOvershoot != 0.1 {
+		t.Errorf("pooled = %+v, want settle 12, overshoot 0.1", got)
+	}
+	if got.TimeInSpec[0] != 0.8 || got.TimeInSpec[1] != 0.9 {
+		t.Errorf("pooled in-spec = %v, want [0.8 0.9]", got.TimeInSpec)
+	}
+	never := Robustness{SettlingTime: -1, TimeInSpec: []float64{1, 1}}
+	if got = worseRobustness(got, never); got.SettlingTime != -1 {
+		t.Errorf("never-settling replication pooled to %d, want -1", got.SettlingTime)
+	}
+}

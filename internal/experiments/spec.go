@@ -8,6 +8,7 @@ import (
 
 	"github.com/rtsyslab/eucon/internal/baseline"
 	"github.com/rtsyslab/eucon/internal/core"
+	"github.com/rtsyslab/eucon/internal/fault"
 	"github.com/rtsyslab/eucon/internal/metrics"
 	"github.com/rtsyslab/eucon/internal/sim"
 	"github.com/rtsyslab/eucon/internal/task"
@@ -69,6 +70,13 @@ type Spec struct {
 	// Parallelism caps the worker count of SweepParallel. Zero selects
 	// GOMAXPROCS. Run and Sweep ignore it.
 	Parallelism int
+	// Faults is the deterministic fault scenario injected into every run
+	// (see package fault; named scenarios come from fault.Lookup). Empty
+	// means no faults and leaves the simulator on its bit-identical
+	// no-fault fast path. Sweeps inject the same scenario into every
+	// (etf, replication) job; each job re-resolves probabilistic faults
+	// from its own run seed, so replications see independent patterns.
+	Faults []fault.Spec
 }
 
 // normalized returns a copy with defaults applied.
@@ -133,6 +141,7 @@ func simConfig(spec Spec, sys *task.System, wp workloadParams, ctrl sim.RateCont
 		ETF:            etf,
 		Jitter:         wp.jitter,
 		Seed:           seed,
+		Faults:         spec.Faults,
 	}
 }
 
@@ -248,9 +257,15 @@ type sweep struct {
 	etfs []float64
 	open *baseline.Open // analytic comparator, MEDIUM only
 
+	// setPoints are the per-processor utilization set points, shared by
+	// every job's robustness measurement.
+	setPoints []float64
+
 	// windows[etfIdx*Replications + rep] is that run's P1 measurement
-	// window; jobs write disjoint slots, so no locking is needed.
+	// window; robust mirrors its indexing with the run's robustness
+	// metrics. Jobs write disjoint slots, so no locking is needed.
 	windows [][]float64
+	robust  []Robustness
 }
 
 func newSweep(spec Spec, etfs []float64) (*sweep, error) {
@@ -259,11 +274,13 @@ func newSweep(spec Spec, etfs []float64) (*sweep, error) {
 		return nil, err
 	}
 	sw := &sweep{
-		spec:    spec,
-		sys:     sys,
-		wp:      wp,
-		etfs:    etfs,
-		windows: make([][]float64, len(etfs)*spec.Replications),
+		spec:      spec,
+		sys:       sys,
+		wp:        wp,
+		etfs:      etfs,
+		setPoints: sys.DefaultSetPoints(),
+		windows:   make([][]float64, len(etfs)*spec.Replications),
+		robust:    make([]Robustness, len(etfs)*spec.Replications),
 	}
 	if spec.Workload == WorkloadMedium {
 		if sw.open, err = baseline.NewOpen(sys, nil); err != nil {
@@ -343,22 +360,35 @@ func (w *sweepWorker) run(ctx context.Context, job int) error {
 	// Column copies out of the trace, so the window survives the next
 	// Reset of this worker's simulator.
 	s.windows[job] = metrics.Window(metrics.Column(tr.Utilization, 0), WindowStart, WindowEnd)
+	s.robust[job] = TraceRobustness(tr, s.setPoints, WindowStart, WindowEnd)
 	return nil
 }
 
 // points aggregates the stored windows into the ordered SweepPoint series,
 // pooling replications per execution-time factor.
 func (s *sweep) points() ([]SweepPoint, error) {
-	b := s.sys.DefaultSetPoints()[0]
+	b := s.setPoints[0]
 	points := make([]SweepPoint, 0, len(s.etfs))
 	for i, etf := range s.etfs {
 		var pooled []float64
+		var rb Robustness
 		for rep := 0; rep < s.spec.Replications; rep++ {
 			w := s.windows[i*s.spec.Replications+rep]
 			if w == nil {
 				return nil, fmt.Errorf("experiments: sweep point etf=%g rep=%d missing", etf, rep)
 			}
 			pooled = append(pooled, w...)
+			r := s.robust[i*s.spec.Replications+rep]
+			if rep == 0 {
+				// Private copy: worseRobustness mutates its first argument.
+				rb = Robustness{
+					SettlingTime: r.SettlingTime,
+					MaxOvershoot: r.MaxOvershoot,
+					TimeInSpec:   append([]float64(nil), r.TimeInSpec...),
+				}
+			} else {
+				rb = worseRobustness(rb, r)
+			}
 		}
 		sum := metrics.Summarize(pooled)
 		p := SweepPoint{
@@ -366,6 +396,7 @@ func (s *sweep) points() ([]SweepPoint, error) {
 			P1:         sum,
 			SetPoint:   b,
 			Acceptable: sum.Acceptable(b),
+			Robust:     rb,
 		}
 		if s.open != nil {
 			p.OpenExpected = s.open.ExpectedUtilization(s.sys, etf)[0]

@@ -1,0 +1,221 @@
+// Package fault is the deterministic fault-injection layer of the EUCON
+// reproduction. It perturbs the three segments of the utilization control
+// loop — the plant (execution times, processor availability), the feedback
+// path (utilization samples), and the actuation path (rate commands) — from
+// pure-data Specs, so every fault scenario is serializable, hashable into a
+// sweep digest, and reproducible from flags alone.
+//
+// Determinism is the package's core contract: every injector is a function
+// of (Spec, run seed, sampling-period index or simulated time) with all
+// randomness drawn from a private rand.Rand seeded at compile time, never
+// from the global source. Probabilistic decisions (sample drops, command
+// drops) are pre-resolved per sampling period before the run starts, so the
+// outcome is independent of event order, worker count, and simulator reuse
+// — the sweep-digest tests pin this bit-exactly.
+package fault
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind selects the injector a Spec configures.
+type Kind int
+
+// Injector kinds. The Exec kinds perturb the plant, the Feedback kinds the
+// monitor-to-controller path, the Actuator kinds the controller-to-rate-
+// modulator path, and ProcCrash the processor itself.
+const (
+	// ExecStep multiplies actual execution times by Magnitude while active
+	// (a burst is a step with a short window).
+	ExecStep Kind = iota + 1
+	// ExecRamp ramps the execution-time factor linearly from 1 at Start to
+	// Magnitude at Stop.
+	ExecRamp
+	// FeedbackDrop drops each targeted utilization sample with probability
+	// Magnitude (pre-resolved per period from the injector's seed).
+	FeedbackDrop
+	// FeedbackDelay delivers each targeted sample Delay sampling periods
+	// late: the controller sees the measurement from period k−Delay.
+	FeedbackDelay
+	// FeedbackQuantize rounds each targeted sample to the nearest multiple
+	// of Magnitude before the controller sees it.
+	FeedbackQuantize
+	// ActuatorDrop discards each targeted task's rate command with
+	// probability Magnitude; the task keeps its previous rate.
+	ActuatorDrop
+	// ActuatorDelay applies each targeted task's rate command Delay periods
+	// late.
+	ActuatorDelay
+	// ActuatorClamp limits each targeted task's per-period rate change to
+	// ±Magnitude (0 freezes the rate: a stuck rate modulator).
+	ActuatorClamp
+	// ProcCrash takes the targeted processor down while active: it admits
+	// no jobs and its utilization monitor reports u = 1 (saturated), the
+	// overload/crash-recovery model.
+	ProcCrash
+)
+
+// All targets every processor, task, or subtask (Spec.Proc/Task/Sub).
+const All = -1
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case ExecStep:
+		return "exec-step"
+	case ExecRamp:
+		return "exec-ramp"
+	case FeedbackDrop:
+		return "feedback-drop"
+	case FeedbackDelay:
+		return "feedback-delay"
+	case FeedbackQuantize:
+		return "feedback-quantize"
+	case ActuatorDrop:
+		return "actuator-drop"
+	case ActuatorDelay:
+		return "actuator-delay"
+	case ActuatorClamp:
+		return "actuator-clamp"
+	case ProcCrash:
+		return "proc-crash"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Spec is the pure-data description of one fault injector: kind, target,
+// active window, magnitude, and seed. A []Spec fully determines a fault
+// scenario; the zero value of each targeting field selects index 0, and
+// All (-1) selects every index.
+type Spec struct {
+	// Kind selects the injector.
+	Kind Kind
+	// Proc targets a processor (Feedback*, ProcCrash, and optionally the
+	// Exec kinds); All targets every processor.
+	Proc int
+	// Task targets a task (Actuator* and optionally the Exec kinds); All
+	// targets every task.
+	Task int
+	// Sub targets a subtask within Task (Exec kinds only); All targets
+	// every subtask. A non-All Sub requires a non-All Task.
+	Sub int
+	// Start and Stop delimit the active window in sampling periods
+	// (fractional values are honored by the time-driven Exec and ProcCrash
+	// kinds). Stop <= 0 means "until the end of the run".
+	Start, Stop float64
+	// Magnitude parameterizes the injector: execution-time factor (Exec*),
+	// drop probability in (0, 1] (FeedbackDrop, ActuatorDrop),
+	// quantization step (FeedbackQuantize), or rate-move bound
+	// (ActuatorClamp, where 0 means stuck).
+	Magnitude float64
+	// Delay is the lag in sampling periods (FeedbackDelay, ActuatorDelay).
+	Delay int
+	// Seed drives the injector's private random source (probabilistic
+	// kinds). It is mixed with the run seed, so replications with distinct
+	// run seeds draw independent fault patterns while identical
+	// (Spec, run seed) pairs reproduce bit-identically.
+	Seed int64
+}
+
+// String renders the spec in a compact canonical form, stable across runs,
+// suitable for hashing into scenario digests.
+func (s Spec) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s{proc=%d task=%d sub=%d window=[%g,%g) mag=%g delay=%d seed=%d}",
+		s.Kind, s.Proc, s.Task, s.Sub, s.Start, s.Stop, s.Magnitude, s.Delay, s.Seed)
+	return b.String()
+}
+
+// check validates the spec against a system shape. It is called by
+// Engine.Compile with the spec's position for error context.
+func (s Spec) check(i int, shape Shape) error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("fault: spec %d (%s): %s", i, s.Kind, fmt.Sprintf(format, args...))
+	}
+	if s.Start < 0 {
+		return fail("start %g must be >= 0", s.Start)
+	}
+	if s.Stop > 0 && s.Stop <= s.Start {
+		return fail("window [%g, %g) is empty", s.Start, s.Stop)
+	}
+	checkProc := func() error {
+		if s.Proc != All && (s.Proc < 0 || s.Proc >= shape.Procs) {
+			return fail("processor %d out of range [0, %d)", s.Proc, shape.Procs)
+		}
+		return nil
+	}
+	checkTask := func() error {
+		if s.Task != All && (s.Task < 0 || s.Task >= shape.Tasks) {
+			return fail("task %d out of range [0, %d)", s.Task, shape.Tasks)
+		}
+		return nil
+	}
+	switch s.Kind {
+	case ExecStep, ExecRamp:
+		if s.Magnitude <= 0 {
+			return fail("execution-time factor %g must be positive", s.Magnitude)
+		}
+		if s.Kind == ExecRamp && s.Stop <= 0 {
+			return fail("a ramp needs an explicit stop period")
+		}
+		if err := checkProc(); err != nil {
+			return err
+		}
+		if err := checkTask(); err != nil {
+			return err
+		}
+		if s.Sub != All {
+			if s.Task == All {
+				return fail("subtask targeting requires an explicit task")
+			}
+			if s.Sub < 0 || s.Sub >= shape.SubsPerTask[s.Task] {
+				return fail("subtask %d out of range [0, %d) for task %d", s.Sub, shape.SubsPerTask[s.Task], s.Task)
+			}
+		}
+	case FeedbackDrop, FeedbackQuantize:
+		if s.Magnitude <= 0 || s.Magnitude > 1 {
+			return fail("magnitude %g must be in (0, 1]", s.Magnitude)
+		}
+		return checkProc()
+	case FeedbackDelay:
+		if s.Delay < 1 {
+			return fail("delay %d must be >= 1 period", s.Delay)
+		}
+		return checkProc()
+	case ActuatorDrop:
+		if s.Magnitude <= 0 || s.Magnitude > 1 {
+			return fail("magnitude %g must be in (0, 1]", s.Magnitude)
+		}
+		return checkTask()
+	case ActuatorDelay:
+		if s.Delay < 1 {
+			return fail("delay %d must be >= 1 period", s.Delay)
+		}
+		return checkTask()
+	case ActuatorClamp:
+		if s.Magnitude < 0 {
+			return fail("rate-move bound %g must be >= 0", s.Magnitude)
+		}
+		return checkTask()
+	case ProcCrash:
+		return checkProc()
+	default:
+		return fail("unknown kind %d", int(s.Kind))
+	}
+	return nil
+}
+
+// Format renders a scenario (a []Spec) as one semicolon-separated line —
+// the canonical serialization hashed into sweep digests.
+func Format(specs []Spec) string {
+	if len(specs) == 0 {
+		return "none"
+	}
+	parts := make([]string, len(specs))
+	for i, s := range specs {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, "; ")
+}

@@ -1,0 +1,117 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Scenario is a named, reusable fault scenario — the fault-side analogue of
+// the experiment registry in internal/experiments.
+type Scenario struct {
+	// Name is the identifier used on the euconsim command line.
+	Name string
+	// Title describes what the scenario perturbs.
+	Title string
+	// Specs is the scenario's injector list, applied in order.
+	Specs []Spec
+}
+
+// Scenarios returns the scenario catalog in presentation order: plant
+// faults, feedback faults, actuator faults, crashes, then combinations.
+// Windows are expressed in sampling periods against the standard 300-period
+// experiment runs, with faults landing inside the [100, 300) measurement
+// window so robustness metrics see them.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			Name:  "exec-burst-2x",
+			Title: "execution times double on every processor for periods [100, 200)",
+			Specs: []Spec{{Kind: ExecStep, Proc: All, Task: All, Sub: All, Start: 100, Stop: 200, Magnitude: 2}},
+		},
+		{
+			Name:  "exec-ramp-3x",
+			Title: "execution times ramp to 3x over periods [100, 250) on every processor",
+			Specs: []Spec{{Kind: ExecRamp, Proc: All, Task: All, Sub: All, Start: 100, Stop: 250, Magnitude: 3}},
+		},
+		{
+			Name:  "feedback-loss-10pct",
+			Title: "each utilization sample is lost with probability 0.1 for the whole run",
+			Specs: []Spec{{Kind: FeedbackDrop, Proc: All, Magnitude: 0.1, Seed: 11}},
+		},
+		{
+			Name:  "feedback-delay-2",
+			Title: "every utilization sample reaches the controller 2 sampling periods late",
+			Specs: []Spec{{Kind: FeedbackDelay, Proc: All, Delay: 2}},
+		},
+		{
+			Name:  "feedback-quantize-5pct",
+			Title: "utilization samples are quantized to steps of 0.05 before the controller",
+			Specs: []Spec{{Kind: FeedbackQuantize, Proc: All, Magnitude: 0.05}},
+		},
+		{
+			Name:  "actuator-drop-20pct",
+			Title: "each rate command is dropped with probability 0.2 for the whole run",
+			Specs: []Spec{{Kind: ActuatorDrop, Task: All, Magnitude: 0.2, Seed: 13}},
+		},
+		{
+			Name:  "actuator-stuck-t1",
+			Title: "task T1's rate modulator is stuck (rate frozen) for periods [120, 180)",
+			Specs: []Spec{{Kind: ActuatorClamp, Task: 0, Start: 120, Stop: 180, Magnitude: 0}},
+		},
+		{
+			Name:  "proc2-crash-recover",
+			Title: "processor P2 crashes for periods [100, 140): no admissions, monitor pegged at u=1",
+			Specs: []Spec{{Kind: ProcCrash, Proc: 1, Start: 100, Stop: 140}},
+		},
+		{
+			Name:  "kitchen-sink",
+			Title: "exec burst + lossy delayed feedback + dropped commands at once",
+			Specs: []Spec{
+				{Kind: ExecStep, Proc: All, Task: All, Sub: All, Start: 100, Stop: 200, Magnitude: 1.5},
+				{Kind: FeedbackDrop, Proc: All, Magnitude: 0.05, Seed: 17},
+				{Kind: FeedbackDelay, Proc: All, Delay: 1, Start: 150, Stop: 250},
+				{Kind: ActuatorDrop, Task: All, Magnitude: 0.1, Seed: 19},
+			},
+		},
+	}
+}
+
+// Lookup finds a scenario by name.
+func Lookup(name string) (Scenario, bool) {
+	for _, sc := range Scenarios() {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// Names returns the sorted scenario names.
+func Names() []string {
+	all := Scenarios()
+	names := make([]string, len(all))
+	for i, sc := range all {
+		names[i] = sc.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Parse resolves a comma-separated list of scenario names into one combined
+// injector list, concatenated in the order given.
+func Parse(list string) ([]Spec, error) {
+	var specs []Spec
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		sc, ok := Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("fault: unknown scenario %q (known: %s)", name, strings.Join(Names(), ", "))
+		}
+		specs = append(specs, sc.Specs...)
+	}
+	return specs, nil
+}

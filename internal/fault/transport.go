@@ -1,0 +1,45 @@
+package fault
+
+import "time"
+
+// TransportPlan is a deterministic, stateless transport fault plan for the
+// feedback lanes: the fate of message n is a pure hash of (Seed, n), so the
+// loss pattern is reproducible regardless of goroutine scheduling or how
+// many times the plan is consulted. It satisfies the lane package's Plan
+// interface.
+type TransportPlan struct {
+	// DropProb is the probability a message is discarded before reaching
+	// the wire.
+	DropProb float64
+	// DelayProb is the probability a non-dropped message is held for
+	// Delay before sending.
+	DelayProb float64
+	// Delay is the injected transmission delay.
+	Delay time.Duration
+	// Seed selects the loss pattern; identical seeds reproduce identical
+	// patterns.
+	Seed int64
+}
+
+// Outcome returns the fate of send number n (0-based).
+func (p TransportPlan) Outcome(n uint64) (drop bool, delay time.Duration) {
+	if p.DropProb > 0 && unit(p.Seed, n, 0xd1342543de82ef95) < p.DropProb {
+		return true, 0
+	}
+	if p.DelayProb > 0 && p.Delay > 0 && unit(p.Seed, n, 0xaf251af3b0f025b5) < p.DelayProb {
+		return false, p.Delay
+	}
+	return false, 0
+}
+
+// unit hashes (seed, n, salt) through a splitmix64-style finalizer to a
+// uniform float64 in [0, 1).
+func unit(seed int64, n, salt uint64) float64 {
+	z := uint64(seed) + n*0x9e3779b97f4a7c15 + salt
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}

@@ -1,0 +1,66 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTransportPlanDeterministicAndCalibrated(t *testing.T) {
+	p := TransportPlan{DropProb: 0.2, DelayProb: 0.1, Delay: 5 * time.Millisecond, Seed: 42}
+	const n = 20000
+	drops, delays := 0, 0
+	for i := uint64(0); i < n; i++ {
+		d1, dl1 := p.Outcome(i)
+		d2, dl2 := p.Outcome(i)
+		if d1 != d2 || dl1 != dl2 {
+			t.Fatalf("message %d: outcome not stable across calls", i)
+		}
+		if d1 {
+			drops++
+			if dl1 != 0 {
+				t.Fatalf("message %d: dropped with nonzero delay", i)
+			}
+		} else if dl1 > 0 {
+			if dl1 != p.Delay {
+				t.Fatalf("message %d: delay %v, want %v", i, dl1, p.Delay)
+			}
+			delays++
+		}
+	}
+	if f := float64(drops) / n; f < 0.18 || f > 0.22 {
+		t.Errorf("drop fraction %.3f, want ≈ 0.2", f)
+	}
+	if f := float64(delays) / n; f < 0.06 || f > 0.11 {
+		t.Errorf("delay fraction %.3f, want ≈ 0.1·(1−0.2) = 0.08", f)
+	}
+
+	// Distinct seeds give distinct patterns.
+	q := p
+	q.Seed = 43
+	same := 0
+	for i := uint64(0); i < 1000; i++ {
+		a, _ := p.Outcome(i)
+		b, _ := q.Outcome(i)
+		if a == b {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Error("seeds 42 and 43 produced identical drop patterns")
+	}
+}
+
+func TestTransportPlanZeroIsTransparent(t *testing.T) {
+	var p TransportPlan
+	for i := uint64(0); i < 100; i++ {
+		if drop, delay := p.Outcome(i); drop || delay != 0 {
+			t.Fatalf("zero plan perturbed message %d", i)
+		}
+	}
+	always := TransportPlan{DropProb: 1, Seed: 9}
+	for i := uint64(0); i < 100; i++ {
+		if drop, _ := always.Outcome(i); !drop {
+			t.Fatalf("DropProb 1 passed message %d", i)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package lane
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrInjectedDrop marks a send discarded by a transport fault plan rather
+// than by the network. Callers distinguish it from real lane failures: a
+// lost report can be degraded around (the coordinator substitutes a missing
+// sample), while a broken connection cannot.
+var ErrInjectedDrop = errors.New("lane: injected transport drop")
+
+// Sender is the sending half of a lane, shared by Conn and FaultConn so
+// retry and fault injection compose with plain connections.
+type Sender interface {
+	Send(m *Message, deadline time.Duration) error
+}
+
+// RetryPolicy governs resends of lane messages: up to Attempts tries with
+// capped exponential backoff between them. The zero value selects the
+// defaults (3 attempts, 10ms base, 500ms cap).
+type RetryPolicy struct {
+	// Attempts is the total number of tries, including the first.
+	Attempts int
+	// BaseDelay is the backoff before the second try; each further try
+	// doubles it.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff.
+	MaxDelay time.Duration
+}
+
+// withDefaults fills zero fields with the package defaults.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 10 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 500 * time.Millisecond
+	}
+	return p
+}
+
+// Backoff returns the delay before retry number attempt (attempt 0 is the
+// delay after the first failure): BaseDelay·2^attempt, capped at MaxDelay.
+func (p RetryPolicy) Backoff(attempt int) time.Duration {
+	p = p.withDefaults()
+	d := p.BaseDelay
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if d >= p.MaxDelay {
+			return p.MaxDelay
+		}
+	}
+	if d > p.MaxDelay {
+		return p.MaxDelay
+	}
+	return d
+}
+
+// SendRetry sends m through s, retrying failed attempts under the policy
+// with capped exponential backoff. It returns nil on the first success, the
+// last send error (wrapped with the attempt count) when every try fails,
+// and the context error when canceled mid-backoff.
+func SendRetry(ctx context.Context, s Sender, m *Message, deadline time.Duration, policy RetryPolicy) error {
+	policy = policy.withDefaults()
+	var last error
+	for attempt := 0; attempt < policy.Attempts; attempt++ {
+		if attempt > 0 {
+			t := time.NewTimer(policy.Backoff(attempt - 1))
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return fmt.Errorf("lane: send %s canceled during backoff: %w", m.Type, ctx.Err())
+			}
+		}
+		if last = s.Send(m, deadline); last == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("lane: send %s failed after %d attempts: %w", m.Type, policy.Attempts, last)
+}
+
+// Plan decides the fate of each message crossing a faulty transport. The
+// message index n counts sends on one FaultConn, so a stateless Plan (e.g.
+// fault.TransportPlan) yields reproducible loss patterns.
+type Plan interface {
+	// Outcome returns the fate of send number n (0-based): drop discards
+	// the message with ErrInjectedDrop; otherwise the send proceeds after
+	// delay.
+	Outcome(n uint64) (drop bool, delay time.Duration)
+}
+
+// FaultConn wraps a Conn with a transport fault plan: each Send consults
+// the plan and may be dropped or delayed before reaching the wire. Receive
+// and Close pass through. It composes with SendRetry — a retried send
+// consumes a fresh message index, so a drop can be recovered on the next
+// attempt.
+type FaultConn struct {
+	*Conn
+	plan Plan
+
+	mu sync.Mutex
+	n  uint64
+}
+
+var _ Sender = (*FaultConn)(nil)
+
+// NewFaultConn wraps c with plan.
+func NewFaultConn(c *Conn, plan Plan) *FaultConn {
+	return &FaultConn{Conn: c, plan: plan}
+}
+
+// Sent reports how many sends have been attempted (dropped or not).
+func (f *FaultConn) Sent() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.n
+}
+
+// Send implements Sender, applying the plan's outcome for this message
+// index before delegating to the underlying Conn.
+func (f *FaultConn) Send(m *Message, deadline time.Duration) error {
+	f.mu.Lock()
+	n := f.n
+	f.n++
+	f.mu.Unlock()
+	drop, delay := f.plan.Outcome(n)
+	if drop {
+		return fmt.Errorf("lane: send %s (message %d): %w", m.Type, n, ErrInjectedDrop)
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return f.Conn.Send(m, deadline)
+}

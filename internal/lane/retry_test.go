@@ -1,0 +1,143 @@
+package lane
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// flakySender fails its first n sends, then succeeds.
+type flakySender struct {
+	failures int
+	calls    int
+}
+
+func (f *flakySender) Send(*Message, time.Duration) error {
+	f.calls++
+	if f.calls <= f.failures {
+		return errors.New("transient")
+	}
+	return nil
+}
+
+func TestRetryPolicyBackoff(t *testing.T) {
+	p := RetryPolicy{Attempts: 5, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond}
+	for attempt, want := range []time.Duration{
+		time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond, 4 * time.Millisecond, 4 * time.Millisecond,
+	} {
+		if got := p.Backoff(attempt); got != want {
+			t.Errorf("Backoff(%d) = %v, want %v", attempt, got, want)
+		}
+	}
+	// Zero value selects the defaults.
+	var zero RetryPolicy
+	if got := zero.Backoff(0); got != 10*time.Millisecond {
+		t.Errorf("default Backoff(0) = %v, want 10ms", got)
+	}
+	if got := zero.Backoff(20); got != 500*time.Millisecond {
+		t.Errorf("default Backoff(20) = %v, want capped 500ms", got)
+	}
+}
+
+func TestSendRetryRecoversTransientFailure(t *testing.T) {
+	s := &flakySender{failures: 2}
+	policy := RetryPolicy{Attempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+	if err := SendRetry(context.Background(), s, &Message{Type: TypeUtilization}, time.Second, policy); err != nil {
+		t.Fatalf("SendRetry = %v, want success on third attempt", err)
+	}
+	if s.calls != 3 {
+		t.Errorf("sender called %d times, want 3", s.calls)
+	}
+}
+
+func TestSendRetryExhaustsAttempts(t *testing.T) {
+	s := &flakySender{failures: 10}
+	policy := RetryPolicy{Attempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+	err := SendRetry(context.Background(), s, &Message{Type: TypeUtilization}, time.Second, policy)
+	if err == nil {
+		t.Fatal("SendRetry succeeded, want exhaustion")
+	}
+	if s.calls != 3 {
+		t.Errorf("sender called %d times, want 3", s.calls)
+	}
+}
+
+func TestSendRetryCanceledDuringBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := &flakySender{failures: 10}
+	policy := RetryPolicy{Attempts: 3, BaseDelay: time.Hour, MaxDelay: time.Hour}
+	err := SendRetry(ctx, s, &Message{Type: TypeUtilization}, time.Second, policy)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if s.calls != 1 {
+		t.Errorf("sender called %d times, want 1 (cancel hits before first backoff ends)", s.calls)
+	}
+}
+
+// dropNth drops exactly one message index, passing everything else through.
+type dropNth uint64
+
+func (d dropNth) Outcome(n uint64) (bool, time.Duration) { return n == uint64(d), 0 }
+
+func TestFaultConnDropAndPassThrough(t *testing.T) {
+	client, server := net.Pipe()
+	defer func() { _ = client.Close() }()
+	defer func() { _ = server.Close() }()
+	fc := NewFaultConn(NewConn(client), dropNth(0))
+	peer := NewConn(server)
+
+	// Message 0 is dropped before reaching the wire: no reader needed,
+	// and the error unwraps to ErrInjectedDrop.
+	err := fc.Send(&Message{Type: TypeUtilization, Period: 0}, time.Second)
+	if !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("dropped send err = %v, want ErrInjectedDrop", err)
+	}
+
+	// Message 1 passes through intact.
+	got := make(chan *Message, 1)
+	go func() {
+		m, err := peer.Receive(time.Second)
+		if err != nil {
+			t.Errorf("peer receive: %v", err)
+		}
+		got <- m
+	}()
+	if err := fc.Send(&Message{Type: TypeUtilization, Period: 1, Utilization: 0.5}, time.Second); err != nil {
+		t.Fatalf("pass-through send: %v", err)
+	}
+	m := <-got
+	if m == nil || m.Period != 1 || m.Utilization != 0.5 {
+		t.Fatalf("peer got %+v, want period 1 utilization 0.5", m)
+	}
+	if fc.Sent() != 2 {
+		t.Errorf("Sent() = %d, want 2", fc.Sent())
+	}
+}
+
+func TestSendRetryRecoversInjectedDrop(t *testing.T) {
+	client, server := net.Pipe()
+	defer func() { _ = client.Close() }()
+	defer func() { _ = server.Close() }()
+	fc := NewFaultConn(NewConn(client), dropNth(0))
+	peer := NewConn(server)
+
+	got := make(chan *Message, 1)
+	go func() {
+		m, err := peer.Receive(time.Second)
+		if err != nil {
+			t.Errorf("peer receive: %v", err)
+		}
+		got <- m
+	}()
+	policy := RetryPolicy{Attempts: 2, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond}
+	if err := SendRetry(context.Background(), fc, &Message{Type: TypeUtilization, Period: 7}, time.Second, policy); err != nil {
+		t.Fatalf("SendRetry over FaultConn = %v, want recovery on second attempt", err)
+	}
+	if m := <-got; m.Period != 7 {
+		t.Fatalf("peer got period %d, want 7", m.Period)
+	}
+}

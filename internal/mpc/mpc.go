@@ -95,6 +95,14 @@ type Controller struct {
 
 	prevDelta []float64 // Δr(k−1), for the control penalty
 
+	// Anti-windup state: lastRates remembers the rates argument of the
+	// previous Step (the rates the plant actually applied), so the move
+	// memory can be reconciled with the achieved move when an actuator
+	// fault keeps a command from taking effect (see Step).
+	lastRates   []float64
+	haveLast    bool
+	windupSyncs int
+
 	// Cached problem structure (constant across sampling periods).
 	cmat  *mat.Dense // least-squares stack C; only d changes per period
 	lsi   *qp.LSI    // caches CᵀC + Cholesky, scratch, warm-start set
@@ -156,6 +164,7 @@ func New(f *mat.Dense, setPoints, rmin, rmax []float64, cfg Config) (*Controller
 		n:         n,
 		m:         m,
 		prevDelta: make([]float64, m),
+		lastRates: make([]float64, m),
 	}
 	c.sqrtQ = mat.Constant(n, 1)
 	if cfg.QWeights != nil {
@@ -209,9 +218,19 @@ func (c *Controller) Reset() {
 	for i := range c.prevDelta {
 		c.prevDelta[i] = 0
 	}
+	for i := range c.lastRates {
+		c.lastRates[i] = 0
+	}
+	c.haveLast = false
+	c.windupSyncs = 0
 	c.lsi.ResetWarmStart()
 	c.prevRelaxed = false
 }
+
+// AntiWindupSyncs reports how many per-task move-memory entries had to be
+// reconciled because the achieved rate move diverged from the commanded
+// one (actuator faults, external clamping).
+func (c *Controller) AntiWindupSyncs() int { return c.windupSyncs }
 
 // Step computes the control input for the next sampling period from the
 // measured utilizations u(k) and the currently applied rates r(k−1).
@@ -222,6 +241,24 @@ func (c *Controller) Step(u, rates []float64) (*StepResult, error) {
 	if len(rates) != c.m {
 		return nil, fmt.Errorf("mpc: rate vector has length %d, want %d", len(rates), c.m)
 	}
+	// Anti-windup: reconcile the move memory with the move the plant
+	// actually achieved, rates(k−1) → rates(k). When actuation is healthy
+	// the achieved move is bit-identical to the commanded Δr(k−1) (both are
+	// the same subtraction of the same floats), so this is a no-op; when an
+	// actuator fault dropped, delayed, or clamped the command, the control
+	// penalty would otherwise keep referencing a move that never happened
+	// and the internal model would drift while the actuator is stuck.
+	if c.haveLast {
+		for i := 0; i < c.m; i++ {
+			achieved := rates[i] - c.lastRates[i]
+			if achieved != c.prevDelta[i] { //eucon:float-exact healthy actuation reproduces the exact commanded bits; any difference is a real divergence
+				c.windupSyncs++
+			}
+			c.prevDelta[i] = achieved
+		}
+	}
+	copy(c.lastRates, rates)
+	c.haveLast = true
 	c.fillLeastSquaresRHS(u, c.dbuf)
 
 	// Pick a feasible starting point analytically instead of relying on the

@@ -408,3 +408,74 @@ func TestQWeightsShiftPriority(t *testing.T) {
 		t.Errorf("heavily weighted P1 at %v, want ≈ 0.9", u[0])
 	}
 }
+
+// TestAntiWindupHealthyNoSync pins the bit-identity claim behind the
+// always-on anti-windup: feeding each Step the exact rates the previous
+// Step commanded must never count a sync or change the control sequence.
+func TestAntiWindupHealthyNoSync(t *testing.T) {
+	c := simpleController(t, defaultSimpleConfig())
+	rates := []float64{1.0 / 350, 1.0 / 350, 1.0 / 450}
+	u := []float64{0.5, 0.6}
+	for k := 0; k < 20; k++ {
+		res, err := c.Step(u, rates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rates = res.NewRates
+	}
+	if got := c.AntiWindupSyncs(); got != 0 {
+		t.Errorf("healthy actuation counted %d anti-windup syncs, want 0", got)
+	}
+}
+
+// TestAntiWindupReconcilesStuckActuator drives the controller with an
+// actuator that never applies any command (rates frozen): the move memory
+// must be reconciled to the achieved zero move each period instead of
+// accumulating the fictitious commanded moves.
+func TestAntiWindupReconcilesStuckActuator(t *testing.T) {
+	c := simpleController(t, defaultSimpleConfig())
+	frozen := []float64{1.0 / 350, 1.0 / 350, 1.0 / 450}
+	u := []float64{0.5, 0.6} // below set points: the MPC wants rate increases
+	var lastCmd []float64
+	for k := 0; k < 5; k++ {
+		res, err := c.Step(u, frozen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastCmd = res.NewRates
+	}
+	if c.AntiWindupSyncs() == 0 {
+		t.Fatal("stuck actuator produced no anti-windup syncs")
+	}
+	moved := false
+	for i := range lastCmd {
+		if math.Abs(lastCmd[i]-frozen[i]) > 1e-12 {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("controller stopped commanding changes; windup test is vacuous")
+	}
+	// With the plant frozen, reconciliation pins the pre-step move memory
+	// at zero, so every period solves the same problem: the command must be
+	// periodic, not a ratcheting accumulation.
+	res1, err := c.Step(u, frozen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := c.Step(u, frozen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res1.NewRates {
+		if math.Abs(res1.NewRates[i]-res2.NewRates[i]) > 1e-12 {
+			t.Errorf("task %d: command drifts under a stuck actuator (%.12g vs %.12g)",
+				i, res1.NewRates[i], res2.NewRates[i])
+		}
+	}
+	// Reset clears the anti-windup state.
+	c.Reset()
+	if c.AntiWindupSyncs() != 0 || c.haveLast {
+		t.Error("Reset did not clear anti-windup state")
+	}
+}

@@ -13,6 +13,19 @@ type RateController interface {
 	Rates(k int, u, rates []float64) ([]float64, error)
 }
 
+// DegradationReporter is an optional interface a RateController can
+// implement to expose which graceful-degradation policy fired during its
+// most recent Rates call. The simulator records the report in the trace's
+// PeriodStats (HeldSamples, ControlSkipped), so experiments can see when
+// and how the controller degraded under feedback faults.
+type DegradationReporter interface {
+	// LastDegradation reports on the most recent Rates call: how many
+	// processor samples were substituted through hold-last-sample, and
+	// whether the controller skipped actuation entirely because every
+	// usable sample was staler than its bound.
+	LastDegradation() (heldSamples int, controlSkipped bool)
+}
+
 // FixedRates is a RateController that never changes rates (pure open loop
 // with whatever rates the tasks started with).
 type FixedRates struct{}

@@ -23,8 +23,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 
+	"github.com/rtsyslab/eucon/internal/fault"
 	"github.com/rtsyslab/eucon/internal/task"
 )
 
@@ -58,6 +60,13 @@ type Config struct {
 	// drop work rather than queue it unboundedly (e.g. sensor frames);
 	// zero disables shedding.
 	MaxBacklog int
+	// Faults is the fault scenario injected into the run: execution-time
+	// perturbations, feedback and actuator faults, and processor crash
+	// windows (see internal/fault). All probabilistic fault outcomes are
+	// pre-resolved from Seed at Reset, so faulted runs stay bit-identical
+	// for equal configs. Empty means a fault-free run with zero overhead
+	// beyond one branch per hook.
+	Faults []fault.Spec
 }
 
 // validate checks the configuration. validatedSys, when non-nil and equal
@@ -131,6 +140,9 @@ type Stats struct {
 	// SkippedJobs counts releases shed because the subtask's backlog
 	// reached Config.MaxBacklog.
 	SkippedJobs int
+	// CrashShedJobs counts releases refused because the target processor
+	// was inside a fault.ProcCrash window.
+	CrashShedJobs int
 }
 
 // PeriodStats are the per-sampling-period counters behind the aggregate
@@ -142,6 +154,20 @@ type PeriodStats struct {
 	SubtaskMisses int
 	// EndToEndCompletions and EndToEndMisses count whole task instances.
 	EndToEndCompletions, EndToEndMisses int
+	// FeedbackMissing and FeedbackStale count utilization samples that a
+	// feedback fault dropped or delivered from an earlier period.
+	FeedbackMissing, FeedbackStale int
+	// HeldSamples counts samples the controller substituted through its
+	// hold-last-sample degradation policy this period; ControlSkipped is 1
+	// when it skipped actuation entirely (staleness bound exceeded). Both
+	// come from the controller's DegradationReporter, when implemented.
+	HeldSamples, ControlSkipped int
+	// RateCmdFaults counts task rate commands perturbed by an actuator
+	// fault (drop, delay, or clamp) this period.
+	RateCmdFaults int
+	// ProcsDown counts processors whose monitor was pegged at u = 1 by a
+	// crash window overlapping this period.
+	ProcsDown int
 }
 
 // MissRatio returns the subtask deadline miss ratio of the period (0 when
@@ -206,6 +232,22 @@ type Simulator struct {
 	utilBacking  []float64
 	ratesBacking []float64
 
+	// faults holds the compiled fault scenario (idle when Config.Faults is
+	// empty); degrade is Config.Controller's optional DegradationReporter
+	// side, cached at Reset so sampling avoids per-period assertions.
+	faults  fault.Engine
+	degrade DegradationReporter
+
+	// Fault-path scratch, sized at Reset only when faults are enabled:
+	// uDeliver is the corrupted utilization vector handed to the
+	// controller, cmdBacking records every period's commanded rates (the
+	// source for delayed actuation), and effRates is the post-fault rate
+	// vector actually applied.
+	subsBuf    []int
+	uDeliver   []float64
+	cmdBacking []float64
+	effRates   []float64
+
 	trace Trace
 	cur   PeriodStats // counters for the in-progress sampling period
 }
@@ -229,6 +271,27 @@ func New(cfg Config) (*Simulator, error) {
 func (s *Simulator) Reset(cfg Config) error {
 	if err := cfg.validate(s.sys); err != nil {
 		return err
+	}
+	// Compile the fault scenario before any state is touched, so a bad
+	// scenario leaves the simulator bound to its previous config. An empty
+	// scenario disables the engine without allocating.
+	var shape fault.Shape
+	if len(cfg.Faults) > 0 {
+		nTasks := len(cfg.System.Tasks)
+		s.subsBuf = growInts(s.subsBuf, nTasks)
+		for i := range cfg.System.Tasks {
+			s.subsBuf[i] = len(cfg.System.Tasks[i].Subtasks)
+		}
+		shape = fault.Shape{
+			Procs:          cfg.System.Processors,
+			Tasks:          nTasks,
+			SubsPerTask:    s.subsBuf,
+			Periods:        cfg.Periods,
+			SamplingPeriod: cfg.SamplingPeriod,
+		}
+	}
+	if err := s.faults.Compile(cfg.Faults, shape, cfg.Seed); err != nil {
+		return fmt.Errorf("sim: %w", err)
 	}
 	// Reclaim the previous run's working set before any slice is resized.
 	s.recycleInFlight()
@@ -276,6 +339,12 @@ func (s *Simulator) Reset(cfg Config) error {
 	name := "NONE"
 	if cfg.Controller != nil {
 		name = cfg.Controller.Name()
+	}
+	s.degrade, _ = cfg.Controller.(DegradationReporter)
+	if s.faults.Enabled() {
+		s.uDeliver = growFloats(s.uDeliver, sys.Processors)
+		s.effRates = growFloats(s.effRates, nTasks)
+		s.cmdBacking = growFloats(s.cmdBacking, cfg.Periods*nTasks)
 	}
 	s.utilBacking = growFloats(s.utilBacking, cfg.Periods*sys.Processors)
 	s.ratesBacking = growFloats(s.ratesBacking, cfg.Periods*nTasks)
@@ -406,12 +475,16 @@ func (s *Simulator) push(e *event) *event {
 //eucon:noalloc
 func (s *Simulator) period(i int) float64 { return 1 / s.rates[i] }
 
-// drawExecTime draws the actual execution time for a subtask released now.
+// drawExecTime draws the actual execution time for subtask (taskIdx,
+// subIdx) released now on processor proc.
 //
 //eucon:noalloc
-func (s *Simulator) drawExecTime(estimatedCost float64) float64 {
+func (s *Simulator) drawExecTime(estimatedCost float64, proc, taskIdx, subIdx int) float64 {
 	mean := estimatedCost * s.cfg.ETF.At(s.now) //eucon:alloc-ok ETF schedules are value-typed lookups; none allocates
-	if s.cfg.Jitter == 0 {                      //eucon:float-exact Jitter is copied from the config, never computed
+	if s.faults.Enabled() {
+		mean *= s.faults.ExecFactor(proc, taskIdx, subIdx, s.now)
+	}
+	if s.cfg.Jitter == 0 { //eucon:float-exact Jitter is copied from the config, never computed
 		return mean
 	}
 	lo := mean * (1 - s.cfg.Jitter)
@@ -463,10 +536,18 @@ func (s *Simulator) handleRelease(e *event) {
 		return
 	}
 	st := &t.Subtasks[j.subIdx]
+	// Crash windows: a down processor refuses admission; the release is
+	// lost, not queued (the periodic chain above keeps running, so the
+	// task resumes when the processor recovers).
+	if s.faults.Enabled() && s.faults.Down(st.Processor, s.now) {
+		s.trace.Stats.CrashShedJobs++
+		s.putJob(j)
+		return
+	}
 	j.proc = st.Processor
 	j.release = s.now
 	j.deadline = s.now + period
-	j.remaining = s.drawExecTime(st.EstimatedCost)
+	j.remaining = s.drawExecTime(st.EstimatedCost, j.proc, ti, j.subIdx)
 	s.lastRelease[sub] = s.now
 	s.backlog[sub]++
 	s.trace.Stats.ReleasedJobs++
@@ -628,12 +709,19 @@ func (s *Simulator) scheduleCompletion(procIdx int) {
 func (s *Simulator) handleSampling() error {
 	k := len(s.trace.Utilization)
 	np := len(s.procs)
+	faulted := s.faults.Enabled()
 	u := s.utilBacking[k*np : (k+1)*np : (k+1)*np]
 	for i := range s.procs {
 		s.accrue(i)
 		u[i] = s.procs[i].busy / s.cfg.SamplingPeriod
 		if u[i] > 1 {
 			u[i] = 1
+		}
+		if faulted && s.faults.DownPeriod(k, i) {
+			// A crashed processor's monitor reports saturation; the trace
+			// records what the monitor reported, not the idle truth.
+			u[i] = 1
+			s.cur.ProcsDown++
 		}
 		s.procs[i].busy = 0
 	}
@@ -648,18 +736,111 @@ func (s *Simulator) handleSampling() error {
 	if s.cfg.Controller == nil {
 		return nil
 	}
-	newRates, err := s.cfg.Controller.Rates(k, u, applied) //eucon:alloc-ok controller boundary: plugged controllers may allocate; the plant does not
+	uIn := u
+	if faulted {
+		uIn = s.deliverFeedback(k, u)
+	}
+	newRates, err := s.cfg.Controller.Rates(k, uIn, applied) //eucon:alloc-ok controller boundary: plugged controllers may allocate; the plant does not
 	if err != nil {
 		// A controller failure must not crash the plant: keep current rates.
 		s.trace.Stats.ControllerErrors++
+		if faulted {
+			// Keeping the rates is this period's effective command; record
+			// it so delayed actuation has a source to replay.
+			copy(s.cmdBacking[k*nt:(k+1)*nt], s.rates)
+		}
 		return nil
 	}
 	if len(newRates) != len(s.rates) {
 		//eucon:alloc-ok fatal error path, not steady state
 		return fmt.Errorf("sim: controller %s returned %d rates, want %d", s.cfg.Controller.Name(), len(newRates), len(s.rates))
 	}
+	if s.degrade != nil {
+		held, skipped := s.degrade.LastDegradation() //eucon:alloc-ok controller boundary: reporting, like Rates, crosses the plugged-controller interface
+		ps := &s.trace.Periods[k]
+		ps.HeldSamples = held
+		if skipped {
+			ps.ControlSkipped = 1
+		}
+	}
+	if faulted {
+		newRates = s.applyCommandFaults(k, newRates)
+	}
 	s.applyRates(newRates)
 	return nil
+}
+
+// deliverFeedback builds the utilization vector the controller actually
+// receives under the compiled feedback faults: dropped samples become NaN
+// (the controller's hold-last policy takes over), delayed samples replay
+// the recorded measurement of an earlier period, and quantized samples are
+// rounded to the fault's step. The pristine vector u stays in the trace.
+//
+//eucon:noalloc
+func (s *Simulator) deliverFeedback(k int, u []float64) []float64 {
+	ps := &s.trace.Periods[k]
+	for p := range u {
+		cell := s.faults.Feedback(k, p)
+		v := u[p]
+		switch {
+		case cell.Src < 0:
+			v = math.NaN()
+			ps.FeedbackMissing++
+		case cell.Src < k:
+			v = s.trace.Utilization[cell.Src][p]
+			ps.FeedbackStale++
+		}
+		if cell.Quant > 0 && cell.Src >= 0 {
+			v = math.Round(v/cell.Quant) * cell.Quant
+		}
+		s.uDeliver[p] = v
+	}
+	return s.uDeliver
+}
+
+// applyCommandFaults records the controller's commanded rates for period k
+// and returns the rate vector the modulator actually applies under the
+// compiled actuator faults: delayed commands replay the command issued
+// Delay periods earlier, dropped commands hold the current rate, and
+// clamped commands bound the per-period rate move around it.
+//
+//eucon:noalloc
+func (s *Simulator) applyCommandFaults(k int, newRates []float64) []float64 {
+	nt := len(newRates)
+	cmd := s.cmdBacking[k*nt : (k+1)*nt : (k+1)*nt]
+	copy(cmd, newRates)
+	ps := &s.trace.Periods[k]
+	for i := 0; i < nt; i++ {
+		cell := s.faults.Command(k, i)
+		want := cmd[i]
+		hit := false
+		if cell.Delay > 0 {
+			hit = true
+			if src := k - cell.Delay; src >= 0 {
+				want = s.cmdBacking[src*nt+i]
+			} else {
+				want = s.rates[i] // nothing was commanded that early: hold
+			}
+		}
+		if cell.Drop {
+			hit = true
+			want = s.rates[i] // dropped command: the modulator holds its rate
+		}
+		if cell.Clamp >= 0 {
+			hit = true
+			if lo := s.rates[i] - cell.Clamp; want < lo {
+				want = lo
+			}
+			if hi := s.rates[i] + cell.Clamp; want > hi {
+				want = hi
+			}
+		}
+		if hit {
+			ps.RateCmdFaults++
+		}
+		s.effRates[i] = want
+	}
+	return s.effRates
 }
 
 // applyRates installs new task rates, clamped to each task's bounds, and

@@ -1,7 +1,8 @@
 #!/bin/sh
-# bench_trend.sh appends a dated JSON snapshot of the key benchmarks and the
-# sweep-output digests to BENCH_<date>.json, tracking the performance
-# trajectory of the simulator core across PRs.
+# bench_trend.sh appends a dated JSON snapshot of the key benchmarks (clean
+# and faulted steady state) plus the sweep-output and fault-scenario digests
+# to BENCH_<date>.json, tracking the performance trajectory of the simulator
+# core across PRs.
 #
 # Each benchmark line records ns/op, B/op, and allocs/op from -benchmem; each
 # digest line records an FNV-64a hash of a full-precision sweep series at a
@@ -17,7 +18,7 @@ date="$(date +%Y-%m-%d)"
 out="${1:-BENCH_${date}.json}"
 benchtime="${BENCHTIME:-10x}"
 
-benches='BenchmarkSimulatorMedium$|BenchmarkSimulatorSteadyState$|BenchmarkFig4SimpleSweep$|BenchmarkFig4SimpleSweepSerial$|BenchmarkControllerStepMedium$|BenchmarkDeuconLocalStep$'
+benches='BenchmarkSimulatorMedium$|BenchmarkSimulatorSteadyState$|BenchmarkSimulatorFaultedSteadyState$|BenchmarkFig4SimpleSweep$|BenchmarkFig4SimpleSweepSerial$|BenchmarkControllerStepMedium$|BenchmarkDeuconLocalStep$'
 
 go test -run '^$' -bench "$benches" -benchmem -benchtime "$benchtime" . |
 awk -v date="$date" '
@@ -36,6 +37,9 @@ awk -v date="$date" '
 }' >>"$out"
 
 go run ./cmd/euconsim -sweep-digest |
+	sed "s/^{/{\"date\":\"${date}\",/" >>"$out"
+
+go run ./cmd/euconsim -faults proc2-crash-recover -fault-digest |
 	sed "s/^{/{\"date\":\"${date}\",/" >>"$out"
 
 echo "appended benchmark snapshot to $out"

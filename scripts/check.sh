@@ -1,6 +1,7 @@
 #!/bin/sh
 # Tier-1 check: gofmt -s, vet, euconlint, build, race-enabled tests,
-# benchmark smoke, and the steady-state zero-allocation gate.
+# benchmark smoke, the steady-state zero-allocation gate, and the faulted
+# sweep digest diff against scripts/golden/.
 # Usage: ./scripts/check.sh   (or: make check)
 set -eu
 
@@ -39,6 +40,17 @@ if [ -z "$allocs" ]; then
 fi
 if [ "$allocs" != "0" ]; then
 	echo "FAIL: BenchmarkSimulatorSteadyState reports $allocs allocs/op; the steady state must not allocate"
+	exit 1
+fi
+
+echo "==> fault scenario digest vs scripts/golden/ (proc2-crash-recover)"
+fault_out=$(mktemp)
+trap 'rm -f "$fault_out"' EXIT
+go run ./cmd/euconsim -faults proc2-crash-recover -fault-digest > "$fault_out"
+if ! diff -u scripts/golden/fault-proc2-crash-recover.digest "$fault_out"; then
+	echo "FAIL: faulted sweep digest moved; fault injection or degradation behaviour changed."
+	echo "If intentional, regenerate with:"
+	echo "  go run ./cmd/euconsim -faults proc2-crash-recover -fault-digest > scripts/golden/fault-proc2-crash-recover.digest"
 	exit 1
 fi
 
