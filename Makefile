@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet lint lint-fixtures build test bench-smoke bench bench-json
+.PHONY: check fmt vet lint lint-fixtures build test bench-smoke bench bench-json chaos-smoke chaos
 
 ## check: the tier-1 gate — format, vet, build, race-enabled tests, and a
 ## one-iteration benchmark smoke pass. CI and pre-commit both run this.
@@ -44,3 +44,14 @@ bench:
 ## to BENCH_<date>.json (the committed perf-trend record).
 bench-json:
 	./scripts/bench_trend.sh
+
+## chaos-smoke: the CI chaos gate — 25 seeded fault-storm scenarios, each a
+## full simulation checked against the robustness invariant set. Fails on
+## any violation. Runs in about a second.
+chaos-smoke:
+	$(GO) run ./cmd/euconfuzz -seed 1 -n 25
+
+## chaos: a deeper campaign for local soak testing (hundreds of scenarios,
+## wider clause compositions).
+chaos:
+	$(GO) run ./cmd/euconfuzz -seed 1 -n 500 -max-clauses 6

@@ -1,0 +1,74 @@
+package eucon
+
+import (
+	"context"
+
+	"github.com/rtsyslab/eucon/internal/chaos"
+	"github.com/rtsyslab/eucon/internal/fault"
+	"github.com/rtsyslab/eucon/internal/mpc"
+)
+
+// Chaos-testing API (see internal/chaos and DESIGN.md §9): seeded
+// property-based fault storms against the canonical SIMPLE experiment,
+// with invariant checking and 1-minimal shrinking of violations. The
+// cmd/euconfuzz binary is a thin wrapper over this surface.
+
+type (
+	// ChaosOptions tunes a chaos campaign; the zero value selects the CI
+	// smoke configuration (25 scenarios, 4 max clauses, 300 periods).
+	ChaosOptions = chaos.Options
+	// ChaosReport summarizes a campaign: violations plus the summed
+	// containment and degradation counters.
+	ChaosReport = chaos.Report
+	// ChaosViolation is one scenario that broke the invariant set,
+	// including its shrunken minimal reproducer when within budget.
+	ChaosViolation = chaos.Violation
+	// ChaosScenario is one generated fault-storm scenario.
+	ChaosScenario = chaos.Scenario
+
+	// SolveOutcome classifies each MPC control step by which rung of the
+	// solver degradation ladder produced it (StepResult.Outcome; see
+	// DESIGN.md §9).
+	SolveOutcome = mpc.SolveOutcome
+)
+
+// Solver degradation-ladder outcomes, ordered by increasing degradation.
+const (
+	SolveOK          = mpc.SolveOK
+	SolveRelaxed     = mpc.SolveRelaxed
+	SolveBestIterate = mpc.SolveBestIterate
+	SolveRegularized = mpc.SolveRegularized
+	SolveHeld        = mpc.SolveHeld
+)
+
+// RunChaosCampaign executes a seeded chaos campaign: Options.Scenarios
+// generated fault storms, each a full simulation checked against the
+// robustness invariant set, with violating scenarios shrunk to minimal
+// reproducers. The campaign is a pure function of opts.Seed.
+func RunChaosCampaign(ctx context.Context, opts ChaosOptions) (*ChaosReport, error) {
+	return chaos.Run(ctx, opts)
+}
+
+// GenerateChaosScenario returns scenario index of the campaign seeded by
+// seed — the same generator RunChaosCampaign uses, exposed for
+// inspecting or replaying individual scenarios.
+func GenerateChaosScenario(seed int64, index, maxClauses, periods int) ChaosScenario {
+	return chaos.Generate(seed, index, maxClauses, periods)
+}
+
+// ShrinkFaultScenario reduces a failing fault clause list to a 1-minimal
+// reproducer under the caller's deterministic failing predicate.
+func ShrinkFaultScenario(specs []FaultSpec, failing func([]FaultSpec) bool) []FaultSpec {
+	return chaos.Shrink(specs, failing)
+}
+
+// MarshalFaultSpecs renders a fault scenario as the JSON clause array
+// euconsim -faults accepts (and euconfuzz emits as reproducers).
+func MarshalFaultSpecs(specs []FaultSpec) ([]byte, error) {
+	return fault.MarshalSpecs(specs)
+}
+
+// UnmarshalFaultSpecs parses a JSON fault clause array.
+func UnmarshalFaultSpecs(data []byte) ([]FaultSpec, error) {
+	return fault.UnmarshalSpecs(data)
+}

@@ -1,0 +1,65 @@
+package eucon_test
+
+import (
+	"context"
+	"testing"
+
+	eucon "github.com/rtsyslab/eucon"
+)
+
+// TestChaosFacade pins the public chaos surface: a tiny campaign runs
+// clean through the facade, the generator is deterministic, shrinking
+// works on caller predicates, and reproducer JSON round-trips.
+func TestChaosFacade(t *testing.T) {
+	rep, err := eucon.RunChaosCampaign(context.Background(), eucon.ChaosOptions{Seed: 1, Scenarios: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("campaign reported violations: %+v", rep.Violations)
+	}
+
+	a := eucon.GenerateChaosScenario(9, 0, 4, 300)
+	b := eucon.GenerateChaosScenario(9, 0, 4, 300)
+	if len(a.Specs) == 0 || len(a.Specs) != len(b.Specs) {
+		t.Fatalf("generator not deterministic: %v vs %v", a.Specs, b.Specs)
+	}
+
+	specs := []eucon.FaultSpec{
+		{Kind: eucon.FaultProcCrash, Proc: 0, Start: 50, Stop: 80},
+		{Kind: eucon.FaultFeedbackDelay, Proc: eucon.FaultAll, Start: 10, Stop: 40, Delay: 1},
+	}
+	min := eucon.ShrinkFaultScenario(specs, func(cand []eucon.FaultSpec) bool {
+		for _, sp := range cand {
+			if sp.Kind == eucon.FaultProcCrash {
+				return true
+			}
+		}
+		return false
+	})
+	if len(min) != 1 || min[0].Kind != eucon.FaultProcCrash {
+		t.Fatalf("shrink = %v, want the single crash clause", min)
+	}
+
+	js, err := eucon.MarshalFaultSpecs(min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := eucon.UnmarshalFaultSpecs(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0] != min[0] {
+		t.Fatalf("JSON round trip diverged: %s -> %v", js, back)
+	}
+
+	// The ladder outcomes are ordered by increasing degradation, and
+	// degradation starts at best-iterate.
+	if !(eucon.SolveOK < eucon.SolveRelaxed && eucon.SolveRelaxed < eucon.SolveBestIterate &&
+		eucon.SolveBestIterate < eucon.SolveRegularized && eucon.SolveRegularized < eucon.SolveHeld) {
+		t.Fatal("SolveOutcome ordering broken")
+	}
+	if eucon.SolveRelaxed.Degraded() || !eucon.SolveBestIterate.Degraded() {
+		t.Fatal("Degraded() boundary moved")
+	}
+}

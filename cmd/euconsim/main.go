@@ -22,6 +22,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"syscall"
 
 	"github.com/rtsyslab/eucon/internal/experiments"
@@ -40,7 +41,7 @@ func run() int {
 	csvDir := flag.String("csv", "", "for trace experiments: also write <id>-utilization.csv, <id>-rates.csv, <id>-missratio.csv into this directory")
 	workers := flag.Int("workers", 0, "worker count for sweep experiments (0 = GOMAXPROCS)")
 	digest := flag.Bool("sweep-digest", false, "print JSON digests of the Figure 4/5 sweep series at 1, 2, and 8 workers, then exit (scripts/bench_trend.sh snapshots these to prove sweep outputs stay bit-identical across worker counts and PRs)")
-	faults := flag.String("faults", "", "comma-separated fault scenario names to inject (see -list-faults); runs the canonical 300-period SIMPLE experiment under the scenario and reports robustness and degradation counters")
+	faults := flag.String("faults", "", "fault scenario to inject: comma-separated scenario names (see -list-faults), an inline JSON clause array (chaos reproducer format, starts with '['), or @file containing either; runs the canonical 300-period SIMPLE experiment under the scenario and reports robustness and degradation counters")
 	listFaults := flag.Bool("list-faults", false, "list the named fault scenarios")
 	faultDigest := flag.Bool("fault-digest", false, "with -faults: print JSON digests of a faulted SIMPLE sweep at 1, 2, and 8 workers, including robustness metrics, then exit (scripts/check.sh diffs these against scripts/golden/)")
 	flag.Parse()
@@ -156,6 +157,27 @@ func sweepDigests(ctx context.Context, w io.Writer) error {
 	return nil
 }
 
+// parseFaultsArg resolves the -faults argument into a clause list. Three
+// forms are accepted: a comma-separated list of named scenarios from the
+// registry, an inline JSON clause array (the chaos shrinker's reproducer
+// format — recognizable by its leading '['), and @path pointing at a file
+// holding either form. The JSON path is what makes euconfuzz reproducers
+// runnable verbatim.
+func parseFaultsArg(arg string) ([]fault.Spec, error) {
+	arg = strings.TrimSpace(arg)
+	if strings.HasPrefix(arg, "@") {
+		data, err := os.ReadFile(arg[1:])
+		if err != nil {
+			return nil, fmt.Errorf("read fault spec file: %w", err)
+		}
+		return parseFaultsArg(string(data))
+	}
+	if strings.HasPrefix(arg, "[") {
+		return fault.UnmarshalSpecs([]byte(arg))
+	}
+	return fault.Parse(arg)
+}
+
 // faultDigests runs a faulted SIMPLE sweep over a small execution-time-factor
 // grid at 1, 2, and 8 workers and prints one JSON line per worker count. The
 // hash extends the -sweep-digest format with the per-point robustness metrics
@@ -164,7 +186,7 @@ func sweepDigests(ctx context.Context, w io.Writer) error {
 // -sweep-digest format is untouched. scripts/check.sh diffs the
 // proc2-crash-recover output against scripts/golden/.
 func faultDigests(ctx context.Context, w io.Writer, list string) error {
-	specs, err := fault.Parse(list)
+	specs, err := parseFaultsArg(list)
 	if err != nil {
 		return err
 	}
@@ -200,7 +222,7 @@ func faultDigests(ctx context.Context, w io.Writer, list string) error {
 // window plus the summed degradation counters, so a scenario's end-to-end
 // effect can be inspected without writing a test.
 func faultReport(ctx context.Context, w io.Writer, list string) error {
-	specs, err := fault.Parse(list)
+	specs, err := parseFaultsArg(list)
 	if err != nil {
 		return err
 	}
@@ -231,6 +253,10 @@ func faultReport(ctx context.Context, w io.Writer, list string) error {
 	}
 	fmt.Fprintf(w, "feedback-missing\t%d\nfeedback-stale\t%d\nheld-samples\t%d\ncontrol-skipped\t%d\nrate-cmd-faults\t%d\nprocs-down-periods\t%d\ncrash-shed-jobs\t%d\n",
 		missing, stale, held, skipped, cmd, down, tr.Stats.CrashShedJobs)
+	fmt.Fprintf(w, "solver-best-iterate\t%d\nsolver-regularized\t%d\nsolver-held\t%d\n",
+		tr.Stats.ContainmentBestIterate, tr.Stats.ContainmentRegularized, tr.Stats.ContainmentHeld)
+	fmt.Fprintf(w, "guard-firings\t%d\n",
+		tr.Stats.GuardRateFirings+tr.Stats.GuardUtilFirings+tr.Stats.GuardPoolFirings)
 	return nil
 }
 

@@ -15,6 +15,7 @@ import (
 var fixtures = map[string]string{
 	"determinism":      "internal/sim/fixdeterminism",
 	"faultdeterminism": "internal/fault/fixinjector",
+	"chaosdeterminism": "internal/chaos/fixchaos",
 	"noalloc":          "fixnoalloc",
 	"floatsafety":      "fixfloat",
 	"pool":             "internal/sim/fixpool",

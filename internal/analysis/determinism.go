@@ -17,6 +17,7 @@ var determinismScope = []string{
 	"internal/mpc",
 	"internal/experiments",
 	"internal/fault",
+	"internal/chaos",
 }
 
 // runDeterminism flags the three classic determinism leaks in the scoped

@@ -1,0 +1,46 @@
+// Package fixchaos is a lint fixture for the chaos package's determinism
+// contract: the harness promises a campaign is a pure function of its
+// seed, so a scenario generator touching the global math/rand source or
+// the wall clock would make reported reproducers unreplayable. The package
+// is loaded under a synthetic internal/chaos path so the scoped
+// determinism analyzer fires.
+package fixchaos
+
+import (
+	"math/rand"
+	"time"
+)
+
+// clause is a stand-in for a generated fault clause.
+type clause struct {
+	kind  int
+	start float64
+}
+
+// badGenerate seeds nothing: two runs of the same campaign would report
+// different scenarios.
+func badGenerate(n int) []clause {
+	out := make([]clause, n)
+	for i := range out {
+		out[i].kind = rand.Intn(9)         // want "determinism: global math/rand draws from the shared unseeded source"
+		out[i].start = rand.Float64() * 80 // want "determinism: global math/rand draws from the shared unseeded source"
+	}
+	return out
+}
+
+// badStamp couples a scenario to the wall clock.
+func badStamp() int64 {
+	return time.Now().UnixNano() // want "determinism: time.Now couples simulation results to the wall clock"
+}
+
+// goodGenerate uses an explicitly seeded source, as the real generator's
+// splitmix64 state does.
+func goodGenerate(seed int64, n int) []clause {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]clause, n)
+	for i := range out {
+		out[i].kind = rng.Intn(9)
+		out[i].start = rng.Float64() * 80
+	}
+	return out
+}

@@ -1,0 +1,362 @@
+// Package chaos is the seeded property-based robustness harness of the
+// EUCON reproduction: it generates random compositions of fault scenarios
+// and workload perturbations (package fault), runs full simulations of the
+// canonical SIMPLE experiment under each, and checks an invariant set that
+// must hold under ANY storm — no panic, finite in-bounds outputs, zero
+// runtime-guard firings, re-convergence to the set points after the faults
+// clear, and balanced object pools. When a scenario violates an invariant,
+// the harness shrinks it to a 1-minimal fault clause list and emits it as
+// a JSON spec runnable verbatim via `euconsim -faults`.
+//
+// Everything is deterministic: the campaign is a pure function of its seed
+// (splitmix64 throughout, no global rand), and each scenario runs against
+// the fixed canonical configuration, so a reported reproducer replays
+// bit-identically anywhere.
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"github.com/rtsyslab/eucon/internal/core"
+	"github.com/rtsyslab/eucon/internal/fault"
+	"github.com/rtsyslab/eucon/internal/sim"
+	"github.com/rtsyslab/eucon/internal/task"
+	"github.com/rtsyslab/eucon/internal/workload"
+)
+
+// Canonical run configuration: identical to the `euconsim -faults` run
+// (the SIMPLE workload, 300 sampling periods, run seed 1 — see
+// internal/experiments), so shrunken reproducers replay exactly.
+const (
+	// DefaultPeriods is the canonical run length in sampling periods.
+	DefaultPeriods = 300
+	// DefaultScenarios is the campaign size when Options.Scenarios is 0 —
+	// sized so `make chaos-smoke` stays well under its CI time budget.
+	DefaultScenarios = 25
+	// DefaultMaxClauses bounds the fault clause count per scenario.
+	DefaultMaxClauses = 4
+	// runSeed is the fixed simulation seed (experiments.DefaultSeed).
+	runSeed = 1
+)
+
+// reconvergeTol is the re-convergence invariant's bound: over the final
+// reconvergeTail periods (fault-free by construction of the generator),
+// each processor's mean utilization must sit within this distance of its
+// set point. Generous against the controller's typical post-fault error
+// (well under 0.05) while still catching a loop that never recovers.
+const (
+	reconvergeTol  = 0.15
+	reconvergeTail = 30
+)
+
+// maxProblemsPerRun caps the violation detail collected from one run, so
+// a systemic failure (every period bad) stays readable.
+const maxProblemsPerRun = 8
+
+// Options tunes a chaos campaign.
+type Options struct {
+	// Seed is the campaign seed; scenario i is Generate(Seed, i, ...).
+	Seed int64
+	// Scenarios is the number of scenarios to run; 0 selects
+	// DefaultScenarios.
+	Scenarios int
+	// MaxClauses bounds the fault clauses per scenario; 0 selects
+	// DefaultMaxClauses.
+	MaxClauses int
+	// Periods is the run length; 0 selects DefaultPeriods. Values below
+	// 80 are rejected: the generator needs room for fault windows plus a
+	// fault-free re-convergence tail.
+	Periods int
+	// DisableGuards turns off the simulator's runtime invariant guards
+	// (sim.Config.DisableGuards) so violations escape containment instead
+	// of being caught and counted. Test-only: the shrinker tests use it to
+	// prove a planted bug is found and minimized.
+	DisableGuards bool
+	// MaxShrinks caps how many violating scenarios are shrunk to minimal
+	// reproducers (shrinking re-runs simulations); 0 selects 3.
+	MaxShrinks int
+
+	// seedBug, when non-nil, plants a controller bug for harness
+	// self-tests: during the active window of every generated clause
+	// matching the predicate, the commanded rate of task 0 is corrupted
+	// before it reaches the plant. Unexported — only this package's tests
+	// can arm it, so production campaigns always run the real controller.
+	seedBug func(fault.Spec) bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scenarios <= 0 {
+		o.Scenarios = DefaultScenarios
+	}
+	if o.MaxClauses <= 0 {
+		o.MaxClauses = DefaultMaxClauses
+	}
+	if o.Periods == 0 {
+		o.Periods = DefaultPeriods
+	}
+	if o.MaxShrinks <= 0 {
+		o.MaxShrinks = 3
+	}
+	return o
+}
+
+// Violation reports one scenario that broke the invariant set.
+type Violation struct {
+	// Scenario is the original generated scenario.
+	Scenario Scenario
+	// Problems lists the violated invariants (capped per run).
+	Problems []string
+	// Minimal is the 1-minimal shrunken clause list (nil when the
+	// campaign's shrink budget was exhausted).
+	Minimal []fault.Spec
+	// ReproJSON is Minimal as a runnable `euconsim -faults` argument.
+	ReproJSON string
+}
+
+// Report summarizes a campaign.
+type Report struct {
+	// Seed, Scenarios, and Periods echo the campaign parameters.
+	Seed      int64
+	Scenarios int
+	Periods   int
+	// Violations lists every scenario that broke an invariant.
+	Violations []Violation
+	// BestIterate, Regularized, and Held sum the controller's
+	// degradation-ladder counters across all scenarios: how often
+	// containment engaged (and at which rung) while invariants held.
+	BestIterate, Regularized, Held int
+	// HeldSamples and SkippedPeriods sum the feedback degradation
+	// counters across all scenarios.
+	HeldSamples, SkippedPeriods int
+	// GuardFirings sums all runtime-guard counters across all scenarios
+	// (every firing is also a violation).
+	GuardFirings int
+}
+
+// Ok reports whether the campaign finished with zero violations.
+func (r *Report) Ok() bool { return len(r.Violations) == 0 }
+
+// runStats aggregates one scenario run's degradation observability.
+type runStats struct {
+	bestIterate, regularized, held int
+	heldSamples, skipped           int
+	guardFirings                   int
+}
+
+// Run executes a chaos campaign: Scenarios seeded scenarios, each a full
+// simulation checked against the invariant set, with violating scenarios
+// shrunk to minimal reproducers (up to MaxShrinks). The error return is
+// reserved for campaign-level failures (cancellation, broken canonical
+// config); scenario failures are reported in the Report, never as errors.
+func Run(ctx context.Context, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	if opts.Periods < 80 {
+		return nil, fmt.Errorf("chaos: %d periods leave no room for fault windows plus a re-convergence tail (min 80)", opts.Periods)
+	}
+	rep := &Report{Seed: opts.Seed, Scenarios: opts.Scenarios, Periods: opts.Periods}
+	for i := 0; i < opts.Scenarios; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("chaos: campaign canceled: %w", err)
+		}
+		scn := Generate(opts.Seed, i, opts.MaxClauses, opts.Periods)
+		problems, stats := Check(ctx, scn.Specs, opts)
+		rep.BestIterate += stats.bestIterate
+		rep.Regularized += stats.regularized
+		rep.Held += stats.held
+		rep.HeldSamples += stats.heldSamples
+		rep.SkippedPeriods += stats.skipped
+		rep.GuardFirings += stats.guardFirings
+		if len(problems) == 0 {
+			continue
+		}
+		v := Violation{Scenario: scn, Problems: problems}
+		if len(rep.Violations) < opts.MaxShrinks {
+			v.Minimal = Shrink(scn.Specs, func(cand []fault.Spec) bool {
+				p, _ := Check(ctx, cand, opts)
+				return len(p) > 0
+			})
+			if js, err := fault.MarshalSpecs(v.Minimal); err == nil {
+				v.ReproJSON = string(js)
+			}
+		}
+		rep.Violations = append(rep.Violations, v)
+	}
+	return rep, nil
+}
+
+// Check runs the canonical SIMPLE simulation under the given fault clause
+// list and returns the violated invariants (nil when all hold) plus the
+// run's degradation statistics. A panic anywhere in the controller or
+// simulator is itself an invariant violation, caught and reported rather
+// than propagated — the harness survives what it is hunting.
+func Check(ctx context.Context, specs []fault.Spec, opts Options) (problems []string, stats runStats) {
+	opts = opts.withDefaults()
+	defer func() {
+		if r := recover(); r != nil {
+			problems = append(problems, fmt.Sprintf("panic: %v", r))
+		}
+	}()
+
+	sys := workload.Simple()
+	ctrl, err := core.New(sys, nil, workload.SimpleController())
+	if err != nil {
+		return []string{fmt.Sprintf("build controller: %v", err)}, stats
+	}
+	var rc sim.RateController = ctrl
+	if opts.seedBug != nil {
+		if bug := plantBug(ctrl, specs, opts.seedBug); bug != nil {
+			rc = bug
+		}
+	}
+	s, err := sim.New(sim.Config{
+		System:         sys,
+		SamplingPeriod: workload.SamplingPeriod,
+		Periods:        opts.Periods,
+		Controller:     rc,
+		Seed:           runSeed,
+		Faults:         specs,
+		DisableGuards:  opts.DisableGuards,
+	})
+	if err != nil {
+		return []string{fmt.Sprintf("configure simulator: %v", err)}, stats
+	}
+	tr, err := s.RunContext(ctx)
+	if err != nil {
+		return []string{fmt.Sprintf("run failed: %v", err)}, stats
+	}
+
+	stats.bestIterate, stats.regularized, stats.held = ctrl.ContainmentCounts()
+	stats.heldSamples = ctrl.HeldSamples()
+	stats.skipped = ctrl.SkippedPeriods()
+	stats.guardFirings = tr.Stats.GuardRateFirings + tr.Stats.GuardUtilFirings + tr.Stats.GuardPoolFirings
+	return inspect(tr, sys, opts.Periods), stats
+}
+
+// inspect checks a finished run's trace against the invariant set.
+func inspect(tr *sim.Trace, sys *task.System, periods int) []string {
+	var problems []string
+	add := func(format string, args ...any) bool {
+		if len(problems) >= maxProblemsPerRun {
+			return false
+		}
+		problems = append(problems, fmt.Sprintf(format, args...))
+		return true
+	}
+
+	// A complete run: the simulator's NaN termination safety net truncates
+	// a run whose clock was poisoned, so a short trace is itself a
+	// violation (and the only way one can happen).
+	if len(tr.Utilization) != periods {
+		add("run truncated: %d of %d sampling periods recorded (poisoned event clock)", len(tr.Utilization), periods)
+	}
+	// Finite, sane utilizations: the monitor reports a busy fraction.
+	for k, row := range tr.Utilization {
+		for p, v := range row {
+			if !(v >= 0 && v <= 1) {
+				if !add("utilization[k=%d][P%d] = %g outside [0, 1]", k, p+1, v) {
+					return problems
+				}
+			}
+		}
+	}
+	// Finite, in-bounds rates: no controller or fault path may push a task
+	// outside its box.
+	rmin, rmax := sys.RateBounds()
+	for k, row := range tr.Rates {
+		for i, r := range row {
+			if !(r >= rmin[i] && r <= rmax[i]) {
+				if !add("rate[k=%d][T%d] = %g outside [%g, %g]", k, i+1, r, rmin[i], rmax[i]) {
+					return problems
+				}
+			}
+		}
+	}
+	// The controller must never error out of a storm, and the runtime
+	// guards and pool audit must never fire: a firing is a contained
+	// controller bug, and containment is supposed to start one layer down.
+	st := tr.Stats
+	if st.ControllerErrors > 0 {
+		add("controller returned errors in %d periods", st.ControllerErrors)
+	}
+	if st.GuardRateFirings > 0 {
+		add("rate guard fired %d times (controller emitted non-finite or out-of-bounds rates)", st.GuardRateFirings)
+	}
+	if st.GuardUtilFirings > 0 {
+		add("utilization guard fired %d times (non-finite or negative samples)", st.GuardUtilFirings)
+	}
+	if st.GuardPoolFirings > 0 {
+		add("pool audit failed at %d sampling boundaries (event/job leak or double-recycle)", st.GuardPoolFirings)
+	}
+	// Re-convergence: the generator closes every fault window by 3/4 of
+	// the run, so over the final tail each processor must have returned to
+	// its set point neighborhood.
+	if n := len(tr.Utilization); n >= reconvergeTail {
+		b := sys.DefaultSetPoints()
+		for p := range b {
+			sum := 0.0
+			for k := n - reconvergeTail; k < n; k++ {
+				sum += tr.Utilization[k][p]
+			}
+			mean := sum / reconvergeTail
+			if d := math.Abs(mean - b[p]); !(d <= reconvergeTol) {
+				add("no re-convergence: P%d mean utilization %.4f over final %d periods, set point %.4f (|Δ| %.4f > %g)",
+					p+1, mean, reconvergeTail, b[p], d, reconvergeTol)
+			}
+		}
+	}
+	return problems
+}
+
+// bugController is the planted-bug shim for harness self-tests: inside
+// the active window of any matched clause it corrupts task 0's commanded
+// rate to NaN — the one poison the plant's own actuator clamp cannot
+// contain. With guards enabled the simulator must catch and count it;
+// with guards disabled the NaN reaches the clock and the violation must
+// surface through the trace invariants (truncated or non-finite trace) —
+// either way the harness has a deliberate defect to find and shrink.
+type bugController struct {
+	inner   sim.RateController
+	windows [][2]float64
+	buf     []float64
+}
+
+// plantBug wraps ctrl when any clause matches the predicate.
+func plantBug(ctrl sim.RateController, specs []fault.Spec, match func(fault.Spec) bool) sim.RateController {
+	var wins [][2]float64
+	for _, sp := range specs {
+		if match(sp) {
+			wins = append(wins, [2]float64{sp.Start, sp.Stop})
+		}
+	}
+	if len(wins) == 0 {
+		return nil
+	}
+	return &bugController{inner: ctrl, windows: wins}
+}
+
+// Name implements sim.RateController.
+func (b *bugController) Name() string { return b.inner.Name() }
+
+// Rates implements sim.RateController, corrupting the inner controller's
+// command inside any matched window.
+func (b *bugController) Rates(k int, u, rates []float64) ([]float64, error) {
+	out, err := b.inner.Rates(k, u, rates)
+	if err != nil || len(out) == 0 {
+		return out, err
+	}
+	fk := float64(k)
+	for _, w := range b.windows {
+		if fk >= w[0] && (w[1] <= 0 || fk < w[1]) {
+			if cap(b.buf) < len(out) {
+				b.buf = make([]float64, len(out))
+			}
+			b.buf = b.buf[:len(out)]
+			copy(b.buf, out)
+			b.buf[0] = math.NaN()
+			return b.buf, nil
+		}
+	}
+	return out, nil
+}

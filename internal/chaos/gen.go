@@ -1,0 +1,122 @@
+package chaos
+
+import (
+	"math"
+
+	"github.com/rtsyslab/eucon/internal/fault"
+)
+
+// Scenario generation: random compositions of fault.Spec clauses ×
+// workload perturbations against the canonical SIMPLE run (the same
+// configuration `euconsim -faults` executes), so any scenario — and any
+// shrunken reproducer — is runnable verbatim from its JSON form.
+//
+// Generated windows always close with a fault-free tail of at least a
+// quarter of the run, so the re-convergence invariant has room to bite:
+// EUCON's claim is not merely surviving the storm but returning to its set
+// points once the storm passes.
+
+// Generation bounds for the SIMPLE system (2 processors, 3 tasks).
+const (
+	simpleProcs = 2
+	simpleTasks = 3
+)
+
+// Scenario is one generated chaos case: a fault clause list derived
+// deterministically from (campaign seed, index).
+type Scenario struct {
+	// Index is the scenario's position in its campaign.
+	Index int
+	// Seed is the campaign seed the scenario was derived from.
+	Seed int64
+	// Specs is the generated fault clause list.
+	Specs []fault.Spec
+}
+
+// Generate derives scenario index of the campaign seeded by seed: 1 to
+// maxClauses random fault clauses, optionally preceded by a whole-run
+// workload perturbation (a global execution-time factor in [0.7, 1.3],
+// expressed as an ExecStep clause so it travels inside the reproducer).
+// periods is the run length the windows are scaled against.
+func Generate(seed int64, index, maxClauses, periods int) Scenario {
+	r := rng{state: mix64(uint64(seed)) ^ uint64(index)*0x9e3779b97f4a7c15}
+	n := 1 + r.intn(maxClauses)
+	specs := make([]fault.Spec, 0, n+1)
+	if r.float64() < 0.5 {
+		specs = append(specs, fault.Spec{
+			Kind: fault.ExecStep, Proc: fault.All, Task: fault.All, Sub: fault.All,
+			Magnitude: round3(r.rangeF(0.7, 1.3)),
+		})
+	}
+	for i := 0; i < n; i++ {
+		specs = append(specs, randClause(&r, periods))
+	}
+	return Scenario{Index: index, Seed: seed, Specs: specs}
+}
+
+// round3 rounds to 3 decimals so reproducers stay readable; generated
+// parameters carry no information below that resolution.
+func round3(v float64) float64 { return math.Round(v*1000) / 1000 }
+
+// randClause draws one bounded fault clause. Every window closes by
+// 3/4·periods, leaving the tail fault-free for the re-convergence check,
+// and magnitudes stay in ranges the controller is expected to ride out
+// (the point is surviving storms, not proving divergence under physically
+// impossible loads).
+func randClause(r *rng, periods int) fault.Spec {
+	lastStop := math.Floor(3 * float64(periods) / 4)
+	start := math.Floor(r.rangeF(20, lastStop-30))
+	stop := start + math.Floor(r.rangeF(20, 90))
+	if stop > lastStop {
+		stop = lastStop
+	}
+	procTarget := func() int {
+		if r.float64() < 0.5 {
+			return fault.All
+		}
+		return r.intn(simpleProcs)
+	}
+	taskTarget := func() int {
+		if r.float64() < 0.5 {
+			return fault.All
+		}
+		return r.intn(simpleTasks)
+	}
+	switch r.intn(9) {
+	case 0:
+		return fault.Spec{Kind: fault.ExecStep, Proc: fault.All, Task: taskTarget(), Sub: fault.All,
+			Start: start, Stop: stop, Magnitude: round3(r.rangeF(0.5, 2.0))}
+	case 1:
+		return fault.Spec{Kind: fault.ExecRamp, Proc: fault.All, Task: fault.All, Sub: fault.All,
+			Start: start, Stop: stop, Magnitude: round3(r.rangeF(1.2, 2.2))}
+	case 2:
+		return fault.Spec{Kind: fault.FeedbackDrop, Proc: procTarget(),
+			Start: start, Stop: stop, Magnitude: round3(r.rangeF(0.05, 0.4)), Seed: r.int63()}
+	case 3:
+		return fault.Spec{Kind: fault.FeedbackDelay, Proc: procTarget(),
+			Start: start, Stop: stop, Delay: 1 + r.intn(3)}
+	case 4:
+		return fault.Spec{Kind: fault.FeedbackQuantize, Proc: procTarget(),
+			Start: start, Stop: stop, Magnitude: round3(r.rangeF(0.02, 0.1))}
+	case 5:
+		return fault.Spec{Kind: fault.ActuatorDrop, Task: taskTarget(),
+			Start: start, Stop: stop, Magnitude: round3(r.rangeF(0.05, 0.4)), Seed: r.int63()}
+	case 6:
+		return fault.Spec{Kind: fault.ActuatorDelay, Task: taskTarget(),
+			Start: start, Stop: stop, Delay: 1 + r.intn(3)}
+	case 7:
+		mag := 0.0 // stuck modulator
+		if r.float64() < 0.7 {
+			mag = round3(r.rangeF(0.001, 0.005)) // SIMPLE rates live in [1/900, 1/35]
+		}
+		return fault.Spec{Kind: fault.ActuatorClamp, Task: taskTarget(),
+			Start: start, Stop: stop, Magnitude: mag}
+	default:
+		crashStop := start + math.Floor(r.rangeF(10, 60))
+		if crashStop > lastStop {
+			crashStop = lastStop
+		}
+		return fault.Spec{Kind: fault.ProcCrash, Proc: r.intn(simpleProcs),
+			Start: start, Stop: crashStop}
+	}
+}

@@ -1,0 +1,45 @@
+package chaos
+
+// splitmix64 is the package's only randomness source: a tiny, fully
+// deterministic generator (Steele et al., "Fast Splittable Pseudorandom
+// Number Generators") with the same finalizer the fault engine uses to mix
+// seeds. No global math/rand state is ever touched — the euconlint
+// determinism analyzer enforces this for the whole package — so a chaos
+// campaign is a pure function of its seed, and every generated scenario
+// can be regenerated from (seed, index) alone.
+type rng struct{ state uint64 }
+
+// mix64 is the splitmix64 finalizer, also used to derive stream seeds.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// next advances the generator.
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	return mix64(r.state)
+}
+
+// float64 returns a uniform draw from [0, 1).
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// intn returns a uniform draw from [0, n). The modulo bias is negligible
+// for the tiny ranges scenario generation uses (and irrelevant to
+// correctness: any distribution of valid scenarios is a valid campaign).
+func (r *rng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// rangeF returns a uniform draw from [lo, hi).
+func (r *rng) rangeF(lo, hi float64) float64 {
+	return lo + r.float64()*(hi-lo)
+}
+
+// int63 returns a non-negative int64, used for fault-injector seeds.
+func (r *rng) int63() int64 {
+	return int64(r.next() >> 1)
+}

@@ -1,0 +1,36 @@
+package chaos
+
+import "github.com/rtsyslab/eucon/internal/fault"
+
+// Shrink reduces a failing fault clause list to a 1-minimal reproducer:
+// greedy delta debugging that repeatedly drops any single clause whose
+// removal keeps the scenario failing, until no clause can be removed. The
+// result still fails, and removing any one of its clauses makes it pass —
+// the sharpest reproducer reachable by clause deletion alone (parameter
+// values are left untouched so the reproducer stays a verbatim subset of
+// the original scenario).
+//
+// failing must be a deterministic predicate — true when the candidate
+// clause list still violates an invariant. It is called O(n²) times in the
+// worst case; with full simulation runs behind it that is the dominant
+// shrink cost, acceptable because generated scenarios carry at most a
+// handful of clauses.
+func Shrink(specs []fault.Spec, failing func([]fault.Spec) bool) []fault.Spec {
+	cur := append([]fault.Spec(nil), specs...)
+	for {
+		removed := false
+		for i := range cur {
+			cand := make([]fault.Spec, 0, len(cur)-1)
+			cand = append(cand, cur[:i]...)
+			cand = append(cand, cur[i+1:]...)
+			if failing(cand) {
+				cur = cand
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			return cur
+		}
+	}
+}

@@ -101,6 +101,7 @@ type Controller struct {
 var (
 	_ sim.RateController      = (*Controller)(nil)
 	_ sim.DegradationReporter = (*Controller)(nil)
+	_ sim.ContainmentReporter = (*Controller)(nil)
 )
 
 // New builds an EUCON controller for the given system and utilization set
@@ -257,6 +258,18 @@ func (c *Controller) SkippedPeriods() int { return c.skippedTotal }
 // be reconciled against the achieved rate move because actuation diverged
 // from the command (see internal/mpc).
 func (c *Controller) AntiWindupSyncs() int { return c.mpc.AntiWindupSyncs() }
+
+// ContainmentCounts implements sim.ContainmentReporter: how many control
+// steps since construction or Reset were resolved below the MPC's nominal
+// solve paths (best-iterate acceptances, Tikhonov-regularized re-solves,
+// and held periods — see the mpc degradation ladder).
+func (c *Controller) ContainmentCounts() (bestIterate, regularized, held int) {
+	return c.mpc.ContainmentCounts()
+}
+
+// LastOutcome reports which rung of the MPC degradation ladder produced
+// the most recent control move.
+func (c *Controller) LastOutcome() mpc.SolveOutcome { return c.mpc.LastOutcome() }
 
 // SetPoints returns the current utilization set points.
 func (c *Controller) SetPoints() []float64 { return c.mpc.SetPoints() }

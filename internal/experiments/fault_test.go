@@ -223,3 +223,70 @@ func TestFaultedRunDegradationVisible(t *testing.T) {
 		t.Error("controller held no samples despite missing feedback")
 	}
 }
+
+// TestCrashDuringFeedbackDropCompound drives the compound storm the
+// containment pipeline exists for: a processor crash in the middle of a
+// lossy-feedback window, so the controller is flying partially blind while
+// the plant saturates. The run must complete with zero controller errors
+// and zero runtime-guard firings (containment holds one layer down), and
+// once both faults clear the loop must re-converge within a bounded number
+// of periods.
+func TestCrashDuringFeedbackDropCompound(t *testing.T) {
+	tr, err := Run(context.Background(), Spec{
+		Workload: WorkloadSimple,
+		Periods:  DefaultPeriods,
+		Seed:     DefaultSeed,
+		Faults: []fault.Spec{
+			{Kind: fault.FeedbackDrop, Proc: fault.All, Start: 80, Stop: 160, Magnitude: 0.3, Seed: 7},
+			{Kind: fault.ProcCrash, Proc: 1, Start: 100, Stop: 140},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.Utilization); got != DefaultPeriods {
+		t.Fatalf("run truncated: %d of %d periods", got, DefaultPeriods)
+	}
+
+	// Invariant guards must stay silent: any firing is a contained
+	// controller bug escaping the layers below.
+	st := tr.Stats
+	if st.GuardRateFirings != 0 || st.GuardUtilFirings != 0 || st.GuardPoolFirings != 0 {
+		t.Fatalf("runtime guards fired (rate=%d util=%d pool=%d) under the compound fault",
+			st.GuardRateFirings, st.GuardUtilFirings, st.GuardPoolFirings)
+	}
+	if st.ControllerErrors != 0 {
+		t.Fatalf("controller returned errors in %d periods", st.ControllerErrors)
+	}
+
+	// The degradation machinery, not luck, carried the run: the lossy
+	// window must show both the fault and the hold-last-sample policy.
+	missing, held := 0, 0
+	for _, ps := range tr.Periods {
+		missing += ps.FeedbackMissing
+		held += ps.HeldSamples
+	}
+	if missing == 0 || held == 0 {
+		t.Fatalf("compound fault left no degradation trail (missing=%d held=%d)", missing, held)
+	}
+	if tr.Stats.CrashShedJobs == 0 {
+		t.Error("no jobs shed during the 40-period outage")
+	}
+
+	// Re-convergence bound: after both windows close at period 160, every
+	// processor settles back into the ±InSpecTol band within 60 periods.
+	sys, _, err := Spec{Workload: WorkloadSimple}.workload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, sp := range sys.DefaultSetPoints() {
+		tail := metrics.Column(tr.Utilization, p)[160:]
+		st := metrics.SettlingTime(metrics.MovingAverage(tail, settleSmooth), sp, InSpecTol)
+		if st < 0 {
+			t.Fatalf("P%d never re-converged after the compound fault", p+1)
+		}
+		if st > 60 {
+			t.Errorf("P%d re-convergence took %d periods after recovery, want <= 60", p+1, st)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"math"
+
 	"github.com/rtsyslab/eucon/internal/metrics"
 	"github.com/rtsyslab/eucon/internal/sim"
 )
@@ -59,7 +61,20 @@ func TraceRobustness(tr *sim.Trace, setPoints []float64, from, to int) Robustnes
 		}
 		in := 0
 		for k := from; k < to; k++ {
-			d := col[k] - b
+			v := col[k]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				// Degraded feedback (the coordinator's Degrade mode) can
+				// leave non-finite samples in a trace. They are maximally
+				// out of spec: never in the in-spec count, and a
+				// full-scale excursion for the overshoot — an ordinary max
+				// comparison silently drops NaN (every comparison is
+				// false), which made a broken run look calm.
+				if ov := 1 - b; ov > r.MaxOvershoot {
+					r.MaxOvershoot = ov
+				}
+				continue
+			}
+			d := v - b
 			if d > r.MaxOvershoot {
 				r.MaxOvershoot = d
 			}
@@ -77,19 +92,36 @@ func TraceRobustness(tr *sim.Trace, setPoints []float64, from, to int) Robustnes
 // worseRobustness pools two replications into their worst case: the later
 // settling time (never settling dominates), the larger overshoot, and the
 // smaller per-processor in-spec fraction. a's TimeInSpec is mutated and
-// returned, so callers pass a private copy.
+// returned, so callers pass a private copy. NaN fields — possible only for
+// Robustness values built outside TraceRobustness, which sanitizes its
+// inputs — count as worst case (full-scale overshoot, zero time in spec)
+// instead of being dropped by NaN-absorbing comparisons.
 func worseRobustness(a, b Robustness) Robustness {
 	if a.SettlingTime < 0 || b.SettlingTime < 0 {
 		a.SettlingTime = -1
 	} else if b.SettlingTime > a.SettlingTime {
 		a.SettlingTime = b.SettlingTime
 	}
-	if b.MaxOvershoot > a.MaxOvershoot {
-		a.MaxOvershoot = b.MaxOvershoot
+	if math.IsNaN(a.MaxOvershoot) {
+		a.MaxOvershoot = 1
+	}
+	ov := b.MaxOvershoot
+	if math.IsNaN(ov) {
+		ov = 1
+	}
+	if ov > a.MaxOvershoot {
+		a.MaxOvershoot = ov
 	}
 	for p := range a.TimeInSpec {
-		if p < len(b.TimeInSpec) && b.TimeInSpec[p] < a.TimeInSpec[p] {
-			a.TimeInSpec[p] = b.TimeInSpec[p]
+		if math.IsNaN(a.TimeInSpec[p]) {
+			a.TimeInSpec[p] = 0
+		}
+		if p < len(b.TimeInSpec) {
+			if bv := b.TimeInSpec[p]; math.IsNaN(bv) {
+				a.TimeInSpec[p] = 0
+			} else if bv < a.TimeInSpec[p] {
+				a.TimeInSpec[p] = bv
+			}
 		}
 	}
 	return a

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"math"
 	"testing"
 
 	"github.com/rtsyslab/eucon/internal/sim"
@@ -65,6 +66,57 @@ func TestTraceRobustness(t *testing.T) {
 	r = TraceRobustness(syntheticTrace(flat), []float64{0.8}, 10, 300)
 	if r.TimeInSpec[0] != 1 {
 		t.Errorf("clamped window in-spec = %g, want 1", r.TimeInSpec[0])
+	}
+}
+
+// TestTraceRobustnessNaNSamples is the regression test for NaN poisoning:
+// non-finite utilization samples (the coordinator's Degrade mode) must be
+// counted as maximally out of spec — NaN-absorbing comparisons used to drop
+// them silently, reporting a calm overshoot for a broken run.
+func TestTraceRobustnessNaNSamples(t *testing.T) {
+	u := make([]float64, 20)
+	for k := range u {
+		u[k] = 0.8
+	}
+	u[12] = math.NaN()
+	u[15] = math.Inf(1)
+	r := TraceRobustness(syntheticTrace(u), []float64{0.8}, 10, 20)
+	if r.TimeInSpec[0] != 0.8 { // 2 of 10 window periods are non-finite
+		t.Errorf("NaN series in-spec = %g, want 0.8", r.TimeInSpec[0])
+	}
+	if math.IsNaN(r.MaxOvershoot) {
+		t.Error("MaxOvershoot is NaN; non-finite samples must not poison the metric")
+	}
+	if want := 1 - 0.8; math.Abs(r.MaxOvershoot-want) > 1e-12 {
+		t.Errorf("NaN series overshoot = %g, want full-scale %g", r.MaxOvershoot, want)
+	}
+	// A NaN in the smoothed tail means the run never provably settles.
+	tail := make([]float64, 20)
+	for k := range tail {
+		tail[k] = 0.8
+	}
+	tail[19] = math.NaN()
+	if r = TraceRobustness(syntheticTrace(tail), []float64{0.8}, 10, 20); r.SettlingTime != -1 {
+		t.Errorf("trailing-NaN settling = %d, want -1", r.SettlingTime)
+	}
+}
+
+// TestWorseRobustnessNaN pins that pooling replications treats NaN fields
+// as worst case instead of dropping them in NaN-absorbing comparisons.
+func TestWorseRobustnessNaN(t *testing.T) {
+	a := Robustness{SettlingTime: 5, MaxOvershoot: 0.1, TimeInSpec: []float64{0.9}}
+	b := Robustness{SettlingTime: 7, MaxOvershoot: math.NaN(), TimeInSpec: []float64{math.NaN()}}
+	got := worseRobustness(a, b)
+	if got.MaxOvershoot != 1 {
+		t.Errorf("NaN overshoot pooled to %g, want full-scale 1", got.MaxOvershoot)
+	}
+	if got.TimeInSpec[0] != 0 {
+		t.Errorf("NaN in-spec pooled to %g, want 0", got.TimeInSpec[0])
+	}
+	got = worseRobustness(Robustness{MaxOvershoot: math.NaN(), TimeInSpec: []float64{math.NaN()}},
+		Robustness{MaxOvershoot: 0.2, TimeInSpec: []float64{0.7}})
+	if got.MaxOvershoot != 1 || got.TimeInSpec[0] != 0 {
+		t.Errorf("NaN first replication pooled to %+v, want overshoot 1, in-spec 0", got)
 	}
 }
 

@@ -1,0 +1,96 @@
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON serialization for fault scenarios. A []Spec round-trips through a
+// compact JSON array whose kind field uses the canonical Kind strings, so
+// chaos reproducers are runnable verbatim:
+//
+//	euconsim -faults '[{"kind":"proc-crash","proc":1,"start":100,"stop":140}]'
+//
+// Field defaults mirror the Spec zero values (target index 0, window
+// [0, end), magnitude 0), and All (-1) is written literally.
+
+// specJSON is the wire form of Spec.
+type specJSON struct {
+	Kind      string  `json:"kind"`
+	Proc      int     `json:"proc,omitempty"`
+	Task      int     `json:"task,omitempty"`
+	Sub       int     `json:"sub,omitempty"`
+	Start     float64 `json:"start,omitempty"`
+	Stop      float64 `json:"stop,omitempty"`
+	Magnitude float64 `json:"magnitude,omitempty"`
+	Delay     int     `json:"delay,omitempty"`
+	Seed      int64   `json:"seed,omitempty"`
+}
+
+// kindFromString is the inverse of Kind.String.
+func kindFromString(s string) (Kind, error) {
+	for k := ExecStep; k <= ProcCrash; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("fault: unknown kind %q", s)
+}
+
+// MarshalJSON implements json.Marshaler with the canonical kind string.
+func (s Spec) MarshalJSON() ([]byte, error) {
+	return json.Marshal(specJSON{
+		Kind:      s.Kind.String(),
+		Proc:      s.Proc,
+		Task:      s.Task,
+		Sub:       s.Sub,
+		Start:     s.Start,
+		Stop:      s.Stop,
+		Magnitude: s.Magnitude,
+		Delay:     s.Delay,
+		Seed:      s.Seed,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *Spec) UnmarshalJSON(data []byte) error {
+	var w specJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("fault: %w", err)
+	}
+	k, err := kindFromString(w.Kind)
+	if err != nil {
+		return err
+	}
+	*s = Spec{
+		Kind:      k,
+		Proc:      w.Proc,
+		Task:      w.Task,
+		Sub:       w.Sub,
+		Start:     w.Start,
+		Stop:      w.Stop,
+		Magnitude: w.Magnitude,
+		Delay:     w.Delay,
+		Seed:      w.Seed,
+	}
+	return nil
+}
+
+// MarshalSpecs renders a scenario as a JSON array — the format euconsim
+// -faults accepts and the chaos shrinker emits as a reproducer.
+func MarshalSpecs(specs []Spec) ([]byte, error) {
+	if specs == nil {
+		specs = []Spec{}
+	}
+	return json.Marshal(specs)
+}
+
+// UnmarshalSpecs parses a JSON scenario array. Validation against a system
+// shape still happens at Engine.Compile, exactly as for specs built in Go.
+func UnmarshalSpecs(data []byte) ([]Spec, error) {
+	var specs []Spec
+	if err := json.Unmarshal(data, &specs); err != nil {
+		return nil, fmt.Errorf("fault: parse scenario JSON: %w", err)
+	}
+	return specs, nil
+}

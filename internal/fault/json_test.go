@@ -1,0 +1,74 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestSpecsJSONRoundTrip pins that every Kind and every field survives the
+// wire format, including All (-1) targets — the contract chaos reproducers
+// depend on.
+func TestSpecsJSONRoundTrip(t *testing.T) {
+	specs := []Spec{
+		{Kind: ExecStep, Proc: All, Task: All, Sub: All, Magnitude: 1.3},
+		{Kind: ExecRamp, Proc: 1, Task: All, Sub: All, Start: 100, Stop: 180, Magnitude: 2.0},
+		{Kind: FeedbackDrop, Proc: All, Start: 40, Stop: 120, Magnitude: 0.25, Seed: 9},
+		{Kind: FeedbackDelay, Proc: 0, Start: 50, Stop: 90, Delay: 2},
+		{Kind: FeedbackQuantize, Proc: 1, Start: 10, Stop: 60, Magnitude: 0.05},
+		{Kind: ActuatorDrop, Task: All, Start: 30, Stop: 70, Magnitude: 0.1, Seed: 4},
+		{Kind: ActuatorDelay, Task: 2, Start: 20, Stop: 80, Delay: 3},
+		{Kind: ActuatorClamp, Task: 0, Start: 15, Stop: 45, Magnitude: 0.002},
+		{Kind: ProcCrash, Proc: 1, Start: 100, Stop: 140},
+	}
+	js, err := MarshalSpecs(specs)
+	if err != nil {
+		t.Fatalf("MarshalSpecs: %v", err)
+	}
+	back, err := UnmarshalSpecs(js)
+	if err != nil {
+		t.Fatalf("UnmarshalSpecs(%s): %v", js, err)
+	}
+	if !reflect.DeepEqual(back, specs) {
+		t.Fatalf("round trip diverged:\n  in:  %v\n  out: %v\n  json: %s", specs, back, js)
+	}
+}
+
+// TestSpecsJSONKindStrings pins the wire kind names to the canonical Kind
+// strings, so hand-written -faults arguments match the docs.
+func TestSpecsJSONKindStrings(t *testing.T) {
+	js, err := MarshalSpecs([]Spec{{Kind: ProcCrash, Proc: 1, Start: 100, Stop: 140}})
+	if err != nil {
+		t.Fatalf("MarshalSpecs: %v", err)
+	}
+	want := `[{"kind":"proc-crash","proc":1,"start":100,"stop":140}]`
+	if string(js) != want {
+		t.Fatalf("wire form = %s, want %s", js, want)
+	}
+}
+
+// TestSpecsJSONErrors pins that unknown kinds and malformed JSON are
+// rejected with fault-prefixed errors rather than producing zero specs.
+func TestSpecsJSONErrors(t *testing.T) {
+	if _, err := UnmarshalSpecs([]byte(`[{"kind":"warp-core-breach"}]`)); err == nil || !strings.Contains(err.Error(), "unknown kind") {
+		t.Fatalf("unknown kind not rejected: %v", err)
+	}
+	if _, err := UnmarshalSpecs([]byte(`{"kind":"proc-crash"}`)); err == nil {
+		t.Fatal("non-array scenario JSON not rejected")
+	}
+	if _, err := UnmarshalSpecs([]byte(`[`)); err == nil {
+		t.Fatal("truncated JSON not rejected")
+	}
+}
+
+// TestMarshalSpecsEmpty pins that a nil scenario marshals to an empty
+// array, not JSON null.
+func TestMarshalSpecsEmpty(t *testing.T) {
+	js, err := MarshalSpecs(nil)
+	if err != nil {
+		t.Fatalf("MarshalSpecs(nil): %v", err)
+	}
+	if string(js) != "[]" {
+		t.Fatalf("MarshalSpecs(nil) = %s, want []", js)
+	}
+}

@@ -109,12 +109,94 @@ type Controller struct {
 	aFull *mat.Dense // rate box + output constraints (output part empty when disabled)
 	aBox  *mat.Dense // rate box only (the relaxation fallback)
 
+	// Tikhonov fallback solver: the stack [C; √λ·I] against the rate box,
+	// used when the nominal solve fails numerically (see Step's degradation
+	// ladder). Built once at construction; nil only if its Hessian cannot
+	// be factored, in which case the ladder skips straight to holding.
+	lsiReg *qp.LSI
+
+	// Containment counters (cleared by Reset): how many Steps were
+	// resolved by each below-nominal rung of the degradation ladder.
+	bestIterates int
+	regularized  int
+	heldSteps    int
+	lastOutcome  SolveOutcome
+
 	// Per-period scratch (right-hand sides and starting point).
 	dbuf        []float64
+	dregBuf     []float64 // dbuf extended with the Tikhonov zero targets
 	bFull, bBox []float64
 	z0          []float64
 	prevRelaxed bool // which constraint variant the warm-start set refers to
 }
+
+// SolveOutcome classifies how a Step obtained its control move — which
+// rung of the numerical-failure degradation ladder produced the applied
+// rates. The ladder never lets a solver failure escape as an error or a
+// non-finite rate: each rung is strictly more conservative than the one
+// above it, and the bottom rung (holding the applied rates) is always
+// available.
+type SolveOutcome int
+
+const (
+	// SolveOK: the constrained solve converged with the full constraint
+	// set.
+	SolveOK SolveOutcome = iota
+	// SolveRelaxed: the hard output constraints were infeasible (severe
+	// overload) and were dropped for the period; the tracking term still
+	// steers utilization toward the set points.
+	SolveRelaxed
+	// SolveBestIterate: the solver hit its iteration cap, but the best
+	// iterate is feasible, finite, and nearly stationary (KKT residual
+	// within bestIterateResidualBound), so it was applied as-is.
+	SolveBestIterate
+	// SolveRegularized: the solve failed outright (singular system, or an
+	// iteration-capped iterate too far from stationary) and a
+	// Tikhonov-regularized re-solve against the always-feasible rate box
+	// produced the move instead.
+	SolveRegularized
+	// SolveHeld: every rung above failed; the controller held the
+	// last-applied rates (Δr = 0). The move memory reconciles itself
+	// through the anti-windup resync on the next Step, so no windup
+	// accumulates while holding.
+	SolveHeld
+)
+
+// String implements fmt.Stringer.
+func (o SolveOutcome) String() string {
+	switch o {
+	case SolveOK:
+		return "ok"
+	case SolveRelaxed:
+		return "relaxed"
+	case SolveBestIterate:
+		return "best-iterate"
+	case SolveRegularized:
+		return "regularized"
+	case SolveHeld:
+		return "held"
+	default:
+		return fmt.Sprintf("SolveOutcome(%d)", int(o))
+	}
+}
+
+// Degraded reports whether the outcome came from a containment rung below
+// the normal solve paths (best-iterate, regularized, or held).
+func (o SolveOutcome) Degraded() bool { return o >= SolveBestIterate }
+
+// bestIterateResidualBound is the acceptance threshold for an
+// iteration-capped solve: the best iterate is applied when its scaled KKT
+// step norm (qp.Result.Stationarity) is at most this bound. The receding
+// horizon re-solves every period, so a near-stationary move is safe to
+// apply; anything farther off falls through to the regularized re-solve.
+const bestIterateResidualBound = 1e-2
+
+// tikhonovWeightFrac sizes the Tikhonov term of the fallback solver
+// relative to the least-squares stack: √λ = tikhonovWeightFrac·max(1, ‖C‖max),
+// i.e. λ caps the Hessian condition number near 1/tikhonovWeightFrac² while
+// biasing the move toward Δr = 0 (the safest direction when the nominal
+// problem is numerically sick).
+const tikhonovWeightFrac = 0.1
 
 // StepResult reports one control computation.
 type StepResult struct {
@@ -132,6 +214,10 @@ type StepResult struct {
 	OutputConstraintsRelaxed bool
 	// SolverIterations counts active-set iterations used.
 	SolverIterations int
+	// Outcome reports which rung of the degradation ladder produced
+	// NewRates (see SolveOutcome). NewRates is finite and within the rate
+	// box for every outcome.
+	Outcome SolveOutcome
 }
 
 // New builds a controller for the allocation matrix f (n processors × m
@@ -196,6 +282,28 @@ func New(f *mat.Dense, setPoints, rmin, rmax []float64, cfg Config) (*Controller
 	c.bFull = make([]float64, c.aFull.Rows())
 	c.bBox = make([]float64, c.aBox.Rows())
 	c.z0 = make([]float64, m*cfg.ControlHorizon)
+
+	// Tikhonov fallback: min ‖C·z − d‖² + λ‖z‖² as the augmented stack
+	// [C; √λ·I] with zero targets on the new rows. λ is sized from C so the
+	// fallback Hessian is well conditioned even when CᵀC is numerically
+	// singular; a factorization failure here (pathological weights) just
+	// removes the rung — the ladder then degrades from a failed nominal
+	// solve directly to holding rates.
+	nz := m * cfg.ControlHorizon
+	sqrtLam := tikhonovWeightFrac * math.Max(1, c.cmat.MaxAbs())
+	creg := mat.New(c.cmat.Rows()+nz, nz)
+	for i := 0; i < c.cmat.Rows(); i++ {
+		for j := 0; j < nz; j++ {
+			creg.Set(i, j, c.cmat.At(i, j))
+		}
+	}
+	for j := 0; j < nz; j++ {
+		creg.Set(c.cmat.Rows()+j, j, sqrtLam)
+	}
+	if reg, err := qp.NewLSI(creg, cfg.Solver); err == nil {
+		c.lsiReg = reg
+		c.dregBuf = make([]float64, creg.Rows())
+	}
 	return c, nil
 }
 
@@ -224,8 +332,24 @@ func (c *Controller) Reset() {
 	c.haveLast = false
 	c.windupSyncs = 0
 	c.lsi.ResetWarmStart()
+	if c.lsiReg != nil {
+		c.lsiReg.ResetWarmStart()
+	}
 	c.prevRelaxed = false
+	c.bestIterates = 0
+	c.regularized = 0
+	c.heldSteps = 0
+	c.lastOutcome = SolveOK
 }
+
+// ContainmentCounts reports how many Steps since construction or Reset
+// were resolved by each below-nominal rung of the degradation ladder.
+func (c *Controller) ContainmentCounts() (bestIterate, regularized, held int) {
+	return c.bestIterates, c.regularized, c.heldSteps
+}
+
+// LastOutcome reports the degradation-ladder rung of the most recent Step.
+func (c *Controller) LastOutcome() SolveOutcome { return c.lastOutcome }
 
 // AntiWindupSyncs reports how many per-task move-memory entries had to be
 // reconciled because the achieved rate move diverged from the commanded
@@ -234,6 +358,13 @@ func (c *Controller) AntiWindupSyncs() int { return c.windupSyncs }
 
 // Step computes the control input for the next sampling period from the
 // measured utilizations u(k) and the currently applied rates r(k−1).
+//
+// Step contains every numerical failure of the underlying QP solve through
+// a staged degradation ladder (see SolveOutcome) and never lets one escape:
+// the returned error is non-nil only for caller bugs (wrong vector
+// lengths), and NewRates is always finite and inside the rate box. A
+// non-finite measurement vector short-circuits to the hold rung — steering
+// the plant on NaN would poison the move memory.
 func (c *Controller) Step(u, rates []float64) (*StepResult, error) {
 	if len(u) != c.n {
 		return nil, fmt.Errorf("mpc: utilization vector has length %d, want %d", len(u), c.n)
@@ -259,6 +390,14 @@ func (c *Controller) Step(u, rates []float64) (*StepResult, error) {
 	}
 	copy(c.lastRates, rates)
 	c.haveLast = true
+	for _, v := range u {
+		if !finite(v) {
+			// A NaN/Inf measurement reached the solver layer (the EUCON
+			// controller's hold-last policy normally substitutes upstream):
+			// no trustworthy solve is possible, so hold the applied rates.
+			return c.holdStep(u, rates), nil
+		}
+	}
 	c.fillLeastSquaresRHS(u, c.dbuf)
 
 	// Pick a feasible starting point analytically instead of relying on the
@@ -304,12 +443,60 @@ func (c *Controller) Step(u, rates []float64) (*StepResult, error) {
 		c.lsi.ResetWarmStart()
 		res, err = c.lsi.Solve(c.dbuf, a, b, z0)
 	}
-	if err != nil {
-		return nil, fmt.Errorf("mpc: solve control QP: %w", err)
-	}
 	c.prevRelaxed = relaxed
+	outcome := SolveOK
+	if relaxed {
+		outcome = SolveRelaxed
+	}
+	if err != nil {
+		// Degradation ladder, rung by rung. Rung 1: an iteration-capped
+		// solve still carries its best iterate, which is feasible by
+		// construction (the active-set method never leaves the feasible
+		// region); accept it when it is finite and nearly stationary.
+		accepted := false
+		if errors.Is(err, qp.ErrMaxIterations) && res != nil &&
+			res.Stationarity <= bestIterateResidualBound && finiteVec(res.X) {
+			outcome = SolveBestIterate
+			c.bestIterates++
+			accepted = true
+		}
+		// Rung 2: Tikhonov-regularized re-solve against the always-feasible
+		// rate box, biasing the move toward Δr = 0.
+		if !accepted && c.lsiReg != nil {
+			copy(c.dregBuf, c.dbuf)
+			for i := len(c.dbuf); i < len(c.dregBuf); i++ {
+				c.dregBuf[i] = 0
+			}
+			c.fillConstraintRHS(u, rates, false, c.bBox)
+			for j := range z0 {
+				z0[j] = 0
+			}
+			regRes, regErr := c.lsiReg.Solve(c.dregBuf, c.aBox, c.bBox, z0)
+			usable := regRes != nil && finiteVec(regRes.X) &&
+				(regErr == nil || (errors.Is(regErr, qp.ErrMaxIterations) && regRes.Stationarity <= bestIterateResidualBound))
+			if usable {
+				res = regRes
+				outcome = SolveRegularized
+				c.regularized++
+				accepted = true
+				// The nominal solver's remembered active set describes a
+				// solve that failed; start the next period clean.
+				c.lsi.ResetWarmStart()
+				c.prevRelaxed = false
+			}
+		}
+		// Rung 3: hold the applied rates.
+		if !accepted {
+			return c.holdStep(u, rates), nil
+		}
+	}
 
 	delta := mat.VecClone(res.X[:c.m])
+	if !finiteVec(delta) {
+		// Belt and braces: a converged solve can still carry non-finite
+		// values if the inputs were poisoned. Holding is the only safe move.
+		return c.holdStep(u, rates), nil
+	}
 	newRates := make([]float64, c.m)
 	for i := range newRates {
 		nr := rates[i] + delta[i]
@@ -319,13 +506,67 @@ func (c *Controller) Step(u, rates []float64) (*StepResult, error) {
 		delta[i] = nr - rates[i]
 	}
 	copy(c.prevDelta, delta)
+	c.lastOutcome = outcome
 	return &StepResult{
 		DeltaR:                   delta,
 		NewRates:                 newRates,
 		PredictedUtil:            mat.VecAdd(u, c.f.MulVec(delta)),
-		OutputConstraintsRelaxed: relaxed,
+		OutputConstraintsRelaxed: relaxed || outcome == SolveRegularized,
 		SolverIterations:         res.Iterations,
+		Outcome:                  outcome,
 	}, nil
+}
+
+// holdStep is the bottom rung of the degradation ladder: command Δr = 0,
+// keeping the last-applied rates (clipped to the box so even an
+// out-of-range caller vector cannot escape). The zeroed move memory is
+// reconciled against the achieved move by the anti-windup resync at the
+// next Step, exactly as for an actuator fault, so holding accumulates no
+// windup.
+func (c *Controller) holdStep(u, rates []float64) *StepResult {
+	c.heldSteps++
+	c.lastOutcome = SolveHeld
+	delta := make([]float64, c.m)
+	newRates := make([]float64, c.m)
+	for i := range newRates {
+		nr := rates[i]
+		if !finite(nr) {
+			// Never emit non-finite rates, whatever the caller handed us:
+			// fall back to the most conservative end of the box.
+			nr = c.rmin[i]
+		}
+		nr = math.Max(c.rmin[i], math.Min(c.rmax[i], nr))
+		newRates[i] = nr
+		delta[i] = 0
+	}
+	for i := range c.prevDelta {
+		c.prevDelta[i] = 0
+	}
+	// The remembered active set belongs to a solve that never completed;
+	// clear it so the next period starts from a clean working set.
+	c.lsi.ResetWarmStart()
+	c.prevRelaxed = false
+	return &StepResult{
+		DeltaR:                   delta,
+		NewRates:                 newRates,
+		PredictedUtil:            mat.VecAdd(u, c.f.MulVec(delta)),
+		OutputConstraintsRelaxed: false,
+		SolverIterations:         0,
+		Outcome:                  SolveHeld,
+	}
+}
+
+// finite reports whether v is neither NaN nor infinite.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// finiteVec reports whether every element of v is finite.
+func finiteVec(v []float64) bool {
+	for _, x := range v {
+		if !finite(x) {
+			return false
+		}
+	}
+	return true
 }
 
 // maxViolation returns the largest constraint violation of A·z ≤ b at z.

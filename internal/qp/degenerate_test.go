@@ -1,0 +1,118 @@
+package qp
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/rtsyslab/eucon/internal/mat"
+)
+
+// Degenerate-input fixtures pinning the error contracts the MPC
+// degradation ladder is built on: ErrInfeasible and ErrMaxIterations are
+// stable sentinels, an iteration-capped solve still carries its best
+// iterate (finite, feasible, with a populated Stationarity) in the Result,
+// and rank-deficient stacks stay solvable through the built-in
+// regularization.
+
+// TestIterationCappedCarriesBestIterate pins the best-iterate contract:
+// capping the active-set loop yields ErrMaxIterations AND a non-nil Result
+// whose X is the last (feasible, finite) iterate with Status and
+// Stationarity describing how far it got. mpc rung 1 accepts exactly this
+// shape when the residual is small enough.
+func TestIterationCappedCarriesBestIterate(t *testing.T) {
+	// Two bounds must activate one at a time; one iteration cannot finish.
+	c := mat.Identity(2)
+	d := []float64{5, 5}
+	lo := []float64{0, 0}
+	hi := []float64{1, 1}
+	a, b := boxConstraints(lo, hi)
+	s, err := NewLSI(c, Options{MaxIter: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Solve(d, a, b, []float64{0, 0})
+	if !errors.Is(err, ErrMaxIterations) {
+		t.Fatalf("err = %v, want ErrMaxIterations", err)
+	}
+	if res == nil {
+		t.Fatal("iteration-capped solve returned a nil Result; the best iterate must travel with the error")
+	}
+	if res.Status != StatusIterationCapped {
+		t.Fatalf("Status = %v, want StatusIterationCapped", res.Status)
+	}
+	for i, v := range res.X {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("best iterate X[%d] = %g is not finite", i, v)
+		}
+		if v < lo[i]-1e-9 || v > hi[i]+1e-9 {
+			t.Fatalf("best iterate X[%d] = %g violates bounds [%g, %g]", i, v, lo[i], hi[i])
+		}
+	}
+	if math.IsNaN(res.Stationarity) || res.Stationarity < 0 {
+		t.Fatalf("Stationarity = %g, want a non-negative measure", res.Stationarity)
+	}
+	// An uncapped solve of the same problem converges with a small residual.
+	full, err := SolveLSI(c, d, a, b, []float64{0, 0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Status != StatusOK || full.Stationarity > 1e-6 {
+		t.Fatalf("converged solve Status = %v Stationarity = %g, want OK and tiny", full.Status, full.Stationarity)
+	}
+}
+
+// TestLSIInfeasibleConstraintsSentinel pins that the reusable LSI path
+// (the controller's hot path) reports contradictory constraints as
+// ErrInfeasible — the sentinel the controller's relaxation step keys on.
+func TestLSIInfeasibleConstraintsSentinel(t *testing.T) {
+	s, err := NewLSI(mat.Identity(1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x ≤ 0 and −x ≤ −1 (x ≥ 1) cannot both hold.
+	a := mat.MustFromRows([][]float64{{1}, {-1}})
+	res, err := s.Solve([]float64{0}, a, []float64{0, -1}, []float64{0.5})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+	if res != nil {
+		t.Fatalf("infeasible solve returned a Result: %+v; there is no iterate to report", res)
+	}
+}
+
+// TestRankDeficientStackStaysSolvable pins that NewLSI accepts a
+// rank-deficient C (wide stacks are the EUCON norm: more tasks than
+// processors) thanks to the ε-ridge on CᵀC, and that repeated solves
+// against it stay finite — the property the Tikhonov rung of the
+// degradation ladder leans on.
+func TestRankDeficientStackStaysSolvable(t *testing.T) {
+	// Rank 1 in R²: infinitely many least-squares minimizers.
+	c := mat.MustFromRows([][]float64{{1, 1}, {2, 2}})
+	s, err := NewLSI(c, Options{})
+	if err != nil {
+		t.Fatalf("NewLSI on rank-deficient C: %v", err)
+	}
+	a, b := boxConstraints([]float64{-10, -10}, []float64{10, 10})
+	for trial, d := range [][]float64{{2, 4}, {-1, -2}, {0, 0}} {
+		res, err := s.Solve(d, a, b, []float64{0, 0})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		sum := res.X[0] + res.X[1]
+		if want := d[0]; math.Abs(sum-want) > 1e-4 {
+			t.Fatalf("trial %d: x1+x2 = %g, want %g", trial, sum, want)
+		}
+	}
+}
+
+// TestSolveSingularHessian pins ErrSingular for a Hessian the Cholesky
+// factorization rejects: the ladder treats a failed factorization as "skip
+// to hold", so the sentinel must be stable.
+func TestSolveSingularHessian(t *testing.T) {
+	h := mat.New(2, 2) // zero matrix: not positive definite
+	_, err := Solve(h, []float64{1, 1}, nil, nil, []float64{0, 0}, Options{})
+	if !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}

@@ -52,7 +52,7 @@ func NewLSI(c *mat.Dense, opts Options) (*LSI, error) {
 	}
 	hchol, err := mat.FactorCholesky(h)
 	if err != nil {
-		return nil, fmt.Errorf("qp: factor least-squares Hessian: %w", err)
+		return nil, fmt.Errorf("qp: factor least-squares Hessian: %v: %w", err, ErrSingular)
 	}
 	return &LSI{
 		c:     c,

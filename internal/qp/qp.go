@@ -41,6 +41,49 @@ var ErrInfeasible = errors.New("qp: constraints are infeasible")
 // the best iterate found so far accompanies the error in Result.X.
 var ErrMaxIterations = errors.New("qp: active-set iteration limit reached")
 
+// ErrSingular is returned when a linear system at the heart of the solve
+// (the Hessian's Cholesky factorization, or a KKT system with an empty
+// working set) is numerically singular. Callers that need to keep a control
+// loop alive should treat it as "this problem cannot be solved as posed"
+// and fall back to a regularized problem or hold their previous output.
+var ErrSingular = errors.New("qp: numerically singular system")
+
+// Status classifies a solve outcome for callers that must stay alive
+// through solver failures (see Result.Status). It mirrors the error
+// identities above but travels with the Result, so the best iterate and
+// the failure class arrive together on the hot path without error
+// unwrapping.
+type Status int
+
+const (
+	// StatusOK: converged to a KKT point within tolerance.
+	StatusOK Status = iota
+	// StatusIterationCapped: the iteration limit was hit; Result.X holds
+	// the best iterate and Result.Stationarity its convergence measure.
+	StatusIterationCapped
+	// StatusInfeasible: no point satisfies the constraints.
+	StatusInfeasible
+	// StatusSingular: a Hessian factorization or empty-working-set KKT
+	// system was numerically singular.
+	StatusSingular
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusIterationCapped:
+		return "iteration-capped"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusSingular:
+		return "singular"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
 // Options tunes the solver. The zero value selects sensible defaults.
 type Options struct {
 	// MaxIter caps active-set iterations. Default: 50·(n + rows(A)) + 100.
@@ -75,6 +118,17 @@ type Result struct {
 	Iterations int
 	// Active lists the indices of constraints active at X.
 	Active []int
+	// Status classifies the outcome (see Status). A non-OK status always
+	// travels with the matching sentinel error, but the Result still holds
+	// the best iterate found, so degradation policies can decide whether it
+	// is usable.
+	Status Status
+	// Stationarity is the scaled norm of the last KKT step,
+	// ‖p‖∞ / (1 + ‖x‖∞) — the solver's own convergence measure. At a
+	// converged solution it is at most the tolerance; for an
+	// iteration-capped solve it quantifies how far from stationary the best
+	// iterate is (math.Inf(1) when no KKT step ever succeeded).
+	Stationarity float64
 }
 
 // workspace holds the per-solve scratch buffers so repeated solves through
@@ -125,7 +179,7 @@ func Solve(h *mat.Dense, f []float64, a *mat.Dense, b []float64, x0 []float64, o
 	}
 	hchol, err := mat.FactorCholesky(h)
 	if err != nil {
-		return nil, fmt.Errorf("qp: factor H: %w", err)
+		return nil, fmt.Errorf("qp: factor H: %v: %w", err, ErrSingular)
 	}
 	return solveActiveSet(h, hchol, f, a, b, x0, opts, &workspace{})
 }
@@ -183,6 +237,7 @@ func solveActiveSet(h *mat.Dense, hchol *mat.Cholesky, f []float64, a *mat.Dense
 	}
 
 	iter := 0
+	stationarity := math.Inf(1) // scaled norm of the most recent KKT step
 	for ; iter < opts.MaxIter; iter++ {
 		h.MulVecTo(ws.g, x)
 		for i := range ws.g {
@@ -193,14 +248,16 @@ func solveActiveSet(h *mat.Dense, hchol *mat.Cholesky, f []float64, a *mat.Dense
 			// Degenerate working set: drop the most recently added
 			// constraint and retry.
 			if len(working) == 0 {
-				return nil, fmt.Errorf("qp: KKT solve failed with empty working set: %w", err)
+				return nil, fmt.Errorf("qp: KKT solve failed with empty working set: %v: %w", err, ErrSingular)
 			}
 			last := working[len(working)-1]
 			working = working[:len(working)-1]
 			inWorking[last] = false
 			continue
 		}
-		if mat.NormInf(p) <= opts.Tol*(1+mat.NormInf(x)) {
+		scale := 1 + mat.NormInf(x)
+		stationarity = mat.NormInf(p) / scale
+		if mat.NormInf(p) <= opts.Tol*scale {
 			// Stationary on the working set: check multipliers.
 			minIdx, minVal := -1, -opts.Tol
 			for wi, l := range lambda {
@@ -209,7 +266,7 @@ func solveActiveSet(h *mat.Dense, hchol *mat.Cholesky, f []float64, a *mat.Dense
 				}
 			}
 			if minIdx < 0 {
-				return result(h, f, x, iter, working), nil
+				return result(h, f, x, iter, working, StatusOK, stationarity), nil
 			}
 			// Drop the constraint with the most negative multiplier.
 			dropped := working[minIdx]
@@ -251,17 +308,19 @@ func solveActiveSet(h *mat.Dense, hchol *mat.Cholesky, f []float64, a *mat.Dense
 			}
 		}
 	}
-	return result(h, f, x, iter, working), ErrMaxIterations
+	return result(h, f, x, iter, working, StatusIterationCapped, stationarity), ErrMaxIterations
 }
 
 // result copies the iterate out of the workspace into a caller-owned
 // Result.
-func result(h *mat.Dense, f, x []float64, iter int, working []int) *Result {
+func result(h *mat.Dense, f, x []float64, iter int, working []int, status Status, stationarity float64) *Result {
 	return &Result{
-		X:          mat.VecClone(x),
-		Objective:  objective(h, f, x),
-		Iterations: iter,
-		Active:     append([]int(nil), working...),
+		X:            mat.VecClone(x),
+		Objective:    objective(h, f, x),
+		Iterations:   iter,
+		Active:       append([]int(nil), working...),
+		Status:       status,
+		Stationarity: stationarity,
 	}
 }
 

@@ -26,6 +26,18 @@ type DegradationReporter interface {
 	LastDegradation() (heldSamples int, controlSkipped bool)
 }
 
+// ContainmentReporter is an optional interface a RateController can
+// implement to expose its numerical-failure containment counters (the MPC
+// degradation ladder of internal/mpc). cmd/euconsim and the chaos harness
+// read it after a run to report how often — and how deeply — the
+// controller had to degrade to keep the loop alive.
+type ContainmentReporter interface {
+	// ContainmentCounts reports how many control steps since construction
+	// or Reset were resolved below the nominal solve paths: best-iterate
+	// acceptances, Tikhonov-regularized re-solves, and held periods.
+	ContainmentCounts() (bestIterate, regularized, held int)
+}
+
 // FixedRates is a RateController that never changes rates (pure open loop
 // with whatever rates the tasks started with).
 type FixedRates struct{}

@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/rtsyslab/eucon/internal/task"
+)
+
+// threeTaskSystem is one processor with three tasks of distinct rate
+// boxes, so one guardRates call can exercise every repair case at once.
+func threeTaskSystem() *task.System {
+	mk := func(name string, lo, hi, r0 float64) task.Task {
+		return task.Task{
+			Name:        name,
+			Subtasks:    []task.Subtask{{Processor: 0, EstimatedCost: 5}},
+			RateMin:     lo,
+			RateMax:     hi,
+			InitialRate: r0,
+		}
+	}
+	return &task.System{
+		Name:       "three",
+		Processors: 1,
+		Tasks: []task.Task{
+			mk("T1", 0.001, 0.01, 0.005),
+			mk("T2", 0.002, 0.02, 0.01),
+			mk("T3", 0.003, 0.03, 0.015),
+		},
+	}
+}
+
+// TestGuardRatesWhiteBox drives the rate guard directly: a clean command
+// passes through untouched (same backing array — the zero-allocation
+// steady state), and a poisoned command is repaired per element: NaN/Inf
+// hold the last applied rate, finite excursions clamp to the box, and both
+// counters record every bad element.
+func TestGuardRatesWhiteBox(t *testing.T) {
+	s, err := New(Config{System: threeTaskSystem(), SamplingPeriod: 1000, Periods: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.trace.Periods = append(s.trace.Periods, PeriodStats{})
+
+	clean := []float64{0.005, 0.01, 0.015}
+	if got := s.guardRates(0, clean); &got[0] != &clean[0] {
+		t.Fatal("clean command was copied; the hot path must return the caller's slice")
+	}
+	if s.trace.Stats.GuardRateFirings != 0 {
+		t.Fatalf("clean command counted %d firings", s.trace.Stats.GuardRateFirings)
+	}
+
+	bad := []float64{math.NaN(), 1e-9, 99}
+	out := s.guardRates(0, bad)
+	if out[0] != s.rates[0] {
+		t.Errorf("NaN command repaired to %g, want held rate %g", out[0], s.rates[0])
+	}
+	if out[1] != 0.002 {
+		t.Errorf("below-min command repaired to %g, want RateMin 0.002", out[1])
+	}
+	if out[2] != 0.03 {
+		t.Errorf("above-max command repaired to %g, want RateMax 0.03", out[2])
+	}
+	if s.trace.Periods[0].GuardRateFirings != 3 || s.trace.Stats.GuardRateFirings != 3 {
+		t.Errorf("firings = (period %d, total %d), want 3 bad elements counted in both",
+			s.trace.Periods[0].GuardRateFirings, s.trace.Stats.GuardRateFirings)
+	}
+	if &out[0] == &bad[0] {
+		t.Error("repaired command aliases the caller's slice; must use the guard buffer")
+	}
+
+	// Inf is held like NaN.
+	if out := s.guardRates(0, []float64{math.Inf(1), 0.01, 0.015}); out[0] != s.rates[0] {
+		t.Errorf("Inf command repaired to %g, want held rate %g", out[0], s.rates[0])
+	}
+}
+
+// nanController emits a NaN rate for task 0 from period `from` onward —
+// the planted controller bug of the chaos harness, at the sim layer.
+type nanController struct{ from int }
+
+func (nanController) Name() string { return "NANBUG" }
+
+func (c nanController) Rates(k int, u, rates []float64) ([]float64, error) {
+	out := append([]float64(nil), rates...)
+	if k >= c.from {
+		out[0] = math.NaN()
+	}
+	return out, nil
+}
+
+// TestGuardContainsNaNController pins end-to-end containment: a controller
+// emitting NaN never reaches the plant — the run completes, every recorded
+// rate stays finite at the held value, and the firings are counted.
+func TestGuardContainsNaNController(t *testing.T) {
+	sys := oneTaskSystem(10, 0.01)
+	tr := mustRun(t, Config{
+		System:         sys,
+		SamplingPeriod: 1000,
+		Periods:        20,
+		Controller:     nanController{from: 3},
+	})
+	if len(tr.Utilization) != 20 {
+		t.Fatalf("run truncated to %d periods with guards enabled", len(tr.Utilization))
+	}
+	if tr.Stats.GuardRateFirings == 0 {
+		t.Fatal("no rate-guard firings recorded for a NaN-emitting controller")
+	}
+	for k, row := range tr.Rates {
+		if row[0] != 0.01 {
+			t.Fatalf("period %d: rate %g, want the held initial 0.01", k, row[0])
+		}
+	}
+	if tr.Periods[3].GuardRateFirings != 1 {
+		t.Errorf("period 3 firings = %d, want 1", tr.Periods[3].GuardRateFirings)
+	}
+}
+
+// TestDisableGuardsLetsNaNPoisonTheRun pins the test-only escape hatch the
+// chaos shrinker depends on: with guards off, the NaN reaches the rate
+// modulator, poisons the event clock, and the run-loop safety net
+// truncates the run instead of spinning forever. The truncation — not a
+// hang, not a panic — is the observable violation.
+func TestDisableGuardsLetsNaNPoisonTheRun(t *testing.T) {
+	s, err := New(Config{
+		System:         oneTaskSystem(10, 0.01),
+		SamplingPeriod: 1000,
+		Periods:        20,
+		Controller:     nanController{from: 3},
+		DisableGuards:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Stats.GuardRateFirings != 0 {
+		t.Fatalf("guards fired %d times while disabled", tr.Stats.GuardRateFirings)
+	}
+	if len(tr.Utilization) >= 20 {
+		t.Fatalf("run recorded %d periods; expected NaN poisoning to truncate it", len(tr.Utilization))
+	}
+}
+
+// hookController runs a sabotage callback against the simulator each
+// period before returning the rates unchanged — white-box fault planting
+// for the audit and utilization guards.
+type hookController struct {
+	s    *Simulator
+	hook func(k int, s *Simulator)
+}
+
+func (*hookController) Name() string { return "HOOK" }
+
+func (h *hookController) Rates(k int, u, rates []float64) ([]float64, error) {
+	h.hook(k, h.s)
+	return rates, nil
+}
+
+// TestAuditPoolsDetectsLeak plants a phantom allocation mid-run and
+// expects the conservation audit to flag every subsequent boundary.
+func TestAuditPoolsDetectsLeak(t *testing.T) {
+	hc := &hookController{hook: func(k int, s *Simulator) {
+		if k == 5 {
+			s.jobsMade++ // a job the free lists will never see again
+		}
+	}}
+	s, err := New(Config{System: oneTaskSystem(10, 0.01), SamplingPeriod: 1000, Periods: 12, Controller: hc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc.s = s
+	tr, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Stats.GuardPoolFirings == 0 {
+		t.Fatal("pool audit never fired after a planted leak")
+	}
+	if tr.Periods[5].GuardPoolImbalance != 0 {
+		t.Error("audit fired before the leak existed")
+	}
+	if got := tr.Periods[6].GuardPoolImbalance; got != 1 {
+		t.Errorf("period 6 imbalance = %d, want 1 leaked object", got)
+	}
+}
+
+// TestUtilGuardClampsPoisonedMonitor plants a NaN busy-time accumulator
+// and expects the utilization guard to zero the sample, keep the trace
+// finite, and count the firing.
+func TestUtilGuardClampsPoisonedMonitor(t *testing.T) {
+	hc := &hookController{hook: func(k int, s *Simulator) {
+		if k == 5 {
+			s.procs[0].busy = math.NaN()
+		}
+	}}
+	s, err := New(Config{System: oneTaskSystem(10, 0.01), SamplingPeriod: 1000, Periods: 12, Controller: hc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc.s = s
+	tr, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Stats.GuardUtilFirings == 0 {
+		t.Fatal("utilization guard never fired on a NaN busy accumulator")
+	}
+	for k, row := range tr.Utilization {
+		if math.IsNaN(row[0]) || math.IsInf(row[0], 0) {
+			t.Fatalf("period %d: non-finite utilization entered the trace", k)
+		}
+	}
+	if tr.Utilization[6][0] != 0 {
+		t.Errorf("poisoned sample recorded as %g, want guarded 0", tr.Utilization[6][0])
+	}
+}

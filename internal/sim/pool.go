@@ -26,6 +26,7 @@ func (s *Simulator) newEvent() *event {
 		*e = event{} //eucon:alloc-ok zeroing store into a pooled object, not an allocation
 		return e
 	}
+	s.eventsMade++
 	return &event{} //eucon:alloc-ok cold-path pool miss; amortized to zero in steady state
 }
 
@@ -49,6 +50,7 @@ func (s *Simulator) newJob() *job {
 		*j = job{} //eucon:alloc-ok zeroing store into a pooled object, not an allocation
 		return j
 	}
+	s.jobsMade++
 	return &job{} //eucon:alloc-ok cold-path pool miss; amortized to zero in steady state
 }
 

@@ -67,6 +67,15 @@ type Config struct {
 	// for equal configs. Empty means a fault-free run with zero overhead
 	// beyond one branch per hook.
 	Faults []fault.Spec
+	// DisableGuards turns off the runtime invariant guards: controller
+	// rate commands are no longer screened for non-finite or out-of-bounds
+	// values, utilization samples are not sanity-checked, and the pooled-
+	// object audit is skipped. Test-only: the chaos shrinker disables the
+	// guards so a deliberately seeded violation can escape containment and
+	// exercise the shrinking machinery. Production runs must leave this
+	// false — the guards are allocation-free and bit-transparent on
+	// healthy runs.
+	DisableGuards bool
 }
 
 // validate checks the configuration. validatedSys, when non-nil and equal
@@ -143,6 +152,26 @@ type Stats struct {
 	// CrashShedJobs counts releases refused because the target processor
 	// was inside a fault.ProcCrash window.
 	CrashShedJobs int
+	// GuardRateFirings counts controller rate commands the runtime
+	// invariant guard rejected (non-finite, or outside the task's rate
+	// bounds) and replaced with a safe substitute. Zero on every healthy
+	// run: containment in the controller layers should make the guard
+	// unreachable, so any firing marks a contained controller bug.
+	GuardRateFirings int
+	// GuardUtilFirings counts utilization samples the guard found insane
+	// (non-finite or negative) and clamped before they entered the trace.
+	GuardUtilFirings int
+	// GuardPoolFirings counts sampling boundaries where the pooled-object
+	// audit found the event/job accounting out of balance (a leak or a
+	// double-recycle in the event loop).
+	GuardPoolFirings int
+	// ContainmentBestIterate, ContainmentRegularized, and ContainmentHeld
+	// mirror the controller's solver degradation-ladder counters (accepted
+	// best iterates, Tikhonov re-solves, held steps) as of the end of the
+	// run. Populated only when the controller implements
+	// ContainmentReporter; the counts are cumulative since the controller's
+	// construction or last Reset.
+	ContainmentBestIterate, ContainmentRegularized, ContainmentHeld int
 }
 
 // PeriodStats are the per-sampling-period counters behind the aggregate
@@ -168,6 +197,15 @@ type PeriodStats struct {
 	// ProcsDown counts processors whose monitor was pegged at u = 1 by a
 	// crash window overlapping this period.
 	ProcsDown int
+	// GuardRateFirings and GuardUtilFirings are the per-period runtime
+	// invariant-guard counters behind the aggregate Stats fields of the
+	// same names: rate commands rejected and utilization samples clamped
+	// in this period.
+	GuardRateFirings, GuardUtilFirings int
+	// GuardPoolImbalance is the pooled-object accounting discrepancy (in
+	// objects) found by the audit at this period's sampling boundary; 0
+	// when the pools balance.
+	GuardPoolImbalance int
 }
 
 // MissRatio returns the subtask deadline miss ratio of the period (0 when
@@ -222,9 +260,13 @@ type Simulator struct {
 	lastRelease []float64 // per subtask: last release time (-1: never)
 	backlog     []int     // per subtask: incomplete jobs in flight
 
-	// Free lists (see pool.go).
+	// Free lists (see pool.go). eventsMade and jobsMade count every object
+	// the pools ever allocated (never reset: pooled objects outlive Reset),
+	// giving the invariant-guard audit a conservation law to check.
 	freeEvents []*event
 	freeJobs   []*job
+	eventsMade int
+	jobsMade   int
 
 	// utilBacking and ratesBacking hold every trace row of the run
 	// contiguously; handleSampling carves rows out of them so the sampling
@@ -247,6 +289,11 @@ type Simulator struct {
 	uDeliver   []float64
 	cmdBacking []float64
 	effRates   []float64
+
+	// guardBuf holds the sanitized rate vector when the invariant guard
+	// fires (the controller's slice may alias a trace row, so it is never
+	// mutated in place). Sized at Reset; untouched on healthy periods.
+	guardBuf []float64
 
 	trace Trace
 	cur   PeriodStats // counters for the in-progress sampling period
@@ -346,6 +393,7 @@ func (s *Simulator) Reset(cfg Config) error {
 		s.effRates = growFloats(s.effRates, nTasks)
 		s.cmdBacking = growFloats(s.cmdBacking, cfg.Periods*nTasks)
 	}
+	s.guardBuf = growFloats(s.guardBuf, nTasks)
 	s.utilBacking = growFloats(s.utilBacking, cfg.Periods*sys.Processors)
 	s.ratesBacking = growFloats(s.ratesBacking, cfg.Periods*nTasks)
 	s.trace.Controller = name
@@ -431,7 +479,13 @@ func (s *Simulator) RunContext(ctx context.Context) (*Trace, error) {
 	end := float64(s.cfg.Periods) * s.cfg.SamplingPeriod
 	for s.events.len() > 0 {
 		e := s.events.pop()
-		if e.at > end+timeEps {
+		// Termination safety net: the negated comparison also trips on a
+		// NaN event time (identical to e.at > end+timeEps for any finite
+		// time). Without it, a NaN-poisoned clock — reachable only when
+		// the invariant guards are disabled — would regenerate NaN-timed
+		// release chains forever and the loop would never exit; with it,
+		// poisoning truncates the run, which the chaos harness detects.
+		if !(e.at <= end+timeEps) {
 			// Past the horizon: this event and anything still queued are
 			// reclaimed by the next Reset.
 			if e.job != nil {
@@ -456,6 +510,9 @@ func (s *Simulator) RunContext(ctx context.Context) (*Trace, error) {
 		}
 		// Handlers take ownership of e.job; the event itself is done.
 		s.putEvent(e)
+	}
+	if cr, ok := s.cfg.Controller.(ContainmentReporter); ok {
+		s.trace.Stats.ContainmentBestIterate, s.trace.Stats.ContainmentRegularized, s.trace.Stats.ContainmentHeld = cr.ContainmentCounts()
 	}
 	return &s.trace, nil
 }
@@ -710,10 +767,19 @@ func (s *Simulator) handleSampling() error {
 	k := len(s.trace.Utilization)
 	np := len(s.procs)
 	faulted := s.faults.Enabled()
+	guarded := !s.cfg.DisableGuards
 	u := s.utilBacking[k*np : (k+1)*np : (k+1)*np]
 	for i := range s.procs {
 		s.accrue(i)
 		u[i] = s.procs[i].busy / s.cfg.SamplingPeriod
+		if guarded && !(u[i] >= 0) {
+			// Invariant guard: a NaN or negative busy fraction means clock
+			// arithmetic was poisoned upstream; record 0 rather than let a
+			// non-finite sample enter the trace and the feedback loop.
+			u[i] = 0
+			s.cur.GuardUtilFirings++
+			s.trace.Stats.GuardUtilFirings++
+		}
 		if u[i] > 1 {
 			u[i] = 1
 		}
@@ -724,6 +790,12 @@ func (s *Simulator) handleSampling() error {
 			s.cur.ProcsDown++
 		}
 		s.procs[i].busy = 0
+	}
+	if guarded {
+		if imbalance := s.auditPools(); imbalance != 0 {
+			s.cur.GuardPoolImbalance = imbalance
+			s.trace.Stats.GuardPoolFirings++
+		}
 	}
 	s.trace.Utilization = append(s.trace.Utilization, u) //eucon:alloc-ok appends a row header into a run-length pre-capped slice
 	s.trace.Periods = append(s.trace.Periods, s.cur)     //eucon:alloc-ok appends into a run-length pre-capped slice
@@ -763,11 +835,93 @@ func (s *Simulator) handleSampling() error {
 			ps.ControlSkipped = 1
 		}
 	}
+	if guarded {
+		newRates = s.guardRates(k, newRates)
+	}
 	if faulted {
 		newRates = s.applyCommandFaults(k, newRates)
 	}
 	s.applyRates(newRates)
 	return nil
+}
+
+// guardRates is the runtime invariant guard on controller output: every
+// commanded rate must be finite and inside its task's [RateMin, RateMax]
+// box. Healthy vectors pass through untouched (same slice, zero cost);
+// violations are counted in the trace and replaced — non-finite commands
+// hold the task's current rate, out-of-bounds commands clamp — in a
+// scratch copy, because the controller's slice may alias a trace row.
+//
+//eucon:noalloc
+func (s *Simulator) guardRates(k int, newRates []float64) []float64 {
+	bad := 0
+	for i, r := range newRates {
+		t := &s.sys.Tasks[i]
+		if !(r >= t.RateMin) || !(r <= t.RateMax) {
+			bad++
+		}
+	}
+	if bad == 0 {
+		return newRates
+	}
+	out := s.guardBuf
+	copy(out, newRates)
+	for i, r := range out {
+		t := &s.sys.Tasks[i]
+		switch {
+		case math.IsNaN(r) || math.IsInf(r, 0):
+			out[i] = s.rates[i] // no trustworthy command: hold
+		case r < t.RateMin:
+			out[i] = t.RateMin
+		case r > t.RateMax:
+			out[i] = t.RateMax
+		}
+	}
+	ps := &s.trace.Periods[k]
+	ps.GuardRateFirings += bad
+	s.trace.Stats.GuardRateFirings += bad
+	return out
+}
+
+// auditPools checks the pooled-object conservation law at a sampling
+// boundary: every event and job ever allocated is either in its free list
+// or accounted for in exactly one live location (the event queue, a ready
+// queue, a running slot, or — for the sampling event being handled — the
+// run loop's hands). A nonzero return is the total accounting discrepancy
+// in objects, marking a leak or double-recycle.
+//
+//eucon:noalloc
+func (s *Simulator) auditPools() int {
+	carriedJobs := 0
+	for _, e := range s.events.ev {
+		if e.job != nil {
+			carriedJobs++
+		}
+	}
+	liveJobs := carriedJobs
+	for p := range s.procs {
+		liveJobs += s.procs[p].ready.len()
+		if s.procs[p].running != nil {
+			liveJobs++
+		}
+	}
+	// +1: the sampling event driving this call is popped but not yet
+	// recycled by the run loop.
+	liveEvents := s.events.len() + 1
+	imbalance := 0
+	if d := s.eventsMade - len(s.freeEvents) - liveEvents; d != 0 {
+		if d < 0 {
+			d = -d
+		}
+		imbalance += d
+	}
+	if d := s.jobsMade - len(s.freeJobs) - liveJobs; d != 0 {
+		if d < 0 {
+			d = -d
+		}
+		imbalance += d
+	}
+	return imbalance
 }
 
 // deliverFeedback builds the utilization vector the controller actually

@@ -42,4 +42,15 @@ go run ./cmd/euconsim -sweep-digest |
 go run ./cmd/euconsim -faults proc2-crash-recover -fault-digest |
 	sed "s/^{/{\"date\":\"${date}\",/" >>"$out"
 
+# Chaos smoke wall time: how long the 25-scenario CI campaign takes, so a
+# regression in fault-storm throughput shows up in the trend record. The
+# binary is prebuilt so the stamp measures the campaign, not the compiler.
+go build -o /tmp/euconfuzz.bench ./cmd/euconfuzz
+chaos_start=$(date +%s%N)
+/tmp/euconfuzz.bench -seed 1 -n 25 >/dev/null
+chaos_end=$(date +%s%N)
+rm -f /tmp/euconfuzz.bench
+chaos_ms=$(( (chaos_end - chaos_start) / 1000000 ))
+printf '{"date":"%s","bench":"ChaosSmoke25","wall_ms":%s}\n' "$date" "$chaos_ms" >>"$out"
+
 echo "appended benchmark snapshot to $out"

@@ -1,7 +1,8 @@
 #!/bin/sh
 # Tier-1 check: gofmt -s, vet, euconlint, build, race-enabled tests,
-# benchmark smoke, the steady-state zero-allocation gate, and the faulted
-# sweep digest diff against scripts/golden/.
+# benchmark smoke, the steady-state zero-allocation gate, the faulted
+# sweep digest diff against scripts/golden/, and the chaos smoke campaign
+# (25 seeded fault storms, every robustness invariant enforced).
 # Usage: ./scripts/check.sh   (or: make check)
 set -eu
 
@@ -53,5 +54,8 @@ if ! diff -u scripts/golden/fault-proc2-crash-recover.digest "$fault_out"; then
 	echo "  go run ./cmd/euconsim -faults proc2-crash-recover -fault-digest > scripts/golden/fault-proc2-crash-recover.digest"
 	exit 1
 fi
+
+echo "==> chaos smoke (make chaos-smoke: 25 seeded fault storms)"
+go run ./cmd/euconfuzz -seed 1 -n 25
 
 echo "==> OK"
