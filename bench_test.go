@@ -368,7 +368,7 @@ func BenchmarkControllerStepSimple(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ctrl.Rates(i, u, rates); err != nil {
+		if _, err := ctrl.Step(i, u, rates); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -388,7 +388,64 @@ func BenchmarkControllerStepMedium(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ctrl.Rates(i, u, rates); err != nil {
+		if _, err := ctrl.Step(i, u, rates); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkControllerStepExplicitMedium measures the explicit-MPC fast
+// path on MEDIUM: with measured utilization near the set point the step is
+// a region lookup plus one exact interior evaluation, with zero heap
+// allocations. The benchmark fails if any step misses the compiled law,
+// so it can never silently degrade into benchmarking the iterative
+// fallback. scripts/check.sh gates on 0 allocs/op here.
+func BenchmarkControllerStepExplicitMedium(b *testing.B) {
+	sys := workload.Medium()
+	cfg := workload.MediumController()
+	cfg.Explicit = true
+	ctrl, err := core.New(sys, nil, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Utilization just under the set point with mid-box rates is the
+	// steady-state neighborhood the interior region covers: the output
+	// constraints have slack and no rate bound is tight. (u exactly at the
+	// set point sits on the region boundary and truthfully misses.)
+	u := append([]float64(nil), ctrl.SetPoints()...)
+	for i := range u {
+		u[i] *= 0.98
+	}
+	rates := make([]float64, len(sys.Tasks))
+	for i, tk := range sys.Tasks {
+		rates[i] = (tk.RateMin + tk.RateMax) / 2
+	}
+	if _, err := ctrl.Step(0, u, rates); err != nil { // warm lazily built buffers
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctrl.Step(i, u, rates); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if _, misses := ctrl.ExplicitCounts(); misses > 0 {
+		b.Fatalf("explicit law missed %d of %d steps; the numbers above measure the iterative fallback, not the lookup path", misses, b.N+1)
+	}
+}
+
+// BenchmarkExplicitCompileMedium measures the offline compile: the
+// one-time cost of enumerating the MEDIUM law's critical regions that the
+// per-step lookup above amortizes.
+func BenchmarkExplicitCompileMedium(b *testing.B) {
+	sys := workload.Medium()
+	cfg := workload.MediumController()
+	cfg.Explicit = true
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.New(sys, nil, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -421,7 +478,7 @@ func BenchmarkControllerStepLarge(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ctrl.Rates(i, u, rates); err != nil {
+		if _, err := ctrl.Step(i, u, rates); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -690,7 +747,7 @@ func BenchmarkDeuconLocalStep(b *testing.B) {
 	rates := sys.InitialRates()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ctrl.Rates(i, u, rates); err != nil {
+		if _, err := ctrl.Step(i, u, rates); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -24,9 +24,12 @@ import (
 	"runtime"
 	"strings"
 	"syscall"
+	"time"
 
+	"github.com/rtsyslab/eucon/internal/core"
 	"github.com/rtsyslab/eucon/internal/experiments"
 	"github.com/rtsyslab/eucon/internal/fault"
+	"github.com/rtsyslab/eucon/internal/task"
 	"github.com/rtsyslab/eucon/internal/trace"
 	"github.com/rtsyslab/eucon/internal/workload"
 )
@@ -44,6 +47,8 @@ func run() int {
 	faults := flag.String("faults", "", "fault scenario to inject: comma-separated scenario names (see -list-faults), an inline JSON clause array (chaos reproducer format, starts with '['), or @file containing either; runs the canonical 300-period SIMPLE experiment under the scenario and reports robustness and degradation counters")
 	listFaults := flag.Bool("list-faults", false, "list the named fault scenarios")
 	faultDigest := flag.Bool("fault-digest", false, "with -faults: print JSON digests of a faulted SIMPLE sweep at 1, 2, and 8 workers, including robustness metrics, then exit (scripts/check.sh diffs these against scripts/golden/)")
+	explicit := flag.Bool("explicit", false, "run EUCON with the offline-compiled explicit MPC law (internal/empc); rates are bit-identical to the iterative solver, so every digest and table is unchanged — the flag exists to prove exactly that")
+	explicitReport := flag.Bool("explicit-report", false, "compile the explicit MPC laws for the SIMPLE and MEDIUM controllers and print one JSON line each with region counts, build digest, and compile wall time, then exit (scripts/bench_trend.sh snapshots these)")
 	flag.Parse()
 
 	// ^C or SIGTERM cancels in-flight simulations at the next sampling
@@ -56,8 +61,14 @@ func run() int {
 	}
 
 	switch {
+	case *explicitReport:
+		if err := printExplicitReport(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "euconsim: explicit report: %v\n", err)
+			return 1
+		}
+		return 0
 	case *digest:
-		if err := sweepDigests(ctx, os.Stdout); err != nil {
+		if err := sweepDigests(ctx, os.Stdout, *explicit); err != nil {
 			fmt.Fprintf(os.Stderr, "euconsim: sweep digest: %v\n", err)
 			return 1
 		}
@@ -72,13 +83,13 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "euconsim: -fault-digest requires -faults (known scenarios: %v)\n", fault.Names())
 			return 2
 		}
-		if err := faultDigests(ctx, os.Stdout, *faults); err != nil {
+		if err := faultDigests(ctx, os.Stdout, *faults, *explicit); err != nil {
 			fmt.Fprintf(os.Stderr, "euconsim: fault digest: %v\n", err)
 			return 1
 		}
 		return 0
 	case *faults != "":
-		if err := faultReport(ctx, os.Stdout, *faults); err != nil {
+		if err := faultReport(ctx, os.Stdout, *faults, *explicit); err != nil {
 			fmt.Fprintf(os.Stderr, "euconsim: faults: %v\n", err)
 			return 1
 		}
@@ -126,7 +137,7 @@ func run() int {
 // the full-precision point series. Equal digests across worker counts prove
 // the parallel engine's outputs are bit-identical to the serial ones;
 // equal digests across PRs prove a perf change did not move the science.
-func sweepDigests(ctx context.Context, w io.Writer) error {
+func sweepDigests(ctx context.Context, w io.Writer, explicit bool) error {
 	grids := []struct {
 		name     string
 		workload experiments.WorkloadKind
@@ -141,6 +152,7 @@ func sweepDigests(ctx context.Context, w io.Writer) error {
 				Workload:    g.workload,
 				Seed:        experiments.DefaultSeed,
 				Parallelism: workers,
+				Explicit:    explicit,
 			}, g.etfs)
 			if err != nil {
 				return fmt.Errorf("%s workers=%d: %w", g.name, workers, err)
@@ -185,7 +197,7 @@ func parseFaultsArg(arg string) ([]fault.Spec, error) {
 // the controlled trajectories and the degradation behaviour. The standard
 // -sweep-digest format is untouched. scripts/check.sh diffs the
 // proc2-crash-recover output against scripts/golden/.
-func faultDigests(ctx context.Context, w io.Writer, list string) error {
+func faultDigests(ctx context.Context, w io.Writer, list string, explicit bool) error {
 	specs, err := parseFaultsArg(list)
 	if err != nil {
 		return err
@@ -197,6 +209,7 @@ func faultDigests(ctx context.Context, w io.Writer, list string) error {
 			Seed:        experiments.DefaultSeed,
 			Faults:      specs,
 			Parallelism: workers,
+			Explicit:    explicit,
 		}, etfs)
 		if err != nil {
 			return fmt.Errorf("workers=%d: %w", workers, err)
@@ -221,7 +234,7 @@ func faultDigests(ctx context.Context, w io.Writer, list string) error {
 // fault scenarios and prints the robustness metrics over the measurement
 // window plus the summed degradation counters, so a scenario's end-to-end
 // effect can be inspected without writing a test.
-func faultReport(ctx context.Context, w io.Writer, list string) error {
+func faultReport(ctx context.Context, w io.Writer, list string, explicit bool) error {
 	specs, err := parseFaultsArg(list)
 	if err != nil {
 		return err
@@ -230,6 +243,7 @@ func faultReport(ctx context.Context, w io.Writer, list string) error {
 		Workload: experiments.WorkloadSimple,
 		Seed:     experiments.DefaultSeed,
 		Faults:   specs,
+		Explicit: explicit,
 	})
 	if err != nil {
 		return err
@@ -257,6 +271,38 @@ func faultReport(ctx context.Context, w io.Writer, list string) error {
 		tr.Stats.ContainmentBestIterate, tr.Stats.ContainmentRegularized, tr.Stats.ContainmentHeld)
 	fmt.Fprintf(w, "guard-firings\t%d\n",
 		tr.Stats.GuardRateFirings+tr.Stats.GuardUtilFirings+tr.Stats.GuardPoolFirings)
+	if explicit {
+		fmt.Fprintf(w, "explicit-hits\t%d\nexplicit-misses\t%d\n",
+			tr.Stats.ExplicitHits, tr.Stats.ExplicitMisses)
+	}
+	return nil
+}
+
+// printExplicitReport compiles the explicit laws for the paper's two
+// controllers and prints one JSON line each: region counts, the
+// deterministic build digest, and the offline-compile wall time.
+// scripts/bench_trend.sh snapshots these lines so compile-time regressions
+// and digest drift both show up in the trend record.
+func printExplicitReport(w io.Writer) error {
+	for _, wl := range []struct {
+		name string
+		sys  *task.System
+		cfg  core.Config
+	}{
+		{"SIMPLE", workload.Simple(), workload.SimpleController()},
+		{"MEDIUM", workload.Medium(), workload.MediumController()},
+	} {
+		wl.cfg.Explicit = true
+		start := time.Now()
+		ctrl, err := core.New(wl.sys, nil, wl.cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", wl.name, err)
+		}
+		wall := time.Since(start)
+		rep := ctrl.ExplicitReport()
+		fmt.Fprintf(w, "{\"explicit_compile\":%q,\"regions\":%d,\"explored\":%d,\"truncated\":%v,\"digest\":%q,\"wall_ms\":%.1f}\n",
+			wl.name, rep.Regions, rep.Explored, rep.Truncated, rep.Digest, float64(wall.Microseconds())/1000)
+	}
 	return nil
 }
 

@@ -9,21 +9,17 @@
 //
 // # Quick start
 //
-//	sys := eucon.SimpleWorkload()
-//	ctrl, err := eucon.NewController(sys, nil, eucon.ControllerConfig{})
-//	if err != nil { ... }
-//	trace, err := eucon.Simulate(eucon.SimulationConfig{
-//		System:         sys,
-//		Controller:     ctrl,
-//		SamplingPeriod: 1000,
-//		Periods:        300,
-//		ETF:            eucon.ConstantETF(0.5), // actual times are half the estimates
+//	trace, err := eucon.RunExperiment(context.Background(), eucon.ExperimentSpec{
+//		Workload: eucon.WorkloadSimple,
+//		ETF:      0.5, // actual execution times are half the estimates
 //	})
 //
 // The trace holds per-sampling-period utilizations and task rates; with the
 // defaults above every processor's utilization converges to its
 // Liu–Layland set point even though execution times are mis-estimated by
-// 2×.
+// 2×. For custom workloads or controller tuning, build a controller with
+// NewControllerOpts and run it through an ExperimentSpec with System and
+// Custom set.
 //
 // The package is a facade: implementations live in internal/ packages and
 // are re-exported here as type aliases, so the types below are the same
@@ -54,12 +50,20 @@ type (
 	Subtask = task.Subtask
 )
 
-// Controller types (see internal/core).
+// Controller types (see internal/core and internal/sim).
 type (
-	// Controller is the EUCON model-predictive rate controller.
-	Controller = core.Controller
-	// ControllerConfig tunes the controller; the zero value selects the
-	// paper's SIMPLE parameters (P=2, M=1, Tref/Ts=4).
+	// Controller is the unified rate-controller interface of the feedback
+	// loop: Name, Step, Reset, and SetPoints. Every controller in the
+	// library implements it — MPCController (iterative or explicit MPC),
+	// DecentralizedController, OpenBaseline, and PIDBaseline — and
+	// SimulationConfig.Controller accepts any implementation.
+	Controller = sim.Controller
+	// MPCController is the EUCON model-predictive rate controller, the
+	// paper's primary contribution. (Before the unified Controller
+	// interface this concrete type was named eucon.Controller.)
+	MPCController = core.Controller
+	// ControllerConfig tunes the MPC controller; the zero value selects
+	// the paper's SIMPLE parameters (P=2, M=1, Tref/Ts=4).
 	ControllerConfig = core.Config
 )
 
@@ -71,8 +75,9 @@ type (
 	Trace = sim.Trace
 	// RunStats aggregates counters over a run.
 	RunStats = sim.Stats
-	// RateController is the feedback-loop actuation interface; Controller
-	// and OpenBaseline implement it.
+	// RateController is the pre-interface name of Controller.
+	//
+	// Deprecated: use Controller.
 	RateController = sim.RateController
 	// ETFSchedule is a piecewise-constant execution-time factor over time.
 	ETFSchedule = sim.ETFSchedule
@@ -86,11 +91,12 @@ type (
 // internal/metrics).
 type Summary = metrics.Summary
 
-// NewController builds an EUCON controller for a system. setPoints gives
-// the desired utilization per processor; nil selects each processor's
-// Liu–Layland schedulable bound, which makes utilization control enforce
-// all subtask deadlines (paper eq. 13).
-func NewController(sys *System, setPoints []float64, cfg ControllerConfig) (*Controller, error) {
+// NewController builds an EUCON MPC controller for a system. setPoints
+// gives the desired utilization per processor; nil selects each
+// processor's Liu–Layland schedulable bound, which makes utilization
+// control enforce all subtask deadlines (paper eq. 13). It is a thin
+// wrapper over NewControllerOpts for callers who prefer a config struct.
+func NewController(sys *System, setPoints []float64, cfg ControllerConfig) (*MPCController, error) {
 	return core.New(sys, setPoints, cfg)
 }
 

@@ -1,6 +1,7 @@
 package eucon_test
 
 import (
+	"context"
 	"fmt"
 
 	eucon "github.com/rtsyslab/eucon"
@@ -18,16 +19,15 @@ func ExampleLiuLaylandBound() {
 	// 0.7286
 }
 
-// ExampleSimulate runs the SIMPLE workload open loop (no controller): with
-// deterministic execution times the measured utilization sits at the
+// ExampleRunExperiment runs the SIMPLE workload open loop (no controller):
+// with deterministic execution times the measured utilization sits at the
 // estimated F·r (0.9722 / 0.8389) up to window boundary effects, and is
 // exactly reproducible.
-func ExampleSimulate() {
-	sys := eucon.SimpleWorkload()
-	tr, err := eucon.Simulate(eucon.SimulationConfig{
-		System:         sys,
-		SamplingPeriod: 1000,
-		Periods:        3,
+func ExampleRunExperiment() {
+	tr, err := eucon.RunExperiment(context.Background(), eucon.ExperimentSpec{
+		Workload:   eucon.WorkloadSimple,
+		Controller: eucon.ControllerNone,
+		Periods:    3,
 	})
 	if err != nil {
 		fmt.Println("error:", err)
@@ -48,7 +48,7 @@ func ExampleNewController() {
 		fmt.Println("error:", err)
 		return
 	}
-	rates, err := ctrl.Rates(0, []float64{0.5, 0.5}, sys.InitialRates())
+	rates, err := ctrl.Step(0, []float64{0.5, 0.5}, sys.InitialRates())
 	if err != nil {
 		fmt.Println("error:", err)
 		return

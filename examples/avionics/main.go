@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -77,10 +78,14 @@ func run() error {
 	}
 
 	// nil set points → Liu–Layland bounds per processor: holding them
-	// guarantees every subtask deadline under RMS.
-	ctrl, err := eucon.NewController(sys, nil, eucon.ControllerConfig{
-		PredictionHorizon: 4, ControlHorizon: 2, TrefOverTs: 4,
-	})
+	// guarantees every subtask deadline under RMS. WithExplicit compiles
+	// the control law offline so each in-flight decision is a table lookup
+	// (rates are bit-identical to the iterative solver either way).
+	ctrl, err := eucon.NewControllerOpts(sys, nil,
+		eucon.WithHorizons(4, 2),
+		eucon.WithTrefOverTs(4),
+		eucon.WithExplicit(64),
+	)
 	if err != nil {
 		return err
 	}
@@ -96,9 +101,9 @@ func run() error {
 		return err
 	}
 
-	trace, err := eucon.Simulate(eucon.SimulationConfig{
+	trace, err := eucon.RunExperiment(context.Background(), eucon.ExperimentSpec{
 		System:         sys,
-		Controller:     ctrl,
+		Custom:         ctrl,
 		SamplingPeriod: 1000,
 		Periods:        400,
 		ETF:            etf,
@@ -142,5 +147,7 @@ func run() error {
 	}
 	fmt.Printf("\nend-to-end deadline misses: %d of %d completions\n",
 		trace.Stats.EndToEndDeadlineMisses, trace.Stats.EndToEndCompletions)
+	fmt.Printf("explicit-law lookups: %d hits, %d solver fallbacks\n",
+		trace.Stats.ExplicitHits, trace.Stats.ExplicitMisses)
 	return nil
 }

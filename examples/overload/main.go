@@ -5,11 +5,12 @@
 // it later.
 //
 // The example also shows how to extend the feedback loop: a small adapter
-// implements the RateController interface around the EUCON controller and
+// implements the Controller interface around the EUCON controller and
 // injects the set-point changes at specific sampling periods.
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -19,21 +20,32 @@ import (
 // operatorController wraps the EUCON controller and applies scheduled
 // set-point changes, as an operator console would.
 type operatorController struct {
-	inner   *eucon.Controller
-	changes map[int][]float64 // period → new set points
+	inner    *eucon.MPCController
+	defaults []float64
+	changes  map[int][]float64 // period → new set points
 }
 
-var _ eucon.RateController = (*operatorController)(nil)
+var _ eucon.Controller = (*operatorController)(nil)
 
 func (o *operatorController) Name() string { return "EUCON+operator" }
 
-func (o *operatorController) Rates(k int, u, rates []float64) ([]float64, error) {
+func (o *operatorController) Reset() {
+	o.inner.Reset()
+	// Replications restart from the operator's default reservation plan.
+	if err := o.inner.UpdateSetPoints(o.defaults); err != nil {
+		panic(err)
+	}
+}
+
+func (o *operatorController) SetPoints() []float64 { return o.inner.SetPoints() }
+
+func (o *operatorController) Step(k int, u, rates []float64) ([]float64, error) {
 	if b, ok := o.changes[k]; ok {
 		if err := o.inner.UpdateSetPoints(b); err != nil {
 			return nil, err
 		}
 	}
-	return o.inner.Rates(k, u, rates)
+	return o.inner.Step(k, u, rates)
 }
 
 func main() {
@@ -59,21 +71,22 @@ func run() error {
 	lowered := append([]float64(nil), defaults...)
 	lowered[0] = 0.35
 	op := &operatorController{
-		inner: ctrl,
+		inner:    ctrl,
+		defaults: defaults,
 		changes: map[int][]float64{
 			120: lowered,
 			240: defaults,
 		},
 	}
 
-	trace, err := eucon.Simulate(eucon.SimulationConfig{
-		System:         sys,
-		Controller:     op,
-		SamplingPeriod: 1000,
-		Periods:        360,
-		ETF:            eucon.ConstantETF(1),
-		Jitter:         0.15,
-		Seed:           3,
+	// Custom hands the wrapped controller to the experiment runner; the
+	// MEDIUM workload supplies the plant, sampling period, and jitter.
+	trace, err := eucon.RunExperiment(context.Background(), eucon.ExperimentSpec{
+		Workload: eucon.WorkloadMedium,
+		Custom:   op,
+		Periods:  360,
+		ETF:      eucon.ConstantETF(1),
+		Seed:     3,
 	})
 	if err != nil {
 		return err

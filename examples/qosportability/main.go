@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -37,17 +38,10 @@ func run() error {
 	fmt.Println()
 	fmt.Printf("%-32s %-9s %-9s %-22s\n", "platform", "u(P1)", "u(P2)", "task periods (T1,T2,T3)")
 	for _, pf := range platforms {
-		sys := eucon.SimpleWorkload()
-		ctrl, err := eucon.NewController(sys, nil, eucon.SimpleControllerConfig())
-		if err != nil {
-			return err
-		}
-		trace, err := eucon.Simulate(eucon.SimulationConfig{
-			System:         sys,
-			Controller:     ctrl,
-			SamplingPeriod: 1000,
-			Periods:        150,
-			ETF:            eucon.ConstantETF(pf.etf),
+		trace, err := eucon.RunExperiment(context.Background(), eucon.ExperimentSpec{
+			Workload: eucon.WorkloadSimple,
+			Periods:  150,
+			ETF:      eucon.ConstantETF(pf.etf),
 		})
 		if err != nil {
 			return err

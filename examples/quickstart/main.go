@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -21,19 +22,13 @@ func main() {
 func run() error {
 	sys := eucon.SimpleWorkload()
 
-	// nil set points select each processor's Liu–Layland schedulable bound,
-	// so holding the set point guarantees all subtask deadlines.
-	ctrl, err := eucon.NewController(sys, nil, eucon.SimpleControllerConfig())
-	if err != nil {
-		return err
-	}
-
-	trace, err := eucon.Simulate(eucon.SimulationConfig{
-		System:         sys,
-		Controller:     ctrl,
-		SamplingPeriod: 1000, // time units (Table 2)
-		Periods:        120,
-		ETF:            eucon.ConstantETF(0.5), // actual times are half the estimates
+	// The declarative experiment API selects the paper's SIMPLE workload
+	// and EUCON controller (with Liu–Layland set points, so holding the
+	// set point guarantees all subtask deadlines) from the spec alone.
+	trace, err := eucon.RunExperiment(context.Background(), eucon.ExperimentSpec{
+		Workload: eucon.WorkloadSimple,
+		Periods:  120,
+		ETF:      eucon.ConstantETF(0.5), // actual times are half the estimates
 	})
 	if err != nil {
 		return err

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -76,12 +77,10 @@ func run() error {
 	}
 
 	// Keep every tier at or below 70% to preserve latency headroom.
-	setPoints := []float64{0.7, 0.7, 0.7}
-	ctrl, err := eucon.NewController(sys, setPoints, eucon.ControllerConfig{
-		PredictionHorizon: 4,
-		ControlHorizon:    2,
-		TrefOverTs:        4,
-	})
+	ctrl, err := eucon.NewControllerOpts(sys, []float64{0.7, 0.7, 0.7},
+		eucon.WithHorizons(4, 2),
+		eucon.WithTrefOverTs(4),
+	)
 	if err != nil {
 		return err
 	}
@@ -97,9 +96,9 @@ func run() error {
 		return err
 	}
 
-	trace, err := eucon.Simulate(eucon.SimulationConfig{
+	trace, err := eucon.RunExperiment(context.Background(), eucon.ExperimentSpec{
 		System:         sys,
-		Controller:     ctrl,
+		Custom:         ctrl,
 		SamplingPeriod: 1000,
 		Periods:        450,
 		ETF:            etf,

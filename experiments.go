@@ -44,6 +44,7 @@ const (
 	ControllerOPEN   = experiments.KindOPEN
 	ControllerNone   = experiments.KindNone
 	ControllerDEUCON = experiments.KindDEUCON
+	ControllerPID    = experiments.KindPID
 )
 
 // Fault injector kinds for FaultSpec (see internal/fault for semantics).

@@ -105,9 +105,13 @@ func RunNode(ctx context.Context, cfg NodeConfig) error {
 	return agent.RunNode(ctx, cfg)
 }
 
-// compile-time interface checks for the public controller set.
+// compile-time interface checks: every controller in the public set
+// implements the unified Controller interface.
 var (
-	_ RateController = (*DecentralizedController)(nil)
-	_ RateController = (*PIDBaseline)(nil)
-	_                = task.LiuLaylandBound
+	_ Controller = (*MPCController)(nil)
+	_ Controller = (*DecentralizedController)(nil)
+	_ Controller = (*OpenBaseline)(nil)
+	_ Controller = (*PIDBaseline)(nil)
+	_ Controller = sim.FixedRates{}
+	_            = task.LiuLaylandBound
 )

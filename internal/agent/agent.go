@@ -158,7 +158,7 @@ func (c *Coordinator) Run(ctx context.Context) (*Result, error) {
 		copy(applied, rates)
 		res.Rates = append(res.Rates, applied)
 
-		newRates, err := c.cfg.Controller.Rates(k, u, rates)
+		newRates, err := c.cfg.Controller.Step(k, u, rates)
 		if err != nil {
 			// Match the simulator's policy: keep rates on controller error.
 			newRates = rates

@@ -19,10 +19,11 @@ import (
 // Open is the OPEN controller: it computes the design-time rate assignment
 // once and then holds it for the whole run.
 type Open struct {
-	rates []float64
+	rates     []float64
+	setPoints []float64
 }
 
-var _ sim.RateController = (*Open)(nil)
+var _ sim.Controller = (*Open)(nil)
 
 // NewOpen solves the designer's assignment problem: find rates r′ within
 // the task rate bounds minimizing ‖F·r′ − B‖₂ (exact B = F·r′ whenever
@@ -54,10 +55,10 @@ func NewOpen(sys *task.System, setPoints []float64) (*Open, error) {
 	if err != nil {
 		return nil, fmt.Errorf("open: assign rates: %w", err)
 	}
-	return &Open{rates: res.X}, nil
+	return &Open{rates: res.X, setPoints: mat.VecClone(setPoints)}, nil
 }
 
-// Name implements sim.RateController.
+// Name implements sim.Controller.
 func (*Open) Name() string { return "OPEN" }
 
 // Reset is a no-op: OPEN carries no per-run state (the design-time rates
@@ -65,8 +66,12 @@ func (*Open) Name() string { return "OPEN" }
 // replications can reuse an Open without re-solving the assignment QP.
 func (*Open) Reset() {}
 
-// Rates implements sim.RateController with the fixed design-time rates.
-func (o *Open) Rates(int, []float64, []float64) ([]float64, error) {
+// SetPoints implements sim.Controller: the set points the design-time
+// assignment targeted (a copy).
+func (o *Open) SetPoints() []float64 { return mat.VecClone(o.setPoints) }
+
+// Step implements sim.Controller with the fixed design-time rates.
+func (o *Open) Step(int, []float64, []float64) ([]float64, error) {
 	out := make([]float64, len(o.rates))
 	copy(out, o.rates)
 	return out, nil

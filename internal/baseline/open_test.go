@@ -54,11 +54,11 @@ func TestOpenIsConstant(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1, err := o.Rates(0, []float64{0.1, 0.1}, []float64{1, 1, 1})
+	r1, err := o.Step(0, []float64{0.1, 0.1}, []float64{1, 1, 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := o.Rates(5, []float64{0.99, 0.99}, []float64{0.001, 0.001, 0.001})
+	r2, err := o.Step(5, []float64{0.99, 0.99}, []float64{0.001, 0.001, 0.001})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -28,7 +28,7 @@ type PID struct {
 	f         *mat.Dense
 }
 
-var _ sim.RateController = (*PID)(nil)
+var _ sim.Controller = (*PID)(nil)
 
 // PIDConfig tunes the per-processor loops. Zero values select gains that
 // are stable on decoupled workloads (Kp = 0.5, Ki = 0.1).
@@ -70,14 +70,18 @@ func NewPID(sys *task.System, setPoints []float64, cfg PIDConfig) (*PID, error) 
 	}, nil
 }
 
-// Name implements sim.RateController.
+// Name implements sim.Controller.
 func (c *PID) Name() string { return "PID" }
 
-// Rates implements sim.RateController. Each processor computes a
+// SetPoints implements sim.Controller: a copy of the per-processor set
+// points the loops steer toward.
+func (c *PID) SetPoints() []float64 { return mat.VecClone(c.setPoints) }
+
+// Step implements sim.Controller. Each processor computes a
 // multiplicative rate correction from its own loop; a task hosted on
 // several processors receives the most conservative (smallest) correction,
 // the natural decoupled-design choice and exactly where the coupling bites.
-func (c *PID) Rates(_ int, u, rates []float64) ([]float64, error) {
+func (c *PID) Step(_ int, u, rates []float64) ([]float64, error) {
 	if len(u) != c.sys.Processors {
 		return nil, fmt.Errorf("pid: utilization vector has length %d, want %d", len(u), c.sys.Processors)
 	}

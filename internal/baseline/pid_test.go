@@ -158,7 +158,7 @@ func TestPIDAntiWindup(t *testing.T) {
 	// 200 periods of heavy underutilization reports (simulates saturation).
 	var err2 error
 	for k := 0; k < 200; k++ {
-		rates, err2 = ctrl.Rates(k, []float64{0.05, 0.05}, rates)
+		rates, err2 = ctrl.Step(k, []float64{0.05, 0.05}, rates)
 		if err2 != nil {
 			t.Fatal(err2)
 		}
@@ -168,7 +168,7 @@ func TestPIDAntiWindup(t *testing.T) {
 	dropped := false
 	prev := rates[0]
 	for k := 0; k < 60; k++ {
-		rates, err2 = ctrl.Rates(200+k, []float64{1.0, 1.0}, rates)
+		rates, err2 = ctrl.Step(200+k, []float64{1.0, 1.0}, rates)
 		if err2 != nil {
 			t.Fatal(err2)
 		}
@@ -192,12 +192,12 @@ func TestPIDResetAndName(t *testing.T) {
 		t.Fatalf("Name = %q", ctrl.Name())
 	}
 	rates := []float64{0.01, 0.01}
-	r1, err := ctrl.Rates(0, []float64{0.3, 0.3}, rates)
+	r1, err := ctrl.Step(0, []float64{0.3, 0.3}, rates)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ctrl.Reset()
-	r2, err := ctrl.Rates(0, []float64{0.3, 0.3}, rates)
+	r2, err := ctrl.Step(0, []float64{0.3, 0.3}, rates)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,10 +213,10 @@ func TestPIDDimensionErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ctrl.Rates(0, []float64{0.3}, []float64{0.01, 0.01}); err == nil {
+	if _, err := ctrl.Step(0, []float64{0.3}, []float64{0.01, 0.01}); err == nil {
 		t.Error("short utilization accepted")
 	}
-	if _, err := ctrl.Rates(0, []float64{0.3, 0.3}, []float64{0.01}); err == nil {
+	if _, err := ctrl.Step(0, []float64{0.3, 0.3}, []float64{0.01}); err == nil {
 		t.Error("short rates accepted")
 	}
 }

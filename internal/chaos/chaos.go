@@ -77,6 +77,12 @@ type Options struct {
 	// MaxShrinks caps how many violating scenarios are shrunk to minimal
 	// reproducers (shrinking re-runs simulations); 0 selects 3.
 	MaxShrinks int
+	// Explicit runs every scenario with the explicit-MPC fast path
+	// enabled (core.Config.Explicit). Since the fast path is bit-identical
+	// to the iterative solve, the invariant set, violations, and shrunken
+	// reproducers are unchanged; campaigns with it on prove the explicit
+	// controller holds the same invariants under fault storms.
+	Explicit bool
 
 	// seedBug, when non-nil, plants a controller bug for harness
 	// self-tests: during the active window of every generated clause
@@ -200,11 +206,13 @@ func Check(ctx context.Context, specs []fault.Spec, opts Options) (problems []st
 	}()
 
 	sys := workload.Simple()
-	ctrl, err := core.New(sys, nil, workload.SimpleController())
+	ccfg := workload.SimpleController()
+	ccfg.Explicit = opts.Explicit
+	ctrl, err := core.New(sys, nil, ccfg)
 	if err != nil {
 		return []string{fmt.Sprintf("build controller: %v", err)}, stats
 	}
-	var rc sim.RateController = ctrl
+	var rc sim.Controller = ctrl
 	if opts.seedBug != nil {
 		if bug := plantBug(ctrl, specs, opts.seedBug); bug != nil {
 			rc = bug
@@ -317,13 +325,13 @@ func inspect(tr *sim.Trace, sys *task.System, periods int) []string {
 // surface through the trace invariants (truncated or non-finite trace) —
 // either way the harness has a deliberate defect to find and shrink.
 type bugController struct {
-	inner   sim.RateController
+	inner   sim.Controller
 	windows [][2]float64
 	buf     []float64
 }
 
 // plantBug wraps ctrl when any clause matches the predicate.
-func plantBug(ctrl sim.RateController, specs []fault.Spec, match func(fault.Spec) bool) sim.RateController {
+func plantBug(ctrl sim.Controller, specs []fault.Spec, match func(fault.Spec) bool) sim.Controller {
 	var wins [][2]float64
 	for _, sp := range specs {
 		if match(sp) {
@@ -336,13 +344,20 @@ func plantBug(ctrl sim.RateController, specs []fault.Spec, match func(fault.Spec
 	return &bugController{inner: ctrl, windows: wins}
 }
 
-// Name implements sim.RateController.
+// Name implements sim.Controller.
 func (b *bugController) Name() string { return b.inner.Name() }
 
-// Rates implements sim.RateController, corrupting the inner controller's
+// Reset implements sim.Controller by delegating to the wrapped controller.
+func (b *bugController) Reset() { b.inner.Reset() }
+
+// SetPoints implements sim.Controller by delegating to the wrapped
+// controller.
+func (b *bugController) SetPoints() []float64 { return b.inner.SetPoints() }
+
+// Step implements sim.Controller, corrupting the inner controller's
 // command inside any matched window.
-func (b *bugController) Rates(k int, u, rates []float64) ([]float64, error) {
-	out, err := b.inner.Rates(k, u, rates)
+func (b *bugController) Step(k int, u, rates []float64) ([]float64, error) {
+	out, err := b.inner.Step(k, u, rates)
 	if err != nil || len(out) == 0 {
 		return out, err
 	}

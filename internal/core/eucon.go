@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/rtsyslab/eucon/internal/empc"
 	"github.com/rtsyslab/eucon/internal/mat"
 	"github.com/rtsyslab/eucon/internal/mpc"
 	"github.com/rtsyslab/eucon/internal/sim"
@@ -53,6 +54,21 @@ type Config struct {
 	// actuation for the period (holding current rates) rather than steer
 	// the whole system on fiction. 0 selects 4.
 	StalenessBound int
+	// Explicit compiles the MPC's parametric QP into an offline
+	// piecewise-affine law at construction (see internal/empc). Control
+	// steps whose query lands in the law's bit-exact region skip the
+	// iterative solve entirely — rates are bit-identical either way, so
+	// traces and digests do not change; only the per-step cost does. Steps
+	// off the precomputed map fall back to the iterative solver and are
+	// counted through ExplicitCounts.
+	Explicit bool
+	// ExplicitMaxRegions caps the offline region enumeration; 0 selects
+	// the empc default.
+	ExplicitMaxRegions int
+	// RateMin and RateMax override the per-task actuator rate bounds the
+	// system declares; nil keeps the system's bounds. Overrides must have
+	// one entry per task.
+	RateMin, RateMax []float64
 }
 
 func (c Config) withDefaults() Config {
@@ -92,16 +108,25 @@ type Controller struct {
 	sampleAge []int
 	uBuf      []float64
 
-	degHeld      int  // samples substituted in the last Rates call
-	degSkipped   bool // last Rates call skipped actuation
+	degHeld      int  // samples substituted in the last Step call
+	degSkipped   bool // last Step call skipped actuation
 	heldTotal    int
 	skippedTotal int
+
+	// explicitReport is the offline-compile report when Config.Explicit
+	// was set; nil otherwise.
+	explicitReport *empc.Report
+
+	// keBuf and kdBuf back the allocation-free gain queries of
+	// CriticalGain and StableAt (mpc.GainsTo), built on first use.
+	keBuf, kdBuf *mat.Dense
 }
 
 var (
-	_ sim.RateController      = (*Controller)(nil)
+	_ sim.Controller          = (*Controller)(nil)
 	_ sim.DegradationReporter = (*Controller)(nil)
 	_ sim.ContainmentReporter = (*Controller)(nil)
+	_ sim.ExplicitReporter    = (*Controller)(nil)
 )
 
 // New builds an EUCON controller for the given system and utilization set
@@ -132,6 +157,18 @@ func New(sys *task.System, setPoints []float64, cfg Config) (*Controller, error)
 	}
 	f := sys.AllocationMatrix()
 	rmin, rmax := sys.RateBounds()
+	if cfg.RateMin != nil {
+		if len(cfg.RateMin) != len(rmin) {
+			return nil, fmt.Errorf("eucon: RateMin has %d entries for %d tasks", len(cfg.RateMin), len(rmin))
+		}
+		rmin = mat.VecClone(cfg.RateMin)
+	}
+	if cfg.RateMax != nil {
+		if len(cfg.RateMax) != len(rmax) {
+			return nil, fmt.Errorf("eucon: RateMax has %d entries for %d tasks", len(cfg.RateMax), len(rmax))
+		}
+		rmax = mat.VecClone(cfg.RateMax)
+	}
 	m, err := mpc.New(f, setPoints, rmin, rmax, mpc.Config{
 		PredictionHorizon:        cfg.PredictionHorizon,
 		ControlHorizon:           cfg.ControlHorizon,
@@ -143,20 +180,28 @@ func New(sys *task.System, setPoints []float64, cfg Config) (*Controller, error)
 	if err != nil {
 		return nil, fmt.Errorf("eucon: %w", err)
 	}
-	return &Controller{sys: sys, mpc: m, cfg: cfg, f: f, b: mat.VecClone(setPoints)}, nil
+	c := &Controller{sys: sys, mpc: m, cfg: cfg, f: f, b: mat.VecClone(setPoints)}
+	if cfg.Explicit {
+		rep, err := m.CompileExplicit(empc.Options{MaxRegions: cfg.ExplicitMaxRegions})
+		if err != nil {
+			return nil, fmt.Errorf("eucon: %w", err)
+		}
+		c.explicitReport = rep
+	}
+	return c, nil
 }
 
-// Name implements sim.RateController.
+// Name implements sim.Controller.
 func (c *Controller) Name() string { return "EUCON" }
 
-// Rates implements sim.RateController: one feedback-loop invocation.
+// Step implements sim.Controller: one feedback-loop invocation.
 // Missing measurements (NaN entries in u, e.g. from feedback faults — see
 // internal/fault) engage the hold-last-sample policy before the EWMA
 // filter and MPC ever see the vector; when every substitute would be
 // staler than Config.StalenessBound, the call degrades to skip-and-
 // saturate: the returned slice aliases the rates argument, signalling
 // "keep actuation unchanged" without copying.
-func (c *Controller) Rates(_ int, u, rates []float64) ([]float64, error) {
+func (c *Controller) Step(_ int, u, rates []float64) ([]float64, error) {
 	u, ok := c.degradeFeedback(u)
 	if !ok {
 		// Skip-and-saturate: no trustworthy utilization picture exists, so
@@ -184,6 +229,13 @@ func (c *Controller) Rates(_ int, u, rates []float64) ([]float64, error) {
 		c.relaxed++
 	}
 	return res.NewRates, nil
+}
+
+// Rates is the pre-interface name of Step.
+//
+// Deprecated: use Step.
+func (c *Controller) Rates(k int, u, rates []float64) ([]float64, error) {
+	return c.Step(k, u, rates)
 }
 
 // degradeFeedback applies the hold-last-sample policy to the measurement
@@ -242,7 +294,7 @@ func (c *Controller) degradeFeedback(u []float64) ([]float64, bool) {
 }
 
 // LastDegradation implements sim.DegradationReporter: how many samples the
-// last Rates call substituted via hold-last-sample and whether it skipped
+// last Step call substituted via hold-last-sample and whether it skipped
 // actuation entirely.
 func (c *Controller) LastDegradation() (int, bool) { return c.degHeld, c.degSkipped }
 
@@ -275,14 +327,35 @@ func (c *Controller) LastOutcome() mpc.SolveOutcome { return c.mpc.LastOutcome()
 func (c *Controller) SetPoints() []float64 { return c.mpc.SetPoints() }
 
 // UpdateSetPoints changes the set points online (overload protection:
-// paper §3.3).
+// paper §3.3). When the controller runs with an explicit law and the set
+// points actually change, the law is recompiled for the new set points —
+// the piecewise-affine offsets bake them in — so the fast path survives
+// overload-protection transitions. Recompilation is an offline-scale cost
+// (tens of milliseconds) paid only on genuine set-point changes.
 func (c *Controller) UpdateSetPoints(b []float64) error {
 	if err := c.mpc.UpdateSetPoints(b); err != nil {
 		return fmt.Errorf("eucon: %w", err)
 	}
 	copy(c.b, b)
+	if c.cfg.Explicit && c.mpc.ExplicitLaw() == nil {
+		rep, err := c.mpc.CompileExplicit(empc.Options{MaxRegions: c.cfg.ExplicitMaxRegions})
+		if err != nil {
+			return fmt.Errorf("eucon: recompile explicit law: %w", err)
+		}
+		c.explicitReport = rep
+	}
 	return nil
 }
+
+// ExplicitCounts implements sim.ExplicitReporter: explicit fast-path hits
+// and fallback misses since construction or Reset. Both are zero when the
+// controller runs without Config.Explicit.
+func (c *Controller) ExplicitCounts() (hits, misses int) { return c.mpc.ExplicitCounts() }
+
+// ExplicitReport returns the offline-compile report of the explicit law
+// (region count, exploration stats, build digest), or nil when the
+// controller runs without Config.Explicit.
+func (c *Controller) ExplicitReport() *empc.Report { return c.explicitReport }
 
 // Reset restores the controller to its post-New state between runs: the
 // MPC's move memory, warm-start cache, and measurement-filter state are
@@ -314,11 +387,27 @@ func (c *Controller) Steps() int { return c.steps }
 // analysis (paper §6.2).
 func (c *Controller) Gains() (ke, kd *mat.Dense, err error) { return c.mpc.Gains() }
 
+// gains computes the unconstrained gain matrices into controller-owned
+// buffers via the allocation-free mpc.GainsTo, so repeated stability
+// queries re-solve against the cached factorization instead of rebuilding
+// everything.
+func (c *Controller) gains() (ke, kd *mat.Dense, err error) {
+	if c.keBuf == nil {
+		m, n := len(c.sys.Tasks), c.sys.Processors
+		c.keBuf = mat.New(m, n)
+		c.kdBuf = mat.New(m, m)
+	}
+	if err := c.mpc.GainsTo(c.keBuf, c.kdBuf); err != nil {
+		return nil, nil, err
+	}
+	return c.keBuf, c.kdBuf, nil
+}
+
 // CriticalGain computes the critical uniform utilization gain of the
 // closed loop by bisection over [lo, hi]: the execution-time factor beyond
 // which the system is predicted to lose stability.
 func (c *Controller) CriticalGain(lo, hi float64) (float64, error) {
-	ke, kd, err := c.mpc.Gains()
+	ke, kd, err := c.gains()
 	if err != nil {
 		return 0, fmt.Errorf("eucon: %w", err)
 	}
@@ -333,7 +422,7 @@ func (c *Controller) CriticalGain(lo, hi float64) (float64, error) {
 // processor's utilization gain equals g (i.e. all execution times are g
 // times their estimates).
 func (c *Controller) StableAt(g float64) (bool, error) {
-	ke, kd, err := c.mpc.Gains()
+	ke, kd, err := c.gains()
 	if err != nil {
 		return false, fmt.Errorf("eucon: %w", err)
 	}

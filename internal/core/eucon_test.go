@@ -102,7 +102,7 @@ func TestRatesRespectsBounds(t *testing.T) {
 	u := []float64{0.99, 0.99}
 	for k := 0; k < 50; k++ {
 		var err error
-		rates, err = c.Rates(k, u, rates)
+		rates, err = c.Step(k, u, rates)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -122,7 +122,7 @@ func TestRelaxedPeriodsCountsOverload(t *testing.T) {
 	}
 	rmin, _ := sys.RateBounds()
 	// Rates pinned at minimum, yet massive overload: infeasible constraints.
-	if _, err := c.Rates(0, []float64{1, 1}, rmin); err != nil {
+	if _, err := c.Step(0, []float64{1, 1}, rmin); err != nil {
 		t.Fatal(err)
 	}
 	if c.RelaxedPeriods() != 1 {
@@ -223,7 +223,7 @@ func TestMeasurementFilterSmoothsNoise(t *testing.T) {
 			if k%2 == 1 {
 				u = []float64{0.878, 0.878}
 			}
-			next, err := c.Rates(k, u, rates)
+			next, err := c.Step(k, u, rates)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -252,15 +252,15 @@ func TestResetClearsFilter(t *testing.T) {
 		t.Fatal(err)
 	}
 	rates := simpleSystem().InitialRates()
-	r1, err := c.Rates(0, []float64{0.5, 0.5}, rates)
+	r1, err := c.Step(0, []float64{0.5, 0.5}, rates)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Rates(1, []float64{0.9, 0.9}, r1); err != nil {
+	if _, err := c.Step(1, []float64{0.9, 0.9}, r1); err != nil {
 		t.Fatal(err)
 	}
 	c.Reset()
-	r2, err := c.Rates(0, []float64{0.5, 0.5}, rates)
+	r2, err := c.Step(0, []float64{0.5, 0.5}, rates)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,12 +283,12 @@ func TestRatesSteadyStateAllocs(t *testing.T) {
 	u := []float64{0.5, 0.6}
 	rates := simpleSystem().InitialRates()
 	for i := 0; i < 10; i++ { // warm the solver's active-set memory
-		if _, err := c.Rates(i, u, rates); err != nil {
+		if _, err := c.Step(i, u, rates); err != nil {
 			t.Fatal(err)
 		}
 	}
 	allocs := testing.AllocsPerRun(100, func() {
-		if _, err := c.Rates(0, u, rates); err != nil {
+		if _, err := c.Step(0, u, rates); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -310,7 +310,7 @@ func TestDegradationHoldLast(t *testing.T) {
 	}
 	rates := []float64{1.0 / 60, 1.0 / 90, 1.0 / 100}
 	good := []float64{0.5, 0.6}
-	out, err := c.Rates(0, good, rates)
+	out, err := c.Step(0, good, rates)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -321,7 +321,7 @@ func TestDegradationHoldLast(t *testing.T) {
 
 	// Drop P1's sample: held within the bound, control still runs.
 	lossy := []float64{math.NaN(), 0.6}
-	out2, err := c.Rates(1, lossy, rates)
+	out2, err := c.Step(1, lossy, rates)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -344,11 +344,11 @@ func TestDegradationHoldLast(t *testing.T) {
 		t.Fatal(err)
 	}
 	rref := []float64{1.0 / 60, 1.0 / 90, 1.0 / 100}
-	refOut, err := ref.Rates(0, good, rref)
+	refOut, err := ref.Step(0, good, rref)
 	if err != nil {
 		t.Fatal(err)
 	}
-	refOut2, err := ref.Rates(1, good, refOut)
+	refOut2, err := ref.Step(1, good, refOut)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -370,13 +370,13 @@ func TestDegradationSkipAndSaturate(t *testing.T) {
 		t.Fatal(err)
 	}
 	rates := []float64{1.0 / 60, 1.0 / 90, 1.0 / 100}
-	if _, err := c.Rates(0, []float64{0.5, 0.6}, rates); err != nil {
+	if _, err := c.Step(0, []float64{0.5, 0.6}, rates); err != nil {
 		t.Fatal(err)
 	}
 	lossy := []float64{math.NaN(), 0.6}
 	skips := 0
 	for k := 1; k <= 5; k++ {
-		out, err := c.Rates(k, lossy, rates)
+		out, err := c.Step(k, lossy, rates)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -397,7 +397,7 @@ func TestDegradationSkipAndSaturate(t *testing.T) {
 		t.Errorf("SkippedPeriods = %d, want 3", c.SkippedPeriods())
 	}
 	// Fresh feedback ends the degradation immediately.
-	if _, err := c.Rates(6, []float64{0.5, 0.6}, rates); err != nil {
+	if _, err := c.Step(6, []float64{0.5, 0.6}, rates); err != nil {
 		t.Fatal(err)
 	}
 	if h, s := c.LastDegradation(); h != 0 || s {
@@ -420,7 +420,7 @@ func TestDegradationNeverMeasured(t *testing.T) {
 		t.Fatal(err)
 	}
 	rates := []float64{1.0 / 60, 1.0 / 90, 1.0 / 100}
-	out, err := c.Rates(0, []float64{math.NaN(), math.NaN()}, rates)
+	out, err := c.Step(0, []float64{math.NaN(), math.NaN()}, rates)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -74,7 +74,7 @@ type local struct {
 }
 
 // Controller is the decentralized utilization controller. It implements
-// sim.RateController; internally it runs one local MPC per processor with
+// sim.Controller; internally it runs one local MPC per processor with
 // the restricted information structure described in the package comment.
 // It is not safe for concurrent use.
 type Controller struct {
@@ -92,7 +92,7 @@ type Controller struct {
 	periods  int
 }
 
-var _ sim.RateController = (*Controller)(nil)
+var _ sim.Controller = (*Controller)(nil)
 
 // New builds the decentralized controller. Passing nil set points selects
 // the system's default (Liu–Layland) set points.
@@ -216,17 +216,21 @@ func newLocal(sys *task.System, f *mat.Dense, setPoints []float64, p int, led, s
 	return &local{proc: p, led: led, scope: scope, ctrl: ctrl}, nil
 }
 
-// Name implements sim.RateController.
+// Name implements sim.Controller.
 func (c *Controller) Name() string { return "DEUCON" }
 
-// Rates implements sim.RateController: one decentralized control period.
+// SetPoints implements sim.Controller: a copy of the per-processor set
+// points the local controllers steer toward.
+func (c *Controller) SetPoints() []float64 { return mat.VecClone(c.setPoints) }
+
+// Step implements sim.Controller: one decentralized control period.
 // The local solves are independent — each local MPC reads only this
 // period's shared measurements and last period's announcements, and
 // controls a disjoint set of tasks — so they run on up to
 // Config.Parallelism goroutines, mirroring the physically parallel
 // processors of a real deployment. Results are merged in processor order,
 // making the outcome identical for every parallelism setting.
-func (c *Controller) Rates(_ int, u, rates []float64) ([]float64, error) {
+func (c *Controller) Step(_ int, u, rates []float64) ([]float64, error) {
 	if len(u) != c.sys.Processors {
 		return nil, fmt.Errorf("deucon: utilization vector has length %d, want %d", len(u), c.sys.Processors)
 	}

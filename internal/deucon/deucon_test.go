@@ -213,10 +213,10 @@ func TestRatesDimensionErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ctrl.Rates(0, []float64{0.5}, []float64{0.01, 0.01, 0.01}); err == nil {
+	if _, err := ctrl.Step(0, []float64{0.5}, []float64{0.01, 0.01, 0.01}); err == nil {
 		t.Error("short utilization accepted")
 	}
-	if _, err := ctrl.Rates(0, []float64{0.5, 0.5}, []float64{0.01}); err == nil {
+	if _, err := ctrl.Step(0, []float64{0.5, 0.5}, []float64{0.01}); err == nil {
 		t.Error("short rates accepted")
 	}
 	if ctrl.Name() != "DEUCON" {
@@ -243,7 +243,7 @@ func TestRatesParallelismDeterministic(t *testing.T) {
 			for i := range u {
 				u[i] = 0.3 + 0.6*rng.Float64()
 			}
-			next, err := ctrl.Rates(k, u, rates)
+			next, err := ctrl.Step(k, u, rates)
 			if err != nil {
 				t.Fatalf("parallelism %d period %d: %v", par, k, err)
 			}

@@ -1,0 +1,122 @@
+package empc
+
+import (
+	"math"
+	"testing"
+
+	"github.com/rtsyslab/eucon/internal/mat"
+)
+
+// clampProblem is the smallest parametric QP with a known explicit
+// solution: min (z − θ)² subject to −1 ≤ z ≤ 1 over θ ∈ [−2, 2]. Its
+// explicit law is z*(θ) = clamp(θ, −1, 1) with three critical regions:
+// the interior θ ∈ (−1, 1) and one saturated region per bound.
+func clampProblem() *Problem {
+	return &Problem{
+		C:       mat.MustFromRows([][]float64{{1}}),
+		A:       mat.MustFromRows([][]float64{{1}, {-1}}),
+		D:       mat.MustFromRows([][]float64{{1}}),
+		D0:      []float64{0},
+		S:       mat.New(2, 1),
+		S0:      []float64{1, 1},
+		ThetaLo: []float64{-2},
+		ThetaHi: []float64{2},
+	}
+}
+
+func TestCompileClampLaw(t *testing.T) {
+	law, rep, err := Compile(clampProblem(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if law.Regions() != 3 {
+		t.Fatalf("got %d regions, want 3 (interior + two saturated)", law.Regions())
+	}
+	if rep.Regions != 3 || rep.Truncated {
+		t.Fatalf("report %+v inconsistent with law", rep)
+	}
+	if law.InteriorIndex() < 0 {
+		t.Fatal("interior region missing")
+	}
+	if law.NumTheta() != 1 || law.GainRows() != 1 {
+		t.Fatalf("law dims nTheta=%d gainRows=%d, want 1/1", law.NumTheta(), law.GainRows())
+	}
+	hint := law.InteriorIndex()
+	for _, theta := range []float64{-1.9, -1.2, -0.7, -0.25, 0, 0.3, 0.99, 1.3, 1.99} {
+		z, idx, ok := law.Evaluate([]float64{theta}, hint)
+		if !ok {
+			t.Fatalf("θ=%g fell off the map", theta)
+		}
+		hint = idx
+		want := math.Max(-1, math.Min(1, theta))
+		if math.Abs(z[0]-want) > 1e-6 {
+			t.Fatalf("z*(%g) = %g, want %g", theta, z[0], want)
+		}
+	}
+	// The saturated regions carry the binding constraint in their active set.
+	_, idx, ok := law.Evaluate([]float64{1.5}, -1)
+	if !ok || idx == law.InteriorIndex() {
+		t.Fatalf("θ=1.5 located region %d (ok=%v), want a saturated one", idx, ok)
+	}
+	as := law.ActiveSet(idx)
+	if len(as) != 1 || as[0] != 0 {
+		t.Fatalf("active set at θ=1.5 is %v, want [0]", as)
+	}
+	// Regions are global optimality conditions, not clipped to the domain
+	// box (the box only bounds enumeration): beyond the domain the
+	// saturated law still applies and still evaluates to the clamp.
+	z, idx2, ok := law.Evaluate([]float64{3}, law.InteriorIndex())
+	if !ok || idx2 != idx || math.Abs(z[0]-1) > 1e-6 {
+		t.Fatalf("Evaluate(3) = (%v, %d, %v), want (≈1, %d, true)", z, idx2, ok, idx)
+	}
+}
+
+func TestCompileDigestIndependentOfWorkers(t *testing.T) {
+	var digests []string
+	var regions []int
+	for _, w := range []int{1, 2, 7} {
+		law, rep, err := Compile(clampProblem(), Options{Workers: w})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		digests = append(digests, law.Digest())
+		regions = append(regions, law.Regions())
+		if rep.Workers != w {
+			t.Fatalf("report workers %d, want %d", rep.Workers, w)
+		}
+	}
+	for i := 1; i < len(digests); i++ {
+		if digests[i] != digests[0] || regions[i] != regions[0] {
+			t.Fatalf("compile not deterministic across worker counts: %v / %v", digests, regions)
+		}
+	}
+}
+
+func TestCompileTruncation(t *testing.T) {
+	law, rep, err := Compile(clampProblem(), Options{MaxRegions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Truncated {
+		t.Fatal("expected truncated report at MaxRegions=1")
+	}
+	if law.Regions() != 1 || law.InteriorIndex() != 0 {
+		t.Fatalf("truncated law has %d regions (interior %d), want just the interior", law.Regions(), law.InteriorIndex())
+	}
+	// Points in the never-enumerated saturated regions are truthfully
+	// off-map rather than misattributed to the interior.
+	if got := law.Locate([]float64{1.5}, 0); got >= 0 {
+		t.Fatalf("Locate(1.5) = %d on a truncated map, want off-map", got)
+	}
+}
+
+func TestCompileRejectsBadProblem(t *testing.T) {
+	p := clampProblem()
+	p.S0 = []float64{1}
+	if _, _, err := Compile(p, Options{}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+	if _, _, err := Compile(&Problem{}, Options{}); err == nil {
+		t.Fatal("expected nil-matrix error")
+	}
+}

@@ -28,22 +28,60 @@ const (
 	KindOPEN
 	KindNone
 	KindDEUCON
+	KindPID
 )
+
+// controllerEntry is one row of the controller registry: the kind's
+// display name and its builder. The cfg argument carries the spec's MPC
+// parameters; kinds that are not MPC-based ignore it.
+type controllerEntry struct {
+	name  string
+	build func(sys *task.System, cfg core.Config) (sim.Controller, error)
+}
+
+// controllerRegistry maps every ControllerKind to its builder. Adding a
+// controller to the experiment API is one constant plus one entry here —
+// no type switches anywhere else.
+var controllerRegistry = map[ControllerKind]controllerEntry{
+	KindEUCON: {"EUCON", func(sys *task.System, cfg core.Config) (sim.Controller, error) {
+		c, err := core.New(sys, nil, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return c, nil
+	}},
+	KindOPEN: {"OPEN", func(sys *task.System, _ core.Config) (sim.Controller, error) {
+		c, err := baseline.NewOpen(sys, nil)
+		if err != nil {
+			return nil, err
+		}
+		return c, nil
+	}},
+	KindNone: {"NONE", func(*task.System, core.Config) (sim.Controller, error) {
+		return nil, nil
+	}},
+	KindDEUCON: {"DEUCON", func(sys *task.System, _ core.Config) (sim.Controller, error) {
+		c, err := deucon.New(sys, nil, deucon.Config{})
+		if err != nil {
+			return nil, err
+		}
+		return c, nil
+	}},
+	KindPID: {"PID", func(sys *task.System, _ core.Config) (sim.Controller, error) {
+		c, err := baseline.NewPID(sys, nil, baseline.PIDConfig{})
+		if err != nil {
+			return nil, err
+		}
+		return c, nil
+	}},
+}
 
 // String implements fmt.Stringer.
 func (k ControllerKind) String() string {
-	switch k {
-	case KindEUCON:
-		return "EUCON"
-	case KindOPEN:
-		return "OPEN"
-	case KindNone:
-		return "NONE"
-	case KindDEUCON:
-		return "DEUCON"
-	default:
-		return fmt.Sprintf("ControllerKind(%d)", int(k))
+	if e, ok := controllerRegistry[k]; ok {
+		return e.name
 	}
+	return fmt.Sprintf("ControllerKind(%d)", int(k))
 }
 
 // Defaults shared by all experiments (paper §7.1–7.2).
@@ -59,19 +97,12 @@ const (
 	DefaultSeed = 1
 )
 
-func newController(kind ControllerKind, sys *task.System, cfg core.Config) (sim.RateController, error) {
-	switch kind {
-	case KindEUCON:
-		return core.New(sys, nil, cfg)
-	case KindOPEN:
-		return baseline.NewOpen(sys, nil)
-	case KindDEUCON:
-		return deucon.New(sys, nil, deucon.Config{})
-	case KindNone:
-		return nil, nil
-	default:
+func newController(kind ControllerKind, sys *task.System, cfg core.Config) (sim.Controller, error) {
+	e, ok := controllerRegistry[kind]
+	if !ok {
 		return nil, fmt.Errorf("experiments: unknown controller kind %d", int(kind))
 	}
+	return e.build(sys, cfg)
 }
 
 // RunSimple simulates the SIMPLE workload under EUCON with a constant

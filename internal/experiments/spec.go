@@ -77,6 +77,31 @@ type Spec struct {
 	// (etf, replication) job; each job re-resolves probabilistic faults
 	// from its own run seed, so replications see independent patterns.
 	Faults []fault.Spec
+	// Explicit runs the MPC controller with an offline-compiled explicit
+	// law (see core.Config.Explicit). The fast path is bit-identical to
+	// the iterative solve, so every trace, sweep series, and digest is
+	// unchanged; only Stats.ExplicitHits/ExplicitMisses and the per-step
+	// cost differ. Ignored by non-MPC controller kinds.
+	Explicit bool
+	// System overrides the paper workload with a custom task system; with
+	// it set, Workload may be left zero. EUCON controllers for custom
+	// systems are built with the paper's SIMPLE parameters — supply Custom
+	// for different tuning.
+	System *task.System
+	// Custom supplies a pre-built controller, overriding Controller (and
+	// the Explicit flag). Run uses it directly; sweeps reject it, because
+	// one instance cannot be replicated across sweep workers.
+	Custom sim.Controller
+	// SamplingPeriod overrides the sampling period in time units; zero
+	// selects the paper's (workload.SamplingPeriod).
+	SamplingPeriod float64
+	// Jitter sets the execution-time jitter for a custom System; paper
+	// workloads keep their canonical jitter (SIMPLE 0, MEDIUM 0.15) and
+	// ignore it.
+	Jitter float64
+	// MaxBacklog bounds each subtask's job backlog, shedding releases
+	// beyond it; zero selects the simulator default.
+	MaxBacklog int
 }
 
 // normalized returns a copy with defaults applied.
@@ -97,16 +122,22 @@ func (s Spec) normalized() Spec {
 }
 
 // workload materializes the system, controller parameters, and jitter for
-// the spec's workload kind.
+// the spec's workload kind (or custom System).
 func (s Spec) workload() (*task.System, workloadParams, error) {
-	switch s.Workload {
-	case WorkloadSimple:
-		return workload.Simple(), workloadParams{cfg: workload.SimpleController(), jitter: 0}, nil
-	case WorkloadMedium:
-		return workload.Medium(), workloadParams{cfg: workload.MediumController(), jitter: workload.MediumJitter}, nil
+	var sys *task.System
+	var wp workloadParams
+	switch {
+	case s.System != nil:
+		sys, wp = s.System, workloadParams{cfg: workload.SimpleController(), jitter: s.Jitter}
+	case s.Workload == WorkloadSimple:
+		sys, wp = workload.Simple(), workloadParams{cfg: workload.SimpleController(), jitter: 0}
+	case s.Workload == WorkloadMedium:
+		sys, wp = workload.Medium(), workloadParams{cfg: workload.MediumController(), jitter: workload.MediumJitter}
 	default:
 		return nil, workloadParams{}, fmt.Errorf("experiments: unknown workload kind %d", int(s.Workload))
 	}
+	wp.cfg.Explicit = s.Explicit
+	return sys, wp, nil
 }
 
 type workloadParams struct {
@@ -122,9 +153,11 @@ func Run(ctx context.Context, spec Spec) (*sim.Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctrl, err := newController(spec.Controller, sys, wp.cfg)
-	if err != nil {
-		return nil, err
+	ctrl := spec.Custom
+	if ctrl == nil {
+		if ctrl, err = newController(spec.Controller, sys, wp.cfg); err != nil {
+			return nil, err
+		}
 	}
 	return runWith(ctx, spec, sys, wp, ctrl, spec.ETF, spec.Seed)
 }
@@ -132,22 +165,27 @@ func Run(ctx context.Context, spec Spec) (*sim.Trace, error) {
 // simConfig is the one place a Spec turns into a simulator configuration,
 // so every entry point — single runs, serial sweeps, parallel sweep
 // workers — drives the simulator identically.
-func simConfig(spec Spec, sys *task.System, wp workloadParams, ctrl sim.RateController, etf sim.ETFSchedule, seed int64) sim.Config {
+func simConfig(spec Spec, sys *task.System, wp workloadParams, ctrl sim.Controller, etf sim.ETFSchedule, seed int64) sim.Config {
+	sp := spec.SamplingPeriod
+	if sp <= 0 {
+		sp = workload.SamplingPeriod
+	}
 	return sim.Config{
 		System:         sys,
-		SamplingPeriod: workload.SamplingPeriod,
+		SamplingPeriod: sp,
 		Periods:        spec.Periods,
 		Controller:     ctrl,
 		ETF:            etf,
 		Jitter:         wp.jitter,
 		Seed:           seed,
 		Faults:         spec.Faults,
+		MaxBacklog:     spec.MaxBacklog,
 	}
 }
 
 // runWith runs one simulation with an already-built controller; single
 // runs and the DEUCON extension share it.
-func runWith(ctx context.Context, spec Spec, sys *task.System, wp workloadParams, ctrl sim.RateController, etf sim.ETFSchedule, seed int64) (*sim.Trace, error) {
+func runWith(ctx context.Context, spec Spec, sys *task.System, wp workloadParams, ctrl sim.Controller, etf sim.ETFSchedule, seed int64) (*sim.Trace, error) {
 	s, err := sim.New(simConfig(spec, sys, wp, ctrl, etf, seed))
 	if err != nil {
 		return nil, err
@@ -269,6 +307,9 @@ type sweep struct {
 }
 
 func newSweep(spec Spec, etfs []float64) (*sweep, error) {
+	if spec.Custom != nil {
+		return nil, fmt.Errorf("experiments: Custom controllers are not supported in sweeps (one instance cannot serve multiple workers); use Run")
+	}
 	sys, wp, err := spec.workload()
 	if err != nil {
 		return nil, err
@@ -302,7 +343,7 @@ func (s *sweep) jobs() int { return len(s.etfs) * s.spec.Replications }
 type sweepWorker struct {
 	sw   *sweep
 	sim  *sim.Simulator
-	ctrl sim.RateController
+	ctrl sim.Controller
 	// built records that ctrl was constructed (it may legitimately be nil
 	// for KindNone, so nil alone cannot mean "not yet built").
 	built bool
@@ -310,22 +351,15 @@ type sweepWorker struct {
 
 func (s *sweep) newWorker() *sweepWorker { return &sweepWorker{sw: s} }
 
-// resettable is the optional controller interface sweepWorker uses to
-// reuse controllers across jobs. All shipped controllers implement it;
-// third-party ones that don't are rebuilt per job.
-type resettable interface{ Reset() }
-
 // controller returns a controller in post-construction state: the reused
-// one when it supports Reset, a fresh build otherwise.
-func (w *sweepWorker) controller() (sim.RateController, error) {
+// one (Reset is part of the Controller interface), built on first use.
+func (w *sweepWorker) controller() (sim.Controller, error) {
 	if w.built {
-		if r, ok := w.ctrl.(resettable); ok {
-			r.Reset()
-			return w.ctrl, nil
-		}
 		if w.ctrl == nil { // KindNone: nothing to reset or rebuild
 			return nil, nil
 		}
+		w.ctrl.Reset()
+		return w.ctrl, nil
 	}
 	ctrl, err := newController(w.sw.spec.Controller, w.sw.sys, w.sw.wp.cfg)
 	if err != nil {

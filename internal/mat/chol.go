@@ -10,9 +10,13 @@ import (
 // symmetric positive definite to working precision.
 var ErrNotPositiveDefinite = errors.New("mat: matrix is not positive definite")
 
-// Cholesky holds a lower-triangular Cholesky factor: A = L·Lᵀ.
+// Cholesky holds a lower-triangular Cholesky factor: A = L·Lᵀ. The upper
+// factor Lᵀ is materialized once at factorization time so both triangular
+// solves in SolveVecTo stream rows contiguously instead of striding down a
+// column.
 type Cholesky struct {
-	l *Dense
+	l  *Dense
+	lt *Dense
 }
 
 // FactorCholesky computes the Cholesky factorization of a symmetric positive
@@ -42,7 +46,7 @@ func FactorCholesky(a *Dense) (*Cholesky, error) {
 			l.Set(i, j, (a.At(i, j)-s)/ljj)
 		}
 	}
-	return &Cholesky{l: l}, nil
+	return &Cholesky{l: l, lt: l.T()}, nil
 }
 
 // SolveVec solves A·x = b using the factorization.
@@ -56,31 +60,41 @@ func (c *Cholesky) SolveVec(b []float64) ([]float64, error) {
 
 // SolveVecTo solves A·x = b into dst without allocating. dst and b may
 // alias.
+//
+//eucon:noalloc
 func (c *Cholesky) SolveVecTo(dst, b []float64) error {
 	n := c.l.rows
 	if len(b) != n {
-		return fmt.Errorf("mat: Cholesky solve length mismatch: %d vs %d", len(b), n)
+		return fmt.Errorf("mat: Cholesky solve length mismatch: %d vs %d", len(b), n) //eucon:alloc-ok error path only; the hot path never formats
 	}
 	if len(dst) != n {
-		return fmt.Errorf("mat: Cholesky solve destination length mismatch: %d vs %d", len(dst), n)
+		return fmt.Errorf("mat: Cholesky solve destination length mismatch: %d vs %d", len(dst), n) //eucon:alloc-ok error path only; the hot path never formats
 	}
 	copy(dst, b)
+	// Indexing l.data directly keeps the two triangular solves free of
+	// per-element bounds-checked accessor calls; the arithmetic and its
+	// order are unchanged, so solutions stay bit-identical.
+	ld := c.l.data
 	// L·y = b, overwriting dst with y.
 	for i := 0; i < n; i++ {
+		row := ld[i*n : i*n+i]
 		s := dst[i]
-		for j := 0; j < i; j++ {
-			s -= c.l.At(i, j) * dst[j]
+		for j, v := range row {
+			s -= v * dst[j]
 		}
-		dst[i] = s / c.l.At(i, i)
+		dst[i] = s / ld[i*n+i]
 	}
 	// Lᵀ·x = y, overwriting dst with x. Row i only reads dst[j] for j > i,
-	// which already hold final x values.
+	// which already hold final x values; the cached transpose makes row i
+	// of Lᵀ contiguous.
+	ltd := c.lt.data
 	for i := n - 1; i >= 0; i-- {
+		row := ltd[i*n+i+1 : (i+1)*n]
 		s := dst[i]
-		for j := i + 1; j < n; j++ {
-			s -= c.l.At(j, i) * dst[j]
+		for j, v := range row {
+			s -= v * dst[i+1+j]
 		}
-		dst[i] = s / c.l.At(i, i)
+		dst[i] = s / ld[i*n+i]
 	}
 	return nil
 }

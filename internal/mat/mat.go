@@ -84,12 +84,18 @@ func Diag(d []float64) *Dense {
 func (m *Dense) Dims() (r, c int) { return m.rows, m.cols }
 
 // Rows returns the number of rows.
+//
+//eucon:noalloc
 func (m *Dense) Rows() int { return m.rows }
 
 // Cols returns the number of columns.
+//
+//eucon:noalloc
 func (m *Dense) Cols() int { return m.cols }
 
 // At returns the element at row i, column j.
+//
+//eucon:noalloc
 func (m *Dense) At(i, j int) float64 {
 	m.checkIndex(i, j)
 	return m.data[i*m.cols+j]
@@ -101,9 +107,10 @@ func (m *Dense) Set(i, j int, v float64) {
 	m.data[i*m.cols+j] = v
 }
 
+//eucon:noalloc
 func (m *Dense) checkIndex(i, j int) {
 	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
-		panic(fmt.Sprintf("mat: index (%d,%d) out of bounds for %dx%d matrix", i, j, m.rows, m.cols))
+		panic(fmt.Sprintf("mat: index (%d,%d) out of bounds for %dx%d matrix", i, j, m.rows, m.cols)) //eucon:alloc-ok panic path only; the hot path never formats
 	}
 }
 
@@ -128,9 +135,11 @@ func (m *Dense) Row(i int) []float64 {
 // made, and writes through the slice mutate the matrix. Intended for
 // read-mostly hot loops (dot products against constraint rows); use Row
 // when the caller may outlive or mutate independently of m.
+//
+//eucon:noalloc
 func (m *Dense) RowView(i int) []float64 {
 	if i < 0 || i >= m.rows {
-		panic(fmt.Sprintf("mat: row %d out of bounds for %dx%d matrix", i, m.rows, m.cols))
+		panic(fmt.Sprintf("mat: row %d out of bounds for %dx%d matrix", i, m.rows, m.cols)) //eucon:alloc-ok panic path only; the hot path never formats
 	}
 	return m.data[i*m.cols : (i+1)*m.cols : (i+1)*m.cols]
 }
@@ -248,12 +257,14 @@ func (m *Dense) MulVec(v []float64) []float64 {
 // MulVecTo computes the matrix-vector product m·v into dst, which must
 // have length equal to the row count. It performs no allocation; dst may
 // not alias v.
+//
+//eucon:noalloc
 func (m *Dense) MulVecTo(dst, v []float64) {
 	if m.cols != len(v) {
-		panic(fmt.Sprintf("mat: MulVecTo dimension mismatch: %dx%d · %d-vector", m.rows, m.cols, len(v)))
+		panic(fmt.Sprintf("mat: MulVecTo dimension mismatch: %dx%d · %d-vector", m.rows, m.cols, len(v))) //eucon:alloc-ok panic path only; the hot path never formats
 	}
 	if len(dst) != m.rows {
-		panic(fmt.Sprintf("mat: MulVecTo destination length %d, want %d", len(dst), m.rows))
+		panic(fmt.Sprintf("mat: MulVecTo destination length %d, want %d", len(dst), m.rows)) //eucon:alloc-ok panic path only; the hot path never formats
 	}
 	for i := 0; i < m.rows; i++ {
 		mi := m.data[i*m.cols : (i+1)*m.cols]

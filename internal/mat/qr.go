@@ -61,7 +61,30 @@ func (f *QR) SolveLeastSquares(b []float64) ([]float64, error) {
 	if len(b) != m {
 		return nil, fmt.Errorf("mat: QR solve length mismatch: %d vs %d", len(b), m)
 	}
-	y := VecClone(b)
+	x := make([]float64, n)
+	if err := f.SolveLeastSquaresTo(x, make([]float64, m), b); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// SolveLeastSquaresTo computes argmin‖Ax − b‖₂ into x (length cols) using
+// scratch (length rows) for the Qᵀ·b product: the allocation-free variant
+// of SolveLeastSquares for analysis loops that re-solve against one
+// factorization. The arithmetic is identical to SolveLeastSquares, so both
+// produce bit-identical solutions.
+//
+//eucon:noalloc
+func (f *QR) SolveLeastSquaresTo(x, scratch, b []float64) error {
+	m, n := f.qr.Rows(), f.qr.Cols()
+	if len(b) != m || len(scratch) != m {
+		return fmt.Errorf("mat: QR solve length mismatch: %d/%d vs %d", len(b), len(scratch), m) //eucon:alloc-ok error path
+	}
+	if len(x) != n {
+		return fmt.Errorf("mat: QR solution length mismatch: %d vs %d", len(x), n) //eucon:alloc-ok error path
+	}
+	y := scratch
+	copy(y, b)
 	// Apply Qᵀ to b by applying each Householder reflector in order.
 	for k := 0; k < n; k++ {
 		vk := f.qr.At(k, k)
@@ -78,7 +101,6 @@ func (f *QR) SolveLeastSquares(b []float64) ([]float64, error) {
 		}
 	}
 	// Back-substitute R·x = y[:n].
-	x := make([]float64, n)
 	scale := f.maxRDiag()
 	for i := n - 1; i >= 0; i-- {
 		s := y[i]
@@ -87,13 +109,14 @@ func (f *QR) SolveLeastSquares(b []float64) ([]float64, error) {
 		}
 		d := f.rdiag[i]
 		if math.Abs(d) < 1e-13*scale || IsZero(d) {
-			return nil, fmt.Errorf("least-squares back-substitution at column %d: %w", i, ErrSingular)
+			return fmt.Errorf("least-squares back-substitution at column %d: %w", i, ErrSingular) //eucon:alloc-ok error path
 		}
 		x[i] = s / d
 	}
-	return x, nil
+	return nil
 }
 
+//eucon:noalloc
 func (f *QR) maxRDiag() float64 {
 	max := 1.0
 	for _, v := range f.rdiag {

@@ -16,6 +16,7 @@ func EqTol(a, b, tol float64) bool {
 // results across runs.
 //
 //eucon:float-exact exact-zero guard by design
+//eucon:noalloc
 func IsZero(x float64) bool {
 	return x == 0
 }

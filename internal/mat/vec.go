@@ -38,8 +38,11 @@ func VecScale(s float64, a []float64) []float64 {
 }
 
 // Dot returns the inner product of a and b.
+//
+//eucon:noalloc
 func Dot(a, b []float64) float64 {
 	checkVecLen(a, b, "Dot")
+	b = b[:len(a)] // lets the compiler drop the b[i] bounds check
 	var s float64
 	for i := range a {
 		s += a[i] * b[i]
@@ -53,6 +56,8 @@ func Norm2(a []float64) float64 {
 }
 
 // NormInf returns the max-abs norm of a.
+//
+//eucon:noalloc
 func NormInf(a []float64) float64 {
 	var max float64
 	for _, v := range a {
@@ -100,8 +105,9 @@ func ColVec(a []float64) *Dense {
 	return m
 }
 
+//eucon:noalloc
 func checkVecLen(a, b []float64, op string) {
 	if len(a) != len(b) {
-		panic(fmt.Sprintf("mat: %s length mismatch: %d vs %d", op, len(a), len(b)))
+		panic(fmt.Sprintf("mat: %s length mismatch: %d vs %d", op, len(a), len(b))) //eucon:alloc-ok panic path only; the hot path never formats
 	}
 }

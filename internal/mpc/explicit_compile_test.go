@@ -1,0 +1,110 @@
+package mpc
+
+import (
+	"testing"
+	"time"
+
+	"github.com/rtsyslab/eucon/internal/empc"
+	"github.com/rtsyslab/eucon/internal/mat"
+)
+
+// mediumController mirrors workload.Medium()'s allocation structure
+// (12 tasks × 4 processors, P=4, M=2) without importing the workload
+// package, which would invert the dependency order.
+func mediumController(t *testing.T) *Controller {
+	t.Helper()
+	f := mat.MustFromRows([][]float64{
+		{30, 0, 20, 35, 45, 0, 25, 20, 40, 0, 0, 0},
+		{25, 40, 0, 25, 0, 25, 0, 35, 0, 45, 0, 0},
+		{20, 0, 25, 0, 30, 35, 0, 30, 0, 0, 50, 0},
+		{0, 30, 35, 30, 0, 30, 50, 0, 0, 0, 0, 35},
+	})
+	b := []float64{0.828, 0.828, 0.828, 0.828}
+	rmin := make([]float64, 12)
+	rmax := make([]float64, 12)
+	for i := range rmin {
+		rmin[i], rmax[i] = 1.0/4000, 1.0/25
+	}
+	c, err := New(f, b, rmin, rmax, Config{PredictionHorizon: 4, ControlHorizon: 2, TrefOverTs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestExplicitCompileReproducibleDigest is the determinism contract the
+// check.sh gate enforces: two independent compiles of the same problem —
+// at different worker counts — must produce bit-identical laws, proven by
+// equal digests.
+func TestExplicitCompileReproducibleDigest(t *testing.T) {
+	c := mediumController(t)
+	start := time.Now()
+	law1, rep1, err := empc.Compile(c.BuildExplicitProblem(), empc.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	once := time.Since(start)
+	law2, rep2, err := empc.Compile(c.BuildExplicitProblem(), empc.Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if law1.Digest() != law2.Digest() {
+		t.Fatalf("digest differs across compiles: %s vs %s", law1.Digest(), law2.Digest())
+	}
+	if law1.Regions() != law2.Regions() || rep1.Regions != rep2.Regions {
+		t.Fatalf("region count differs: %d vs %d", law1.Regions(), law2.Regions())
+	}
+	t.Logf("medium compile: %v, %d regions (explored %d, truncated %v), digest %s",
+		once, rep1.Regions, rep1.Explored, rep1.Truncated, law1.Digest())
+	if once > 5*time.Second {
+		t.Fatalf("offline compile took %v — the startup budget is a few hundred ms", once)
+	}
+}
+
+// TestAttachExplicitValidation pins the dimension checks guarding against
+// attaching a law compiled for a different controller.
+func TestAttachExplicitValidation(t *testing.T) {
+	med := mediumController(t)
+	simple := simpleController(t, defaultSimpleConfig())
+	law, _, err := empc.Compile(simple.BuildExplicitProblem(), empc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := med.AttachExplicit(law); err == nil {
+		t.Fatal("attaching a SIMPLE law to the MEDIUM controller must fail")
+	}
+	if err := simple.AttachExplicit(law); err != nil {
+		t.Fatal(err)
+	}
+	if simple.ExplicitLaw() != law {
+		t.Fatal("law not attached")
+	}
+	if err := simple.AttachExplicit(nil); err != nil {
+		t.Fatal(err)
+	}
+	if simple.ExplicitLaw() != nil {
+		t.Fatal("nil attach must detach")
+	}
+}
+
+// TestUpdateSetPointsDetachesLaw: the law bakes the set points into its
+// affine offsets, so changing them must drop it.
+func TestUpdateSetPointsDetachesLaw(t *testing.T) {
+	c := simpleController(t, defaultSimpleConfig())
+	if _, err := c.CompileExplicit(empc.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Same values: the law stays valid.
+	if err := c.UpdateSetPoints([]float64{0.828, 0.828}); err != nil {
+		t.Fatal(err)
+	}
+	if c.ExplicitLaw() == nil {
+		t.Fatal("identical set points must not detach the law")
+	}
+	if err := c.UpdateSetPoints([]float64{0.5, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if c.ExplicitLaw() != nil {
+		t.Fatal("changed set points must detach the law")
+	}
+}

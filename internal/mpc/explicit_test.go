@@ -1,0 +1,191 @@
+package mpc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/rtsyslab/eucon/internal/empc"
+	"github.com/rtsyslab/eucon/internal/mat"
+)
+
+// TestExplicitMatchesIterativeBitwise drives two identical controllers —
+// one with an attached explicit law, one without — through the same
+// closed-loop trajectory with seeded disturbances and requires the rates
+// to agree bit for bit at every step. This is the property that keeps the
+// fig4/fig5 sweep digests unchanged under -explicit.
+func TestExplicitMatchesIterativeBitwise(t *testing.T) {
+	cfg := defaultSimpleConfig()
+	iter := simpleController(t, cfg)
+	exp := simpleController(t, cfg)
+	rep, err := exp.CompileExplicit(empc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regions < 1 {
+		t.Fatalf("compile produced %d regions", rep.Regions)
+	}
+	t.Logf("explicit law: %d regions (explored %d, truncated %v), digest %s",
+		rep.Regions, rep.Explored, rep.Truncated, exp.ExplicitLaw().Digest())
+
+	rng := rand.New(rand.NewSource(7))
+	f := simpleF()
+	u := []float64{0.4, 0.5}
+	rates := mat.VecClone(iter.rmin)
+	for i := range rates {
+		rates[i] *= 4
+	}
+	ratesIter := mat.VecClone(rates)
+	for k := 0; k < 400; k++ {
+		ri, err := iter.Step(u, ratesIter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		re, err := exp.Step(u, rates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range ri.NewRates {
+			if math.Float64bits(ri.NewRates[j]) != math.Float64bits(re.NewRates[j]) {
+				t.Fatalf("step %d rate %d: iterative %v vs explicit %v (explicit outcome %v)",
+					k, j, ri.NewRates[j], re.NewRates[j], re.Outcome)
+			}
+			if math.Float64bits(ri.DeltaR[j]) != math.Float64bits(re.DeltaR[j]) {
+				t.Fatalf("step %d delta %d: %v vs %v", k, j, ri.DeltaR[j], re.DeltaR[j])
+			}
+		}
+		for j := range ri.PredictedUtil {
+			if math.Float64bits(ri.PredictedUtil[j]) != math.Float64bits(re.PredictedUtil[j]) {
+				t.Fatalf("step %d predicted util %d: %v vs %v", k, j, ri.PredictedUtil[j], re.PredictedUtil[j])
+			}
+		}
+		// Evolve the shared plant and disturb it; every ~60 steps slam the
+		// utilization up so saturated (miss) stretches are exercised too.
+		copy(rates, re.NewRates)
+		copy(ratesIter, ri.NewRates)
+		du := f.MulVec(re.DeltaR)
+		for j := range u {
+			u[j] += du[j] + 0.02*(rng.Float64()-0.5)
+			if k%60 == 59 {
+				u[j] = 1.2 + 0.3*rng.Float64()
+			}
+			u[j] = math.Max(0.05, math.Min(1.8, u[j]))
+		}
+	}
+	hits, misses := exp.ExplicitCounts()
+	t.Logf("explicit hits %d, misses %d", hits, misses)
+	if hits == 0 {
+		t.Fatal("explicit fast path never hit")
+	}
+	if misses == 0 {
+		t.Fatal("trajectory never exercised the fallback path")
+	}
+}
+
+// TestExplicitFallbackOnOverload pins the miss accounting: a measurement
+// far above the set points makes z0 = 0 infeasible, the query leaves the
+// interior region, and the iterative ladder must produce the move while
+// the miss counters stay truthful.
+func TestExplicitFallbackOnOverload(t *testing.T) {
+	cfg := defaultSimpleConfig()
+	c := simpleController(t, cfg)
+	if _, err := c.CompileExplicit(empc.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	rates := mat.VecClone(c.rmax)
+	res, err := c.Step([]float64{1.5, 1.6}, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome == SolveExplicit {
+		t.Fatalf("overload step reported outcome %v, want an iterative rung", res.Outcome)
+	}
+	if got := c.LastExplicitOutcome(); got != SolveExplicitMiss {
+		t.Fatalf("LastExplicitOutcome = %v, want SolveExplicitMiss", got)
+	}
+	hits, misses := c.ExplicitCounts()
+	if hits != 0 || misses != 1 {
+		t.Fatalf("counts = (%d, %d), want (0, 1)", hits, misses)
+	}
+	// Recovery: once utilization is back under the set points the fast
+	// path resumes.
+	if _, err := c.Step([]float64{0.3, 0.3}, res.NewRates); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.LastExplicitOutcome(); got != SolveExplicit {
+		t.Fatalf("post-recovery LastExplicitOutcome = %v, want SolveExplicit", got)
+	}
+	c.Reset()
+	hits, misses = c.ExplicitCounts()
+	if hits != 0 || misses != 0 {
+		t.Fatalf("Reset kept counts (%d, %d)", hits, misses)
+	}
+}
+
+// TestExplicitLawPropertyRandomTheta samples random parameter vectors and
+// checks the stored piecewise-affine law (any region, not just the
+// bit-exact interior) against the iterative solver to 1e-9.
+func TestExplicitLawPropertyRandomTheta(t *testing.T) {
+	cfg := defaultSimpleConfig()
+	c := simpleController(t, cfg)
+	if _, err := c.CompileExplicit(empc.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	law := c.ExplicitLaw()
+	rng := rand.New(rand.NewSource(42))
+	theta := make([]float64, c.n+2*c.m)
+	deltaLaw := make([]float64, c.m)
+	located, nonInterior := 0, 0
+	for trial := 0; trial < 300; trial++ {
+		u := make([]float64, c.n)
+		for r := range u {
+			u[r] = rng.Float64() * c.setPoints[r] * 1.15
+		}
+		rates := make([]float64, c.m)
+		prev := make([]float64, c.m)
+		for j := range rates {
+			rates[j] = c.rmin[j] + rng.Float64()*(c.rmax[j]-c.rmin[j])
+			span := c.rmax[j] - c.rmin[j]
+			prev[j] = (rng.Float64()*2 - 1) * span * 0.5
+		}
+		copy(theta[:c.n], u)
+		copy(theta[c.n:c.n+c.m], rates)
+		copy(theta[c.n+c.m:], prev)
+		idx := law.Locate(theta, -1)
+		if idx < 0 {
+			continue
+		}
+		located++
+		if idx != law.InteriorIndex() {
+			nonInterior++
+		}
+		law.EvaluateInto(deltaLaw, theta, idx)
+
+		probe := simpleController(t, cfg)
+		copy(probe.prevDelta, prev)
+		res, err := probe.Step(u, rates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Outcome != SolveOK {
+			// The ladder took a different problem (relaxed or degraded);
+			// the law's region description no longer applies.
+			continue
+		}
+		for j := 0; j < c.m; j++ {
+			nr := rates[j] + deltaLaw[j]
+			nr = math.Max(c.rmin[j], math.Min(c.rmax[j], nr))
+			if math.Abs(nr-res.NewRates[j]) > 1e-9 {
+				t.Fatalf("trial %d (region %d) rate %d: law %v vs iterative %v",
+					trial, idx, j, nr, res.NewRates[j])
+			}
+		}
+	}
+	t.Logf("located %d/300 samples, %d in non-interior regions", located, nonInterior)
+	if located < 100 {
+		t.Fatalf("only %d samples located — domain sampling is off", located)
+	}
+	if nonInterior == 0 {
+		t.Fatal("no sample exercised a constrained region")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/rtsyslab/eucon/internal/empc"
 	"github.com/rtsyslab/eucon/internal/mat"
 	"github.com/rtsyslab/eucon/internal/qp"
 )
@@ -128,6 +129,27 @@ type Controller struct {
 	bFull, bBox []float64
 	z0          []float64
 	prevRelaxed bool // which constraint variant the warm-start set refers to
+
+	// Explicit-MPC state (nil law: iterative solver only). The law is the
+	// offline-compiled piecewise-affine map of internal/empc; lastRegion is
+	// the point-location warm-start hint. The exp* buffers back the reused
+	// StepResult of the zero-allocation explicit path.
+	law            *empc.Law
+	lastRegion     int
+	explicitHits   int
+	explicitMisses int
+	lastExplicit   SolveOutcome // SolveExplicit, SolveExplicitMiss, or SolveOK (no law)
+	theta          []float64
+	expX           []float64
+	expRes         StepResult
+
+	// GainsTo scratch: the QR factorization of the least-squares stack is
+	// constant after construction, so it is computed once on first use and
+	// cached with the basis-response buffers.
+	gainFac *mat.QR
+	gainD   []float64 // basis right-hand side, cmat rows
+	gainY   []float64 // Qᵀ·d scratch, cmat rows
+	gainZ   []float64 // basis solution, cmat cols
 }
 
 // SolveOutcome classifies how a Step obtained its control move — which
@@ -160,6 +182,18 @@ const (
 	// through the anti-windup resync on the next Step, so no windup
 	// accumulates while holding.
 	SolveHeld
+	// SolveExplicit: the offline-compiled explicit law resolved the move —
+	// the query landed in the interior critical region and the bit-exact
+	// fast path (qp.LSI.SolveInteriorTo) produced rates identical to what
+	// the iterative solver would have returned. Not a degradation.
+	SolveExplicit
+	// SolveExplicitMiss: an explicit law is attached but the query fell off
+	// its bit-exact map (a constrained critical region, off-map parameters,
+	// or a boundary-numerics disagreement); the iterative solver and its
+	// degradation ladder produced the move. Reported through
+	// ExplicitCounts and LastExplicitOutcome — a Step's Outcome always
+	// carries the ladder rung that actually produced the rates.
+	SolveExplicitMiss
 )
 
 // String implements fmt.Stringer.
@@ -175,14 +209,26 @@ func (o SolveOutcome) String() string {
 		return "regularized"
 	case SolveHeld:
 		return "held"
+	case SolveExplicit:
+		return "explicit"
+	case SolveExplicitMiss:
+		return "explicit-miss"
 	default:
 		return fmt.Sprintf("SolveOutcome(%d)", int(o))
 	}
 }
 
 // Degraded reports whether the outcome came from a containment rung below
-// the normal solve paths (best-iterate, regularized, or held).
-func (o SolveOutcome) Degraded() bool { return o >= SolveBestIterate }
+// the normal solve paths (best-iterate, regularized, or held). An explicit
+// hit is a nominal solve; an explicit miss is classified by the ladder rung
+// that actually produced the move, not by the miss itself.
+func (o SolveOutcome) Degraded() bool {
+	switch o {
+	case SolveBestIterate, SolveRegularized, SolveHeld:
+		return true
+	}
+	return false
+}
 
 // bestIterateResidualBound is the acceptance threshold for an
 // iteration-capped solve: the best iterate is applied when its scaled KKT
@@ -310,11 +356,35 @@ func New(f *mat.Dense, setPoints, rmin, rmax []float64, cfg Config) (*Controller
 // SetPoints returns a copy of the current utilization set points.
 func (c *Controller) SetPoints() []float64 { return mat.VecClone(c.setPoints) }
 
+// AppendSetPoints appends the current utilization set points to dst and
+// returns the extended slice, which aliases dst's backing array when its
+// capacity suffices — the zero-allocation variant of SetPoints for hot
+// paths that reuse one buffer across control steps.
+//
+//eucon:noalloc
+func (c *Controller) AppendSetPoints(dst []float64) []float64 {
+	return append(dst, c.setPoints...) //eucon:alloc-ok grows only when the caller under-provisions capacity
+}
+
 // UpdateSetPoints changes the utilization set points online (paper §3.3,
 // overload protection: set points can be lowered in anticipation of load).
+//
+// The explicit law bakes the set points into its affine offsets, so
+// changing them detaches any attached law; the controller reverts to the
+// iterative solver until CompileExplicit or AttachExplicit is called
+// again.
 func (c *Controller) UpdateSetPoints(b []float64) error {
 	if len(b) != c.n {
 		return fmt.Errorf("mpc: set points have length %d, want %d", len(b), c.n)
+	}
+	if c.law != nil {
+		for i := range b {
+			if b[i] != c.setPoints[i] { //eucon:float-exact the law is valid exactly when the baked-in set points are bit-identical to the new ones
+				c.law = nil
+				c.lastExplicit = SolveOK
+				break
+			}
+		}
 	}
 	copy(c.setPoints, b)
 	return nil
@@ -340,6 +410,12 @@ func (c *Controller) Reset() {
 	c.regularized = 0
 	c.heldSteps = 0
 	c.lastOutcome = SolveOK
+	c.explicitHits = 0
+	c.explicitMisses = 0
+	c.lastExplicit = SolveOK
+	if c.law != nil {
+		c.lastRegion = c.law.InteriorIndex()
+	}
 }
 
 // ContainmentCounts reports how many Steps since construction or Reset
@@ -355,6 +431,23 @@ func (c *Controller) LastOutcome() SolveOutcome { return c.lastOutcome }
 // reconciled because the achieved rate move diverged from the commanded
 // one (actuator faults, external clamping).
 func (c *Controller) AntiWindupSyncs() int { return c.windupSyncs }
+
+// ExplicitCounts reports how many Steps since construction or Reset were
+// resolved by the explicit fast path (hits) versus fell back to the
+// iterative solver while a law was attached (misses). Both are zero when
+// no law has ever been attached.
+func (c *Controller) ExplicitCounts() (hits, misses int) {
+	return c.explicitHits, c.explicitMisses
+}
+
+// LastExplicitOutcome reports the explicit-law disposition of the most
+// recent Step: SolveExplicit (hit), SolveExplicitMiss (fell back), or
+// SolveOK when no law is attached.
+func (c *Controller) LastExplicitOutcome() SolveOutcome { return c.lastExplicit }
+
+// ExplicitLaw returns the attached explicit law, or nil when the
+// controller runs the iterative solver only.
+func (c *Controller) ExplicitLaw() *empc.Law { return c.law }
 
 // Step computes the control input for the next sampling period from the
 // measured utilizations u(k) and the currently applied rates r(k−1).
@@ -399,6 +492,19 @@ func (c *Controller) Step(u, rates []float64) (*StepResult, error) {
 		}
 	}
 	c.fillLeastSquaresRHS(u, c.dbuf)
+	c.fillConstraintRHS(u, rates, true, c.bFull)
+
+	// Explicit fast path: when an offline-compiled law is attached and the
+	// query lands in its bit-exact region, the move is resolved without the
+	// iterative active-set solve. A miss falls through to the iterative
+	// path below, which reuses the right-hand sides already filled above.
+	if c.law != nil {
+		if res, ok := c.stepExplicit(u, rates); ok {
+			return res, nil
+		}
+		c.explicitMisses++
+		c.lastExplicit = SolveExplicitMiss
+	}
 
 	// Pick a feasible starting point analytically instead of relying on the
 	// solver's generic (and expensive) phase-1. Δr = 0 is feasible unless a
@@ -408,7 +514,6 @@ func (c *Controller) Step(u, rates []float64) (*StepResult, error) {
 	// and the hard utilization constraints must be relaxed for this period.
 	relaxed := false
 	a, b := c.aFull, c.bFull
-	c.fillConstraintRHS(u, rates, true, b)
 	z0 := c.z0
 	for j := range z0 {
 		z0[j] = 0
@@ -556,10 +661,212 @@ func (c *Controller) holdStep(u, rates []float64) *StepResult {
 	}
 }
 
+// stepExplicit attempts the explicit-law fast path: locate the critical
+// region of θ = (u, r(k−1), Δr(k−1)) with a last-region warm start, then
+// resolve the move through the bit-exact interior solve. It requires
+// c.dbuf and c.bFull to hold the current right-hand sides (Step fills
+// them before both paths). ok reports a hit; on a miss the caller falls
+// through to the iterative solver on the same buffers.
+//
+// Only the interior (empty-active-set) region is evaluated here: for it,
+// qp.LSI.SolveInteriorTo reproduces the iterative solver's arithmetic
+// bit-for-bit, so simulation digests are unchanged. Constrained regions
+// carry tolerance-accurate stored gains (Law.EvaluateInto) — sufficient
+// for analysis but not for digest fidelity — so they report a miss and
+// delegate to the ladder (DESIGN.md §10).
+//
+// The returned StepResult and its slices are owned by the controller and
+// reused by the next explicit hit; callers must copy what they keep (the
+// simulator already does).
+//
+//eucon:noalloc
+func (c *Controller) stepExplicit(u, rates []float64) (*StepResult, bool) {
+	th := c.theta
+	copy(th[:c.n], u)
+	copy(th[c.n:c.n+c.m], rates)
+	copy(th[c.n+c.m:], c.prevDelta)
+	interior := c.law.InteriorIndex()
+	if c.lastRegion != interior {
+		// Geometric point location, warm-started from the previous region.
+		// When the hint already is the interior region the halfspace scan is
+		// skipped entirely: SolveInteriorTo's feasibility guards are the
+		// exact membership test and strictly subsume the stored halfspaces.
+		idx := c.law.Locate(th, c.lastRegion)
+		if idx >= 0 {
+			c.lastRegion = idx
+		}
+		if idx != interior {
+			return nil, false
+		}
+	}
+	iters, ok := c.lsi.SolveInteriorTo(c.expX, c.dbuf, c.aFull, c.bFull)
+	if !ok {
+		// The exact guards disagreed with the geometric hint (boundary
+		// numerics): refresh the hint truthfully, then fall back.
+		c.lastRegion = c.law.Locate(th, c.lastRegion)
+		return nil, false
+	}
+	res := &c.expRes
+	delta, newRates, pred := res.DeltaR, res.NewRates, res.PredictedUtil
+	copy(delta, c.expX[:c.m])
+	if !finiteVec(delta) {
+		return nil, false
+	}
+	for i := range newRates {
+		nr := rates[i] + delta[i]
+		nr = math.Max(c.rmin[i], math.Min(c.rmax[i], nr))
+		newRates[i] = nr
+		delta[i] = nr - rates[i]
+	}
+	copy(c.prevDelta, delta)
+	c.f.MulVecTo(pred, delta)
+	for i := range pred {
+		pred[i] = u[i] + pred[i]
+	}
+	c.prevRelaxed = false
+	c.lastRegion = interior
+	c.lastOutcome = SolveExplicit
+	c.lastExplicit = SolveExplicit
+	c.explicitHits++
+	res.OutputConstraintsRelaxed = false
+	res.SolverIterations = iters
+	res.Outcome = SolveExplicit
+	return res, true
+}
+
+// explicitUtilMax bounds the utilization coordinates of the explicit
+// parameter domain. Monitors report busy fractions in [0, 1]; headroom to
+// 2 keeps transient overshoot and fault-injected overload on the map.
+const explicitUtilMax = 2.0
+
+// BuildExplicitProblem describes the controller's per-period QP as a
+// parametric program over θ = (u, r(k−1), Δr(k−1)) for the offline
+// explicit-MPC compiler. The affine maps d(θ) = D·θ + D0 and
+// b(θ) = S·θ + S0 mirror fillLeastSquaresRHS and fillConstraintRHS row
+// for row; the domain box spans [0, explicitUtilMax] per utilization, the
+// actuator box per rate, and the widest admissible move per Δr(k−1).
+//
+// The current set points are baked into D0 and S0: a law compiled from
+// this problem is invalidated by UpdateSetPoints.
+func (c *Controller) BuildExplicitProblem() *empc.Problem {
+	p, mh := c.cfg.PredictionHorizon, c.cfg.ControlHorizon
+	nTheta := c.n + 2*c.m
+	ell := c.cmat.Rows()
+	dm := mat.New(ell, nTheta)
+	d0 := make([]float64, ell)
+	// Tracking rows: d = √q_r·λ_i·(B_r − u_r).
+	for i := 1; i <= p; i++ {
+		rowBase := (i - 1) * c.n
+		for r := 0; r < c.n; r++ {
+			dm.Set(rowBase+r, r, -c.sqrtQ[r]*c.lam[i])
+			d0[rowBase+r] = c.sqrtQ[r] * c.lam[i] * c.setPoints[r]
+		}
+	}
+	// First control-penalty block: d = √R_j·Δr_j(k−1); later blocks zero.
+	base := c.n * p
+	for j := 0; j < c.m; j++ {
+		dm.Set(base+j, c.n+c.m+j, c.sqrtR[j])
+	}
+	mc := c.aFull.Rows()
+	sm := mat.New(mc, nTheta)
+	s0 := make([]float64, mc)
+	// Rate box rows: b_up = Rmax_j − r_j, b_lo = r_j − Rmin_j.
+	for i := 0; i < mh; i++ {
+		for j := 0; j < c.m; j++ {
+			up := 2 * (i*c.m + j)
+			sm.Set(up, c.n+j, -1)
+			s0[up] = c.rmax[j]
+			sm.Set(up+1, c.n+j, 1)
+			s0[up+1] = -c.rmin[j]
+		}
+	}
+	// Output rows: b = B_r − u_r.
+	if !c.cfg.DisableOutputConstraints {
+		obase := 2 * c.m * mh
+		for i := 1; i <= p; i++ {
+			for r := 0; r < c.n; r++ {
+				sm.Set(obase+(i-1)*c.n+r, r, -1)
+				s0[obase+(i-1)*c.n+r] = c.setPoints[r]
+			}
+		}
+	}
+	lo := make([]float64, nTheta)
+	hi := make([]float64, nTheta)
+	for r := 0; r < c.n; r++ {
+		lo[r], hi[r] = 0, explicitUtilMax
+	}
+	for j := 0; j < c.m; j++ {
+		lo[c.n+j], hi[c.n+j] = c.rmin[j], c.rmax[j]
+		span := c.rmax[j] - c.rmin[j]
+		lo[c.n+c.m+j], hi[c.n+c.m+j] = -span, span
+	}
+	return &empc.Problem{
+		C: c.cmat.Clone(), A: c.aFull.Clone(),
+		D: dm, D0: d0, S: sm, S0: s0,
+		ThetaLo: lo, ThetaHi: hi,
+		GainRows: c.m,
+	}
+}
+
+// CompileExplicit compiles the controller's parametric program into a
+// piecewise-affine law offline and attaches it, returning the compile
+// report. The compile fans region exploration across opts.Workers
+// goroutines; the resulting law and its digest are identical for every
+// worker count.
+func (c *Controller) CompileExplicit(opts empc.Options) (*empc.Report, error) {
+	law, rep, err := empc.Compile(c.BuildExplicitProblem(), opts)
+	if err != nil {
+		return nil, fmt.Errorf("mpc: compile explicit law: %w", err)
+	}
+	if err := c.AttachExplicit(law); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// AttachExplicit installs an offline-compiled explicit law; nil detaches.
+// The law must have been compiled from this controller's
+// BuildExplicitProblem (same dimensions and an interior region). The
+// fast-path buffers are allocated here so Step performs no allocation on
+// explicit hits.
+func (c *Controller) AttachExplicit(law *empc.Law) error {
+	if law == nil {
+		c.law = nil
+		c.lastExplicit = SolveOK
+		return nil
+	}
+	if got, want := law.NumTheta(), c.n+2*c.m; got != want {
+		return fmt.Errorf("mpc: explicit law parameter dimension %d, want %d", got, want)
+	}
+	if got := law.GainRows(); got != c.m {
+		return fmt.Errorf("mpc: explicit law gain rows %d, want %d", got, c.m)
+	}
+	if law.InteriorIndex() < 0 {
+		return errors.New("mpc: explicit law has no interior region")
+	}
+	c.law = law
+	c.lastRegion = law.InteriorIndex()
+	c.lastExplicit = SolveOK
+	if c.theta == nil {
+		c.theta = make([]float64, c.n+2*c.m)
+		c.expX = make([]float64, c.m*c.cfg.ControlHorizon)
+		c.expRes = StepResult{
+			DeltaR:        make([]float64, c.m),
+			NewRates:      make([]float64, c.m),
+			PredictedUtil: make([]float64, c.n),
+		}
+	}
+	return nil
+}
+
 // finite reports whether v is neither NaN nor infinite.
+//
+//eucon:noalloc
 func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // finiteVec reports whether every element of v is finite.
+//
+//eucon:noalloc
 func finiteVec(v []float64) bool {
 	for _, x := range v {
 		if !finite(x) {
@@ -720,25 +1027,52 @@ func (c *Controller) fillConstraintRHS(u, rates []float64, withOutput bool, b []
 //
 // These matrices drive the closed-loop stability analysis of paper §6.2.
 func (c *Controller) Gains() (ke, kd *mat.Dense, err error) {
-	// The least-squares stack is C·z = d with d linear in e = B − u(k) and
-	// in Δr(k−1). Solve for each basis vector of e and of Δr(k−1).
 	ke = mat.New(c.m, c.n)
 	kd = mat.New(c.m, c.m)
-	fac, err := mat.FactorQR(c.cmat)
-	if err != nil {
-		return nil, nil, fmt.Errorf("mpc: factor gain system: %w", err)
+	if err := c.GainsTo(ke, kd); err != nil {
+		return nil, nil, err
 	}
-	p, mh := c.cfg.PredictionHorizon, c.cfg.ControlHorizon
-	rows := c.n*p + c.m*mh
+	return ke, kd, nil
+}
+
+// GainsTo computes the unconstrained feedback gain matrices into the
+// caller-provided ke (m×n) and kd (m×m): the allocation-free variant of
+// Gains for callers that evaluate the gains repeatedly (stability
+// bisection sweeps). The QR factorization of the least-squares stack is
+// constant after construction, so the first call computes and caches it;
+// subsequent calls only write the caller's matrices. Results are
+// bit-identical to Gains.
+func (c *Controller) GainsTo(ke, kd *mat.Dense) error {
+	if r, cc := ke.Dims(); r != c.m || cc != c.n {
+		return fmt.Errorf("mpc: ke is %dx%d, want %dx%d", r, cc, c.m, c.n)
+	}
+	if r, cc := kd.Dims(); r != c.m || cc != c.m {
+		return fmt.Errorf("mpc: kd is %dx%d, want %dx%d", r, cc, c.m, c.m)
+	}
+	// The least-squares stack is C·z = d with d linear in e = B − u(k) and
+	// in Δr(k−1). Solve for each basis vector of e and of Δr(k−1).
+	if c.gainFac == nil {
+		fac, err := mat.FactorQR(c.cmat)
+		if err != nil {
+			return fmt.Errorf("mpc: factor gain system: %w", err)
+		}
+		c.gainFac = fac
+		c.gainD = make([]float64, c.cmat.Rows())
+		c.gainY = make([]float64, c.cmat.Rows())
+		c.gainZ = make([]float64, c.cmat.Cols())
+	}
+	p := c.cfg.PredictionHorizon
+	d, z := c.gainD, c.gainZ
 	// Basis responses for e.
 	for col := 0; col < c.n; col++ {
-		d := make([]float64, rows)
+		for i := range d {
+			d[i] = 0
+		}
 		for i := 1; i <= p; i++ {
 			d[(i-1)*c.n+col] = c.sqrtQ[col] * c.lam[i]
 		}
-		z, err := fac.SolveLeastSquares(d)
-		if err != nil {
-			return nil, nil, fmt.Errorf("mpc: gain solve (e basis %d): %w", col, err)
+		if err := c.gainFac.SolveLeastSquaresTo(z, c.gainY, d); err != nil {
+			return fmt.Errorf("mpc: gain solve (e basis %d): %w", col, err)
 		}
 		for r := 0; r < c.m; r++ {
 			ke.Set(r, col, z[r])
@@ -747,15 +1081,16 @@ func (c *Controller) Gains() (ke, kd *mat.Dense, err error) {
 	// Basis responses for Δr(k−1).
 	base := c.n * p
 	for col := 0; col < c.m; col++ {
-		d := make([]float64, rows)
+		for i := range d {
+			d[i] = 0
+		}
 		d[base+col] = c.sqrtR[col]
-		z, err := fac.SolveLeastSquares(d)
-		if err != nil {
-			return nil, nil, fmt.Errorf("mpc: gain solve (Δr basis %d): %w", col, err)
+		if err := c.gainFac.SolveLeastSquaresTo(z, c.gainY, d); err != nil {
+			return fmt.Errorf("mpc: gain solve (Δr basis %d): %w", col, err)
 		}
 		for r := 0; r < c.m; r++ {
 			kd.Set(r, col, z[r])
 		}
 	}
-	return ke, kd, nil
+	return nil
 }

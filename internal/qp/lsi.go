@@ -36,6 +36,10 @@ type LSI struct {
 	warm  []int     // previous solve's active set
 	ws    workspace
 	opts  Options
+
+	// Scratch for SolveInteriorTo, sized once at construction so the
+	// explicit-MPC fast path performs zero allocations.
+	ix, ig, ihg, ip []float64
 }
 
 // NewLSI prepares a reusable solver for the fixed stack C. The matrix is
@@ -63,6 +67,10 @@ func NewLSI(c *mat.Dense, opts Options) (*LSI, error) {
 		start: make([]float64, n),
 		resid: make([]float64, c.Rows()),
 		opts:  opts,
+		ix:    make([]float64, n),
+		ig:    make([]float64, n),
+		ihg:   make([]float64, n),
+		ip:    make([]float64, n),
 	}, nil
 }
 
@@ -112,7 +120,132 @@ func (s *LSI) Solve(d []float64, a *mat.Dense, b []float64, x0 []float64) (*Resu
 
 // ResetWarmStart drops the remembered active set (e.g. when the caller
 // switches to a constraint system with different row meaning).
+//
+//eucon:noalloc
 func (s *LSI) ResetWarmStart() { s.warm = s.warm[:0] }
+
+// SolveInteriorTo attempts the interior fast path of Solve for the
+// starting point x0 = 0: the solve that the active-set loop would complete
+// with an empty working set in one unblocked Newton step (plus the
+// confirming stationarity iteration). This is the steady-state case of the
+// EUCON controller — no rate bound or output constraint active — and the
+// critical region the explicit-MPC law (internal/empc) dispatches here.
+//
+// When it reports ok, x holds bit-for-bit the iterate that
+// Solve(d, a, b, 0) would have returned in Result.X, iters the iteration
+// count that Result would carry, and the warm-start set has been cleared
+// exactly as that Solve would leave it (the interior solve has an empty
+// active set). When it reports !ok, the receiver is untouched apart from
+// scratch buffers and the caller must run the full Solve, which will
+// reproduce every guard decision made here.
+//
+// Bit-identity argument, guard by guard, against solveActiveSet:
+//
+//  1. Feasibility and seeding both evaluate mat.Dot(a_i, x0) with x0 = 0.
+//     Every term a_ij·0 is ±0 and the +0-initialized accumulator stays +0
+//     (IEEE: +0 + ±0 = +0), so Dot is exactly +0, the row-i violation is
+//     exactly −b_i, and the seeding activity test is exactly |b_i| ≤ Tol.
+//     Requiring b_i > Tol for every row therefore reproduces "feasible
+//     start (hard-coded 1e-9 bound, Tol ≥ 1e-9 by default) and nothing
+//     seeds the working set" without touching the matrix; a NaN b_i fails
+//     the test and falls back conservatively.
+//  2. With an empty working set, iteration 0 computes g = H·0 + f. Each
+//     H·0 row sum is exactly +0 (same argument), so g_i = 0 + f_i, then
+//     p = −H⁻¹g via the cached Cholesky factor — replicated literally.
+//  3. The line search evaluates step = (b_i − Dot(a_i, x))/denom at x = 0;
+//     b_i − (+0) == b_i for every float64, so step = b_i/denom bitwise.
+//     Any blocking step < 1 means the iterative path would add a
+//     constraint: not interior, fall back.
+//  4. The update x_i += 1.0·p_i from x = 0 and the iteration-1 stationarity
+//     check (g = H·x + f, p = −H⁻¹g, ‖p‖∞ ≤ Tol·(1 + ‖x‖∞)) are replicated
+//     literally; ‖−v‖∞ == ‖v‖∞ exactly, so the second p is never
+//     materialized. On convergence solveActiveSet returns x unchanged with
+//     no multiplier to check (empty working set).
+//
+//eucon:noalloc
+func (s *LSI) SolveInteriorTo(x []float64, d []float64, a *mat.Dense, b []float64) (iters int, ok bool) {
+	n := len(s.ix)
+	if len(x) != n || len(d) != s.c.Rows() || a == nil || a.Cols() != n {
+		return 0, false
+	}
+	m := a.Rows()
+	if len(b) != m {
+		return 0, false
+	}
+	tol := s.opts.Tol
+	if tol <= 0 {
+		tol = 1e-9 // mirrors Options.withDefaults
+	}
+	maxIter := s.opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 50*(n+m) + 100 // mirrors Options.withDefaults
+	}
+	if maxIter < 2 {
+		// The two Newton iterations below would hit the cap mid-solve.
+		return 0, false
+	}
+	// Guard 1: strictly feasible, nothing seeds the working set. Checked
+	// before the right-hand-side work so misses stay cheap.
+	for i := 0; i < m; i++ {
+		if !(b[i] > tol) {
+			return 0, false
+		}
+	}
+	// f = −2·Cᵀd, exactly as Solve fills it.
+	s.ct.MulVecTo(s.f, d)
+	for i := range s.f {
+		s.f[i] *= -2
+	}
+	// Iteration 0 from x = 0: g = H·0 + f, p = −H⁻¹g.
+	g, hg, p := s.ig, s.ihg, s.ip
+	for i := range g {
+		g[i] = 0 + s.f[i]
+	}
+	if s.hchol.SolveVecTo(hg, g) != nil {
+		return 0, false // iterative path would enter the degradation ladder
+	}
+	for i := range p {
+		p[i] = -hg[i]
+	}
+	if mat.NormInf(p) <= tol*1 { // scale = 1 + ‖x‖∞ with x = 0
+		// Converged at the origin with no working constraints.
+		for i := range x {
+			x[i] = 0
+		}
+		s.warm = s.warm[:0]
+		return 0, true
+	}
+	// Guard 3: the full Newton step must be unblocked by every constraint.
+	for i := 0; i < m; i++ {
+		denom := mat.Dot(a.RowView(i), p)
+		if denom <= tol {
+			continue
+		}
+		if b[i]/denom < 1 {
+			return 0, false
+		}
+	}
+	// Unblocked step: x = 0 + 1.0·p, elementwise as the solver writes it.
+	ix := s.ix
+	for i := range ix {
+		ix[i] = 0 + 1.0*p[i]
+	}
+	// Iteration 1: confirm stationarity at the Newton point.
+	s.h.MulVecTo(g, ix)
+	for i := range g {
+		g[i] += s.f[i]
+	}
+	if s.hchol.SolveVecTo(hg, g) != nil {
+		return 0, false
+	}
+	if mat.NormInf(hg) > tol*(1+mat.NormInf(ix)) {
+		// The iterative path would keep stepping; off the fast path.
+		return 0, false
+	}
+	copy(x, ix)
+	s.warm = s.warm[:0]
+	return 1, true
+}
 
 // SolveLSI solves the inequality-constrained least-squares problem
 //

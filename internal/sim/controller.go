@@ -1,32 +1,50 @@
 package sim
 
-// RateController decides the task rates applied in the next sampling
-// period. Implementations include the EUCON MPC controller (package core)
-// and the OPEN open-loop baseline (package baseline).
-type RateController interface {
+// Controller is the unified rate-controller interface: everything the
+// simulator and the experiment harnesses need from a controller, with no
+// per-type wiring. Implementations include the EUCON MPC controller
+// (package core, iterative or explicit), the DEUCON decentralized
+// extension, and the OPEN, PID, and FixedRates baselines.
+//
+// Optional capabilities are separate interfaces the harnesses probe for:
+// DegradationReporter, ContainmentReporter, and ExplicitReporter.
+type Controller interface {
 	// Name identifies the controller in traces.
 	Name() string
-	// Rates returns the rates for sampling period k+1 given the utilization
+	// Step returns the rates for sampling period k+1 given the utilization
 	// vector u(k) measured over period k and the currently applied rates.
 	// Implementations must return a slice of the same length as rates and
 	// must respect each task's rate bounds.
-	Rates(k int, u, rates []float64) ([]float64, error)
+	Step(k int, u, rates []float64) ([]float64, error)
+	// Reset restores post-construction state so one controller can be
+	// reused across replications; a Reset controller must drive a run
+	// bit-identically to a freshly built one.
+	Reset()
+	// SetPoints returns the utilization set points the controller steers
+	// toward (a copy, one per processor), or nil for controllers with no
+	// set-point notion (open-loop baselines).
+	SetPoints() []float64
 }
 
-// DegradationReporter is an optional interface a RateController can
+// RateController is the pre-interface name of Controller.
+//
+// Deprecated: use Controller.
+type RateController = Controller
+
+// DegradationReporter is an optional interface a Controller can
 // implement to expose which graceful-degradation policy fired during its
-// most recent Rates call. The simulator records the report in the trace's
+// most recent Step call. The simulator records the report in the trace's
 // PeriodStats (HeldSamples, ControlSkipped), so experiments can see when
 // and how the controller degraded under feedback faults.
 type DegradationReporter interface {
-	// LastDegradation reports on the most recent Rates call: how many
+	// LastDegradation reports on the most recent Step call: how many
 	// processor samples were substituted through hold-last-sample, and
 	// whether the controller skipped actuation entirely because every
 	// usable sample was staler than its bound.
 	LastDegradation() (heldSamples int, controlSkipped bool)
 }
 
-// ContainmentReporter is an optional interface a RateController can
+// ContainmentReporter is an optional interface a Controller can
 // implement to expose its numerical-failure containment counters (the MPC
 // degradation ladder of internal/mpc). cmd/euconsim and the chaos harness
 // read it after a run to report how often — and how deeply — the
@@ -38,18 +56,34 @@ type ContainmentReporter interface {
 	ContainmentCounts() (bestIterate, regularized, held int)
 }
 
-// FixedRates is a RateController that never changes rates (pure open loop
+// ExplicitReporter is an optional interface a Controller can implement to
+// expose explicit-MPC fast-path accounting: how many control steps were
+// resolved by the offline-compiled piecewise-affine law versus fell back
+// to the iterative solver.
+type ExplicitReporter interface {
+	// ExplicitCounts reports fast-path hits and fallback misses since
+	// construction or Reset. Both are zero when no explicit law is in use.
+	ExplicitCounts() (hits, misses int)
+}
+
+// FixedRates is a Controller that never changes rates (pure open loop
 // with whatever rates the tasks started with).
 type FixedRates struct{}
 
-var _ RateController = FixedRates{}
+var _ Controller = FixedRates{}
 
-// Name implements RateController.
+// Name implements Controller.
 func (FixedRates) Name() string { return "FIXED" }
 
-// Rates implements RateController by echoing the current rates.
-func (FixedRates) Rates(_ int, _, rates []float64) ([]float64, error) {
+// Step implements Controller by echoing the current rates.
+func (FixedRates) Step(_ int, _, rates []float64) ([]float64, error) {
 	out := make([]float64, len(rates))
 	copy(out, rates)
 	return out, nil
 }
+
+// Reset implements Controller; FixedRates carries no state.
+func (FixedRates) Reset() {}
+
+// SetPoints implements Controller; FixedRates steers toward nothing.
+func (FixedRates) SetPoints() []float64 { return nil }

@@ -81,7 +81,11 @@ type nanController struct{ from int }
 
 func (nanController) Name() string { return "NANBUG" }
 
-func (c nanController) Rates(k int, u, rates []float64) ([]float64, error) {
+func (nanController) Reset() {}
+
+func (nanController) SetPoints() []float64 { return nil }
+
+func (c nanController) Step(k int, u, rates []float64) ([]float64, error) {
 	out := append([]float64(nil), rates...)
 	if k >= c.from {
 		out[0] = math.NaN()
@@ -154,7 +158,11 @@ type hookController struct {
 
 func (*hookController) Name() string { return "HOOK" }
 
-func (h *hookController) Rates(k int, u, rates []float64) ([]float64, error) {
+func (*hookController) Reset() {}
+
+func (*hookController) SetPoints() []float64 { return nil }
+
+func (h *hookController) Step(k int, u, rates []float64) ([]float64, error) {
 	h.hook(k, h.s)
 	return rates, nil
 }

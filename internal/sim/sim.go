@@ -172,6 +172,12 @@ type Stats struct {
 	// ContainmentReporter; the counts are cumulative since the controller's
 	// construction or last Reset.
 	ContainmentBestIterate, ContainmentRegularized, ContainmentHeld int
+	// ExplicitHits and ExplicitMisses mirror the controller's explicit-MPC
+	// fast-path counters as of the end of the run: control steps resolved
+	// by the offline-compiled piecewise-affine law versus fallen back to
+	// the iterative solver. Populated only when the controller implements
+	// ExplicitReporter; both stay zero without an explicit law.
+	ExplicitHits, ExplicitMisses int
 }
 
 // PeriodStats are the per-sampling-period counters behind the aggregate
@@ -514,6 +520,9 @@ func (s *Simulator) RunContext(ctx context.Context) (*Trace, error) {
 	if cr, ok := s.cfg.Controller.(ContainmentReporter); ok {
 		s.trace.Stats.ContainmentBestIterate, s.trace.Stats.ContainmentRegularized, s.trace.Stats.ContainmentHeld = cr.ContainmentCounts()
 	}
+	if er, ok := s.cfg.Controller.(ExplicitReporter); ok {
+		s.trace.Stats.ExplicitHits, s.trace.Stats.ExplicitMisses = er.ExplicitCounts()
+	}
 	return &s.trace, nil
 }
 
@@ -812,7 +821,7 @@ func (s *Simulator) handleSampling() error {
 	if faulted {
 		uIn = s.deliverFeedback(k, u)
 	}
-	newRates, err := s.cfg.Controller.Rates(k, uIn, applied) //eucon:alloc-ok controller boundary: plugged controllers may allocate; the plant does not
+	newRates, err := s.cfg.Controller.Step(k, uIn, applied) //eucon:alloc-ok controller boundary: plugged controllers may allocate; the plant does not
 	if err != nil {
 		// A controller failure must not crash the plant: keep current rates.
 		s.trace.Stats.ControllerErrors++

@@ -237,7 +237,11 @@ type doublingController struct{}
 
 func (doublingController) Name() string { return "DOUBLE" }
 
-func (doublingController) Rates(k int, _, rates []float64) ([]float64, error) {
+func (doublingController) Reset() {}
+
+func (doublingController) SetPoints() []float64 { return nil }
+
+func (doublingController) Step(k int, _, rates []float64) ([]float64, error) {
 	out := make([]float64, len(rates))
 	copy(out, rates)
 	if k == 4 {
@@ -275,7 +279,11 @@ type clampController struct{}
 
 func (clampController) Name() string { return "CLAMP" }
 
-func (clampController) Rates(int, []float64, []float64) ([]float64, error) {
+func (clampController) Reset() {}
+
+func (clampController) SetPoints() []float64 { return nil }
+
+func (clampController) Step(int, []float64, []float64) ([]float64, error) {
 	return []float64{99999}, nil
 }
 
@@ -295,7 +303,11 @@ type failingController struct{}
 
 func (failingController) Name() string { return "FAIL" }
 
-func (failingController) Rates(int, []float64, []float64) ([]float64, error) {
+func (failingController) Reset() {}
+
+func (failingController) SetPoints() []float64 { return nil }
+
+func (failingController) Step(int, []float64, []float64) ([]float64, error) {
 	return nil, errTest
 }
 

@@ -18,7 +18,7 @@ date="$(date +%Y-%m-%d)"
 out="${1:-BENCH_${date}.json}"
 benchtime="${BENCHTIME:-10x}"
 
-benches='BenchmarkSimulatorMedium$|BenchmarkSimulatorSteadyState$|BenchmarkSimulatorFaultedSteadyState$|BenchmarkFig4SimpleSweep$|BenchmarkFig4SimpleSweepSerial$|BenchmarkControllerStepMedium$|BenchmarkDeuconLocalStep$'
+benches='BenchmarkSimulatorMedium$|BenchmarkSimulatorSteadyState$|BenchmarkSimulatorFaultedSteadyState$|BenchmarkFig4SimpleSweep$|BenchmarkFig4SimpleSweepSerial$|BenchmarkControllerStepMedium$|BenchmarkControllerStepExplicitMedium$|BenchmarkDeuconLocalStep$'
 
 go test -run '^$' -bench "$benches" -benchmem -benchtime "$benchtime" . |
 awk -v date="$date" '
@@ -40,6 +40,12 @@ go run ./cmd/euconsim -sweep-digest |
 	sed "s/^{/{\"date\":\"${date}\",/" >>"$out"
 
 go run ./cmd/euconsim -faults proc2-crash-recover -fault-digest |
+	sed "s/^{/{\"date\":\"${date}\",/" >>"$out"
+
+# Explicit-MPC offline compile: region counts, build digest, and wall time
+# per workload, so a compiler regression (slower build, different table)
+# shows up in the trend record.
+go run ./cmd/euconsim -explicit-report |
 	sed "s/^{/{\"date\":\"${date}\",/" >>"$out"
 
 # Chaos smoke wall time: how long the 25-scenario CI campaign takes, so a

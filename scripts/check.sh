@@ -44,6 +44,32 @@ if [ "$allocs" != "0" ]; then
 	exit 1
 fi
 
+echo "==> explicit-MPC allocation gate (BenchmarkControllerStepExplicitMedium)"
+exp_out=$(go test -run '^$' -bench 'BenchmarkControllerStepExplicitMedium$' -benchmem -benchtime 5x .)
+echo "$exp_out"
+exp_allocs=$(echo "$exp_out" | awk '/BenchmarkControllerStepExplicitMedium/ {print $(NF-1)}')
+if [ -z "$exp_allocs" ]; then
+	echo "FAIL: BenchmarkControllerStepExplicitMedium did not run; the explicit-step allocation gate has no teeth"
+	exit 1
+fi
+if [ "$exp_allocs" != "0" ]; then
+	echo "FAIL: BenchmarkControllerStepExplicitMedium reports $exp_allocs allocs/op; the explicit fast path must not allocate"
+	exit 1
+fi
+
+echo "==> explicit-MPC compile determinism (two compiles, identical digests)"
+exp_rep_a=$(go run ./cmd/euconsim -explicit-report)
+exp_rep_b=$(go run ./cmd/euconsim -explicit-report)
+digests_a=$(echo "$exp_rep_a" | sed 's/.*"digest":"\([^"]*\)".*/\1/')
+digests_b=$(echo "$exp_rep_b" | sed 's/.*"digest":"\([^"]*\)".*/\1/')
+if [ -z "$digests_a" ] || [ "$digests_a" != "$digests_b" ]; then
+	echo "FAIL: explicit region-table build digests differ across compiles:"
+	echo "$exp_rep_a"
+	echo "$exp_rep_b"
+	exit 1
+fi
+echo "$exp_rep_a"
+
 echo "==> fault scenario digest vs scripts/golden/ (proc2-crash-recover)"
 fault_out=$(mktemp)
 trap 'rm -f "$fault_out"' EXIT
