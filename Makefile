@@ -45,11 +45,13 @@ bench:
 bench-json:
 	./scripts/bench_trend.sh
 
-## chaos-smoke: the CI chaos gate — 25 seeded fault-storm scenarios, each a
-## full simulation checked against the robustness invariant set. Fails on
-## any violation. Runs in about a second.
+## chaos-smoke: the CI chaos gate — 25 seeded fault-storm scenarios against
+## the canonical SIMPLE campaign, plus 6 crash/feedback-drop scenarios
+## against localized DEUCON on LARGE-128 (each run at 1 and 8 workers and
+## required bit-identical). Fails on any violation.
 chaos-smoke:
 	$(GO) run ./cmd/euconfuzz -seed 1 -n 25
+	$(GO) run ./cmd/euconfuzz -campaign large128 -seed 1 -n 6 -periods 100
 
 ## chaos: a deeper campaign for local soak testing (hundreds of scenarios,
 ## wider clause compositions).

@@ -40,16 +40,28 @@ func run() int {
 	n := flag.Int("n", chaos.DefaultScenarios, "number of scenarios to generate and check")
 	maxClauses := flag.Int("max-clauses", chaos.DefaultMaxClauses, "maximum fault clauses per scenario")
 	periods := flag.Int("periods", chaos.DefaultPeriods, "sampling periods per run (canonical: 300)")
+	campaignName := flag.String("campaign", "simple", "campaign to run: simple (SIMPLE + centralized EUCON, full clause alphabet) or large128 (LARGE-128 + localized DEUCON, crash/feedback-drop clauses, every scenario checked bit-identical at 1 and 8 workers)")
 	verbose := flag.Bool("v", false, "print each scenario's clause list")
 	flag.Parse()
+
+	var campaign chaos.Campaign
+	switch *campaignName {
+	case "simple":
+		campaign = chaos.CampaignSimple
+	case "large128":
+		campaign = chaos.CampaignLarge128
+	default:
+		fmt.Fprintf(os.Stderr, "euconfuzz: unknown campaign %q (want simple or large128)\n", *campaignName)
+		return 2
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	opts := chaos.Options{Seed: *seed, Scenarios: *n, MaxClauses: *maxClauses, Periods: *periods}
+	opts := chaos.Options{Seed: *seed, Scenarios: *n, MaxClauses: *maxClauses, Periods: *periods, Campaign: campaign}
 	if *verbose {
 		for i := 0; i < *n; i++ {
-			scn := chaos.Generate(*seed, i, *maxClauses, *periods)
+			scn := chaos.GenerateFor(campaign, *seed, i, *maxClauses, *periods)
 			fmt.Printf("scenario %3d: %s\n", i, fault.Format(scn.Specs))
 		}
 	}
@@ -58,7 +70,7 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "euconfuzz: %v\n", err)
 		return 1
 	}
-	fmt.Printf("chaos campaign: seed=%d scenarios=%d periods=%d\n", rep.Seed, rep.Scenarios, rep.Periods)
+	fmt.Printf("chaos campaign: %s seed=%d scenarios=%d periods=%d\n", campaign, rep.Seed, rep.Scenarios, rep.Periods)
 	fmt.Printf("containment:    best-iterate=%d regularized=%d held=%d\n", rep.BestIterate, rep.Regularized, rep.Held)
 	fmt.Printf("degradation:    held-samples=%d skipped-periods=%d\n", rep.HeldSamples, rep.SkippedPeriods)
 	fmt.Printf("guard firings:  %d\n", rep.GuardFirings)

@@ -49,6 +49,8 @@ func run() int {
 	faultDigest := flag.Bool("fault-digest", false, "with -faults: print JSON digests of a faulted SIMPLE sweep at 1, 2, and 8 workers, including robustness metrics, then exit (scripts/check.sh diffs these against scripts/golden/)")
 	explicit := flag.Bool("explicit", false, "run EUCON with the offline-compiled explicit MPC law (internal/empc); rates are bit-identical to the iterative solver, so every digest and table is unchanged — the flag exists to prove exactly that")
 	explicitReport := flag.Bool("explicit-report", false, "compile the explicit MPC laws for the SIMPLE and MEDIUM controllers and print one JSON line each with region counts, build digest, and compile wall time, then exit (scripts/bench_trend.sh snapshots these)")
+	workloadName := flag.String("workload", "", "run a named LARGE scaling workload (see -list-workloads) and print JSON trajectory digests: centralized EUCON on the structured solver path plus localized DEUCON at 1, 2, and 8 workers (scripts/check.sh diffs these against scripts/golden/)")
+	listWL := flag.Bool("list-workloads", false, "list the named scaling workloads accepted by -workload")
 	flag.Parse()
 
 	// ^C or SIGTERM cancels in-flight simulations at the next sampling
@@ -70,6 +72,15 @@ func run() int {
 	case *digest:
 		if err := sweepDigests(ctx, os.Stdout, *explicit); err != nil {
 			fmt.Fprintf(os.Stderr, "euconsim: sweep digest: %v\n", err)
+			return 1
+		}
+		return 0
+	case *listWL:
+		listWorkloads(os.Stdout)
+		return 0
+	case *workloadName != "":
+		if err := largeDigests(ctx, os.Stdout, *workloadName); err != nil {
+			fmt.Fprintf(os.Stderr, "euconsim: workload: %v\n", err)
 			return 1
 		}
 		return 0

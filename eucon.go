@@ -143,6 +143,13 @@ func SimpleWorkload() *System { return workload.Simple() }
 // (25 subtasks) on 4 processors, 8 end-to-end + 4 local tasks.
 func MediumWorkload() *System { return workload.Medium() }
 
+// LargeWorkload returns a deterministic scaling workload (DESIGN.md §11):
+// procs processors in a line with 4 task chains starting per processor,
+// chain fan-out bounded so the allocation matrix is block-banded. procs
+// must be at least 6; LARGE-128 and LARGE-1024 are the registered
+// instances (WorkloadLarge128/WorkloadLarge1024).
+func LargeWorkload(procs int) (*System, error) { return workload.Large(procs) }
+
 // SimpleControllerConfig returns the paper's Table 2 controller parameters
 // for SIMPLE (P=2, M=1, Tref/Ts=4).
 func SimpleControllerConfig() ControllerConfig { return workload.SimpleController() }

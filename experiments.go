@@ -39,6 +39,12 @@ type (
 const (
 	WorkloadSimple = experiments.WorkloadSimple
 	WorkloadMedium = experiments.WorkloadMedium
+	// The LARGE scaling workloads (DESIGN.md §11): 128 and 1024 processors
+	// with block-banded coupling. Closed loops at these sizes should use
+	// ControllerDEUCON — the localized controller whose cost is
+	// near-linear in processor count.
+	WorkloadLarge128  = experiments.WorkloadLarge128
+	WorkloadLarge1024 = experiments.WorkloadLarge1024
 
 	ControllerEUCON  = experiments.KindEUCON
 	ControllerOPEN   = experiments.KindOPEN

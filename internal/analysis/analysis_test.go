@@ -14,6 +14,7 @@ import (
 // internal/sim.
 var fixtures = map[string]string{
 	"determinism":      "internal/sim/fixdeterminism",
+	"neighborscope":    "internal/mat/fixneighbor",
 	"faultdeterminism": "internal/fault/fixinjector",
 	"chaosdeterminism": "internal/chaos/fixchaos",
 	"noalloc":          "fixnoalloc",

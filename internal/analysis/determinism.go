@@ -18,6 +18,14 @@ var determinismScope = []string{
 	"internal/experiments",
 	"internal/fault",
 	"internal/chaos",
+	// The structured linear-algebra layer: a fill-reducing ordering or
+	// factorization that depends on map iteration order would silently
+	// de-synchronize every digest built on it.
+	"internal/mat",
+	"internal/qp",
+	// Named workloads (LARGE-128/LARGE-1024) are committed as golden
+	// digests, so their generation must be a pure function of the seed.
+	"internal/workload",
 }
 
 // runDeterminism flags the three classic determinism leaks in the scoped

@@ -1,0 +1,43 @@
+// Package fixneighbor is a lint fixture for the structured-solver scope:
+// the determinism analyzer must flag a map-range over neighbor sets (the
+// natural but order-randomized way to build adjacency for the localized
+// controller and the fill-reducing ordering), and must stay silent for the
+// sorted-slice form the real code uses. The package is loaded under a
+// synthetic internal/mat path so the scoped analyzer fires.
+package fixneighbor
+
+import "sort"
+
+// buildAdjacency is the flagged anti-pattern: neighbor sets held as maps
+// and ranged directly, so the adjacency list order — and with it the
+// fill-reducing permutation and every digest downstream — would vary from
+// run to run.
+func buildAdjacency(neighbors map[int]map[int]bool) [][]int {
+	adj := make([][]int, len(neighbors))
+	for p, set := range neighbors { // want "determinism: range over map map\[int\]map\[int\]bool iterates in randomized order"
+		for q := range set { // want "determinism: range over map map\[int\]bool iterates in randomized order"
+			adj[p] = append(adj[p], q)
+		}
+	}
+	return adj
+}
+
+// buildAdjacencySorted is the true negative: the same construction with
+// the iteration order pinned by sorting, as the real neighbor-scope code
+// does.
+func buildAdjacencySorted(neighbors map[int]map[int]bool) [][]int {
+	adj := make([][]int, len(neighbors))
+	for p := 0; p < len(neighbors); p++ {
+		var qs []int
+		//eucon:order-independent keys are collected then sorted
+		for q := range neighbors[p] {
+			qs = append(qs, q)
+		}
+		sort.Ints(qs)
+		adj[p] = qs
+	}
+	return adj
+}
+
+var _ = buildAdjacency
+var _ = buildAdjacencySorted

@@ -16,10 +16,12 @@ import (
 // EUCON's claim is not merely surviving the storm but returning to its set
 // points once the storm passes.
 
-// Generation bounds for the SIMPLE system (2 processors, 3 tasks).
+// Generation bounds for the SIMPLE system (2 processors, 3 tasks) and the
+// LARGE-128 system (128 processors).
 const (
 	simpleProcs = 2
 	simpleTasks = 3
+	largeProcs  = 128
 )
 
 // Scenario is one generated chaos case: a fault clause list derived
@@ -37,21 +39,62 @@ type Scenario struct {
 // maxClauses random fault clauses, optionally preceded by a whole-run
 // workload perturbation (a global execution-time factor in [0.7, 1.3],
 // expressed as an ExecStep clause so it travels inside the reproducer).
-// periods is the run length the windows are scaled against.
+// periods is the run length the windows are scaled against. It generates
+// for the canonical SIMPLE campaign; GenerateFor selects others.
 func Generate(seed int64, index, maxClauses, periods int) Scenario {
+	return GenerateFor(CampaignSimple, seed, index, maxClauses, periods)
+}
+
+// GenerateFor derives scenario index of a campaign against the given run
+// configuration. CampaignLarge128 draws only processor-crash and
+// feedback-drop clauses — the two fault families whose containment paths
+// the localized DEUCON controller owns end to end (a crashed processor's
+// local solves and a blinded processor's held feedback both stay inside the
+// neighbor scope) — targeted anywhere on the 128-processor line.
+func GenerateFor(c Campaign, seed int64, index, maxClauses, periods int) Scenario {
 	r := rng{state: mix64(uint64(seed)) ^ uint64(index)*0x9e3779b97f4a7c15}
 	n := 1 + r.intn(maxClauses)
 	specs := make([]fault.Spec, 0, n+1)
-	if r.float64() < 0.5 {
+	if c == CampaignSimple && r.float64() < 0.5 {
 		specs = append(specs, fault.Spec{
 			Kind: fault.ExecStep, Proc: fault.All, Task: fault.All, Sub: fault.All,
 			Magnitude: round3(r.rangeF(0.7, 1.3)),
 		})
 	}
 	for i := 0; i < n; i++ {
-		specs = append(specs, randClause(&r, periods))
+		if c == CampaignLarge128 {
+			specs = append(specs, randLargeClause(&r, periods))
+		} else {
+			specs = append(specs, randClause(&r, periods))
+		}
 	}
 	return Scenario{Index: index, Seed: seed, Specs: specs}
+}
+
+// randLargeClause draws one crash or feedback-drop clause for the LARGE-128
+// campaign, using the same window discipline as randClause (every window
+// closes by 3/4·periods so the re-convergence tail stays fault-free).
+func randLargeClause(r *rng, periods int) fault.Spec {
+	lastStop := math.Floor(3 * float64(periods) / 4)
+	start := math.Floor(r.rangeF(20, lastStop-30))
+	if r.float64() < 0.5 {
+		stop := start + math.Floor(r.rangeF(20, 90))
+		if stop > lastStop {
+			stop = lastStop
+		}
+		proc := fault.All
+		if r.float64() < 0.7 {
+			proc = r.intn(largeProcs)
+		}
+		return fault.Spec{Kind: fault.FeedbackDrop, Proc: proc,
+			Start: start, Stop: stop, Magnitude: round3(r.rangeF(0.05, 0.4)), Seed: r.int63()}
+	}
+	crashStop := start + math.Floor(r.rangeF(10, 60))
+	if crashStop > lastStop {
+		crashStop = lastStop
+	}
+	return fault.Spec{Kind: fault.ProcCrash, Proc: r.intn(largeProcs),
+		Start: start, Stop: crashStop}
 }
 
 // round3 rounds to 3 decimals so reproducers stay readable; generated

@@ -432,3 +432,8 @@ func (c *Controller) StableAt(g float64) (bool, error) {
 	}
 	return stable, nil
 }
+
+// Structured reports whether the MPC solver's cached Hessian factorization
+// uses the banded structure-exploiting backend, and its half bandwidth (0
+// when dense).
+func (c *Controller) Structured() (banded bool, bandwidth int) { return c.mpc.Structured() }

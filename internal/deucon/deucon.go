@@ -65,12 +65,32 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// adjTerm is one precomputed coupling coefficient: a nonzero allocation
+// entry F[proc][task] for a task led by another processor, whose announced
+// plan therefore perturbs proc's utilization.
+type adjTerm struct {
+	task int
+	coef float64
+}
+
 // local is one processor's controller state.
 type local struct {
 	proc  int
 	led   []int // task indices this processor leads
 	scope []int // processors visible to this controller: {proc} ∪ neighbors
-	ctrl  *mpc.Controller
+	// adj[ri] lists, for scope row ri, the nonzero F[scope[ri]][j] over
+	// tasks j led elsewhere — the only announcements that can move this
+	// row's utilization. Precomputed once so the per-period compensation
+	// walks the neighborhood instead of the global task set: per-step work
+	// scales with chain fan-out, not with system size.
+	adj  [][]adjTerm
+	ctrl *mpc.Controller
+
+	// Per-period scratch, reused across periods so the steady-state local
+	// step performs zero heap allocations.
+	uLocal []float64
+	rLed   []float64
+	res    *mpc.StepResult
 }
 
 // Controller is the decentralized utilization controller. It implements
@@ -90,6 +110,15 @@ type Controller struct {
 	// messages counts utilization reports + plan announcements exchanged.
 	messages int
 	periods  int
+	// outcomes[o] counts local solves resolved by degradation-ladder rung
+	// o across all periods — on a healthy steady state every count but
+	// SolveOK stays zero.
+	outcomes [mpc.SolveExplicitMiss + 1]int
+
+	// Per-period merge scratch, reused across periods (see Step).
+	errs []error
+	out  []float64
+	next []float64
 }
 
 var _ sim.Controller = (*Controller)(nil)
@@ -132,6 +161,9 @@ func New(sys *task.System, setPoints []float64, cfg Config) (*Controller, error)
 	if len(c.locals) == 0 {
 		return nil, fmt.Errorf("deucon: no processor leads any task")
 	}
+	c.errs = make([]error, len(c.locals))
+	c.out = make([]float64, len(sys.Tasks))
+	c.next = make([]float64, len(sys.Tasks))
 	return c, nil
 }
 
@@ -213,7 +245,27 @@ func newLocal(sys *task.System, f *mat.Dense, setPoints []float64, p int, led, s
 	if err != nil {
 		return nil, fmt.Errorf("deucon: local controller for P%d: %w", p+1, err)
 	}
-	return &local{proc: p, led: led, scope: scope, ctrl: ctrl}, nil
+	// Precompute the coupling structure: for each visible processor, the
+	// nonzero allocation entries of tasks led elsewhere. On a bounded-fan-out
+	// workload each list stays O(chains through the neighborhood) however
+	// large the system grows.
+	adj := make([][]adjTerm, len(scope))
+	for ri, proc := range scope {
+		for j := range sys.Tasks {
+			if sys.Tasks[j].Subtasks[0].Processor == p {
+				continue
+			}
+			if v := f.At(proc, j); !mat.IsZero(v) {
+				adj[ri] = append(adj[ri], adjTerm{task: j, coef: v})
+			}
+		}
+	}
+	return &local{
+		proc: p, led: led, scope: scope, adj: adj, ctrl: ctrl,
+		uLocal: make([]float64, len(scope)),
+		rLed:   make([]float64, len(led)),
+		res:    ctrl.NewStepResult(),
+	}, nil
 }
 
 // Name implements sim.Controller.
@@ -230,6 +282,14 @@ func (c *Controller) SetPoints() []float64 { return mat.VecClone(c.setPoints) }
 // Config.Parallelism goroutines, mirroring the physically parallel
 // processors of a real deployment. Results are merged in processor order,
 // making the outcome identical for every parallelism setting.
+//
+// The returned rate slice aliases controller-owned memory reused by the
+// next Step call; callers that keep it across periods must copy it (the
+// simulator copies it into the plant state and traces immediately). With
+// Parallelism 1 the whole period — per-processor solves included — runs
+// allocation-free in the steady state; parallel mode allocates only the
+// per-period fan-out scaffolding (worker goroutines and the job channel),
+// never anything per processor.
 func (c *Controller) Step(_ int, u, rates []float64) ([]float64, error) {
 	if len(u) != c.sys.Processors {
 		return nil, fmt.Errorf("deucon: utilization vector has length %d, want %d", len(u), c.sys.Processors)
@@ -239,11 +299,9 @@ func (c *Controller) Step(_ int, u, rates []float64) ([]float64, error) {
 	}
 	c.periods++
 
-	results := make([]*mpc.StepResult, len(c.locals))
-	errs := make([]error, len(c.locals))
 	if workers := min(c.cfg.Parallelism, len(c.locals)); workers <= 1 {
 		for i, l := range c.locals {
-			results[i], errs[i] = c.stepLocal(l, u, rates)
+			c.errs[i] = c.stepLocal(l, u, rates)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -253,7 +311,7 @@ func (c *Controller) Step(_ int, u, rates []float64) ([]float64, error) {
 			go func() {
 				defer wg.Done()
 				for i := range jobs {
-					results[i], errs[i] = c.stepLocal(c.locals[i], u, rates)
+					c.errs[i] = c.stepLocal(c.locals[i], u, rates)
 				}
 			}()
 		}
@@ -267,40 +325,38 @@ func (c *Controller) Step(_ int, u, rates []float64) ([]float64, error) {
 	// Deterministic merge in local (processor) order: led task sets are
 	// disjoint, counters accumulate in a fixed order, and the first failing
 	// processor wins error reporting.
-	out := make([]float64, len(rates))
-	copy(out, rates)
-	next := make([]float64, len(c.announced))
+	copy(c.out, rates)
 	for i, l := range c.locals {
-		if errs[i] != nil {
-			return nil, fmt.Errorf("deucon: local step on P%d: %w", l.proc+1, errs[i])
+		if c.errs[i] != nil {
+			return nil, fmt.Errorf("deucon: local step on P%d: %w", l.proc+1, c.errs[i])
 		}
 		c.messages += len(l.scope) // utilization reports (own report counted uniformly)
-		res := results[i]
+		c.outcomes[l.res.Outcome]++
 		for ci, t := range l.led {
-			out[t] = res.NewRates[ci]
-			next[t] = res.DeltaR[ci]
+			c.out[t] = l.res.NewRates[ci]
+			c.next[t] = l.res.DeltaR[ci]
 			c.messages++ // plan announcement to the processors hosting t
 		}
 	}
-	copy(c.announced, next)
-	return out, nil
+	copy(c.announced, c.next)
+	return c.out, nil
 }
 
-// stepLocal runs one processor's local MPC for the current period. It
-// reads only shared immutable period state (u, rates, the previous
-// period's announcements) and the local's own controller, so distinct
-// locals may step concurrently.
-func (c *Controller) stepLocal(l *local, u, rates []float64) (*mpc.StepResult, error) {
+// stepLocal runs one processor's local MPC for the current period into the
+// local's reusable scratch. It reads only shared immutable period state
+// (u, rates, the previous period's announcements) and writes only the
+// local's own state, so distinct locals may step concurrently.
+//
+//eucon:noalloc
+func (c *Controller) stepLocal(l *local, u, rates []float64) error {
 	// Local view: own + neighbor utilizations, adjusted by the effect of
 	// OTHER leaders' previously announced plans so the local model does not
-	// double-react to their corrections.
-	uLocal := make([]float64, len(l.scope))
+	// double-react to their corrections. Only the precomputed nonzero
+	// couplings are walked; structural zeros cannot move the sum.
 	for ri, proc := range l.scope {
 		adj := u[proc]
-		for j := range c.sys.Tasks {
-			if c.leaderOf(j) != l.proc && !mat.IsZero(c.announced[j]) {
-				adj += c.f.At(proc, j) * c.announced[j]
-			}
+		for _, e := range l.adj[ri] {
+			adj += e.coef * c.announced[e.task]
 		}
 		if adj < 0 {
 			adj = 0
@@ -308,13 +364,12 @@ func (c *Controller) stepLocal(l *local, u, rates []float64) (*mpc.StepResult, e
 		if adj > 1 {
 			adj = 1
 		}
-		uLocal[ri] = adj
+		l.uLocal[ri] = adj
 	}
-	rLed := make([]float64, len(l.led))
 	for ci, t := range l.led {
-		rLed[ci] = rates[t]
+		l.rLed[ci] = rates[t]
 	}
-	return l.ctrl.Step(uLocal, rLed)
+	return l.ctrl.StepTo(l.res, l.uLocal, l.rLed)
 }
 
 // Reset restores the controller to its post-New state: every local MPC's
@@ -331,7 +386,13 @@ func (c *Controller) Reset() {
 	}
 	c.messages = 0
 	c.periods = 0
+	c.outcomes = [mpc.SolveExplicitMiss + 1]int{}
 }
+
+// OutcomeCounts reports how many local solves each degradation-ladder
+// rung resolved, indexed by mpc.SolveOutcome, across all periods since
+// construction or Reset.
+func (c *Controller) OutcomeCounts() [mpc.SolveExplicitMiss + 1]int { return c.outcomes }
 
 // Messages reports the total number of control-plane messages exchanged so
 // far (utilization reports plus plan announcements).
@@ -356,8 +417,4 @@ func (c *Controller) MaxLocalProblemSize() (procs, tasks int) {
 		}
 	}
 	return procs, tasks
-}
-
-func (c *Controller) leaderOf(j int) int {
-	return c.sys.Tasks[j].Subtasks[0].Processor
 }

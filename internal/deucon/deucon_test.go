@@ -247,8 +247,10 @@ func TestRatesParallelismDeterministic(t *testing.T) {
 			if err != nil {
 				t.Fatalf("parallelism %d period %d: %v", par, k, err)
 			}
-			outs = append(outs, next)
-			rates = next
+			// Step's return value is controller-owned scratch; copy what we
+			// keep, as the simulator does.
+			outs = append(outs, append([]float64(nil), next...))
+			rates = append(rates[:0:0], next...)
 		}
 		return outs, ctrl.Messages()
 	}

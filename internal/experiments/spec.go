@@ -26,6 +26,14 @@ const (
 	// WorkloadMedium is the paper's MEDIUM system: uniform-random execution
 	// times, P=4/M=2 controller.
 	WorkloadMedium
+	// WorkloadLarge128 is this reproduction's LARGE-128 scaling system: 128
+	// processors in a line, 640 tasks with bounded chain fan-out so the
+	// allocation matrix is block-banded (see workload.Large).
+	WorkloadLarge128
+	// WorkloadLarge1024 is LARGE-1024: 1024 processors, 5120 tasks, same
+	// banded structure at a scale where dense centralized control is
+	// infeasible.
+	WorkloadLarge1024
 )
 
 // String implements fmt.Stringer.
@@ -35,6 +43,10 @@ func (k WorkloadKind) String() string {
 		return "SIMPLE"
 	case WorkloadMedium:
 		return "MEDIUM"
+	case WorkloadLarge128:
+		return "LARGE-128"
+	case WorkloadLarge1024:
+		return "LARGE-1024"
 	default:
 		return fmt.Sprintf("WorkloadKind(%d)", int(k))
 	}
@@ -133,6 +145,10 @@ func (s Spec) workload() (*task.System, workloadParams, error) {
 		sys, wp = workload.Simple(), workloadParams{cfg: workload.SimpleController(), jitter: 0}
 	case s.Workload == WorkloadMedium:
 		sys, wp = workload.Medium(), workloadParams{cfg: workload.MediumController(), jitter: workload.MediumJitter}
+	case s.Workload == WorkloadLarge128:
+		sys, wp = workload.Large128(), workloadParams{cfg: workload.LargeController(), jitter: 0}
+	case s.Workload == WorkloadLarge1024:
+		sys, wp = workload.Large1024(), workloadParams{cfg: workload.LargeController(), jitter: 0}
 	default:
 		return nil, workloadParams{}, fmt.Errorf("experiments: unknown workload kind %d", int(s.Workload))
 	}

@@ -1,0 +1,297 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file is the structure-exploiting SPD layer: a reverse Cuthill–McKee
+// fill-reducing ordering over the exact-zero pattern of a symmetric matrix,
+// a banded Cholesky factorization that costs O(n·bw²) instead of the dense
+// O(n³), and an SPDFactor dispatcher that picks the cheapest backend while
+// keeping a zero-allocation SolveVecTo steady-state path.
+//
+// Everything here is deterministic: the adjacency structure is derived from
+// exact zeros (sums of products of structural zeros are exactly zero in
+// IEEE-754, so the pattern is a pure function of the workload, never of
+// roundoff), RCM breaks every tie by (degree, index), and the banded
+// factorization visits entries in a fixed order. Equal inputs therefore
+// produce bit-identical factors and solutions on every run and at every
+// worker count.
+
+// spdDenseCutoff is the size below which FactorSPD always uses the dense
+// backend. Small systems (SIMPLE, MEDIUM) gain nothing from banding, and
+// keeping them on the exact dense path means the structured layer cannot
+// move their golden digests by construction.
+const spdDenseCutoff = 64
+
+// SPDFactor is a factorization of a symmetric positive-definite matrix
+// behind a single concrete type: exactly one of dense/band is non-nil.
+// A concrete struct (rather than an interface) keeps every SolveVecTo
+// call statically dispatched, so the noalloc analyzer can verify the
+// steady-state path end to end.
+type SPDFactor struct {
+	dense *Cholesky
+	band  *BandCholesky
+}
+
+// IsBanded reports whether the structured (banded, permuted) backend was
+// selected.
+func (f *SPDFactor) IsBanded() bool { return f.band != nil }
+
+// Bandwidth returns the half bandwidth of the banded backend, or 0 for
+// dense.
+func (f *SPDFactor) Bandwidth() int {
+	if f.band == nil {
+		return 0
+	}
+	return f.band.bw
+}
+
+// SolveVecTo solves A·x = b into dst without allocating. dst and b may
+// alias.
+//
+//eucon:noalloc
+func (f *SPDFactor) SolveVecTo(dst, b []float64) error {
+	if f.band != nil {
+		return f.band.SolveVecTo(dst, b)
+	}
+	return f.dense.SolveVecTo(dst, b)
+}
+
+// SolveVec solves A·x = b using the factorization.
+func (f *SPDFactor) SolveVec(b []float64) ([]float64, error) {
+	x := make([]float64, len(b))
+	if err := f.SolveVecTo(x, b); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// FactorSPDDense factors a through the dense backend unconditionally.
+func FactorSPDDense(a *Dense) (*SPDFactor, error) {
+	c, err := FactorCholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	return &SPDFactor{dense: c}, nil
+}
+
+// FactorSPD factors a symmetric positive-definite matrix, detecting and
+// exploiting band structure. Matrices below spdDenseCutoff, matrices whose
+// RCM-permuted bandwidth is too wide to pay for itself, and matrices the
+// banded kernel cannot factor numerically all fall back to the exact dense
+// path, so FactorSPD never does worse than FactorCholesky.
+func FactorSPD(a *Dense) (*SPDFactor, error) {
+	n := a.rows
+	if a.cols != n {
+		return nil, fmt.Errorf("mat: FactorSPD requires a square matrix, got %dx%d", a.rows, a.cols)
+	}
+	if n < spdDenseCutoff {
+		return FactorSPDDense(a)
+	}
+	perm := RCM(a)
+	bw := permutedBandwidth(a, perm)
+	// Banded factorization costs ~n·bw²; dense costs ~n³/3. The break-even
+	// with permutation bookkeeping sits near bw ≈ n/3; beyond that the
+	// dense kernel's tight loops win.
+	if bw*3 >= n {
+		return FactorSPDDense(a)
+	}
+	bc, err := factorBandCholesky(a, perm, bw)
+	if err != nil {
+		// Numerical trouble in the banded kernel (e.g. an input that is SPD
+		// only marginally): the dense path is the arbiter.
+		return FactorSPDDense(a)
+	}
+	return &SPDFactor{band: bc}, nil
+}
+
+// RCM computes a reverse Cuthill–McKee ordering of the exact-zero adjacency
+// structure of a symmetric matrix. The returned perm maps new index →
+// original index. Ties are always broken by (degree, original index), and
+// disconnected components are visited in ascending order of their minimum-
+// degree seed, so the ordering is a pure function of the sparsity pattern.
+func RCM(a *Dense) []int {
+	n := a.rows
+	adj := make([][]int, n)
+	deg := make([]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j != i && !IsZero(a.At(i, j)) {
+				adj[i] = append(adj[i], j)
+			}
+		}
+		deg[i] = len(adj[i])
+	}
+	for i := range adj {
+		neigh := adj[i]
+		sort.Slice(neigh, func(x, y int) bool {
+			if deg[neigh[x]] != deg[neigh[y]] {
+				return deg[neigh[x]] < deg[neigh[y]]
+			}
+			return neigh[x] < neigh[y]
+		})
+	}
+	order := make([]int, 0, n)
+	visited := make([]bool, n)
+	for {
+		// Seed the next component with its minimum-degree unvisited node
+		// (lowest index on ties).
+		seed := -1
+		for i := 0; i < n; i++ {
+			if !visited[i] && (seed < 0 || deg[i] < deg[seed]) {
+				seed = i
+			}
+		}
+		if seed < 0 {
+			break
+		}
+		visited[seed] = true
+		head := len(order)
+		order = append(order, seed)
+		for head < len(order) {
+			v := order[head]
+			head++
+			for _, w := range adj[v] {
+				if !visited[w] {
+					visited[w] = true
+					order = append(order, w)
+				}
+			}
+		}
+	}
+	// Reverse: RCM is Cuthill–McKee reversed, which shrinks the profile.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// permutedBandwidth returns the half bandwidth of P·A·Pᵀ for the ordering
+// perm (new index → original index).
+func permutedBandwidth(a *Dense, perm []int) int {
+	n := a.rows
+	iperm := make([]int, n)
+	for k, orig := range perm {
+		iperm[orig] = k
+	}
+	bw := 0
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			if !IsZero(a.At(i, j)) {
+				d := iperm[i] - iperm[j]
+				if d < 0 {
+					d = -d
+				}
+				if d > bw {
+					bw = d
+				}
+			}
+		}
+	}
+	return bw
+}
+
+// BandCholesky is a Cholesky factorization of the symmetrically permuted
+// matrix P·A·Pᵀ restricted to a band of half width bw: row i of L is stored
+// at l[i*(bw+1) : (i+1)*(bw+1)], with L[i][j] at offset j-i+bw for
+// j ∈ [i-bw, i]. Factorization costs O(n·bw²) and each solve O(n·bw).
+type BandCholesky struct {
+	n, bw int
+	l     []float64
+	perm  []int // new index → original index
+	iperm []int // original index → new index
+	y     []float64
+	z     []float64
+}
+
+// factorBandCholesky factors P·A·Pᵀ in band storage. The caller guarantees
+// that the permuted matrix has half bandwidth ≤ bw; entries outside the
+// band are structural zeros and never touched.
+func factorBandCholesky(a *Dense, perm []int, bw int) (*BandCholesky, error) {
+	n := a.rows
+	iperm := make([]int, n)
+	for k, orig := range perm {
+		iperm[orig] = k
+	}
+	w := bw + 1
+	l := make([]float64, n*w)
+	for i := 0; i < n; i++ {
+		lo := i - bw
+		if lo < 0 {
+			lo = 0
+		}
+		for j := lo; j <= i; j++ {
+			s := a.At(perm[i], perm[j])
+			klo := lo
+			if j-bw > klo {
+				klo = j - bw
+			}
+			for k := klo; k < j; k++ {
+				s -= l[i*w+(k-i+bw)] * l[j*w+(k-j+bw)]
+			}
+			if j == i {
+				if s <= 0 {
+					return nil, fmt.Errorf("factor banded Cholesky at row %d: %w", i, ErrNotPositiveDefinite)
+				}
+				l[i*w+bw] = math.Sqrt(s)
+			} else {
+				l[i*w+(j-i+bw)] = s / l[j*w+bw]
+			}
+		}
+	}
+	return &BandCholesky{
+		n: n, bw: bw, l: l,
+		perm: perm, iperm: iperm,
+		y: make([]float64, n), z: make([]float64, n),
+	}, nil
+}
+
+// SolveVecTo solves A·x = b into dst without allocating. dst and b may
+// alias: b is fully read into internal scratch before dst is written.
+//
+//eucon:noalloc
+func (c *BandCholesky) SolveVecTo(dst, b []float64) error {
+	n, bw := c.n, c.bw
+	if len(b) != n {
+		return fmt.Errorf("mat: banded Cholesky solve length mismatch: %d vs %d", len(b), n) //eucon:alloc-ok error path only; the hot path never formats
+	}
+	if len(dst) != n {
+		return fmt.Errorf("mat: banded Cholesky solve destination length mismatch: %d vs %d", len(dst), n) //eucon:alloc-ok error path only; the hot path never formats
+	}
+	w := bw + 1
+	y, z, l := c.y, c.z, c.l
+	// Forward solve L·y = P·b.
+	for i := 0; i < n; i++ {
+		s := b[c.perm[i]]
+		lo := i - bw
+		if lo < 0 {
+			lo = 0
+		}
+		row := l[i*w+(lo-i+bw) : i*w+bw]
+		for k, v := range row {
+			s -= v * y[lo+k]
+		}
+		y[i] = s / l[i*w+bw]
+	}
+	// Backward solve Lᵀ·z = y: column i of L is the set of L[k][i] for
+	// k ∈ (i, i+bw].
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		hi := i + bw
+		if hi > n-1 {
+			hi = n - 1
+		}
+		for k := i + 1; k <= hi; k++ {
+			s -= l[k*w+(i-k+bw)] * z[k]
+		}
+		z[i] = s / l[i*w+bw]
+	}
+	// Un-permute: x = Pᵀ·z.
+	for i := 0; i < n; i++ {
+		dst[c.perm[i]] = z[i]
+	}
+	return nil
+}

@@ -128,7 +128,8 @@ type Controller struct {
 	dregBuf     []float64 // dbuf extended with the Tikhonov zero targets
 	bFull, bBox []float64
 	z0          []float64
-	prevRelaxed bool // which constraint variant the warm-start set refers to
+	fastX       []float64 // StepTo interior fast-path solution scratch
+	prevRelaxed bool      // which constraint variant the warm-start set refers to
 
 	// Explicit-MPC state (nil law: iterative solver only). The law is the
 	// offline-compiled piecewise-affine map of internal/empc; lastRegion is
@@ -328,6 +329,7 @@ func New(f *mat.Dense, setPoints, rmin, rmax []float64, cfg Config) (*Controller
 	c.bFull = make([]float64, c.aFull.Rows())
 	c.bBox = make([]float64, c.aBox.Rows())
 	c.z0 = make([]float64, m*cfg.ControlHorizon)
+	c.fastX = make([]float64, m*cfg.ControlHorizon)
 
 	// Tikhonov fallback: min ‖C·z − d‖² + λ‖z‖² as the augmented stack
 	// [C; √λ·I] with zero targets on the new rows. λ is sized from C so the
@@ -459,19 +461,32 @@ func (c *Controller) ExplicitLaw() *empc.Law { return c.law }
 // non-finite measurement vector short-circuits to the hold rung — steering
 // the plant on NaN would poison the move memory.
 func (c *Controller) Step(u, rates []float64) (*StepResult, error) {
+	if err := c.pre(u, rates); err != nil {
+		return nil, err
+	}
+	return c.stepSolve(u, rates), nil
+}
+
+// pre validates the input vectors and runs the anti-windup resync shared
+// by Step and StepTo. It must run exactly once per sampling period, before
+// any solve path reads c.prevDelta.
+//
+// Anti-windup: reconcile the move memory with the move the plant actually
+// achieved, rates(k−1) → rates(k). When actuation is healthy the achieved
+// move is bit-identical to the commanded Δr(k−1) (both are the same
+// subtraction of the same floats), so this is a no-op; when an actuator
+// fault dropped, delayed, or clamped the command, the control penalty
+// would otherwise keep referencing a move that never happened and the
+// internal model would drift while the actuator is stuck.
+//
+//eucon:noalloc
+func (c *Controller) pre(u, rates []float64) error {
 	if len(u) != c.n {
-		return nil, fmt.Errorf("mpc: utilization vector has length %d, want %d", len(u), c.n)
+		return fmt.Errorf("mpc: utilization vector has length %d, want %d", len(u), c.n) //eucon:alloc-ok error path only; the hot path never formats
 	}
 	if len(rates) != c.m {
-		return nil, fmt.Errorf("mpc: rate vector has length %d, want %d", len(rates), c.m)
+		return fmt.Errorf("mpc: rate vector has length %d, want %d", len(rates), c.m) //eucon:alloc-ok error path only; the hot path never formats
 	}
-	// Anti-windup: reconcile the move memory with the move the plant
-	// actually achieved, rates(k−1) → rates(k). When actuation is healthy
-	// the achieved move is bit-identical to the commanded Δr(k−1) (both are
-	// the same subtraction of the same floats), so this is a no-op; when an
-	// actuator fault dropped, delayed, or clamped the command, the control
-	// penalty would otherwise keep referencing a move that never happened
-	// and the internal model would drift while the actuator is stuck.
 	if c.haveLast {
 		for i := 0; i < c.m; i++ {
 			achieved := rates[i] - c.lastRates[i]
@@ -483,12 +498,19 @@ func (c *Controller) Step(u, rates []float64) (*StepResult, error) {
 	}
 	copy(c.lastRates, rates)
 	c.haveLast = true
+	return nil
+}
+
+// stepSolve is everything in Step after validation and anti-windup: the
+// explicit fast path, the iterative solve, and the degradation ladder. It
+// never fails — every numerical outcome maps to a ladder rung.
+func (c *Controller) stepSolve(u, rates []float64) *StepResult {
 	for _, v := range u {
 		if !finite(v) {
 			// A NaN/Inf measurement reached the solver layer (the EUCON
 			// controller's hold-last policy normally substitutes upstream):
 			// no trustworthy solve is possible, so hold the applied rates.
-			return c.holdStep(u, rates), nil
+			return c.holdStep(u, rates)
 		}
 	}
 	c.fillLeastSquaresRHS(u, c.dbuf)
@@ -500,7 +522,7 @@ func (c *Controller) Step(u, rates []float64) (*StepResult, error) {
 	// path below, which reuses the right-hand sides already filled above.
 	if c.law != nil {
 		if res, ok := c.stepExplicit(u, rates); ok {
-			return res, nil
+			return res
 		}
 		c.explicitMisses++
 		c.lastExplicit = SolveExplicitMiss
@@ -592,7 +614,7 @@ func (c *Controller) Step(u, rates []float64) (*StepResult, error) {
 		}
 		// Rung 3: hold the applied rates.
 		if !accepted {
-			return c.holdStep(u, rates), nil
+			return c.holdStep(u, rates)
 		}
 	}
 
@@ -600,7 +622,7 @@ func (c *Controller) Step(u, rates []float64) (*StepResult, error) {
 	if !finiteVec(delta) {
 		// Belt and braces: a converged solve can still carry non-finite
 		// values if the inputs were poisoned. Holding is the only safe move.
-		return c.holdStep(u, rates), nil
+		return c.holdStep(u, rates)
 	}
 	newRates := make([]float64, c.m)
 	for i := range newRates {
@@ -619,7 +641,110 @@ func (c *Controller) Step(u, rates []float64) (*StepResult, error) {
 		OutputConstraintsRelaxed: relaxed || outcome == SolveRegularized,
 		SolverIterations:         res.Iterations,
 		Outcome:                  outcome,
-	}, nil
+	}
+}
+
+// NewStepResult allocates a StepResult whose slices are sized for this
+// controller, for use as the reusable destination of StepTo.
+func (c *Controller) NewStepResult() *StepResult {
+	return &StepResult{
+		DeltaR:        make([]float64, c.m),
+		NewRates:      make([]float64, c.m),
+		PredictedUtil: make([]float64, c.n),
+	}
+}
+
+// StepTo is Step writing into a caller-owned, reusable StepResult
+// (allocate it once with NewStepResult). In the steady state — strictly
+// feasible measurements, no rate bound or output constraint active, no
+// explicit law attached — the move resolves through the zero-allocation
+// interior fast path, which reproduces Step's arithmetic bit for bit (the
+// qp.LSI.SolveInteriorTo guards are exactly the conditions under which the
+// iterative solve completes in one unblocked Newton step from Δr = 0).
+// Off the fast path, StepTo delegates to the full solve-plus-ladder and
+// copies the result, so outputs are always identical to Step's; only the
+// allocation profile differs. out's slices are overwritten, never retained.
+//
+//eucon:noalloc
+func (c *Controller) StepTo(out *StepResult, u, rates []float64) error {
+	if err := c.pre(u, rates); err != nil {
+		return err
+	}
+	if c.stepInteriorTo(out, u, rates) {
+		return nil
+	}
+	res := c.stepSolve(u, rates) //eucon:alloc-ok off the steady-state fast path the full degradation ladder allocates its result
+	copyStepResultInto(out, res)
+	return nil
+}
+
+// stepInteriorTo attempts the interior fast path for StepTo. It reports
+// false (receiver untouched beyond scratch, right-hand sides refilled by
+// the caller's fallback) whenever any Step behavior other than the plain
+// unconstrained-interior solve could apply: non-finite measurements, an
+// attached explicit law (its hit/miss bookkeeping belongs to stepSolve),
+// or an undersized destination.
+//
+//eucon:noalloc
+func (c *Controller) stepInteriorTo(out *StepResult, u, rates []float64) bool {
+	if c.law != nil {
+		return false
+	}
+	if cap(out.DeltaR) < c.m || cap(out.NewRates) < c.m || cap(out.PredictedUtil) < c.n {
+		return false
+	}
+	for _, v := range u {
+		if !finite(v) {
+			return false
+		}
+	}
+	c.fillLeastSquaresRHS(u, c.dbuf)
+	c.fillConstraintRHS(u, rates, true, c.bFull)
+	iters, ok := c.lsi.SolveInteriorTo(c.fastX, c.dbuf, c.aFull, c.bFull)
+	if !ok {
+		return false
+	}
+	delta := out.DeltaR[:c.m]
+	newRates := out.NewRates[:c.m]
+	pred := out.PredictedUtil[:c.n]
+	copy(delta, c.fastX[:c.m])
+	if !finiteVec(delta) {
+		return false
+	}
+	for i := range newRates {
+		nr := rates[i] + delta[i]
+		// Guard against solver tolerance drift outside the box.
+		nr = math.Max(c.rmin[i], math.Min(c.rmax[i], nr))
+		newRates[i] = nr
+		delta[i] = nr - rates[i]
+	}
+	copy(c.prevDelta, delta)
+	c.f.MulVecTo(pred, delta)
+	for i := range pred {
+		pred[i] = u[i] + pred[i]
+	}
+	// State the full path would leave behind: a non-relaxed converged solve
+	// with an empty active set (SolveInteriorTo already cleared the
+	// warm-start set, matching Solve's empty Result.Active).
+	c.prevRelaxed = false
+	c.lastOutcome = SolveOK
+	out.DeltaR = delta
+	out.NewRates = newRates
+	out.PredictedUtil = pred
+	out.OutputConstraintsRelaxed = false
+	out.SolverIterations = iters
+	out.Outcome = SolveOK
+	return true
+}
+
+// copyStepResultInto copies res into out, reusing out's slice capacity.
+func copyStepResultInto(out, res *StepResult) {
+	out.DeltaR = append(out.DeltaR[:0], res.DeltaR...)
+	out.NewRates = append(out.NewRates[:0], res.NewRates...)
+	out.PredictedUtil = append(out.PredictedUtil[:0], res.PredictedUtil...)
+	out.OutputConstraintsRelaxed = res.OutputConstraintsRelaxed
+	out.SolverIterations = res.SolverIterations
+	out.Outcome = res.Outcome
 }
 
 // holdStep is the bottom rung of the degradation ladder: command Δr = 0,
@@ -932,6 +1057,8 @@ func (c *Controller) buildLeastSquaresMatrix() *mat.Dense {
 // fillLeastSquaresRHS refreshes d for the current measurements: the
 // tracking targets ref − u = λ_i·(B − u) and the previous move in the
 // control-penalty rows.
+//
+//eucon:noalloc
 func (c *Controller) fillLeastSquaresRHS(u, d []float64) {
 	p, mh := c.cfg.PredictionHorizon, c.cfg.ControlHorizon
 	for i := 1; i <= p; i++ {
@@ -1001,6 +1128,8 @@ func (c *Controller) buildConstraintMatrix(withOutput bool) *mat.Dense {
 
 // fillConstraintRHS refreshes b for the current measurements and applied
 // rates. withOutput must match the matrix the b slice belongs to.
+//
+//eucon:noalloc
 func (c *Controller) fillConstraintRHS(u, rates []float64, withOutput bool, b []float64) {
 	p, mh := c.cfg.PredictionHorizon, c.cfg.ControlHorizon
 	for i := 0; i < mh; i++ {
@@ -1094,3 +1223,10 @@ func (c *Controller) GainsTo(ke, kd *mat.Dense) error {
 	}
 	return nil
 }
+
+// Structured reports whether the nominal solver's cached Hessian
+// factorization uses the banded (structure-exploiting) backend, and its
+// half bandwidth (0 when dense). Small or unstructured problems report
+// false; the LARGE workloads' block-banded allocation matrices report
+// true.
+func (c *Controller) Structured() (banded bool, bandwidth int) { return c.lsi.Structured() }

@@ -28,7 +28,7 @@ type LSI struct {
 	c     *mat.Dense // retained to report the true least-squares objective
 	ct    *mat.Dense
 	h     *mat.Dense
-	hchol *mat.Cholesky
+	hchol *mat.SPDFactor
 
 	f     []float64 // −2·Cᵀd scratch
 	start []float64 // feasible starting point scratch
@@ -54,7 +54,15 @@ func NewLSI(c *mat.Dense, opts Options) (*LSI, error) {
 	for i := 0; i < n; i++ {
 		h.Set(i, i, h.At(i, i)+lsiRegularization*scale)
 	}
-	hchol, err := mat.FactorCholesky(h)
+	// FactorSPD detects band structure in H (via a fill-reducing ordering of
+	// its exact-zero pattern) and selects an O(n·bw²) banded factorization
+	// when it pays; small or unstructured Hessians stay on the exact dense
+	// path, so existing workloads are bit-identical by construction.
+	factor := mat.FactorSPD
+	if opts.ForceDense {
+		factor = mat.FactorSPDDense
+	}
+	hchol, err := factor(h)
 	if err != nil {
 		return nil, fmt.Errorf("qp: factor least-squares Hessian: %v: %w", err, ErrSingular)
 	}
@@ -123,6 +131,12 @@ func (s *LSI) Solve(d []float64, a *mat.Dense, b []float64, x0 []float64) (*Resu
 //
 //eucon:noalloc
 func (s *LSI) ResetWarmStart() { s.warm = s.warm[:0] }
+
+// Structured reports whether the cached Hessian factorization uses the
+// banded backend, and at what half bandwidth (0 when dense).
+func (s *LSI) Structured() (banded bool, bandwidth int) {
+	return s.hchol.IsBanded(), s.hchol.Bandwidth()
+}
 
 // SolveInteriorTo attempts the interior fast path of Solve for the
 // starting point x0 = 0: the solve that the active-set loop would complete

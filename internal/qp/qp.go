@@ -96,6 +96,12 @@ type Options struct {
 	// point are admitted, so warm starting changes the search order but
 	// never correctness. Out-of-range indices are ignored.
 	WarmStart []int
+	// ForceDense disables structure detection in LSI: the least-squares
+	// Hessian is factored through the exact dense Cholesky path even when a
+	// fill-reducing ordering would expose a narrow band. Used by the
+	// dense↔structured equivalence tests and benchmarks; production callers
+	// leave it false.
+	ForceDense bool
 }
 
 func (o Options) withDefaults(n, m int) Options {
@@ -177,7 +183,7 @@ func Solve(h *mat.Dense, f []float64, a *mat.Dense, b []float64, x0 []float64, o
 	if h.Rows() != n || h.Cols() != n {
 		return nil, fmt.Errorf("qp: H is %dx%d, want %dx%d", h.Rows(), h.Cols(), n, n)
 	}
-	hchol, err := mat.FactorCholesky(h)
+	hchol, err := mat.FactorSPDDense(h)
 	if err != nil {
 		return nil, fmt.Errorf("qp: factor H: %v: %w", err, ErrSingular)
 	}
@@ -185,8 +191,9 @@ func Solve(h *mat.Dense, f []float64, a *mat.Dense, b []float64, x0 []float64, o
 }
 
 // solveActiveSet is the primal active-set loop behind Solve and LSI.Solve.
-// hchol is the Cholesky factorization of h; ws supplies reusable scratch.
-func solveActiveSet(h *mat.Dense, hchol *mat.Cholesky, f []float64, a *mat.Dense, b []float64, x0 []float64, opts Options, ws *workspace) (*Result, error) {
+// hchol is the (possibly banded) factorization of h; ws supplies reusable
+// scratch.
+func solveActiveSet(h *mat.Dense, hchol *mat.SPDFactor, f []float64, a *mat.Dense, b []float64, x0 []float64, opts Options, ws *workspace) (*Result, error) {
 	n := len(f)
 	m := 0
 	if a != nil {
@@ -356,7 +363,7 @@ func addIfIndependent(a *mat.Dense, working []int, idx int) bool {
 // constraints. It uses the cached Cholesky factorization of H and the
 // Schur complement S = Aw·H⁻¹·Awᵀ, so the only dense solve is k×k.
 // Both returned slices alias workspace storage valid until the next call.
-func solveKKT(hchol *mat.Cholesky, a *mat.Dense, working []int, g []float64, ws *workspace) (p, lambda []float64, err error) {
+func solveKKT(hchol *mat.SPDFactor, a *mat.Dense, working []int, g []float64, ws *workspace) (p, lambda []float64, err error) {
 	hg := ws.hg
 	if err := hchol.SolveVecTo(hg, g); err != nil {
 		return nil, nil, fmt.Errorf("solve KKT system: %w", err)

@@ -1,0 +1,97 @@
+// LARGE workloads: the scaling configurations this reproduction adds
+// beyond the paper's SIMPLE and MEDIUM. Hundreds to a thousand processors
+// arranged in a line, with every end-to-end chain confined to a window of
+// largeWindow adjacent processors — bounded chain fan-out, so each
+// processor couples only to its ≤ 2·largeWindow nearest neighbors and the
+// subtask-allocation matrix F (and with it the MPC Hessian) is
+// block-banded. That structure is what internal/mat's fill-reducing
+// ordering and banded Cholesky exploit, and what keeps DEUCON's local
+// problems O(1) in the system size.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/rtsyslab/eucon/internal/core"
+	"github.com/rtsyslab/eucon/internal/task"
+)
+
+const (
+	// largeWindow is the processor span of a LARGE end-to-end chain: every
+	// chain's subtasks stay within a window of this many adjacent
+	// processors, bounding fan-out and bandwidth however large the system
+	// grows.
+	largeWindow = 3
+	// largeChainsPerProc is how many end-to-end chains start at each
+	// processor; with one local task per processor, LARGE-n carries
+	// (largeChainsPerProc+1)·n tasks.
+	largeChainsPerProc = 4
+	// largeSeed makes the generated parameters a pure function of the
+	// processor count: LARGE-128 and LARGE-1024 are named, reproducible
+	// workloads, not random draws.
+	largeSeed = 20040324 // ICDCS 2004, the paper's venue
+)
+
+// Large128 returns the LARGE-128 workload: 128 processors, 640 tasks (512
+// end-to-end chains + 128 local tasks), deterministic.
+func Large128() *task.System { return mustLarge(128) }
+
+// Large1024 returns the LARGE-1024 workload: 1024 processors, 5120 tasks
+// (4096 end-to-end chains + 1024 local tasks), deterministic.
+func Large1024() *task.System { return mustLarge(1024) }
+
+// LargeController returns the controller tuning for the LARGE workloads:
+// the SIMPLE horizons (P = 2, M = 1, Tref/Ts = 4). Short horizons keep the
+// per-period problem linear in the task count, and the light EWMA filter
+// counters window-quantization noise as on MEDIUM.
+func LargeController() core.Config {
+	return core.Config{PredictionHorizon: 2, ControlHorizon: 1, TrefOverTs: 4, MeasurementFilter: 0.3}
+}
+
+func mustLarge(procs int) *task.System {
+	sys, err := Large(procs)
+	if err != nil {
+		panic(err) // unreachable for the named processor counts
+	}
+	return sys
+}
+
+// Large generates the deterministic LARGE workload for a processor count:
+// a line of processors where each processor leads largeChainsPerProc
+// end-to-end chains confined to the largeWindow processors ahead of it
+// (chains near the end of the line run backwards instead of wrapping, so
+// the coupling graph is a path, not a cycle, and F stays banded in the
+// natural order) plus one local task. Costs and rate ranges follow the
+// random-workload conventions; everything is a pure function of procs.
+func Large(procs int) (*task.System, error) {
+	if procs < 2*largeWindow {
+		return nil, fmt.Errorf("workload: LARGE needs at least %d processors, got %d", 2*largeWindow, procs)
+	}
+	rng := rand.New(rand.NewSource(largeSeed + int64(procs)))
+	cost := func() float64 { return 20 + rng.Float64()*30 }
+	sys := &task.System{Name: fmt.Sprintf("LARGE-%d", procs), Processors: procs}
+	for p := 0; p < procs; p++ {
+		// Chains from p walk toward higher processor indices; near the end
+		// of the line they walk backwards. Either way every hop moves to an
+		// adjacent distinct processor inside the window.
+		dir := 1
+		if p+largeWindow >= procs {
+			dir = -1
+		}
+		for c := 0; c < largeChainsPerProc; c++ {
+			length := 2 + rng.Intn(largeWindow) // 2..largeWindow+1 subtasks ⇒ span ≤ largeWindow hops
+			subs := make([]task.Subtask, 0, length)
+			for j := 0; j < length; j++ {
+				subs = append(subs, task.Subtask{Processor: p + dir*j, EstimatedCost: cost()})
+			}
+			sys.Tasks = append(sys.Tasks, newRandomTask(fmt.Sprintf("E%d.%d", p, c+1), subs, rng))
+		}
+		subs := []task.Subtask{{Processor: p, EstimatedCost: cost()}}
+		sys.Tasks = append(sys.Tasks, newRandomTask(fmt.Sprintf("L%d", p), subs, rng))
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: generated LARGE-%d invalid: %w", procs, err)
+	}
+	return sys, nil
+}

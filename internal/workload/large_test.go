@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/rtsyslab/eucon/internal/core"
+)
+
+func TestLargeDeterministic(t *testing.T) {
+	a, err := Large(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Large(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Tasks) != len(b.Tasks) {
+		t.Fatalf("task counts differ: %d vs %d", len(a.Tasks), len(b.Tasks))
+	}
+	for i := range a.Tasks {
+		ta, tb := a.Tasks[i], b.Tasks[i]
+		if ta.Name != tb.Name || ta.RateMin != tb.RateMin || ta.RateMax != tb.RateMax || ta.InitialRate != tb.InitialRate {
+			t.Fatalf("task %d differs between builds: %+v vs %+v", i, ta, tb)
+		}
+		if len(ta.Subtasks) != len(tb.Subtasks) {
+			t.Fatalf("task %d subtask counts differ", i)
+		}
+		for j := range ta.Subtasks {
+			if ta.Subtasks[j] != tb.Subtasks[j] {
+				t.Fatalf("task %d subtask %d differs: %+v vs %+v", i, j, ta.Subtasks[j], tb.Subtasks[j])
+			}
+		}
+	}
+}
+
+func TestLargeShape(t *testing.T) {
+	for _, tc := range []struct {
+		procs, wantTasks int
+	}{
+		{128, 640},
+		{1024, 5120},
+	} {
+		sys, err := Large(tc.procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sys.Processors != tc.procs {
+			t.Errorf("LARGE-%d: processors = %d", tc.procs, sys.Processors)
+		}
+		if len(sys.Tasks) != tc.wantTasks {
+			t.Errorf("LARGE-%d: tasks = %d, want %d", tc.procs, len(sys.Tasks), tc.wantTasks)
+		}
+	}
+}
+
+// TestLargeBoundedFanOut verifies the structural promise of the LARGE
+// workloads: every chain spans at most largeWindow adjacent processors, so
+// each processor couples only to a bounded neighborhood regardless of the
+// system size.
+func TestLargeBoundedFanOut(t *testing.T) {
+	sys := Large128()
+	for i, tk := range sys.Tasks {
+		lo, hi := sys.Processors, -1
+		for _, st := range tk.Subtasks {
+			if st.Processor < lo {
+				lo = st.Processor
+			}
+			if st.Processor > hi {
+				hi = st.Processor
+			}
+		}
+		if hi-lo > largeWindow {
+			t.Errorf("task %d (%s) spans processors [%d,%d], want span ≤ %d", i, tk.Name, lo, hi, largeWindow)
+		}
+	}
+}
+
+func TestLargeRejectsTinySystems(t *testing.T) {
+	if _, err := Large(2*largeWindow - 1); err == nil {
+		t.Error("undersized LARGE accepted")
+	}
+}
+
+// TestLargeHessianIsBanded checks the tentpole property end to end: the
+// centralized controller built on LARGE-128 must detect the block-banded
+// structure of its Hessian and route solves through the banded backend.
+func TestLargeHessianIsBanded(t *testing.T) {
+	sys := Large128()
+	ctrl, err := core.New(sys, nil, LargeController())
+	if err != nil {
+		t.Fatal(err)
+	}
+	banded, bw := ctrl.Structured()
+	if !banded {
+		t.Fatal("LARGE-128 centralized Hessian factored dense, want banded")
+	}
+	// The control-horizon-1 Hessian is m×m with m = tasks; the permuted
+	// bandwidth must stay far below the dense threshold bw·3 < n.
+	if bw <= 0 || bw*3 >= len(sys.Tasks) {
+		t.Errorf("banded factorization bandwidth = %d of n = %d, expected structure-exploiting bandwidth", bw, len(sys.Tasks))
+	}
+}

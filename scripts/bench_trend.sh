@@ -1,7 +1,8 @@
 #!/bin/sh
 # bench_trend.sh appends a dated JSON snapshot of the key benchmarks (clean
-# and faulted steady state) plus the sweep-output and fault-scenario digests
-# to BENCH_<date>.json, tracking the performance trajectory of the simulator
+# and faulted steady state, plus the LARGE-scale structured-solver and
+# localized-DEUCON steps) and the sweep/fault/LARGE-workload digests to
+# BENCH_<date>.json, tracking the performance trajectory of the simulator
 # core across PRs.
 #
 # Each benchmark line records ns/op, B/op, and allocs/op from -benchmem; each
@@ -18,9 +19,18 @@ date="$(date +%Y-%m-%d)"
 out="${1:-BENCH_${date}.json}"
 benchtime="${BENCHTIME:-10x}"
 
-benches='BenchmarkSimulatorMedium$|BenchmarkSimulatorSteadyState$|BenchmarkSimulatorFaultedSteadyState$|BenchmarkFig4SimpleSweep$|BenchmarkFig4SimpleSweepSerial$|BenchmarkControllerStepMedium$|BenchmarkControllerStepExplicitMedium$|BenchmarkDeuconLocalStep$'
+benches='BenchmarkSimulatorMedium$|BenchmarkSimulatorSteadyState$|BenchmarkSimulatorFaultedSteadyState$|BenchmarkFig4SimpleSweep$|BenchmarkFig4SimpleSweepSerial$|BenchmarkControllerStepMedium$|BenchmarkControllerStepExplicitMedium$|BenchmarkDeuconLocalStep$|BenchmarkControllerStepLarge128$|BenchmarkControllerStepLarge128Dense$|BenchmarkDeuconLocalStepLarge128$|BenchmarkDeuconLocalStepLarge1024$'
 
-go test -run '^$' -bench "$benches" -benchmem -benchtime "$benchtime" . |
+# The LARGE Figure-4 sweeps run full 120-period closed loops per iteration
+# (~2 s at 128 processors, ~25 s at 1024), so they get one iteration each:
+# the number tracked is the near-linear 128→1024 scaling ratio, not ns/op
+# noise.
+large_benches='BenchmarkFig4Large128$|BenchmarkFig4Large1024$'
+
+{
+	go test -run '^$' -bench "$benches" -benchmem -benchtime "$benchtime" .
+	go test -run '^$' -bench "$large_benches" -benchmem -benchtime 1x .
+} |
 awk -v date="$date" '
 /^Benchmark/ {
 	name = $1
@@ -40,6 +50,14 @@ go run ./cmd/euconsim -sweep-digest |
 	sed "s/^{/{\"date\":\"${date}\",/" >>"$out"
 
 go run ./cmd/euconsim -faults proc2-crash-recover -fault-digest |
+	sed "s/^{/{\"date\":\"${date}\",/" >>"$out"
+
+# LARGE workload digests: the centralized step response on the structured
+# solver plus the localized DEUCON closed loop at every worker count. Equal
+# digests across workers and PRs prove the scaling work is bit-exact.
+go run ./cmd/euconsim -workload large128 |
+	sed "s/^{/{\"date\":\"${date}\",/" >>"$out"
+go run ./cmd/euconsim -workload large1024 |
 	sed "s/^{/{\"date\":\"${date}\",/" >>"$out"
 
 # Explicit-MPC offline compile: region counts, build digest, and wall time

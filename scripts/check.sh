@@ -1,8 +1,10 @@
 #!/bin/sh
 # Tier-1 check: gofmt -s, vet, euconlint, build, race-enabled tests,
-# benchmark smoke, the steady-state zero-allocation gate, the faulted
-# sweep digest diff against scripts/golden/, and the chaos smoke campaign
-# (25 seeded fault storms, every robustness invariant enforced).
+# benchmark smoke, the steady-state zero-allocation gates (simulator,
+# explicit MPC, and the localized DEUCON step at 128 processors), the
+# sweep/fault/LARGE-workload digest diffs against scripts/golden/, and the
+# chaos smoke campaigns (25 seeded fault storms on SIMPLE plus 6 localized
+# fault storms at 128 processors, every robustness invariant enforced).
 # Usage: ./scripts/check.sh   (or: make check)
 set -eu
 
@@ -57,6 +59,19 @@ if [ "$exp_allocs" != "0" ]; then
 	exit 1
 fi
 
+echo "==> localized-DEUCON allocation gate (BenchmarkDeuconLocalStepLarge128)"
+loc_out=$(go test -run '^$' -bench 'BenchmarkDeuconLocalStepLarge128$' -benchmem -benchtime 5x .)
+echo "$loc_out"
+loc_allocs=$(echo "$loc_out" | awk '/BenchmarkDeuconLocalStepLarge128/ {print $(NF-1)}')
+if [ -z "$loc_allocs" ]; then
+	echo "FAIL: BenchmarkDeuconLocalStepLarge128 did not run; the localized-step allocation gate has no teeth"
+	exit 1
+fi
+if [ "$loc_allocs" != "0" ]; then
+	echo "FAIL: BenchmarkDeuconLocalStepLarge128 reports $loc_allocs allocs/op; the localized per-processor step must not allocate in steady state"
+	exit 1
+fi
+
 echo "==> explicit-MPC compile determinism (two compiles, identical digests)"
 exp_rep_a=$(go run ./cmd/euconsim -explicit-report)
 exp_rep_b=$(go run ./cmd/euconsim -explicit-report)
@@ -71,17 +86,39 @@ fi
 echo "$exp_rep_a"
 
 echo "==> fault scenario digest vs scripts/golden/ (proc2-crash-recover)"
-fault_out=$(mktemp)
-trap 'rm -f "$fault_out"' EXIT
-go run ./cmd/euconsim -faults proc2-crash-recover -fault-digest > "$fault_out"
-if ! diff -u scripts/golden/fault-proc2-crash-recover.digest "$fault_out"; then
+scratch=$(mktemp)
+trap 'rm -f "$scratch"' EXIT
+go run ./cmd/euconsim -faults proc2-crash-recover -fault-digest > "$scratch"
+if ! diff -u scripts/golden/fault-proc2-crash-recover.digest "$scratch"; then
 	echo "FAIL: faulted sweep digest moved; fault injection or degradation behaviour changed."
 	echo "If intentional, regenerate with:"
 	echo "  go run ./cmd/euconsim -faults proc2-crash-recover -fault-digest > scripts/golden/fault-proc2-crash-recover.digest"
 	exit 1
 fi
 
-echo "==> chaos smoke (make chaos-smoke: 25 seeded fault storms)"
+echo "==> fig4/fig5 sweep digests vs scripts/golden/ (structured solver must not move the science)"
+go run ./cmd/euconsim -sweep-digest > "$scratch"
+if ! diff -u scripts/golden/sweep-fig4-fig5.digest "$scratch"; then
+	echo "FAIL: fig4/fig5 sweep digests moved; the dense and structured solver paths diverged"
+	echo "or a controller change altered the reproduced results."
+	echo "If intentional, regenerate with:"
+	echo "  go run ./cmd/euconsim -sweep-digest > scripts/golden/sweep-fig4-fig5.digest"
+	exit 1
+fi
+
+echo "==> LARGE-128 workload digests vs scripts/golden/ (localized DEUCON, workers 1/2/8)"
+go run ./cmd/euconsim -workload large128 > "$scratch"
+if ! diff -u scripts/golden/workload-large128.digest "$scratch"; then
+	echo "FAIL: LARGE-128 digests moved; the structured solver, the localized controller,"
+	echo "or the parallel merge changed behaviour (digests must match at every worker count)."
+	echo "If intentional, regenerate with:"
+	echo "  go run ./cmd/euconsim -workload large128 > scripts/golden/workload-large128.digest"
+	echo "  go run ./cmd/euconsim -workload large1024 > scripts/golden/workload-large1024.digest"
+	exit 1
+fi
+
+echo "==> chaos smoke (make chaos-smoke: 25 seeded fault storms + 6 localized storms at 128 procs)"
 go run ./cmd/euconfuzz -seed 1 -n 25
+go run ./cmd/euconfuzz -campaign large128 -seed 1 -n 6 -periods 100
 
 echo "==> OK"
