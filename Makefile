@@ -15,15 +15,18 @@ vet:
 	$(GO) vet ./...
 
 ## lint: euconlint (cmd/euconlint), the repo's own static-analysis suite —
-## determinism, noalloc, floatsafety, pooldiscipline, and aliasing
-## invariants. Exits nonzero on any finding.
+## determinism, interprocedural noalloc proofs, floatsafety, pooldiscipline,
+## aliasing, enum exhaustiveness, and concurrency-discipline invariants.
+## Exits nonzero on any finding.
 lint:
-	$(GO) run ./cmd/euconlint ./...
+	$(GO) run ./cmd/euconlint ./... ./cmd/...
 
 ## lint-fixtures: the analyzer suite's own golden-diagnostic tests (each
-## fixture package must produce exactly its want-commented findings).
+## fixture package must produce exactly its want-commented findings, every
+## analyzer must carry positive and annotated-negative fixtures, and the
+## diagnostic order must be deterministic).
 lint-fixtures:
-	$(GO) test ./internal/analysis -run 'TestFixtures|TestExitsNonzeroSemantics|TestDirectiveName|TestAnalyzersHaveDocs' -count=1
+	$(GO) test ./internal/analysis -run 'TestFixtures|TestExitsNonzeroSemantics|TestDirectiveName|TestAnalyzersHaveDocs|TestAnalyzerFixtureCoverage|TestDiagnosticOrderDeterministic' -count=1
 
 build:
 	$(GO) build ./...

@@ -27,8 +27,10 @@ import (
 func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array instead of text")
 	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	writeManifest := flag.Bool("write-noalloc-manifest", false,
+		"regenerate internal/analysis/noalloc_manifest.golden from the module's //eucon:noalloc annotations and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: euconlint [-json] [-list] [patterns...]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: euconlint [-json] [-list] [-write-noalloc-manifest] [patterns...]\n\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "Analyzers:\n")
 		for _, a := range analysis.Analyzers() {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-16s %s\n", a.Name, a.Doc)
@@ -40,6 +42,14 @@ func main() {
 	if *list {
 		for _, a := range analysis.Analyzers() {
 			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	if *writeManifest {
+		if err := regenManifest(); err != nil {
+			fmt.Fprintf(os.Stderr, "euconlint: %v\n", err)
+			os.Exit(2)
 		}
 		return
 	}
@@ -147,6 +157,33 @@ func run(patterns []string, jsonOut bool) (int, error) {
 		return 1, nil
 	}
 	return 0, nil
+}
+
+// regenManifest rewrites internal/analysis/noalloc_manifest.golden from
+// the module's current //eucon:noalloc annotations.
+func regenManifest() error {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	root, err := findModuleRoot(cwd)
+	if err != nil {
+		return err
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		return err
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		return err
+	}
+	out := filepath.Join(root, "internal", "analysis", "noalloc_manifest.golden")
+	if err := os.WriteFile(out, []byte(analysis.WriteManifest(pkgs)), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
 }
 
 // findModuleRoot walks up from dir to the directory containing go.mod.

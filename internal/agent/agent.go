@@ -188,7 +188,7 @@ func (c *Coordinator) accept(ctx context.Context) error {
 		}
 		if d, ok := c.cfg.Listener.(*net.TCPListener); ok {
 			// Bound each Accept so context cancellation is honored.
-			_ = d.SetDeadline(time.Now().Add(c.cfg.Timeout))
+			_ = d.SetDeadline(time.Now().Add(c.cfg.Timeout)) //eucon:wallclock-ok operational accept deadline, never feeds control output
 		}
 		nc, err := c.cfg.Listener.Accept()
 		if err != nil {
@@ -357,7 +357,7 @@ func RunNode(ctx context.Context, cfg NodeConfig) error {
 				return fmt.Errorf("agent: node P%d got %d rates, want %d", cfg.Processor+1, len(reply.Rates), len(rates))
 			}
 			copy(rates, reply.Rates)
-		default:
+		default: //eucon:exhaustive-default hello/utilization from the coordinator are protocol errors
 			return fmt.Errorf("agent: node P%d got unexpected %q", cfg.Processor+1, reply.Type)
 		}
 	}

@@ -15,7 +15,24 @@
 //     recycled to its free list;
 //   - aliasing: exported functions returning slices that alias
 //     receiver/parameter-owned backing arrays must say so in their doc
-//     comment.
+//     comment;
+//   - exhaustive: every switch or if-chain over a //eucon:exhaustive enum
+//     (SolveOutcome, fault.Kind, qp.Status, the experiment kinds) must
+//     cover all declared constants or carry //eucon:exhaustive-default;
+//   - concurrency: goroutine lifetime (every go statement joinable via
+//     WaitGroup or cancellable via a context.Context from the spawner's
+//     signature), no locks copied by value, Lock/Unlock balance on every
+//     linear path, and channel send-after-close / unguarded-blocking-send
+//     heuristics.
+//
+// Since v2 the suite is interprocedural: a module-wide program index
+// (program.go) built on the Loader cache resolves function declarations,
+// interface implementors, and enum universes across packages, so the
+// noalloc analyzer proves annotated hot paths allocation-free through the
+// whole call graph (including dynamic dispatch, via class-hierarchy
+// analysis over the load set) instead of stopping at the first
+// unannotated callee, and the committed noalloc manifest
+// (noalloc_manifest.golden) makes deleting any annotation a finding.
 //
 // Every analyzer consumes the same parsed, type-checked Package produced
 // once by the Loader, reports file:line diagnostics, and supports a
@@ -65,7 +82,7 @@ func Analyzers() []*Analyzer {
 		},
 		{
 			Name: "noalloc",
-			Doc:  "//eucon:noalloc functions must not contain allocating constructs or call unannotated functions",
+			Doc:  "//eucon:noalloc functions must be transitively allocation-free through the call graph (interface dispatch resolved over the load set); annotations must match the committed manifest",
 			run:  runNoalloc,
 		},
 		{
@@ -83,6 +100,16 @@ func Analyzers() []*Analyzer {
 			Doc:  "exported functions returning receiver/parameter-backed slices must document the aliasing",
 			run:  runAliasing,
 		},
+		{
+			Name: "exhaustive",
+			Doc:  "switches and if-chains over //eucon:exhaustive enums must cover every constant or carry //eucon:exhaustive-default",
+			run:  runExhaustive,
+		},
+		{
+			Name: "concurrency",
+			Doc:  "goroutines need a WaitGroup join or context cancellation, locks must not be copied and must be released on every path, channel sends must not follow a close or block past cancellation",
+			run:  runConcurrency,
+		},
 	}
 }
 
@@ -92,10 +119,11 @@ type pass struct {
 	dirs     *directives
 	analyzer *Analyzer
 
-	// noallocFuncs is the set of //eucon:noalloc-annotated functions across
-	// the whole load set, so calls between annotated functions resolve even
-	// across package boundaries.
-	noallocFuncs map[*types.Func]bool
+	// prog is the module-wide index shared by every pass of one run: the
+	// function-declaration and interface-implementor maps behind the
+	// interprocedural noalloc proof, and the //eucon:exhaustive enum
+	// registry.
+	prog *program
 
 	out *[]Diagnostic
 }
@@ -109,22 +137,52 @@ func (p *pass) reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// Options tunes one analysis run.
+type Options struct {
+	// WithoutNoalloc suppresses the //eucon:noalloc annotation on the
+	// named functions (types.Func FullName form), simulating its deletion.
+	// The chain-deletion test uses this to prove that removing any
+	// annotation on a benchmark-gated chain produces a finding.
+	WithoutNoalloc []string
+	// Analyzers restricts the run to the named analyzers; empty means all.
+	Analyzers []string
+}
+
 // Run executes every analyzer over every package and returns the combined
-// diagnostics sorted by position. Packages must come from one Loader so
-// type objects are shared and the cross-package //eucon:noalloc call check
-// is sound.
+// diagnostics in a total order (file, line, column, analyzer, message).
+// Packages must come from one Loader so type objects are shared and the
+// interprocedural indexes are sound.
 func Run(pkgs []*Package) []Diagnostic {
+	return RunWithOptions(pkgs, Options{})
+}
+
+// RunWithOptions is Run with per-run tuning.
+func RunWithOptions(pkgs []*Package, opts Options) []Diagnostic {
 	var out []Diagnostic
-	noalloc := collectNoallocFuncs(pkgs)
+	prog := newProgram(pkgs, opts)
+	analyzers := Analyzers()
+	if len(opts.Analyzers) > 0 {
+		want := make(map[string]bool, len(opts.Analyzers))
+		for _, name := range opts.Analyzers {
+			want[name] = true
+		}
+		kept := analyzers[:0]
+		for _, a := range analyzers {
+			if want[a.Name] {
+				kept = append(kept, a)
+			}
+		}
+		analyzers = kept
+	}
 	for _, pkg := range pkgs {
 		dirs := pkg.directives()
-		for _, a := range Analyzers() {
+		for _, a := range analyzers {
 			a.run(&pass{
-				pkg:          pkg,
-				dirs:         dirs,
-				analyzer:     a,
-				noallocFuncs: noalloc,
-				out:          &out,
+				pkg:      pkg,
+				dirs:     dirs,
+				analyzer: a,
+				prog:     prog,
+				out:      &out,
 			})
 		}
 	}
@@ -139,30 +197,12 @@ func Run(pkgs []*Package) []Diagnostic {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 	return out
-}
-
-// collectNoallocFuncs gathers every //eucon:noalloc-annotated function
-// object in the load set.
-func collectNoallocFuncs(pkgs []*Package) map[*types.Func]bool {
-	set := make(map[*types.Func]bool)
-	for _, pkg := range pkgs {
-		dirs := pkg.directives()
-		for _, f := range pkg.Files {
-			for _, decl := range f.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || !dirs.funcHas(fd, dirNoalloc) {
-					continue
-				}
-				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
-					set[fn] = true
-				}
-			}
-		}
-	}
-	return set
 }
 
 // inScope reports whether a module-relative package path is one of (or

@@ -26,6 +26,16 @@ var determinismScope = []string{
 	// Named workloads (LARGE-128/LARGE-1024) are committed as golden
 	// digests, so their generation must be a pure function of the seed.
 	"internal/workload",
+	// The explicit-MPC offline compiler: its region tables are committed
+	// as build digests, so compilation must be a pure function of the
+	// problem.
+	"internal/empc",
+	// The distributed runtime layers: protocol framing and the
+	// coordinator/agent loops must replay identically given the same
+	// message trace. Operational wall-clock reads (I/O deadlines) carry
+	// //eucon:wallclock-ok.
+	"internal/lane",
+	"internal/agent",
 }
 
 // runDeterminism flags the three classic determinism leaks in the scoped
@@ -88,9 +98,9 @@ func runDeterminism(p *pass) {
 		}
 		switch fn.Pkg().Path() {
 		case "time":
-			if fn.Name() == "Now" {
+			if fn.Name() == "Now" && !p.dirs.lineHas(id.Pos(), dirWallclockOK) {
 				found = append(found, finding{id,
-					"time.Now couples simulation results to the wall clock; derive time from the simulated clock or configuration"})
+					"time.Now couples simulation results to the wall clock; derive time from the simulated clock or configuration, or annotate an operational read //eucon:wallclock-ok"})
 			}
 		case "math/rand", "math/rand/v2":
 			sig, ok := fn.Type().(*types.Signature)

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"strings"
@@ -27,12 +28,34 @@ import (
 //     change detection, exact-zero guards).
 //   - //eucon:pool-ok — on a line that touches a pooled object after its
 //     recycle call: the use is intentional and safe.
+//   - //eucon:exhaustive — on a type declaration: every switch or if-chain
+//     over the type's constants must cover all of them or carry an
+//     annotated default (exhaustiveness analyzer).
+//   - //eucon:exhaustive-default — on a default clause or final else: the
+//     fall-through intentionally absorbs unlisted constants (a protocol
+//     error path, a forward-compatibility guard).
+//   - //eucon:wallclock-ok — on a time.Now line in a determinism-scoped
+//     package: the read is operational (I/O deadlines, log stamps), not
+//     simulation state.
+//   - //eucon:goroutine-ok — on a go statement: the goroutine's lifetime
+//     is managed by something the analyzer cannot see (process-lifetime
+//     daemon, listener closed elsewhere).
+//   - //eucon:lock-ok — on a Lock line or a return: the lock intentionally
+//     outlives the function (ownership transfer to the caller).
+//   - //eucon:send-ok — on a channel send in a context-taking function:
+//     the send provably cannot block the cancellation path.
 const (
-	dirNoalloc          = "noalloc"
-	dirAllocOK          = "alloc-ok"
-	dirOrderIndependent = "order-independent"
-	dirFloatExact       = "float-exact"
-	dirPoolOK           = "pool-ok"
+	dirNoalloc           = "noalloc"
+	dirAllocOK           = "alloc-ok"
+	dirOrderIndependent  = "order-independent"
+	dirFloatExact        = "float-exact"
+	dirPoolOK            = "pool-ok"
+	dirExhaustive        = "exhaustive"
+	dirExhaustiveDefault = "exhaustive-default"
+	dirWallclockOK       = "wallclock-ok"
+	dirGoroutineOK       = "goroutine-ok"
+	dirLockOK            = "lock-ok"
+	dirSendOK            = "send-ok"
 )
 
 // directives indexes the //eucon: comments of one package by file and
@@ -42,11 +65,19 @@ type directives struct {
 	fset *token.FileSet
 	// lines maps filename -> line -> directive names present on that line.
 	lines map[string]map[int][]string
+	// occ records every occurrence position per directive name, in source
+	// order, so analyzers can audit directives themselves (the stale
+	// //eucon:alloc-ok check).
+	occ map[string][]token.Pos
 }
 
 // newDirectives scans every comment of the files for //eucon: directives.
 func newDirectives(fset *token.FileSet, files []*ast.File) *directives {
-	d := &directives{fset: fset, lines: make(map[string]map[int][]string)}
+	d := &directives{
+		fset:  fset,
+		lines: make(map[string]map[int][]string),
+		occ:   make(map[string][]token.Pos),
+	}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -61,10 +92,44 @@ func newDirectives(fset *token.FileSet, files []*ast.File) *directives {
 					d.lines[pos.Filename] = byLine
 				}
 				byLine[pos.Line] = append(byLine[pos.Line], name)
+				d.occ[name] = append(d.occ[name], c.Slash)
 			}
 		}
 	}
 	return d
+}
+
+// occurrences returns every position of the named directive in the
+// package, in source order.
+func (d *directives) occurrences(name string) []token.Pos {
+	return d.occ[name]
+}
+
+// directiveKeys returns the "file:line" keys of the named directive
+// occurrences that exempt pos: the same line or the line directly above.
+// Analyzers use the keys to record which escapes actually suppressed a
+// finding.
+func (d *directives) directiveKeys(pos token.Pos, name string) []string {
+	p := d.fset.Position(pos)
+	byLine := d.lines[p.Filename]
+	if byLine == nil {
+		return nil
+	}
+	var keys []string
+	for _, line := range [2]int{p.Line, p.Line - 1} {
+		for _, got := range byLine[line] {
+			if got == name {
+				keys = append(keys, lineKey(p.Filename, line))
+				break
+			}
+		}
+	}
+	return keys
+}
+
+// lineKey builds the "file:line" map key used for escape consumption.
+func lineKey(filename string, line int) string {
+	return fmt.Sprintf("%s:%d", filename, line)
 }
 
 // directiveName extracts the directive name from a comment's raw text.

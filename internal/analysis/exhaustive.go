@@ -1,0 +1,240 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// runExhaustive enforces closed-enum coverage: every switch, tagless
+// switch, or if/else-if chain that dispatches over the constants of a
+// //eucon:exhaustive type must either cover every declared constant or
+// carry an //eucon:exhaustive-default annotation on its default clause or
+// final else. The enum universe is collected module-wide (program.enums),
+// so adding a degradation rung in internal/mpc fails lint at every
+// unannotated partial switch in the tree, not just in the defining
+// package. Switches with non-constant case expressions are out of scope,
+// and an if-chain must contain at least two comparisons before it counts
+// as a dispatch.
+func runExhaustive(p *pass) {
+	elseIf := make(map[*ast.IfStmt]bool)
+	for _, f := range p.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SwitchStmt:
+				if n.Tag != nil {
+					checkTaggedSwitch(p, n)
+				} else {
+					checkTaglessSwitch(p, n)
+				}
+			case *ast.IfStmt:
+				if !elseIf[n] {
+					checkIfChain(p, n, elseIf)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkTaggedSwitch checks `switch x { case C: ... }` coverage.
+func checkTaggedSwitch(p *pass, sw *ast.SwitchStmt) {
+	enum := p.prog.enumOf(p.pkg.Info.TypeOf(sw.Tag))
+	if enum == nil {
+		return
+	}
+	covered := make([]bool, len(enum.values))
+	hasDefault, defaultOK := false, false
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			return
+		}
+		if cc.List == nil {
+			hasDefault = true
+			defaultOK = p.dirs.lineHas(cc.Pos(), dirExhaustiveDefault)
+			continue
+		}
+		for _, e := range cc.List {
+			tv, ok := p.pkg.Info.Types[e]
+			if !ok || tv.Value == nil {
+				return // non-constant case: out of scope
+			}
+			markCovered(enum, tv.Value, covered)
+		}
+	}
+	reportMissing(p, sw.Pos(), "switch", "default", enum, covered, hasDefault, defaultOK)
+}
+
+// checkTaglessSwitch treats `switch { case x == C: ... }` as an if-chain.
+func checkTaglessSwitch(p *pass, sw *ast.SwitchStmt) {
+	var enum *enumInfo
+	var covered []bool
+	subject, terms := "", 0
+	hasDefault, defaultOK := false, false
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			return
+		}
+		if cc.List == nil {
+			hasDefault = true
+			defaultOK = p.dirs.lineHas(cc.Pos(), dirExhaustiveDefault)
+			continue
+		}
+		for _, e := range cc.List {
+			subj, vals, ok := eqTerms(p, e)
+			if !ok {
+				return
+			}
+			if enum == nil {
+				enum = p.prog.enumOf(vals[0].typ)
+				if enum == nil {
+					return
+				}
+				subject = subj
+				covered = make([]bool, len(enum.values))
+			} else if subj != subject {
+				return
+			}
+			for _, v := range vals {
+				if p.prog.enumOf(v.typ) != enum {
+					return
+				}
+				markCovered(enum, v.val, covered)
+				terms++
+			}
+		}
+	}
+	if terms < 2 {
+		return
+	}
+	reportMissing(p, sw.Pos(), "if-chain", "default", enum, covered, hasDefault, defaultOK)
+}
+
+// checkIfChain checks `if x == A { } else if x == B || x == C { } else { }`
+// coverage. Else-if links are marked in elseIf so the outer walk does not
+// re-analyze chain tails as fresh chains.
+func checkIfChain(p *pass, ifs *ast.IfStmt, elseIf map[*ast.IfStmt]bool) {
+	var enum *enumInfo
+	var covered []bool
+	subject, terms := "", 0
+	hasElse, elseOK := false, false
+	cur := ifs
+	for {
+		if cur.Init != nil {
+			return
+		}
+		subj, vals, ok := eqTerms(p, cur.Cond)
+		if !ok {
+			return
+		}
+		if enum == nil {
+			enum = p.prog.enumOf(vals[0].typ)
+			if enum == nil {
+				return
+			}
+			subject = subj
+			covered = make([]bool, len(enum.values))
+		} else if subj != subject {
+			return
+		}
+		for _, v := range vals {
+			if p.prog.enumOf(v.typ) != enum {
+				return
+			}
+			markCovered(enum, v.val, covered)
+			terms++
+		}
+		if next, ok := cur.Else.(*ast.IfStmt); ok {
+			elseIf[next] = true
+			cur = next
+			continue
+		}
+		if blk, ok := cur.Else.(*ast.BlockStmt); ok {
+			hasElse = true
+			elseOK = p.dirs.lineHas(blk.Pos(), dirExhaustiveDefault)
+		}
+		break
+	}
+	if terms < 2 {
+		return // a single guard is a condition, not a dispatch
+	}
+	reportMissing(p, ifs.Pos(), "if-chain", "else", enum, covered, hasElse, elseOK)
+}
+
+// reportMissing emits the exhaustiveness finding if constants are
+// uncovered and the fall-through (if any) is unannotated.
+func reportMissing(p *pass, pos token.Pos, form, fallthroughName string, enum *enumInfo, covered []bool, hasDefault, defaultOK bool) {
+	if hasDefault && defaultOK {
+		return
+	}
+	var missing []string
+	for i, c := range covered {
+		if !c {
+			missing = append(missing, enum.values[i].names[0])
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	tname := types.TypeString(enum.tn.Type(), types.RelativeTo(p.pkg.Types))
+	if hasDefault {
+		p.reportf(pos, "%s over //eucon:exhaustive %s silently drops %s into an unannotated %s; add the cases or annotate the %s //eucon:exhaustive-default",
+			form, tname, strings.Join(missing, ", "), fallthroughName, fallthroughName)
+		return
+	}
+	p.reportf(pos, "%s over //eucon:exhaustive %s does not handle %s; add the cases or an //eucon:exhaustive-default %s",
+		form, tname, strings.Join(missing, ", "), fallthroughName)
+}
+
+// markCovered marks every enum value equal to v as covered (aliased
+// constants share one slot).
+func markCovered(enum *enumInfo, v constant.Value, covered []bool) {
+	for i := range enum.values {
+		if enum.values[i].val.Kind() == v.Kind() && constant.Compare(enum.values[i].val, token.EQL, v) {
+			covered[i] = true
+		}
+	}
+}
+
+// eqTerm is one `subject == constant` comparison.
+type eqTerm struct {
+	val constant.Value
+	typ types.Type
+}
+
+// eqTerms decomposes a condition into `x == C` comparisons joined by ||:
+// the subject's printed form, the constants compared against, and whether
+// the whole condition has that shape.
+func eqTerms(p *pass, cond ast.Expr) (string, []eqTerm, bool) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return "", nil, false
+	}
+	switch be.Op {
+	case token.LOR:
+		ls, lt, ok := eqTerms(p, be.X)
+		if !ok {
+			return "", nil, false
+		}
+		rs, rt, ok := eqTerms(p, be.Y)
+		if !ok || rs != ls {
+			return "", nil, false
+		}
+		return ls, append(lt, rt...), true
+	case token.EQL:
+		x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+		xv := p.pkg.Info.Types[x]
+		yv := p.pkg.Info.Types[y]
+		switch {
+		case xv.Value == nil && yv.Value != nil:
+			return types.ExprString(x), []eqTerm{{yv.Value, p.pkg.Info.TypeOf(x)}}, true
+		case yv.Value == nil && xv.Value != nil:
+			return types.ExprString(y), []eqTerm{{xv.Value, p.pkg.Info.TypeOf(y)}}, true
+		}
+	}
+	return "", nil, false
+}

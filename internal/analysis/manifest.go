@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	_ "embed"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The noalloc manifest is the committed registry of every //eucon:noalloc
+// annotation in the module, one "pkg Recv.Func" line per annotation. The
+// noalloc analyzer diffs each analyzed package against it, so deleting an
+// annotation anywhere — including a mid-chain function whose removal would
+// not otherwise change any proof — is a lint finding, not silent erosion
+// of the allocation-free contract. Regenerate after intentionally adding
+// or removing an annotation:
+//
+//	go run ./cmd/euconlint -write-noalloc-manifest
+//
+//go:embed noalloc_manifest.golden
+var noallocManifestData string
+
+// manifest returns the parsed registry: module-relative package path ("."
+// for the root) to sorted annotated function names.
+var manifest = sync.OnceValue(func() map[string][]string {
+	m := make(map[string][]string)
+	for _, line := range strings.Split(noallocManifestData, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		pkg, name, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		m[pkg] = append(m[pkg], name)
+	}
+	return m
+})
+
+// manifestKey is a package's key in the manifest.
+func manifestKey(pkg *Package) string {
+	if pkg.Rel == "" {
+		return "."
+	}
+	return pkg.Rel
+}
+
+// manifestFuncName renders a declaration's manifest name: Recv.Name for
+// methods (stars and type parameters stripped), the bare name otherwise.
+func manifestFuncName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	return recvTypeName(fd.Recv.List[0].Type) + "." + fd.Name.Name
+}
+
+// recvTypeName extracts the defined type name from a receiver type expr.
+func recvTypeName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(e.X)
+	case *ast.ParenExpr:
+		return recvTypeName(e.X)
+	case *ast.Ident:
+		return e.Name
+	case *ast.IndexExpr:
+		return recvTypeName(e.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(e.X)
+	}
+	return "?"
+}
+
+// WriteManifest renders the noalloc manifest for a load set (normally the
+// full module). Exported for euconlint -write-noalloc-manifest and the
+// manifest freshness test.
+func WriteManifest(pkgs []*Package) string {
+	var lines []string
+	for _, pkg := range pkgs {
+		if strings.Contains(pkg.Dir, "testdata") {
+			continue
+		}
+		dirs := pkg.directives()
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !dirs.funcHas(fd, dirNoalloc) {
+					continue
+				}
+				lines = append(lines, manifestKey(pkg)+" "+manifestFuncName(fd))
+			}
+		}
+	}
+	sort.Strings(lines)
+	const header = "# noalloc manifest: every //eucon:noalloc annotation in the module,\n" +
+		"# one \"pkg Recv.Func\" line each. The noalloc analyzer reports any drift,\n" +
+		"# so deleting an annotation fails lint until the deletion is made explicit\n" +
+		"# here. Regenerate: go run ./cmd/euconlint -write-noalloc-manifest\n"
+	return header + strings.Join(lines, "\n") + "\n"
+}
+
+// checkManifest diffs one package's live annotations against the
+// committed manifest. Fixture packages (under testdata) are exempt; the
+// manifest covers the real tree only.
+func checkManifest(p *pass) {
+	if strings.Contains(p.pkg.Dir, "testdata") {
+		return
+	}
+	listed := manifest()[manifestKey(p.pkg)]
+	want := make(map[string]bool, len(listed))
+	for _, name := range listed {
+		want[name] = true
+	}
+	got := make(map[string]bool)
+	declPos := make(map[string]ast.Node)
+	for _, f := range p.pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			name := manifestFuncName(fd)
+			if _, exists := declPos[name]; !exists {
+				declPos[name] = fd.Name
+			}
+			fn, ok := p.pkg.Info.Defs[fd.Name].(*types.Func)
+			if ok && p.prog.isAnnotated(fn) {
+				got[name] = true
+			}
+		}
+	}
+	for _, name := range sortedKeys(want) {
+		if got[name] {
+			continue
+		}
+		pos := p.pkg.Files[0].Package
+		if n, ok := declPos[name]; ok {
+			pos = n.Pos()
+		}
+		p.reportf(pos, "%s lost its //eucon:noalloc annotation but is still listed in the noalloc manifest; restore the annotation or regenerate internal/analysis/noalloc_manifest.golden (go run ./cmd/euconlint -write-noalloc-manifest)", name)
+	}
+	for _, name := range sortedKeys(got) {
+		if want[name] {
+			continue
+		}
+		p.reportf(declPos[name].Pos(), "//eucon:noalloc %s is not in the noalloc manifest; regenerate internal/analysis/noalloc_manifest.golden (go run ./cmd/euconlint -write-noalloc-manifest)", name)
+	}
+}
+
+// sortedKeys returns a map's keys in sorted order.
+func sortedKeys(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

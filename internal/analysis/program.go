@@ -1,0 +1,310 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// program is the module-wide index built once per Run and shared by every
+// pass: the function-declaration index the interprocedural noalloc proof
+// walks, the interface-implementor index that resolves dynamic dispatch
+// over the concrete types in the load set (class-hierarchy analysis), and
+// the //eucon:exhaustive enum registry. It is what turns the per-function
+// syntactic checks of euconlint v1 into cross-package dataflow analyses.
+type program struct {
+	pkgs []*Package
+
+	// decls maps every function and method object declared in the load set
+	// to its declaration site, so a proof can descend into callee bodies
+	// across package boundaries.
+	decls map[*types.Func]declSite
+
+	// annotated is the //eucon:noalloc contract set (minus any test
+	// suppressions from Options.WithoutNoalloc).
+	annotated map[*types.Func]bool
+
+	// enums maps each //eucon:exhaustive-annotated named type to its
+	// declared constants.
+	enums map[*types.TypeName]*enumInfo
+
+	// proofs memoizes the transitive allocation-freedom proof per function:
+	// nil while a proof is in flight (recursion among allocation-free
+	// functions is resolved coinductively — an allocation must appear as a
+	// construct somewhere, so a pure cycle proves clean).
+	proofs map[*types.Func]*proof
+
+	// implementors memoizes interface-method resolution: the concrete
+	// methods an interface method's dynamic dispatch can reach.
+	implementors map[*types.Func][]*types.Func
+
+	suppressed map[string]bool
+}
+
+// declSite locates one function declaration.
+type declSite struct {
+	decl *ast.FuncDecl
+	pkg  *Package
+}
+
+// enumInfo is the declared-constant universe of one exhaustive enum.
+type enumInfo struct {
+	tn *types.TypeName
+	// values holds the distinct constant values, each with every name
+	// declared for it (aliases of one value count as one case).
+	values []enumValue
+}
+
+// enumValue is one distinct constant value of an enum.
+type enumValue struct {
+	val   constant.Value
+	names []string
+}
+
+// newProgram indexes the load set.
+func newProgram(pkgs []*Package, opts Options) *program {
+	prog := &program{
+		pkgs:         pkgs,
+		decls:        make(map[*types.Func]declSite),
+		annotated:    make(map[*types.Func]bool),
+		enums:        make(map[*types.TypeName]*enumInfo),
+		proofs:       make(map[*types.Func]*proof),
+		implementors: make(map[*types.Func][]*types.Func),
+		suppressed:   make(map[string]bool),
+	}
+	for _, name := range opts.WithoutNoalloc {
+		prog.suppressed[name] = true
+	}
+	for _, pkg := range pkgs {
+		dirs := pkg.directives()
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					fn, ok := pkg.Info.Defs[d.Name].(*types.Func)
+					if !ok {
+						continue
+					}
+					prog.decls[fn] = declSite{decl: d, pkg: pkg}
+					if dirs.funcHas(d, dirNoalloc) && !prog.suppressed[fn.FullName()] {
+						prog.annotated[fn] = true
+					}
+				case *ast.GenDecl:
+					if d.Tok == token.TYPE {
+						prog.indexEnums(pkg, d)
+					}
+				}
+			}
+		}
+	}
+	return prog
+}
+
+// indexEnums registers every //eucon:exhaustive type of one type
+// declaration, collecting its declared constants from the defining
+// package's scope.
+func (prog *program) indexEnums(pkg *Package, d *ast.GenDecl) {
+	for _, spec := range d.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		if !commentGroupHas(d.Doc, dirExhaustive) &&
+			!commentGroupHas(ts.Doc, dirExhaustive) &&
+			!commentGroupHas(ts.Comment, dirExhaustive) {
+			continue
+		}
+		tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName)
+		if !ok {
+			continue
+		}
+		info := &enumInfo{tn: tn}
+		scope := pkg.Types.Scope()
+		names := scope.Names() // already sorted
+		for _, name := range names {
+			c, ok := scope.Lookup(name).(*types.Const)
+			if !ok || !types.Identical(c.Type(), tn.Type()) {
+				continue
+			}
+			found := false
+			for i := range info.values {
+				if constant.Compare(info.values[i].val, token.EQL, c.Val()) {
+					info.values[i].names = append(info.values[i].names, name)
+					found = true
+					break
+				}
+			}
+			if !found {
+				info.values = append(info.values, enumValue{val: c.Val(), names: []string{name}})
+			}
+		}
+		if len(info.values) >= 2 {
+			prog.enums[tn] = info
+		}
+	}
+}
+
+// commentGroupHas reports whether a comment group carries the directive.
+func commentGroupHas(cg *ast.CommentGroup, name string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if got, ok := directiveName(c.Text); ok && got == name {
+			return true
+		}
+	}
+	return false
+}
+
+// enumOf returns the exhaustive-enum registration for a type, resolving
+// through aliases to the named type.
+func (prog *program) enumOf(t types.Type) *enumInfo {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return nil
+	}
+	return prog.enums[named.Obj()]
+}
+
+// interfaceTargets resolves the concrete methods a call through interface
+// method m can dispatch to: for every non-interface named type in the load
+// set whose value or pointer method set implements m's interface, the
+// corresponding declared method. This is class-hierarchy analysis over the
+// analyzed packages; the resolution is only as complete as the load set,
+// which is why scripts/check.sh lints ./... rather than single packages.
+func (prog *program) interfaceTargets(m *types.Func) []*types.Func {
+	if targets, ok := prog.implementors[m]; ok {
+		return targets
+	}
+	sig, ok := m.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	iface, ok := sig.Recv().Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var targets []*types.Func
+	seen := make(map[*types.Func]bool)
+	for _, pkg := range prog.pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			t := tn.Type()
+			if types.IsInterface(t) {
+				continue
+			}
+			if !types.Implements(t, iface) && !types.Implements(types.NewPointer(t), iface) {
+				continue
+			}
+			obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(t), true, m.Pkg(), m.Name())
+			fn, ok := obj.(*types.Func)
+			if !ok || fn == m || seen[fn] {
+				continue
+			}
+			seen[fn] = true
+			targets = append(targets, fn)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].FullName() < targets[j].FullName() })
+	prog.implementors[m] = targets
+	return targets
+}
+
+// proof is the memoized outcome of one function's transitive
+// allocation-freedom check.
+type proof struct {
+	ok bool
+	// issue describes the first obstacle: an allocating construct in the
+	// function, or an unprovable callee further down the chain.
+	issue string
+	// provisional marks a positive result that leaned on an in-flight
+	// cycle assumption; it is returned but not memoized, so the proof is
+	// re-derived once the cycle has resolved.
+	provisional bool
+}
+
+// isAnnotated reports whether fn carries the //eucon:noalloc contract.
+func (prog *program) isAnnotated(fn *types.Func) bool {
+	return prog.annotated[fn]
+}
+
+// prove establishes (or refutes) that fn is transitively allocation-free.
+// Annotated functions are trusted here — their own bodies are checked
+// against the contract by runNoalloc, with escapes honored — so the proof
+// recursion only descends into unannotated code, where //eucon:alloc-ok
+// escapes have no owning contract and are therefore NOT honored: an
+// unannotated function must be plainly allocation-free, or gain the
+// annotation to own its escapes.
+func (prog *program) prove(fn *types.Func) *proof {
+	if prog.isAnnotated(fn) || noallocSafeCallee(fn) {
+		return &proof{ok: true}
+	}
+	if pr, ok := prog.proofs[fn]; ok {
+		if pr == nil {
+			// In-flight: a recursion among allocation-free functions is
+			// clean unless some construct on the cycle says otherwise, and
+			// the cycle member containing that construct fails on its own
+			// body walk. The caller marks its result provisional.
+			return &proof{ok: true, provisional: true}
+		}
+		return pr
+	}
+	site, ok := prog.decls[fn]
+	if !ok {
+		pr := &proof{issue: "it is outside the analyzed source"}
+		prog.proofs[fn] = pr
+		return pr
+	}
+	if site.decl.Body == nil {
+		pr := &proof{issue: "it has no Go body (assembly or external linkage)"}
+		prog.proofs[fn] = pr
+		return pr
+	}
+	prog.proofs[fn] = nil // mark in-flight
+	w := &noallocWalker{
+		prog:      prog,
+		pkg:       site.pkg,
+		decl:      site.decl,
+		storeLits: collectStoreLits(site.pkg.Info, site.decl.Body),
+	}
+	ast.Inspect(site.decl.Body, w.visit)
+	if w.firstIssue != "" {
+		pr := &proof{issue: w.firstIssue}
+		prog.proofs[fn] = pr
+		return pr
+	}
+	pr := &proof{ok: true, provisional: w.sawInflight}
+	if pr.provisional {
+		// The positive result assumed an in-flight cycle member resolves
+		// clean; drop the marker so a later query re-derives it against
+		// the settled cycle instead of trusting a possibly-wrong memo.
+		delete(prog.proofs, fn)
+	} else {
+		prog.proofs[fn] = pr
+	}
+	return pr
+}
+
+// shortPos renders a position module-relative for diagnostic messages.
+func shortPos(pkg *Package, pos token.Pos) string {
+	p := pkg.Fset.Position(pos)
+	name := p.Filename
+	// Trim to the path below the package directory's parent so messages
+	// stay readable regardless of where the module is checked out.
+	if rel, err := filepath.Rel(filepath.Dir(pkg.Dir), name); err == nil && !strings.HasPrefix(rel, "..") {
+		name = rel
+	} else {
+		name = filepath.Base(name)
+	}
+	return fmt.Sprintf("%s:%d", name, p.Line)
+}

@@ -21,7 +21,7 @@ func Head(s []float64, n int) []float64 {
 
 // View returns s[from:to). The result aliases s's backing array; copy it
 // before mutating or retaining.
-func View(s []float64, from, to int) []float64 {
+func View(s []float64, from, to int) []float64 { // ok: the doc comment documents the aliasing
 	return s[from:to]
 }
 

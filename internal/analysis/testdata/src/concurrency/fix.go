@@ -1,0 +1,149 @@
+// Package fixconcurrency is a lint fixture for the concurrency analyzer:
+// unjoined goroutines, copied locks, unbalanced lock paths, and undisciplined
+// channel sends carry want comments; joined/cancellable goroutines, pointer
+// receivers, defer-discharged locks, select-guarded sends, and annotated
+// escapes must stay silent.
+package fixconcurrency
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// ---- goroutine lifetime ----
+
+func leaks() {
+	go work() // want "concurrency: goroutine has no join or cancellation.*leaks.*"
+}
+
+func joined() { // ok: the closure defers wg.Done
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func runner(wg *sync.WaitGroup) { defer wg.Done(); work() }
+
+func passesWaitGroup() { // ok: the WaitGroup travels with the call
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go runner(&wg)
+	wg.Wait()
+}
+
+func cancellable(ctx context.Context) { // ok: the spawned work references the spawner's context
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func annotatedGoroutine() {
+	go work() //eucon:goroutine-ok fixture: process-lifetime worker
+}
+
+// ---- lock values ----
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func copiesLock(g guarded) int { // want "concurrency: parameter g is passed by value and contains sync.Mutex; use a pointer so the lock state is shared"
+	return g.n
+}
+
+func (g guarded) badRecv() int { // want "concurrency: receiver g is passed by value and contains sync.Mutex; use a pointer so the lock state is shared"
+	return g.n
+}
+
+func (g *guarded) goodRecv() int { // ok: a pointer receiver shares the lock state
+	return g.n
+}
+
+func snapshot(g guarded) int { //eucon:lock-ok fixture: deliberate value snapshot, never locked
+	return g.n
+}
+
+// ---- lock flow ----
+
+type store struct {
+	mu   sync.Mutex
+	data map[string]int
+}
+
+func (s *store) returnsLocked(k string) int {
+	s.mu.Lock()
+	if v, ok := s.data[k]; ok {
+		return v // want "concurrency: return while holding s.mu .locked at concurrency/fix.go:\d+.; unlock on every path, use defer, or annotate //eucon:lock-ok"
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+func (s *store) balanced(k string) int { // ok: the defer discharges the lock on every path
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.data[k]
+}
+
+func (s *store) fallsOff(k string) {
+	s.mu.Lock() // want "concurrency: s.mu locked here is still held when fallsOff ends; add the missing unlock, use defer, or annotate //eucon:lock-ok"
+	s.data[k] = 1
+}
+
+func (s *store) lockForCaller() {
+	s.mu.Lock() //eucon:lock-ok fixture: ownership transfers to the caller, which must unlock
+}
+
+type rwstore struct {
+	mu   sync.RWMutex
+	data map[string]int
+}
+
+func (s *rwstore) readLocked(k string) int {
+	s.mu.RLock()
+	if k == "" {
+		return -1 // want "concurrency: return while holding s.mu .read lock. .locked at concurrency/fix.go:\d+.; unlock on every path, use defer, or annotate //eucon:lock-ok"
+	}
+	v := s.data[k]
+	s.mu.RUnlock()
+	return v
+}
+
+func (s *rwstore) readBalanced(k string) int { // ok: RLock discharged by a deferred RUnlock
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.data[k]
+}
+
+// ---- channel discipline ----
+
+func sendOnClosed(ch chan int) {
+	close(ch)
+	ch <- 1 // want "concurrency: send on closed channel ch .closed at concurrency/fix.go:\d+.; sends after close panic"
+}
+
+func unboundedSend(ctx context.Context, ch chan int) {
+	ch <- 1 // want "concurrency: blocking send on ch in a function that takes a context.Context; guard it with select.*"
+}
+
+func guardedSend(ctx context.Context, ch chan int) { // ok: the select guards the send against cancellation
+	select {
+	case ch <- 1:
+	case <-ctx.Done():
+	}
+}
+
+func plainSend(ch chan int) { // ok: no context in the signature, no cancellation obligation
+	ch <- 1
+}
+
+func annotatedSend(ctx context.Context, ch chan int) {
+	ch <- 1 //eucon:send-ok fixture: the channel is buffered by contract
+}

@@ -45,7 +45,7 @@ func globalRand() float64 {
 	return rand.Float64() // want "determinism: global math/rand draws from the shared unseeded source"
 }
 
-func seededRand(seed int64) float64 {
+func seededRand(seed int64) float64 { // ok: explicitly seeded sources are how Config.Seed works
 	r := rand.New(rand.NewSource(seed))
 	return r.Float64()
 }

@@ -1,0 +1,20 @@
+// Package fixempc pins the determinism scope extension to internal/empc
+// (and, by the same scope list, internal/lane and internal/agent): the
+// offline explicit-MPC compiler's region tables are committed as build
+// digests, so wall-clock reads are findings unless annotated as
+// operational. Loaded under a synthetic internal/empc path.
+package fixempc
+
+import "time"
+
+func stamps() int64 {
+	return time.Now().UnixNano() // want "determinism: time.Now couples simulation results to the wall clock.*//eucon:wallclock-ok"
+}
+
+func operational() time.Time { // ok: an annotated operational read stays silent
+	return time.Now() //eucon:wallclock-ok fixture: operational read outside any digest
+}
+
+func pure(a, b float64) float64 { // ok: pure arithmetic is what the compiler should be made of
+	return a*b + 1
+}

@@ -1,0 +1,129 @@
+// Package fixexhaustive is a lint fixture for the exhaustive analyzer:
+// partial switches and if-chains over a //eucon:exhaustive enum carry want
+// comments; full coverage, alias coverage, annotated defaults, unregistered
+// types, and single guards must stay silent.
+package fixexhaustive
+
+// Outcome is the fixture's closed enum.
+//
+//eucon:exhaustive
+type Outcome int
+
+const (
+	OutOK Outcome = iota
+	OutRelaxed
+	OutHeld
+	// OutHeldAlias shares OutHeld's value; aliases count as one case.
+	OutHeldAlias = OutHeld
+)
+
+// Unregistered carries no //eucon:exhaustive contract.
+type Unregistered int
+
+const (
+	UnA Unregistered = iota
+	UnB
+)
+
+func full(o Outcome) int { // ok: every constant covered
+	switch o {
+	case OutOK:
+		return 0
+	case OutRelaxed:
+		return 1
+	case OutHeld:
+		return 2
+	}
+	return -1
+}
+
+func missing(o Outcome) int {
+	switch o { // want "exhaustive: switch over //eucon:exhaustive Outcome does not handle OutHeld; add the cases or an //eucon:exhaustive-default default"
+	case OutOK:
+		return 0
+	case OutRelaxed:
+		return 1
+	}
+	return -1
+}
+
+func silentDefault(o Outcome) int {
+	switch o { // want "exhaustive: switch over //eucon:exhaustive Outcome silently drops OutHeld, OutRelaxed into an unannotated default; add the cases or annotate the default //eucon:exhaustive-default"
+	case OutOK:
+		return 0
+	default:
+		return -1
+	}
+}
+
+func annotatedDefault(o Outcome) int { // ok: the default absorbs future outcomes deliberately
+	switch o {
+	case OutOK:
+		return 0
+	default: //eucon:exhaustive-default fixture: unknown outcomes degrade safely
+		return -1
+	}
+}
+
+func aliasCovers(o Outcome) int { // ok: OutHeldAlias fills the OutHeld slot
+	switch o {
+	case OutOK, OutRelaxed:
+		return 0
+	case OutHeldAlias:
+		return 2
+	}
+	return -1
+}
+
+func chainMissing(o Outcome) int {
+	if o == OutOK { // want "exhaustive: if-chain over //eucon:exhaustive Outcome does not handle OutHeld; add the cases or an //eucon:exhaustive-default else"
+		return 0
+	} else if o == OutRelaxed {
+		return 1
+	}
+	return -1
+}
+
+func chainFull(o Outcome) int { // ok: the chain covers every constant via an || join
+	if o == OutOK {
+		return 0
+	} else if o == OutRelaxed || o == OutHeld {
+		return 1
+	}
+	return -1
+}
+
+func chainAnnotated(o Outcome) int { // ok: the final else is annotated
+	if o == OutOK {
+		return 0
+	} else if o == OutRelaxed {
+		return 1
+	} else { //eucon:exhaustive-default fixture: held is the catch-all rung
+		return -1
+	}
+}
+
+func taglessMissing(o Outcome) int {
+	switch { // want "exhaustive: if-chain over //eucon:exhaustive Outcome does not handle OutRelaxed; add the cases or an //eucon:exhaustive-default default"
+	case o == OutOK:
+		return 0
+	case o == OutHeld:
+		return 2
+	}
+	return -1
+}
+
+func unregistered(u Unregistered) int { // ok: Unregistered has no exhaustiveness contract
+	switch u {
+	case UnA:
+		return 0
+	}
+	return -1
+}
+
+func singleGuard(o Outcome) int { // ok: one comparison is a condition, not a dispatch
+	if o == OutOK {
+		return 0
+	}
+	return -1
+}

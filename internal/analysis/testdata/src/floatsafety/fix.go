@@ -22,7 +22,7 @@ func exactLine(a float64) bool {
 	return a == 0 //eucon:float-exact exact-zero guard
 }
 
-func intEq(a, b int) bool {
+func intEq(a, b int) bool { // ok: integer comparison is exact by nature
 	return a == b
 }
 

@@ -1,20 +1,25 @@
-// Package fixnoalloc is a lint fixture for the noalloc analyzer: every
-// allocating construct inside a //eucon:noalloc function carries a want
-// comment; annotated-to-annotated calls, safe builtins, math, and
-// //eucon:alloc-ok lines must stay silent.
+// Package fixnoalloc is a lint fixture for the v2 interprocedural noalloc
+// analyzer: allocating constructs and unprovable call chains inside
+// //eucon:noalloc functions carry want comments; transitively clean
+// chains, value-store composite literals, pure call cycles, resolved
+// interface dispatch, and consumed //eucon:alloc-ok escapes must stay
+// silent. Stale escapes are flagged at the escape itself (want-above).
 package fixnoalloc
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 type point struct{ x, y int }
-
-func helper() int { return 0 }
 
 //eucon:noalloc
 func leaf(x int) int { return x + 1 }
 
 //eucon:noalloc
 func sink(v any) { _ = v }
+
+// ---- direct allocating constructs ----
 
 //eucon:noalloc
 func appends(buf []int, n int) []int {
@@ -34,12 +39,6 @@ func news() {
 }
 
 //eucon:noalloc
-func composite(n int) {
-	v := point{x: n} // want "noalloc: .*composite literal may allocate"
-	_ = v
-}
-
-//eucon:noalloc
 func closure(n int) {
 	f := func() int { return n } // want "noalloc: .*closure allocates"
 	_ = f
@@ -49,6 +48,8 @@ func closure(n int) {
 func concat(a, b string) string {
 	return a + b // want "noalloc: .*string concatenation allocates"
 }
+
+// ---- boxing ----
 
 //eucon:noalloc
 func boxReturn(n int) any {
@@ -67,42 +68,178 @@ func boxArg(n int) {
 	sink(n) // want "noalloc: .*passing concrete int as interface .* allocates"
 }
 
+// ---- composite literals: stores vs allocations ----
+
 //eucon:noalloc
-func callsUnannotated() int {
-	return helper() // want "noalloc: .*calls .*helper, which is not annotated //eucon:noalloc"
+func storesStruct(n int) point { // ok: struct literals stored or returned by value are plain stores
+	p := point{x: n}
+	p = point{x: n, y: n}
+	var q = point{y: n}
+	_ = q
+	return point{x: p.x}
 }
 
 //eucon:noalloc
-func callsAnnotated(x int) int {
+func storesNestedArray(n int) [2]point { // ok: sub-literals of a stored array are part of the same store
+	a := [2]point{{x: n}, {y: n}}
+	return a
+}
+
+//eucon:noalloc
+func sliceLit(n int) {
+	s := []int{n} // want "noalloc: .*composite literal may allocate"
+	_ = s
+}
+
+//eucon:noalloc
+func addressedLit(n int) *point {
+	return &point{x: n} // want "noalloc: .*composite literal may allocate"
+}
+
+func takesPoint(p point) int { return p.x }
+
+//eucon:noalloc
+func argLit(n int) int {
+	return takesPoint(point{x: n}) // want "noalloc: .*composite literal may allocate"
+}
+
+// ---- transitive proof through unannotated callees ----
+
+func cleanLeafHelper() int { return 42 }
+
+func cleanMidHelper() int { return cleanLeafHelper() + 1 }
+
+//eucon:noalloc
+func callsProvablyClean() int { // ok: the proof descends through two unannotated levels
+	return cleanMidHelper()
+}
+
+func allocLeafHelper(n int) []int { return make([]int, n) }
+
+func allocMidHelper(n int) []int { return allocLeafHelper(n) }
+
+//eucon:noalloc
+func callsAllocChain(n int) {
+	_ = allocMidHelper(n) // want "noalloc: .*calls .*allocMidHelper, which is not provably allocation-free: via .*allocLeafHelper .noalloc/fix.go:\d+.: make allocates at noalloc/fix.go:\d+"
+}
+
+//eucon:noalloc
+func callsOutside(x int) string {
+	return fmt.Sprintf("%d", x) // want "noalloc: .*calls fmt.Sprintf, which is not provably allocation-free: it is outside the analyzed source"
+}
+
+//eucon:noalloc
+func callsFuncValue(f func() int) int {
+	return f() // want "noalloc: .*dynamic call through a function value cannot be verified allocation-free"
+}
+
+// ---- recursion: coinductive cycle proofs ----
+
+func pingHelper(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return pongHelper(n - 1)
+}
+
+func pongHelper(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	return pingHelper(n - 1)
+}
+
+//eucon:noalloc
+func callsPureCycle(n int) int { // ok: a pure mutual-recursion cycle proves clean coinductively
+	return pingHelper(n)
+}
+
+func badPingHelper(n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	return badPongHelper(n - 1)
+}
+
+func badPongHelper(n int) []int {
+	if n <= 0 {
+		return make([]int, 1)
+	}
+	return badPingHelper(n - 1)
+}
+
+//eucon:noalloc
+func callsAllocCycle(n int) {
+	_ = badPingHelper(n) // want "noalloc: .*calls .*badPingHelper, which is not provably allocation-free: via .*badPongHelper .noalloc/fix.go:\d+.: make allocates at noalloc/fix.go:\d+"
+}
+
+// ---- interface dispatch (class-hierarchy analysis) ----
+
+type stepper interface{ step() int }
+
+type allocStepper struct{}
+
+func (allocStepper) step() int { s := make([]int, 8); return len(s) }
+
+type cleanStepper struct{ n int }
+
+func (c cleanStepper) step() int { return c.n }
+
+//eucon:noalloc
+func dispatchStep(s stepper) int {
+	return s.step() // want "noalloc: .*dynamic call of step may dispatch to .*allocStepper.*step, which is not provably allocation-free: make allocates at noalloc/fix.go:\d+"
+}
+
+type resetter interface{ reset() }
+
+type cleanResetter struct{ n int }
+
+func (c *cleanResetter) reset() { c.n = 0 }
+
+//eucon:noalloc
+func dispatchReset(r resetter) { // ok: the only implementor in the load set is provably clean
+	r.reset()
+}
+
+type vanisher interface{ vanish() }
+
+//eucon:noalloc
+func dispatchVanish(v vanisher) {
+	v.vanish() // want "noalloc: .*dynamic call of interface method vanish has no implementors in the analyzed source and cannot be verified allocation-free"
+}
+
+// ---- allowed forms ----
+
+//eucon:noalloc
+func callsAnnotated(x int) int { // ok: annotated-to-annotated calls are trusted contracts
 	return leaf(x)
 }
 
 //eucon:noalloc
-func usesMath(x float64) float64 {
+func usesMath(x float64) float64 { // ok: the pure math package is on the safe-callee list
 	return math.Sqrt(x)
 }
 
 //eucon:noalloc
-func safeBuiltins(s []int) int {
+func safeBuiltins(s []int) int { // ok: len and cap never allocate
 	return len(s) + cap(s)
 }
 
+// ---- escapes: consumed, stale, and contract-less ----
+
 //eucon:noalloc
-func exempted(buf []int) []int {
+func exempted(buf []int) []int { // ok: the escape is consumed by the append finding it suppresses
 	return append(buf, 1) //eucon:alloc-ok fixture: caller pre-sizes the buffer
 }
 
-var _ = appends
-var _ = makes
-var _ = news
-var _ = composite
-var _ = closure
-var _ = concat
-var _ = boxReturn
-var _ = boxAssign
-var _ = boxArg
-var _ = callsUnannotated
-var _ = callsAnnotated
-var _ = usesMath
-var _ = safeBuiltins
-var _ = exempted
+//eucon:noalloc
+func staleEscape(x int) int {
+	y := x + 1 //eucon:alloc-ok fixture: nothing on this line allocates anymore
+	// want-above "noalloc: stale //eucon:alloc-ok: the escape suppresses nothing .*; remove it"
+	return y
+}
+
+func contractlessEscape(n int) []int {
+	return make([]int, n) //eucon:alloc-ok fixture: no //eucon:noalloc contract owns this escape
+	// want-above "noalloc: stale //eucon:alloc-ok: the escape suppresses nothing .*; remove it"
+}

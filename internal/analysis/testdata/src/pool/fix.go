@@ -45,7 +45,7 @@ func earlyReturn(p *pool, e *event, cond bool) float64 {
 	return e.at
 }
 
-func reassigned(p *pool, e *event) float64 {
+func reassigned(p *pool, e *event) float64 { // ok: reassignment clears the recycled flag
 	p.putEvent(e)
 	e = p.newEvent()
 	return e.at

@@ -28,6 +28,8 @@ import (
 )
 
 // Campaign selects the run configuration chaos scenarios execute against.
+//
+//eucon:exhaustive
 type Campaign int
 
 const (

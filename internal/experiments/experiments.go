@@ -20,6 +20,8 @@ import (
 )
 
 // ControllerKind selects the rate controller for a run.
+//
+//eucon:exhaustive
 type ControllerKind int
 
 // Controller kinds.

@@ -16,6 +16,8 @@ import (
 )
 
 // WorkloadKind selects one of the paper's workload configurations.
+//
+//eucon:exhaustive
 type WorkloadKind int
 
 // Workload kinds.

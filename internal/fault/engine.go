@@ -169,7 +169,7 @@ func (e *Engine) Enabled() bool { return e != nil && e.enabled }
 //eucon:noalloc
 func (e *Engine) Feedback(k, p int) FeedbackCell {
 	if !e.enabled || k < 0 || k >= e.shape.Periods || p < 0 || p >= e.shape.Procs {
-		return FeedbackCell{Src: k} //eucon:alloc-ok value-typed return; never escapes to the heap
+		return FeedbackCell{Src: k}
 	}
 	return e.feedback[k*e.shape.Procs+p]
 }
@@ -179,7 +179,7 @@ func (e *Engine) Feedback(k, p int) FeedbackCell {
 //eucon:noalloc
 func (e *Engine) Command(k, i int) CommandCell {
 	if !e.enabled || k < 0 || k >= e.shape.Periods || i < 0 || i >= e.shape.Tasks {
-		return CommandCell{Clamp: -1} //eucon:alloc-ok value-typed return; never escapes to the heap
+		return CommandCell{Clamp: -1}
 	}
 	return e.cmds[k*e.shape.Tasks+i]
 }

@@ -20,6 +20,8 @@ import (
 )
 
 // Kind selects the injector a Spec configures.
+//
+//eucon:exhaustive
 type Kind int
 
 // Injector kinds. The Exec kinds perturb the plant, the Feedback kinds the

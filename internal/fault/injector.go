@@ -1,6 +1,9 @@
 package fault
 
-import "math/rand"
+import (
+	"fmt"
+	"math/rand"
+)
 
 // Injector is the common interface of all fault injectors. Each injector
 // is a small type compiled from one Spec; probabilistic injectors carry a
@@ -29,8 +32,10 @@ func newInjector(sp Spec, seed int64) Injector {
 		return &feedbackInjector{spec: sp, rng: rand.New(rand.NewSource(seed))}
 	case ActuatorDrop, ActuatorDelay, ActuatorClamp:
 		return &actuatorInjector{spec: sp, rng: rand.New(rand.NewSource(seed))}
-	default: // ProcCrash; spec.check rejects anything else
+	case ProcCrash:
 		return &crashInjector{spec: sp}
+	default: //eucon:exhaustive-default spec.check rejects unknown kinds before compilation
+		panic(fmt.Sprintf("fault: newInjector on unvalidated kind %v", sp.Kind))
 	}
 }
 
@@ -98,6 +103,7 @@ func (in *feedbackInjector) apply(e *Engine) {
 				}
 			case FeedbackQuantize:
 				cell.Quant = in.spec.Magnitude
+			default: //eucon:exhaustive-default newInjector routes only the Feedback kinds here
 			}
 		}
 	}
@@ -135,6 +141,7 @@ func (in *actuatorInjector) apply(e *Engine) {
 				cell.Delay = in.spec.Delay
 			case ActuatorClamp:
 				cell.Clamp = in.spec.Magnitude
+			default: //eucon:exhaustive-default newInjector routes only the Actuator kinds here
 			}
 		}
 	}

@@ -31,6 +31,8 @@ const MaxFrameSize = 1 << 20
 var ErrFrameTooLarge = errors.New("lane: frame exceeds maximum size")
 
 // MessageType discriminates protocol messages.
+//
+//eucon:exhaustive
 type MessageType string
 
 // Protocol message types.
@@ -113,7 +115,7 @@ func (c *Conn) Send(m *Message, deadline time.Duration) error {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
 	if deadline > 0 {
-		if err := c.nc.SetWriteDeadline(time.Now().Add(deadline)); err != nil {
+		if err := c.nc.SetWriteDeadline(time.Now().Add(deadline)); err != nil { //eucon:wallclock-ok operational I/O deadline, never feeds control output
 			return fmt.Errorf("lane: set write deadline: %w", err)
 		}
 	}
@@ -128,7 +130,7 @@ func (c *Conn) Send(m *Message, deadline time.Duration) error {
 // time.
 func (c *Conn) Receive(deadline time.Duration) (*Message, error) {
 	if deadline > 0 {
-		if err := c.nc.SetReadDeadline(time.Now().Add(deadline)); err != nil {
+		if err := c.nc.SetReadDeadline(time.Now().Add(deadline)); err != nil { //eucon:wallclock-ok operational I/O deadline, never feeds control output
 			return nil, fmt.Errorf("lane: set read deadline: %w", err)
 		}
 	}

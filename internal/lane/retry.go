@@ -72,6 +72,11 @@ func SendRetry(ctx context.Context, s Sender, m *Message, deadline time.Duration
 	policy = policy.withDefaults()
 	var last error
 	for attempt := 0; attempt < policy.Attempts; attempt++ {
+		// A context canceled while the previous Send was in flight (not in
+		// backoff) must still stop the loop before another network attempt.
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("lane: send %s canceled: %w", m.Type, err)
+		}
 		if attempt > 0 {
 			t := time.NewTimer(policy.Backoff(attempt - 1))
 			select {

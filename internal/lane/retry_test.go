@@ -64,7 +64,7 @@ func TestSendRetryExhaustsAttempts(t *testing.T) {
 	}
 }
 
-func TestSendRetryCanceledDuringBackoff(t *testing.T) {
+func TestSendRetryCanceledBeforeFirstAttempt(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	s := &flakySender{failures: 10}
@@ -73,8 +73,57 @@ func TestSendRetryCanceledDuringBackoff(t *testing.T) {
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
+	if s.calls != 0 {
+		t.Errorf("sender called %d times, want 0 (an already-canceled context sends nothing)", s.calls)
+	}
+}
+
+func TestSendRetryCanceledDuringBackoff(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	s := &flakySender{failures: 10}
+	policy := RetryPolicy{Attempts: 3, BaseDelay: time.Hour, MaxDelay: time.Hour}
+	start := time.Now()
+	err := SendRetry(ctx, s, &Message{Type: TypeUtilization}, time.Second, policy)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
 	if s.calls != 1 {
-		t.Errorf("sender called %d times, want 1 (cancel hits before first backoff ends)", s.calls)
+		t.Errorf("sender called %d times, want 1 (cancel hits during the first backoff)", s.calls)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("SendRetry took %v, want prompt return without waiting out the backoff", elapsed)
+	}
+}
+
+// cancelingSender cancels the context from inside Send, simulating
+// cancellation arriving while an attempt is in flight on the wire.
+type cancelingSender struct {
+	cancel context.CancelFunc
+	calls  int
+}
+
+func (c *cancelingSender) Send(*Message, time.Duration) error {
+	c.calls++
+	c.cancel()
+	return errors.New("transient")
+}
+
+func TestSendRetryCanceledMidSendStopsPromptly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s := &cancelingSender{cancel: cancel}
+	policy := RetryPolicy{Attempts: 5, BaseDelay: time.Hour, MaxDelay: time.Hour}
+	start := time.Now()
+	err := SendRetry(ctx, s, &Message{Type: TypeUtilization}, time.Second, policy)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if s.calls != 1 {
+		t.Errorf("sender called %d times, want 1 (no retry after mid-send cancellation)", s.calls)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("SendRetry took %v, want prompt return instead of entering backoff", elapsed)
 	}
 }
 

@@ -159,6 +159,8 @@ type Controller struct {
 // non-finite rate: each rung is strictly more conservative than the one
 // above it, and the bottom rung (holding the applied rates) is always
 // available.
+//
+//eucon:exhaustive
 type SolveOutcome int
 
 const (
@@ -227,6 +229,8 @@ func (o SolveOutcome) Degraded() bool {
 	switch o {
 	case SolveBestIterate, SolveRegularized, SolveHeld:
 		return true
+	case SolveOK, SolveRelaxed, SolveExplicit, SolveExplicitMiss:
+		return false
 	}
 	return false
 }

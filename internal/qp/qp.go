@@ -53,6 +53,8 @@ var ErrSingular = errors.New("qp: numerically singular system")
 // identities above but travels with the Result, so the best iterate and
 // the failure class arrive together on the hot path without error
 // unwrapping.
+//
+//eucon:exhaustive
 type Status int
 
 const (

@@ -2,6 +2,8 @@ package sim
 
 // eventKind orders simultaneous events: completions free processors before
 // new releases contend for them, and sampling observes a settled state.
+//
+//eucon:exhaustive
 type eventKind int
 
 const (

@@ -23,7 +23,7 @@ func (s *Simulator) newEvent() *event {
 		e := s.freeEvents[n-1]
 		s.freeEvents[n-1] = nil
 		s.freeEvents = s.freeEvents[:n-1]
-		*e = event{} //eucon:alloc-ok zeroing store into a pooled object, not an allocation
+		*e = event{}
 		return e
 	}
 	s.eventsMade++
@@ -47,7 +47,7 @@ func (s *Simulator) newJob() *job {
 		j := s.freeJobs[n-1]
 		s.freeJobs[n-1] = nil
 		s.freeJobs = s.freeJobs[:n-1]
-		*j = job{} //eucon:alloc-ok zeroing store into a pooled object, not an allocation
+		*j = job{}
 		return j
 	}
 	s.jobsMade++

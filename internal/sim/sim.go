@@ -546,7 +546,7 @@ func (s *Simulator) period(i int) float64 { return 1 / s.rates[i] }
 //
 //eucon:noalloc
 func (s *Simulator) drawExecTime(estimatedCost float64, proc, taskIdx, subIdx int) float64 {
-	mean := estimatedCost * s.cfg.ETF.At(s.now) //eucon:alloc-ok ETF schedules are value-typed lookups; none allocates
+	mean := estimatedCost * s.cfg.ETF.At(s.now)
 	if s.faults.Enabled() {
 		mean *= s.faults.ExecFactor(proc, taskIdx, subIdx, s.now)
 	}
@@ -808,7 +808,7 @@ func (s *Simulator) handleSampling() error {
 	}
 	s.trace.Utilization = append(s.trace.Utilization, u) //eucon:alloc-ok appends a row header into a run-length pre-capped slice
 	s.trace.Periods = append(s.trace.Periods, s.cur)     //eucon:alloc-ok appends into a run-length pre-capped slice
-	s.cur = PeriodStats{}                                //eucon:alloc-ok zeroing store of the accumulator struct
+	s.cur = PeriodStats{}
 	nt := len(s.rates)
 	applied := s.ratesBacking[k*nt : (k+1)*nt : (k+1)*nt]
 	copy(applied, s.rates)
@@ -837,7 +837,7 @@ func (s *Simulator) handleSampling() error {
 		return fmt.Errorf("sim: controller %s returned %d rates, want %d", s.cfg.Controller.Name(), len(newRates), len(s.rates))
 	}
 	if s.degrade != nil {
-		held, skipped := s.degrade.LastDegradation() //eucon:alloc-ok controller boundary: reporting, like Rates, crosses the plugged-controller interface
+		held, skipped := s.degrade.LastDegradation()
 		ps := &s.trace.Periods[k]
 		ps.HeldSamples = held
 		if skipped {

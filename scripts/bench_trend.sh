@@ -77,4 +77,16 @@ rm -f /tmp/euconfuzz.bench
 chaos_ms=$(( (chaos_end - chaos_start) / 1000000 ))
 printf '{"date":"%s","bench":"ChaosSmoke25","wall_ms":%s}\n' "$date" "$chaos_ms" >>"$out"
 
+# euconlint full-tree wall time: the interprocedural analyzers (transitive
+# noalloc proofs, CHA, exhaustiveness, concurrency flow) load and type-check
+# the whole module, so analyzer-cost regressions show up in the trend record.
+# The binary is prebuilt so the stamp measures analysis, not the compiler.
+go build -o /tmp/euconlint.bench ./cmd/euconlint
+lint_start=$(date +%s%N)
+/tmp/euconlint.bench ./... ./cmd/... >/dev/null
+lint_end=$(date +%s%N)
+rm -f /tmp/euconlint.bench
+lint_ms=$(( (lint_end - lint_start) / 1000000 ))
+printf '{"date":"%s","bench":"EuconlintFullTree","wall_ms":%s}\n' "$date" "$lint_ms" >>"$out"
+
 echo "appended benchmark snapshot to $out"

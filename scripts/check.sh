@@ -21,8 +21,8 @@ fi
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> euconlint ./... (make lint)"
-go run ./cmd/euconlint ./...
+echo "==> euconlint ./... ./cmd/... (make lint)"
+go run ./cmd/euconlint ./... ./cmd/...
 
 echo "==> go build ./..."
 go build ./...
