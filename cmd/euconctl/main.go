@@ -1,7 +1,8 @@
 // Command euconctl is the centralized EUCON controller daemon. It listens
-// for node-agent feedback lanes (one per processor, see cmd/nodeagent),
-// runs the MIMO model-predictive feedback loop for the requested number of
-// sampling periods, and prints the per-period utilization record.
+// for node-agent feedback lanes (see cmd/nodeagent), admits agents into the
+// membership as they join — surviving leaves, crashes, and rejoins without
+// a restart — runs the MIMO model-predictive feedback loop, and prints the
+// run record.
 //
 // Example (SIMPLE workload: 1 controller + 2 node agents):
 //
@@ -18,10 +19,12 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"github.com/rtsyslab/eucon/internal/agent"
 	"github.com/rtsyslab/eucon/internal/baseline"
 	"github.com/rtsyslab/eucon/internal/core"
+	"github.com/rtsyslab/eucon/internal/lane"
 	"github.com/rtsyslab/eucon/internal/sim"
 	"github.com/rtsyslab/eucon/internal/task"
 	"github.com/rtsyslab/eucon/internal/workload"
@@ -35,7 +38,12 @@ func run() int {
 	listen := flag.String("listen", "127.0.0.1:7070", "address to accept node-agent lanes on")
 	name := flag.String("workload", "simple", "workload: simple or medium")
 	ctrlName := flag.String("controller", "eucon", "controller: eucon or open")
-	periods := flag.Int("periods", 100, "number of sampling periods to run")
+	periods := flag.Int("periods", 100, "number of sampling periods to run (0 = until interrupted)")
+	codec := flag.String("codec", "binary", "wire codec for outgoing frames: binary or json")
+	queue := flag.Int("queue", lane.DefaultQueueDepth, "per-member send-queue depth (frames)")
+	membership := flag.Duration("membership-timeout", agent.DefaultMembershipTimeout, "evict members silent this long")
+	periodTimeout := flag.Duration("period-timeout", agent.DefaultPeriodTimeout, "step with hold-last substitutes after waiting this long for reports")
+	trace := flag.Bool("trace", false, "print the per-period utilization table after the run")
 	flag.Parse()
 
 	var sys *task.System
@@ -50,7 +58,7 @@ func run() int {
 		return 2
 	}
 
-	var ctrl sim.RateController
+	var ctrl sim.Controller
 	var err error
 	switch *ctrlName {
 	case "eucon":
@@ -65,18 +73,25 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "euconctl: %v\n", err)
 		return 1
 	}
+	wire, err := parseCodec(*codec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "euconctl: %v\n", err)
+		return 2
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "euconctl: %v\n", err)
 		return 1
 	}
-	coord, err := agent.NewCoordinator(agent.CoordinatorConfig{
-		System:     sys,
-		Controller: ctrl,
-		Listener:   ln,
-		Periods:    *periods,
-	})
+	srv, err := agent.NewServer(sys, ctrl, ln,
+		agent.WithPeriods(*periods),
+		agent.WithCodec(wire),
+		agent.WithSendQueue(*queue),
+		agent.WithMembershipTimeout(*membership),
+		agent.WithPeriodTimeout(*periodTimeout),
+		agent.WithTrace(*trace),
+	)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "euconctl: %v\n", err)
 		return 1
@@ -85,23 +100,43 @@ func run() int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	fmt.Printf("euconctl: %s/%s on %s, waiting for %d node agents\n", sys.Name, ctrl.Name(), ln.Addr(), sys.Processors)
-	res, err := coord.Run(ctx)
+	fmt.Printf("euconctl: %s/%s on %s (codec=%s), admitting up to %d node agents\n",
+		sys.Name, ctrl.Name(), ln.Addr(), wire.Name(), sys.Processors)
+	start := time.Now() //eucon:wallclock-ok operational run timing for the printed summary
+	res, err := srv.Run(ctx)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "euconctl: %v\n", err)
 		return 1
 	}
-	fmt.Print("period")
-	for p := 0; p < sys.Processors; p++ {
-		fmt.Printf("\tu(P%d)", p+1)
-	}
-	fmt.Println()
-	for k, u := range res.Utilization {
-		fmt.Printf("%d", k+1)
-		for _, v := range u {
-			fmt.Printf("\t%.4f", v)
+	elapsed := time.Since(start) //eucon:wallclock-ok operational run timing for the printed summary
+	fmt.Printf("euconctl: %d periods in %v — joins=%d rejoins=%d leaves=%d crashes=%d missed=%d stale=%d frames in/out=%d/%d dropped=%d\n",
+		res.Periods, elapsed.Round(time.Millisecond), res.Joins, res.Rejoins, res.Leaves, res.Crashes,
+		res.MissedReports, res.StaleSamples, res.FramesIn, res.FramesOut, res.DroppedSamples)
+	if *trace {
+		fmt.Print("period")
+		for p := 0; p < sys.Processors; p++ {
+			fmt.Printf("\tu(P%d)", p+1)
 		}
 		fmt.Println()
+		for k, u := range res.Utilization {
+			fmt.Printf("%d", k+1)
+			for _, v := range u {
+				fmt.Printf("\t%.4f", v)
+			}
+			fmt.Println()
+		}
 	}
 	return 0
+}
+
+// parseCodec maps the -codec flag to a lane codec.
+func parseCodec(name string) (lane.Codec, error) {
+	switch name {
+	case "binary":
+		return lane.Binary, nil
+	case "json":
+		return lane.JSONv0, nil
+	default:
+		return nil, fmt.Errorf("unknown codec %q (want binary or json)", name)
+	}
 }

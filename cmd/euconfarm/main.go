@@ -1,0 +1,247 @@
+// Command euconfarm is the scale harness for the distributed runtime: it
+// launches one controller Server and a fleet of in-process node agents
+// (1000+ by default) over loopback TCP, drives the feedback loop for a
+// fixed number of sampling periods while injecting agent crashes and
+// rejoins, and reports end-to-end sampling-period latency (p50/p99) and
+// frame throughput.
+//
+// The workload is the deterministic LARGE family (one processor per
+// agent, banded coupling), the controller is localized DEUCON — the
+// decentralized scheme whose per-period cost is O(1) in the system size,
+// which is what makes a 1000-agent control plane step in milliseconds
+// (the centralized MPC's cold active-set solve on an overloaded LARGE
+// system takes minutes; select it with -controller eucon to see why the
+// farm defaults away from it) — and the membership layer is what keeps
+// the run alive through the injected churn: the acceptance gate is zero
+// controller restarts.
+//
+// Usage:
+//
+//	euconfarm                      # 1000 agents, 200 periods, 8 crash cycles
+//	euconfarm -smoke               # 64 agents, 50 periods, 2 crash cycles
+//	euconfarm -json                # machine-readable result line for bench_trend.sh
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/rtsyslab/eucon/internal/agent"
+	"github.com/rtsyslab/eucon/internal/core"
+	"github.com/rtsyslab/eucon/internal/deucon"
+	"github.com/rtsyslab/eucon/internal/lane"
+	"github.com/rtsyslab/eucon/internal/sim"
+	"github.com/rtsyslab/eucon/internal/workload"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	agents := flag.Int("agents", 1000, "number of node agents (one processor each)")
+	periods := flag.Int("periods", 200, "sampling periods to run")
+	crashes := flag.Int("crashes", 8, "agent crash/rejoin cycles to inject across the run")
+	queue := flag.Int("queue", lane.DefaultQueueDepth, "per-peer send-queue depth (frames)")
+	codecName := flag.String("codec", "binary", "wire codec: binary or json")
+	ctrlName := flag.String("controller", "deucon", "controller: deucon (localized, scales) or eucon (centralized MPC)")
+	periodTimeout := flag.Duration("period-timeout", 10*time.Second, "server step deadline per period")
+	smoke := flag.Bool("smoke", false, "CI smoke: 64 agents, 50 periods, 2 crash cycles")
+	jsonOut := flag.Bool("json", false, "emit one JSON result line (for scripts/bench_trend.sh)")
+	flag.Parse()
+
+	if *smoke {
+		*agents, *periods, *crashes = 64, 50, 2
+	}
+	var codec lane.Codec
+	switch *codecName {
+	case "binary":
+		codec = lane.Binary
+	case "json":
+		codec = lane.JSONv0
+	default:
+		fmt.Fprintf(os.Stderr, "euconfarm: unknown codec %q\n", *codecName)
+		return 2
+	}
+
+	sys, err := workload.Large(*agents)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "euconfarm: %v\n", err)
+		return 2
+	}
+	var ctrl sim.Controller
+	switch *ctrlName {
+	case "deucon":
+		ctrl, err = deucon.New(sys, nil, deucon.Config{})
+	case "eucon":
+		ctrl, err = core.New(sys, nil, workload.LargeController())
+	default:
+		fmt.Fprintf(os.Stderr, "euconfarm: unknown controller %q\n", *ctrlName)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "euconfarm: %v\n", err)
+		return 1
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "euconfarm: %v\n", err)
+		return 1
+	}
+	srv, err := agent.NewServer(sys, ctrl, ln,
+		agent.WithPeriods(*periods),
+		agent.WithCodec(codec),
+		agent.WithSendQueue(*queue),
+		agent.WithPeriodTimeout(*periodTimeout),
+	)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "euconfarm: %v\n", err)
+		return 1
+	}
+	addr := ln.Addr().String()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	type outcome struct {
+		res *agent.ServerResult
+		err error
+	}
+	done := make(chan outcome, 1)
+	start := time.Now() //eucon:wallclock-ok harness wall-time measurement, never feeds control output
+	go func() {         //eucon:goroutine-ok joined by the main goroutine's blocking receive on done
+		res, err := srv.Run(ctx)
+		done <- outcome{res, err}
+	}()
+
+	// Latency collector shared by every agent's sink. One mutex is fine:
+	// the farm is I/O-bound and single-boxed.
+	var latMu sync.Mutex
+	lats := make([]time.Duration, 0, (*agents)*(*periods))
+	sink := func(_ int, rtt time.Duration) {
+		latMu.Lock()
+		lats = append(lats, rtt)
+		latMu.Unlock()
+	}
+
+	// launch starts one agent under its own cancel, so the crash injector
+	// can kill exactly the incumbent (context cancel — the lane just dies,
+	// no goodbye frame, which the server books as a crash).
+	var wg sync.WaitGroup
+	kills := make([]context.CancelFunc, *agents)
+	launch := func(p int) {
+		actx, acancel := context.WithCancel(ctx)
+		kills[p] = acancel
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := agent.RunAgent(actx, sys, p, addr,
+				agent.WithETF(sim.ConstantETF(1)),
+				agent.WithSamplingPeriod(workload.SamplingPeriod),
+				agent.WithSeed(int64(p)+1),
+				agent.WithCodec(codec),
+				agent.WithSendQueue(*queue),
+				agent.WithLatencySink(sink),
+				agent.WithNodeName(fmt.Sprintf("farm-P%d", p+1)),
+			)
+			if err != nil && actx.Err() == nil {
+				fmt.Fprintf(os.Stderr, "euconfarm: agent P%d: %v\n", p+1, err)
+			}
+		}()
+	}
+	for p := 0; p < *agents; p++ {
+		launch(p)
+	}
+
+	// Crash injector: spread the cycles across the run. Each cycle kills
+	// one agent, waits for the server to step onward without it, and
+	// relaunches the same processor — which must rejoin the live loop.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= *crashes; i++ {
+			target := i * *periods / (*crashes + 1)
+			if !waitPeriod(ctx, srv, target, *periodTimeout) {
+				return
+			}
+			p := i % *agents
+			kills[p]()
+			if !waitPeriod(ctx, srv, target+2, *periodTimeout) {
+				return
+			}
+			launch(p) // rejoin
+		}
+	}()
+
+	out := <-done
+	elapsed := time.Since(start) //eucon:wallclock-ok harness wall-time measurement, never feeds control output
+	cancel()
+	wg.Wait()
+	if out.err != nil {
+		fmt.Fprintf(os.Stderr, "euconfarm: %v\n", out.err)
+		return 1
+	}
+	res := out.res
+
+	latMu.Lock()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	p50, p99 := percentile(lats, 0.50), percentile(lats, 0.99)
+	samples := len(lats)
+	latMu.Unlock()
+	frames := res.FramesIn + res.FramesOut
+	fps := float64(frames) / elapsed.Seconds()
+
+	if res.Periods != *periods {
+		fmt.Fprintf(os.Stderr, "euconfarm: FAIL — server stepped %d of %d periods\n", res.Periods, *periods)
+		return 1
+	}
+	if *crashes > 0 && res.Crashes == 0 {
+		fmt.Fprintf(os.Stderr, "euconfarm: FAIL — injected %d crash cycles but the server saw none\n", *crashes)
+		return 1
+	}
+
+	if *jsonOut {
+		name := fmt.Sprintf("Farm%d", *agents)
+		fmt.Printf(`{"bench":%q,"agents":%d,"periods":%d,"wall_ms":%d,"p50_us":%d,"p99_us":%d,"latency_samples":%d,"frames_per_sec":%.0f,"frames_in":%d,"frames_out":%d,"joins":%d,"rejoins":%d,"crashes":%d,"missed":%d,"stale":%d,"dropped_samples":%d}`+"\n",
+			name, *agents, *periods, elapsed.Milliseconds(), p50.Microseconds(), p99.Microseconds(), samples,
+			fps, res.FramesIn, res.FramesOut, res.Joins, res.Rejoins, res.Crashes,
+			res.MissedReports, res.StaleSamples, res.DroppedSamples)
+		return 0
+	}
+	fmt.Printf("euconfarm: %d agents × %d periods on %s in %v (zero controller restarts)\n",
+		*agents, *periods, sys.Name, elapsed.Round(time.Millisecond))
+	fmt.Printf("  period latency: p50 %v, p99 %v (%d samples)\n", p50.Round(time.Microsecond), p99.Round(time.Microsecond), samples)
+	fmt.Printf("  frames: %d in, %d out, %.0f frames/s\n", res.FramesIn, res.FramesOut, fps)
+	fmt.Printf("  membership: %d joins, %d rejoins, %d crashes, %d leaves\n", res.Joins, res.Rejoins, res.Crashes, res.Leaves)
+	fmt.Printf("  degradation: %d missed reports, %d stale samples, %d dropped samples\n",
+		res.MissedReports, res.StaleSamples, res.DroppedSamples)
+	return 0
+}
+
+// waitPeriod polls until the server reaches period k; false on cancel or
+// if progress stalls past patience.
+func waitPeriod(ctx context.Context, srv *agent.Server, k int, patience time.Duration) bool {
+	deadline := time.Now().Add(patience + time.Minute) //eucon:wallclock-ok harness stall guard
+	for srv.Period() < k {
+		if ctx.Err() != nil || time.Now().After(deadline) { //eucon:wallclock-ok harness stall guard
+			return false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return true
+}
+
+// percentile reads the q-quantile from an ascending-sorted slice.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

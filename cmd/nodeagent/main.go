@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"github.com/rtsyslab/eucon/internal/agent"
+	"github.com/rtsyslab/eucon/internal/lane"
 	"github.com/rtsyslab/eucon/internal/sim"
 	"github.com/rtsyslab/eucon/internal/task"
 	"github.com/rtsyslab/eucon/internal/workload"
@@ -32,8 +33,10 @@ func run() int {
 	proc := flag.Int("proc", 0, "0-based processor index this agent hosts")
 	etf := flag.Float64("etf", 1, "execution-time factor (actual/estimated execution times)")
 	jitter := flag.Float64("jitter", 0, "uniform relative noise on measured utilization, in [0, 1)")
-	interval := flag.Duration("interval", 50*time.Millisecond, "real-time duration of one sampling period")
+	interval := flag.Duration("interval", 50*time.Millisecond, "real-time duration of one sampling period (0 = lockstep)")
 	seed := flag.Int64("seed", 1, "noise seed")
+	codec := flag.String("codec", "binary", "wire codec for outgoing frames: binary or json")
+	queue := flag.Int("queue", lane.DefaultQueueDepth, "outbound send-queue depth (frames)")
 	flag.Parse()
 
 	var sys *task.System
@@ -46,26 +49,42 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "nodeagent: unknown workload %q\n", *name)
 		return 2
 	}
+	wire, err := parseCodec(*codec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nodeagent: %v\n", err)
+		return 2
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	fmt.Printf("nodeagent: P%d of %s → %s (etf=%g)\n", *proc+1, sys.Name, *addr, *etf)
-	err := agent.RunNode(ctx, agent.NodeConfig{
-		Processor:      *proc,
-		System:         sys,
-		Addr:           *addr,
-		Name:           fmt.Sprintf("%s-P%d", sys.Name, *proc+1),
-		ETF:            sim.ConstantETF(*etf),
-		SamplingPeriod: workload.SamplingPeriod,
-		Jitter:         *jitter,
-		Seed:           *seed,
-		Interval:       *interval,
-	})
+	fmt.Printf("nodeagent: P%d of %s → %s (etf=%g, codec=%s)\n", *proc+1, sys.Name, *addr, *etf, wire.Name())
+	err = agent.RunAgent(ctx, sys, *proc, *addr,
+		agent.WithNodeName(fmt.Sprintf("%s-P%d", sys.Name, *proc+1)),
+		agent.WithETF(sim.ConstantETF(*etf)),
+		agent.WithSamplingPeriod(workload.SamplingPeriod),
+		agent.WithJitter(*jitter),
+		agent.WithSeed(*seed),
+		agent.WithInterval(*interval),
+		agent.WithCodec(wire),
+		agent.WithSendQueue(*queue),
+	)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "nodeagent: %v\n", err)
 		return 1
 	}
 	fmt.Println("nodeagent: shut down cleanly")
 	return 0
+}
+
+// parseCodec maps the -codec flag to a lane codec.
+func parseCodec(name string) (lane.Codec, error) {
+	switch name {
+	case "binary":
+		return lane.Binary, nil
+	case "json":
+		return lane.JSONv0, nil
+	default:
+		return nil, fmt.Errorf("unknown codec %q (want binary or json)", name)
+	}
 }

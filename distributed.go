@@ -1,0 +1,111 @@
+package eucon
+
+import (
+	"context"
+	"net"
+	"time"
+
+	"github.com/rtsyslab/eucon/internal/agent"
+	"github.com/rtsyslab/eucon/internal/lane"
+)
+
+// Distributed runtime facade: the paper's §4 architecture over real TCP
+// feedback lanes — per-processor node agents reporting utilization to a
+// central controller daemon, which broadcasts rate commands back — behind
+// the membership layer of internal/agent. Agents join, leave, crash, and
+// rejoin without a controller restart; outbound frames flow through
+// bounded per-peer send queues that shed stale utilization reports under
+// backpressure but never drop rate commands.
+//
+// ServeController and RunNodeAgent are the production entry points; the
+// cmd/euconctl, cmd/nodeagent, and cmd/euconfarm binaries are thin
+// wrappers over them. The older Coordinator/RunNode surface in
+// extensions.go remains as deprecated shims.
+
+type (
+	// ControllerServer is the controller daemon: the centralized feedback
+	// loop behind a membership layer. Build one with NewControllerServer
+	// when the run needs its Period method (e.g. for harness choreography);
+	// ServeController covers the common case.
+	ControllerServer = agent.Server
+	// ControllerServerResult is the daemon's aggregate run record:
+	// periods stepped, membership transitions, degradation and frame
+	// counters, and (with DistributedTrace) the full utilization history.
+	ControllerServerResult = agent.ServerResult
+	// DistributedOption configures ServeController and RunNodeAgent; the
+	// constructors below mirror internal/agent's functional options.
+	DistributedOption = agent.Option
+	// WireCodec encodes and decodes lane frames; see BinaryCodec and
+	// JSONCodec.
+	WireCodec = lane.Codec
+)
+
+// Wire codecs for DistributedCodec: the compact binary format (the
+// default — versioned, zero-alloc in steady state) and the v0 JSON format
+// kept for interoperability. Incoming frames are always auto-detected, so
+// a fleet may mix codecs freely.
+var (
+	BinaryCodec WireCodec = lane.Binary
+	JSONCodec   WireCodec = lane.JSONv0
+)
+
+// ServeController runs the controller daemon on ln until the context is
+// canceled or the configured period bound is reached: it admits node
+// agents as they dial in, steps ctrl once per sampling period on the
+// fleet's utilization reports, and broadcasts each member the rates of
+// the tasks it hosts. Ownership of ln passes to the daemon.
+func ServeController(ctx context.Context, sys *System, ctrl Controller, ln net.Listener, opts ...DistributedOption) (*ControllerServerResult, error) {
+	srv, err := agent.NewServer(sys, ctrl, ln, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return srv.Run(ctx)
+}
+
+// NewControllerServer builds the controller daemon without starting it;
+// call Run. Use this over ServeController when the caller needs the
+// Server handle (its Period method reports loop progress).
+func NewControllerServer(sys *System, ctrl Controller, ln net.Listener, opts ...DistributedOption) (*ControllerServer, error) {
+	return agent.NewServer(sys, ctrl, ln, opts...)
+}
+
+// RunNodeAgent connects one node agent — the utilization monitor and rate
+// modulator for processor p of sys — to the controller daemon at addr and
+// participates in the feedback loop until the daemon says shutdown, the
+// lane fails, or ctx is canceled (which returns nil: cancellation is the
+// normal way to stop an agent).
+func RunNodeAgent(ctx context.Context, sys *System, p int, addr string, opts ...DistributedOption) error {
+	return agent.RunAgent(ctx, sys, p, addr, opts...)
+}
+
+// DistributedCodec selects the wire codec for outgoing frames (incoming
+// frames are auto-detected). Default: BinaryCodec.
+func DistributedCodec(c WireCodec) DistributedOption { return agent.WithCodec(c) }
+
+// DistributedSendQueue bounds each peer's outbound send queue at depth
+// frames; under backpressure the oldest utilization reports are shed and
+// rate commands are never dropped. Zero selects the default depth.
+func DistributedSendQueue(depth int) DistributedOption { return agent.WithSendQueue(depth) }
+
+// DistributedMembershipTimeout evicts members silent for longer than the
+// given duration; zero selects the default.
+func DistributedMembershipTimeout(d time.Duration) DistributedOption {
+	return agent.WithMembershipTimeout(d)
+}
+
+// DistributedPeriods bounds a controller daemon run at n sampling
+// periods; zero runs until the context is canceled.
+func DistributedPeriods(n int) DistributedOption { return agent.WithPeriods(n) }
+
+// DistributedInterval sets the real-time duration of one sampling period.
+// Zero (the default) runs in lockstep — the daemon steps as soon as every
+// member has reported, as fast as the lanes allow.
+func DistributedInterval(d time.Duration) DistributedOption { return agent.WithInterval(d) }
+
+// DistributedTrace records the full per-period utilization and rate
+// history in the run result (off by default).
+func DistributedTrace(enabled bool) DistributedOption { return agent.WithTrace(enabled) }
+
+// DistributedETF sets a node agent's execution-time-factor schedule for
+// its synthetic plant.
+func DistributedETF(s ETFSchedule) DistributedOption { return agent.WithETF(s) }

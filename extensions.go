@@ -79,21 +79,33 @@ func WriteMissRatioCSV(w io.Writer, tr *Trace) error { return trace.WriteMissRat
 // WriteTraceJSON exports a whole trace as indented JSON.
 func WriteTraceJSON(w io.Writer, tr *Trace) error { return trace.WriteJSON(w, tr) }
 
-// Distributed runtime (the paper's §4 architecture over real TCP feedback
-// lanes; see internal/agent for the protocol).
+// Pre-membership distributed runtime, kept as shims for existing callers.
+// The production surface is distributed.go (ServeController/RunNodeAgent):
+// membership, bounded send queues, and the binary wire codec.
 type (
-	// Coordinator is the centralized controller daemon end of the feedback
+	// Coordinator is the fixed-fleet controller daemon end of the feedback
 	// lanes.
+	//
+	// Deprecated: use ServeController or NewControllerServer, which admit
+	// agents dynamically and survive crashes and rejoins.
 	Coordinator = agent.Coordinator
 	// CoordinatorConfig configures a Coordinator.
+	//
+	// Deprecated: use DistributedOption values with ServeController.
 	CoordinatorConfig = agent.CoordinatorConfig
 	// CoordinatorResult is the coordinator's per-period run record.
+	//
+	// Deprecated: use ControllerServerResult.
 	CoordinatorResult = agent.Result
 	// NodeConfig configures one per-processor node agent.
+	//
+	// Deprecated: use DistributedOption values with RunNodeAgent.
 	NodeConfig = agent.NodeConfig
 )
 
-// NewCoordinator builds the controller daemon for a set of node agents.
+// NewCoordinator builds the fixed-fleet controller daemon.
+//
+// Deprecated: use ServeController or NewControllerServer.
 func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	return agent.NewCoordinator(cfg)
 }
@@ -101,6 +113,8 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 // RunNode connects a node agent (utilization monitor + rate modulator for
 // one processor) to a coordinator and participates in the feedback loop
 // until shutdown.
+//
+// Deprecated: use RunNodeAgent.
 func RunNode(ctx context.Context, cfg NodeConfig) error {
 	return agent.RunNode(ctx, cfg)
 }

@@ -34,6 +34,11 @@ import (
 const DefaultTimeout = 10 * time.Second
 
 // CoordinatorConfig configures the controller process.
+//
+// Deprecated: the fixed-membership Coordinator requires every processor to
+// connect before the loop starts and aborts on any peer failure. New code
+// should use Server (NewServer/Run), whose membership layer admits joins,
+// leaves, and crashes without a controller restart.
 type CoordinatorConfig struct {
 	// System describes the workload (needed for task count and initial
 	// rates).
@@ -69,6 +74,10 @@ type Result struct {
 }
 
 // Coordinator runs the centralized EUCON feedback loop over TCP lanes.
+//
+// Deprecated: use Server, which adds membership, bounded send queues, and
+// batched reports. Coordinator is kept as a shim for the fixed-fleet
+// lockstep tests.
 type Coordinator struct {
 	cfg   CoordinatorConfig
 	lanes []*lane.Conn // index = processor
@@ -129,7 +138,7 @@ func (c *Coordinator) Run(ctx context.Context) (*Result, error) {
 			m, err := c.lanes[p].Receive(c.cfg.Timeout)
 			// In Degrade mode a report lost in transit may surface later as
 			// a stale period; drain anything older than k before judging.
-			for c.cfg.Degrade && err == nil && m.Type == lane.TypeUtilization && m.Period < k {
+			for c.cfg.Degrade && err == nil && m.Type == lane.TypeUtilizationBatch && m.Batch.First+len(m.Batch.Samples) <= k {
 				m, err = c.lanes[p].Receive(c.cfg.Timeout)
 			}
 			if err != nil {
@@ -143,15 +152,15 @@ func (c *Coordinator) Run(ctx context.Context) (*Result, error) {
 				c.shutdown("peer failure")
 				return res, fmt.Errorf("agent: utilization from P%d in period %d: %w", p+1, k, err)
 			}
-			if m.Type != lane.TypeUtilization {
+			if m.Type != lane.TypeUtilizationBatch {
 				c.shutdown("protocol error")
 				return res, fmt.Errorf("agent: P%d sent %q in period %d, want utilization", p+1, m.Type, k)
 			}
-			if m.Period != k {
+			if k < m.Batch.First || k >= m.Batch.First+len(m.Batch.Samples) {
 				c.shutdown("protocol error")
-				return res, fmt.Errorf("agent: P%d reported period %d, want %d", p+1, m.Period, k)
+				return res, fmt.Errorf("agent: P%d reported periods [%d,%d), want %d", p+1, m.Batch.First, m.Batch.First+len(m.Batch.Samples), k)
 			}
-			u[p] = m.Utilization
+			u[p] = m.Batch.Samples[k-m.Batch.First]
 		}
 		res.Utilization = append(res.Utilization, u)
 		applied := make([]float64, len(rates))
@@ -164,7 +173,7 @@ func (c *Coordinator) Run(ctx context.Context) (*Result, error) {
 			newRates = rates
 		}
 		rates = newRates
-		out := &lane.Message{Type: lane.TypeRates, Period: k, Rates: rates}
+		out := &lane.Message{Type: lane.TypeRates, Rates: lane.Rates{Period: k, Values: rates}}
 		for p := 0; p < n; p++ {
 			if err := c.lanes[p].Send(out, c.cfg.Timeout); err != nil {
 				c.shutdown("peer failure")
@@ -204,15 +213,15 @@ func (c *Coordinator) accept(ctx context.Context) error {
 			_ = l.Close()
 			return fmt.Errorf("agent: first message was %q, want hello", m.Type)
 		}
-		if m.Processor < 0 || m.Processor >= n {
+		if m.Hello.Processor < 0 || m.Hello.Processor >= n {
 			_ = l.Close()
-			return fmt.Errorf("agent: hello for processor %d, have %d processors", m.Processor, n)
+			return fmt.Errorf("agent: hello for processor %d, have %d processors", m.Hello.Processor, n)
 		}
-		if c.lanes[m.Processor] != nil {
+		if c.lanes[m.Hello.Processor] != nil {
 			_ = l.Close()
-			return fmt.Errorf("agent: duplicate hello for processor %d", m.Processor)
+			return fmt.Errorf("agent: duplicate hello for processor %d", m.Hello.Processor)
 		}
-		c.lanes[m.Processor] = l
+		c.lanes[m.Hello.Processor] = l
 		registered++
 	}
 	return nil
@@ -227,7 +236,7 @@ func isTimeout(err error) bool {
 
 // shutdown notifies all connected nodes, best effort.
 func (c *Coordinator) shutdown(reason string) {
-	m := &lane.Message{Type: lane.TypeShutdown, Reason: reason}
+	m := &lane.Message{Type: lane.TypeShutdown, Shutdown: lane.Shutdown{Reason: reason}}
 	for _, l := range c.lanes {
 		if l != nil {
 			_ = l.Send(m, time.Second)
@@ -236,6 +245,10 @@ func (c *Coordinator) shutdown(reason string) {
 }
 
 // NodeConfig configures one node agent.
+//
+// Deprecated: use RunAgent with functional options (WithETF, WithJitter,
+// WithRetry, ...), which adds send queues, sparse rate application, and
+// rejoin support.
 type NodeConfig struct {
 	// Processor is this node's 0-based processor index.
 	Processor int
@@ -275,6 +288,8 @@ type NodeConfig struct {
 
 // RunNode connects to the coordinator and participates in the feedback
 // loop until a shutdown message, a lane failure, or context cancellation.
+//
+// Deprecated: use RunAgent.
 func RunNode(ctx context.Context, cfg NodeConfig) error {
 	if cfg.System == nil {
 		return errors.New("agent: NodeConfig.System is nil")
@@ -294,7 +309,7 @@ func RunNode(ctx context.Context, cfg NodeConfig) error {
 	}
 	defer func() { _ = l.Close() }()
 
-	hello := &lane.Message{Type: lane.TypeHello, Processor: cfg.Processor, Node: cfg.Name}
+	hello := &lane.Message{Type: lane.TypeHello, Hello: lane.Hello{Processor: cfg.Processor, Node: cfg.Name}}
 	if err := l.Send(hello, cfg.Timeout); err != nil {
 		return err
 	}
@@ -336,7 +351,7 @@ func RunNode(ctx context.Context, cfg NodeConfig) error {
 		if u > 1 {
 			u = 1
 		}
-		m := &lane.Message{Type: lane.TypeUtilization, Processor: cfg.Processor, Period: k, Utilization: u}
+		m := &lane.Message{Type: lane.TypeUtilizationBatch, Batch: lane.UtilizationBatch{Processor: cfg.Processor, First: k, Samples: []float64{u}}}
 		if err := lane.SendRetry(ctx, reports, m, cfg.Timeout, cfg.Retry); err != nil {
 			if !errors.Is(err, lane.ErrInjectedDrop) {
 				return err
@@ -353,10 +368,9 @@ func RunNode(ctx context.Context, cfg NodeConfig) error {
 		case lane.TypeShutdown:
 			return nil
 		case lane.TypeRates:
-			if len(reply.Rates) != len(rates) {
-				return fmt.Errorf("agent: node P%d got %d rates, want %d", cfg.Processor+1, len(reply.Rates), len(rates))
+			if err := applyRates(rates, &reply.Rates); err != nil {
+				return fmt.Errorf("agent: node P%d: %w", cfg.Processor+1, err)
 			}
-			copy(rates, reply.Rates)
 		default: //eucon:exhaustive-default hello/utilization from the coordinator are protocol errors
 			return fmt.Errorf("agent: node P%d got unexpected %q", cfg.Processor+1, reply.Type)
 		}

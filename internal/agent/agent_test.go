@@ -170,7 +170,7 @@ func TestCoordinatorRejectsBadHello(t *testing.T) {
 	}
 	defer func() { _ = conn.Close() }()
 	// Out-of-range processor index.
-	if err := conn.Send(&lane.Message{Type: lane.TypeHello, Processor: 99}, time.Second); err != nil {
+	if err := conn.Send(&lane.Message{Type: lane.TypeHello, Hello: lane.Hello{Processor: 99}}, time.Second); err != nil {
 		t.Fatal(err)
 	}
 	runErr := <-done
@@ -212,7 +212,7 @@ func TestCoordinatorDetectsNodeFailure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := dying.Send(&lane.Message{Type: lane.TypeHello, Processor: 1}, time.Second); err != nil {
+	if err := dying.Send(&lane.Message{Type: lane.TypeHello, Hello: lane.Hello{Processor: 1}}, time.Second); err != nil {
 		t.Fatal(err)
 	}
 	_ = dying.Close() // die before reporting any utilization

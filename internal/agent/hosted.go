@@ -1,0 +1,64 @@
+package agent
+
+import (
+	"fmt"
+
+	"github.com/rtsyslab/eucon/internal/lane"
+	"github.com/rtsyslab/eucon/internal/task"
+)
+
+// hostedTasks lists, in task order, the indices of the tasks with at
+// least one subtask on processor p. Server and node agent derive this
+// independently from the shared *task.System, so the sparse rate frames
+// the Server emits (lane.Rates.Tasks) always agree with the agent's
+// expectation — the derivation must stay deterministic and identical on
+// both sides.
+func hostedTasks(sys *task.System, p int) []int32 {
+	var out []int32
+	for i := range sys.Tasks {
+		for _, st := range sys.Tasks[i].Subtasks {
+			if st.Processor == p {
+				out = append(out, int32(i))
+				break
+			}
+		}
+	}
+	return out
+}
+
+// hostedCosts is the synthetic plant's per-task cost on processor p (the
+// row of the subtask-allocation matrix F for this node), indexed by task.
+func hostedCosts(sys *task.System, p int) []float64 {
+	costs := make([]float64, len(sys.Tasks))
+	for i := range sys.Tasks {
+		for _, st := range sys.Tasks[i].Subtasks {
+			if st.Processor == p {
+				costs[i] += st.EstimatedCost
+			}
+		}
+	}
+	return costs
+}
+
+// applyRates folds a rates frame into the full-length rate vector:
+// sparse frames update only the listed task indices, full frames replace
+// the vector.
+func applyRates(rates []float64, r *lane.Rates) error {
+	if r.Tasks == nil {
+		if len(r.Values) != len(rates) {
+			return fmt.Errorf("got %d rates, want %d", len(r.Values), len(rates))
+		}
+		copy(rates, r.Values)
+		return nil
+	}
+	if len(r.Tasks) != len(r.Values) {
+		return fmt.Errorf("sparse rates frame has %d tasks for %d values", len(r.Tasks), len(r.Values))
+	}
+	for j, t := range r.Tasks {
+		if t < 0 || int(t) >= len(rates) {
+			return fmt.Errorf("sparse rates frame names task %d of %d", t, len(rates))
+		}
+		rates[t] = r.Values[j]
+	}
+	return nil
+}

@@ -1,0 +1,225 @@
+package agent
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/rtsyslab/eucon/internal/lane"
+	"github.com/rtsyslab/eucon/internal/task"
+)
+
+// RunAgent runs one node agent against a Server: it dials addr, joins
+// with a hello for the given processor, and participates in the feedback
+// loop until the server says shutdown, the lane fails, or ctx is
+// canceled (which returns nil — cancellation is the normal way to stop
+// an agent; harnesses use it to inject crashes).
+//
+// The agent hosts the synthetic plant of this package: utilization is
+// Σ c_i·r_i over the subtasks hosted on its processor, scaled by the ETF
+// schedule and optional jitter. Outbound frames flow through a bounded
+// send queue, so a stalled lane sheds stale reports instead of blocking
+// the measurement loop; rate frames are applied as they arrive (sparse
+// frames update only the hosted tasks).
+//
+// By default the agent runs in lockstep: it reports period k and waits
+// for the server's period-k rates before sampling period k+1, as fast as
+// the lanes allow. WithInterval(d) switches to free-running: a ticker
+// paces the periods and rates apply asynchronously. WithLatencySink
+// observes the end-to-end sampling-period latency (report sent → rates
+// received) in lockstep mode.
+func RunAgent(ctx context.Context, sys *task.System, processor int, addr string, opts ...Option) error {
+	if sys == nil {
+		return errors.New("agent: system is nil")
+	}
+	if processor < 0 || processor >= sys.Processors {
+		return fmt.Errorf("agent: processor %d out of range", processor)
+	}
+	opt := newOptions(opts)
+
+	conn, err := lane.DialContext(ctx, addr, opt.ioTimeout, lane.WithConnCodec(opt.codec))
+	if err != nil {
+		return err
+	}
+	defer func() { _ = conn.Close() }()
+
+	// Outbound frames go through the bounded queue; reports additionally
+	// pass the fault plan (when configured) and the retry policy. A report
+	// still lost after retries is abandoned without killing the queue —
+	// the server degrades around it with hold-last substitution.
+	var reports lane.Sender = conn
+	if opt.sendFaults != nil {
+		reports = lane.NewFaultConn(conn, opt.sendFaults)
+	}
+	queue := lane.NewSendQueue(func(ctx context.Context, m *lane.Message) error {
+		if m.Type != lane.TypeUtilizationBatch {
+			return conn.Send(m, opt.ioTimeout)
+		}
+		err := lane.SendRetry(ctx, reports, m, opt.ioTimeout, opt.retry)
+		if errors.Is(err, lane.ErrInjectedDrop) {
+			return nil
+		}
+		return err
+	}, opt.queueDepth)
+	qctx, stopQueue := context.WithCancel(ctx)
+	defer stopQueue()
+	queue.Start(qctx)
+
+	if err := queue.EnqueueHello(processor, opt.nodeName); err != nil {
+		return err
+	}
+
+	// The plant.
+	rng := rand.New(rand.NewSource(opt.seed))
+	costs := hostedCosts(sys, processor)
+	rates := sys.InitialRates()
+	measure := func(k int) float64 {
+		u := 0.0
+		for i := range costs {
+			u += costs[i] * rates[i]
+		}
+		u *= opt.etf.At(float64(k) * opt.samplingPeriod)
+		if opt.jitter > 0 {
+			u *= 1 + opt.jitter*(2*rng.Float64()-1)
+		}
+		if u > 1 {
+			u = 1
+		}
+		return u
+	}
+
+	// Join-ack: the first rates frame carries the hosted-task rates and
+	// the period to report first.
+	var m lane.Message
+	if err := conn.ReceiveInto(&m, opt.ioTimeout); err != nil {
+		return fmt.Errorf("agent: node P%d join ack: %w", processor+1, err)
+	}
+	if m.Type == lane.TypeShutdown {
+		return nil
+	}
+	if m.Type != lane.TypeRates {
+		return fmt.Errorf("agent: node P%d joined but got %s, want rates", processor+1, m.Type)
+	}
+	if err := applyRates(rates, &m.Rates); err != nil {
+		return fmt.Errorf("agent: node P%d: %w", processor+1, err)
+	}
+	next := m.Rates.Period
+
+	if opt.interval > 0 {
+		return runFree(ctx, conn, queue, &opt, processor, next, measure, rates)
+	}
+	return runLockstep(ctx, conn, queue, &opt, processor, next, measure, rates)
+}
+
+// runLockstep reports period k, waits for the server's period-k rates,
+// then advances — the paper's sequence, as fast as the lanes allow.
+func runLockstep(ctx context.Context, conn *lane.Conn, queue *lane.SendQueue, opt *Options,
+	processor, next int, measure func(int) float64, rates []float64) error {
+	var m lane.Message
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil // canceled: the harness's way to crash an agent
+		}
+		if err := queue.EnqueueSample(processor, next, measure(next)); err != nil {
+			return err
+		}
+		sentAt := time.Now() //eucon:wallclock-ok operational latency metric, never feeds control output
+		for {
+			if err := conn.ReceiveInto(&m, opt.ioTimeout); err != nil {
+				if ctx.Err() != nil {
+					return nil
+				}
+				return fmt.Errorf("agent: node P%d: %w", processor+1, err)
+			}
+			if m.Type == lane.TypeShutdown {
+				return nil
+			}
+			if m.Type != lane.TypeRates {
+				return fmt.Errorf("agent: node P%d got unexpected %s", processor+1, m.Type)
+			}
+			if err := applyRates(rates, &m.Rates); err != nil {
+				return fmt.Errorf("agent: node P%d: %w", processor+1, err)
+			}
+			if m.Rates.Period >= next {
+				// The period we reported (or a later one, if the server
+				// stepped past us) is actuated; move on.
+				if opt.latencySink != nil {
+					opt.latencySink(next, time.Since(sentAt)) //eucon:wallclock-ok operational latency metric, never feeds control output
+				}
+				next = m.Rates.Period + 1
+				break
+			}
+			// An older period's rates (e.g. the join-ack raced a broadcast):
+			// applied above, keep waiting for ours.
+		}
+	}
+}
+
+// runFree paces periods with a ticker and applies rates as they arrive.
+func runFree(ctx context.Context, conn *lane.Conn, queue *lane.SendQueue, opt *Options,
+	processor, next int, measure func(int) float64, rates []float64) error {
+	var mu sync.Mutex // guards rates between the ticker loop and the reader
+	done := make(chan error, 1)
+	go func() {
+		var m lane.Message
+		for {
+			if err := conn.ReceiveInto(&m, opt.membershipTimeout); err != nil {
+				select {
+				case done <- err:
+				case <-ctx.Done():
+				}
+				return
+			}
+			switch m.Type {
+			case lane.TypeShutdown:
+				select {
+				case done <- nil:
+				case <-ctx.Done():
+				}
+				return
+			case lane.TypeRates:
+				mu.Lock()
+				err := applyRates(rates, &m.Rates)
+				mu.Unlock()
+				if err != nil {
+					select {
+					case done <- err:
+					case <-ctx.Done():
+					}
+					return
+				}
+			case lane.TypeHello, lane.TypeUtilizationBatch:
+				select {
+				case done <- fmt.Errorf("agent: node P%d got unexpected %s", processor+1, m.Type):
+				case <-ctx.Done():
+				}
+				return
+			}
+		}
+	}()
+
+	ticker := time.NewTicker(opt.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case err := <-done:
+			if err != nil {
+				return fmt.Errorf("agent: node P%d: %w", processor+1, err)
+			}
+			return nil
+		case <-ticker.C:
+			mu.Lock()
+			u := measure(next)
+			mu.Unlock()
+			if err := queue.EnqueueSample(processor, next, u); err != nil {
+				return err
+			}
+			next++
+		}
+	}
+}

@@ -147,3 +147,30 @@ func plainSend(ch chan int) { // ok: no context in the signature, no cancellatio
 func annotatedSend(ctx context.Context, ch chan int) {
 	ch <- 1 //eucon:send-ok fixture: the channel is buffered by contract
 }
+
+// ---- bounded-queue wake (lane.SendQueue's kick pattern) ----
+
+// boundedQueue mirrors the shape of lane.SendQueue: enqueues wake the
+// writer with a non-blocking select/default send, the writer drains under
+// a ctx-guarded select. Both sides must stay silent.
+type boundedQueue struct {
+	mu   sync.Mutex
+	kick chan struct{}
+}
+
+func (q *boundedQueue) wake(ctx context.Context) { // ok: default makes the kick non-blocking, so no cancellation obligation
+	select {
+	case q.kick <- struct{}{}:
+	default:
+	}
+}
+
+func (q *boundedQueue) drain(ctx context.Context) { // ok: the blocking receive is select-guarded by ctx.Done
+	for {
+		select {
+		case <-q.kick:
+		case <-ctx.Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package lane
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// messageFixtures covers every message type, including sparse rates and
+// multi-sample batches.
+func messageFixtures() []Message {
+	return []Message{
+		{Type: TypeHello, Hello: Hello{Processor: 7, Node: "node-7"}},
+		{Type: TypeHello, Hello: Hello{Processor: 0, Node: ""}},
+		{Type: TypeUtilizationBatch, Batch: UtilizationBatch{Processor: 3, First: 42, Samples: []float64{0.1, 0.97, 0}}},
+		{Type: TypeUtilizationBatch, Batch: UtilizationBatch{Processor: 0, First: 0, Samples: []float64{math.NaN()}}},
+		{Type: TypeRates, Rates: Rates{Period: 9, Values: []float64{0.004, 2.5, 0.333}}},
+		{Type: TypeRates, Rates: Rates{Period: 11, Tasks: []int32{0, 5, 1023}, Values: []float64{1, 2, 3}}},
+		{Type: TypeRates, Rates: Rates{Period: 0, Tasks: []int32{}, Values: []float64{}}},
+		{Type: TypeShutdown, Shutdown: Shutdown{Reason: "drain"}},
+		{Type: TypeShutdown, Shutdown: Shutdown{}},
+	}
+}
+
+// canonical reduces a message to its meaningful payload for comparison
+// (unselected union fields are unspecified after decode).
+func canonical(m *Message) any {
+	switch m.Type {
+	case TypeHello:
+		return m.Hello
+	case TypeUtilizationBatch:
+		return m.Batch
+	case TypeRates:
+		return m.Rates
+	case TypeShutdown:
+		return m.Shutdown
+	default: //eucon:exhaustive-default test helper: unknown types compare by discriminant only
+		return m.Type
+	}
+}
+
+// equalPayload compares payloads treating NaN as equal to itself and a
+// nil slice as equal to an empty one (the wire cannot distinguish them
+// for Values/Samples; Tasks nil vs empty IS meaningful and checked
+// separately).
+func equalPayload(a, b any) bool {
+	switch x := a.(type) {
+	case UtilizationBatch:
+		y, ok := b.(UtilizationBatch)
+		return ok && x.Processor == y.Processor && x.First == y.First && equalFloats(x.Samples, y.Samples)
+	case Rates:
+		y, ok := b.(Rates)
+		if !ok || x.Period != y.Period || !equalFloats(x.Values, y.Values) {
+			return false
+		}
+		if (x.Tasks == nil) != (y.Tasks == nil) {
+			return false
+		}
+		if len(x.Tasks) != len(y.Tasks) {
+			return false
+		}
+		for i := range x.Tasks {
+			if x.Tasks[i] != y.Tasks[i] {
+				return false
+			}
+		}
+		return true
+	default:
+		return reflect.DeepEqual(a, b)
+	}
+}
+
+func hasNaN(s []float64) bool {
+	for _, v := range s {
+		if math.IsNaN(v) {
+			return true
+		}
+	}
+	return false
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCodecRoundTripBitExact(t *testing.T) {
+	for _, codec := range []Codec{Binary, JSONv0} {
+		for _, want := range messageFixtures() {
+			if codec == JSONv0 && hasNaN(want.Batch.Samples) {
+				continue // JSON cannot represent NaN; the binary codec is bit-exact
+			}
+			body, err := codec.AppendEncode(nil, &want)
+			if err != nil {
+				t.Fatalf("%s encode %s: %v", codec.Name(), want.Type, err)
+			}
+			var got Message
+			if err := codec.Decode(body, &got); err != nil {
+				t.Fatalf("%s decode %s: %v", codec.Name(), want.Type, err)
+			}
+			if got.Type != want.Type || !equalPayload(canonical(&want), canonical(&got)) {
+				t.Fatalf("%s round trip %s:\n want %+v\n got  %+v", codec.Name(), want.Type, canonical(&want), canonical(&got))
+			}
+			// Re-encoding the decoded message must be byte-identical
+			// (deterministic wire form).
+			body2, err := codec.AppendEncode(nil, &got)
+			if err != nil {
+				t.Fatalf("%s re-encode: %v", codec.Name(), err)
+			}
+			if string(body) != string(body2) {
+				t.Fatalf("%s re-encode of %s differs:\n %x\n %x", codec.Name(), want.Type, body, body2)
+			}
+		}
+	}
+}
+
+func TestBinaryEncodeDeterministic(t *testing.T) {
+	m := &Message{Type: TypeRates, Rates: Rates{Period: 5, Tasks: []int32{2, 4}, Values: []float64{0.5, 0.25}}}
+	a, err := Binary.AppendEncode(nil, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Binary.AppendEncode(nil, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("non-deterministic encode:\n %x\n %x", a, b)
+	}
+	if a[0] != binaryVersion {
+		t.Fatalf("first byte = 0x%02x, want version 0x%02x", a[0], binaryVersion)
+	}
+}
+
+func TestDecodeMalformedFailsClosed(t *testing.T) {
+	valid, err := Binary.AppendEncode(nil, &Message{
+		Type:  TypeUtilizationBatch,
+		Batch: UtilizationBatch{Processor: 1, First: 2, Samples: []float64{0.5, 0.6}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		body []byte
+	}{
+		{"empty", nil},
+		{"version-only", []byte{binaryVersion}},
+		{"unknown-version", []byte{0x7f, 1, 2, 3}},
+		{"unknown-type", []byte{binaryVersion, 0xee}},
+		{"zero-type", []byte{binaryVersion, 0}},
+		{"truncated-header", valid[:3]},
+		{"truncated-payload", valid[:len(valid)-1]},
+		{"trailing-garbage", append(append([]byte{}, valid...), 0xaa)},
+		{"hostile-count", func() []byte {
+			// A batch claiming 2^31 samples in a tiny body must be
+			// rejected before any allocation is attempted.
+			b := append([]byte{}, valid[:10]...)
+			b = append(b, 0x7f, 0xff, 0xff, 0xff)
+			return b
+		}()},
+		{"json-truncated", []byte(`{"type":"rates","per`)},
+		{"json-unknown-type", []byte(`{"type":"gossip"}`)},
+		{"json-empty-object", []byte(`{}`)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var m Message
+			if err := DecodeFrame(tc.body, &m); !errors.Is(err, ErrMalformedFrame) {
+				t.Fatalf("DecodeFrame(%x) = %v, want ErrMalformedFrame", tc.body, err)
+			}
+		})
+	}
+}
+
+func TestEncodeZeroTypeFailsClosed(t *testing.T) {
+	if _, err := Binary.AppendEncode(nil, &Message{}); err == nil {
+		t.Fatal("encoding a zero-Type message succeeded")
+	}
+	if _, err := JSONv0.AppendEncode(nil, &Message{}); err == nil {
+		t.Fatal("JSON-encoding a zero-Type message succeeded")
+	}
+}
+
+// TestBinarySteadyStateZeroAlloc is the acceptance gate: encoding and
+// decoding batch and rates frames into reused buffers must not allocate.
+func TestBinarySteadyStateZeroAlloc(t *testing.T) {
+	batch := &Message{Type: TypeUtilizationBatch, Batch: UtilizationBatch{Processor: 2, First: 100, Samples: []float64{0.5, 0.6, 0.7}}}
+	rates := &Message{Type: TypeRates, Rates: Rates{Period: 100, Tasks: []int32{1, 3, 5}, Values: []float64{0.1, 0.2, 0.3}}}
+
+	var buf []byte
+	var m Message
+	// Warm the buffers once so capacity is in place.
+	for _, src := range []*Message{batch, rates} {
+		b, err := Binary.AppendEncode(buf[:0], src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = b
+		if err := Binary.Decode(buf, &m); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, tc := range []struct {
+		name string
+		src  *Message
+	}{{"batch", batch}, {"rates", rates}} {
+		allocs := testing.AllocsPerRun(200, func() {
+			b, err := Binary.AppendEncode(buf[:0], tc.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf = b
+			if err := Binary.Decode(buf, &m); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s: %v allocs/op in steady state, want 0", tc.name, allocs)
+		}
+	}
+}
+
+func BenchmarkBinaryEncodeDecodeBatch(b *testing.B) {
+	src := &Message{Type: TypeUtilizationBatch, Batch: UtilizationBatch{Processor: 2, First: 100, Samples: []float64{0.5, 0.6, 0.7, 0.8}}}
+	var buf []byte
+	var m Message
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = Binary.AppendEncode(buf[:0], src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := Binary.Decode(buf, &m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBinaryEncodeDecodeRates(b *testing.B) {
+	tasks := make([]int32, 16)
+	vals := make([]float64, 16)
+	for i := range tasks {
+		tasks[i] = int32(i * 3)
+		vals[i] = float64(i) * 0.01
+	}
+	src := &Message{Type: TypeRates, Rates: Rates{Period: 7, Tasks: tasks, Values: vals}}
+	var buf []byte
+	var m Message
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = Binary.AppendEncode(buf[:0], src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := Binary.Decode(buf, &m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

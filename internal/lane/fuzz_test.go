@@ -1,0 +1,78 @@
+package lane
+
+import (
+	"testing"
+)
+
+// FuzzDecodeFrame throws arbitrary bodies at the frame decoder. The
+// invariant under test: decoding either succeeds with a valid message
+// type, or fails with an error — it must never panic, and a successful
+// decode must re-encode (fail-closed, total decoder). The seed corpus
+// includes valid frames from both codecs plus known-nasty shapes, so the
+// corpus round runs meaningfully under plain `go test`.
+func FuzzDecodeFrame(f *testing.F) {
+	for _, m := range messageFixtures() {
+		for _, codec := range []Codec{Binary, JSONv0} {
+			body, err := codec.AppendEncode(nil, &m)
+			if err != nil {
+				continue // e.g. NaN samples are unrepresentable in JSON
+			}
+			f.Add(body)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{binaryVersion})
+	f.Add([]byte{binaryVersion, 0xff, 0xff})
+	f.Add([]byte{binaryVersion, byte(TypeUtilizationBatch), 0x7f, 0xff, 0xff, 0xff})
+	f.Add([]byte(`{"type":"rates","period":-1,"values":[1e309]}`))
+	f.Add([]byte(`{`))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var m Message
+		if err := DecodeFrame(body, &m); err != nil {
+			return // rejected frames are fine; panics are not
+		}
+		switch m.Type {
+		case TypeHello, TypeUtilizationBatch, TypeRates, TypeShutdown:
+			// A decoded message must survive binary re-encoding (JSON is
+			// excluded: it cannot represent non-finite floats).
+			if _, err := Binary.AppendEncode(nil, &m); err != nil {
+				t.Fatalf("decoded message fails binary re-encode: %v", err)
+			}
+		default: //eucon:exhaustive-default fuzz oracle: any other type is a decoder bug
+			t.Fatalf("decode accepted unknown type %d", m.Type)
+		}
+	})
+}
+
+// FuzzBinaryRoundTrip fuzzes structured batch fields through a full
+// encode/decode cycle.
+func FuzzBinaryRoundTrip(f *testing.F) {
+	f.Add(0, 0, 0.0, 0.5, 3)
+	f.Add(1023, 200, 0.97, 0.0, 1)
+	f.Fuzz(func(t *testing.T, proc, first int, u0, u1 float64, n int) {
+		if proc < 0 || first < 0 || n < 1 || n > 256 {
+			return
+		}
+		samples := make([]float64, n)
+		for i := range samples {
+			if i%2 == 0 {
+				samples[i] = u0
+			} else {
+				samples[i] = u1
+			}
+		}
+		want := &Message{Type: TypeUtilizationBatch, Batch: UtilizationBatch{Processor: proc, First: first, Samples: samples}}
+		body, err := Binary.AppendEncode(nil, want)
+		if err != nil {
+			return // out-of-range fields (e.g. > uint32) may be rejected
+		}
+		var got Message
+		if err := Binary.Decode(body, &got); err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		if got.Batch.Processor != proc || got.Batch.First != first || !equalFloats(got.Batch.Samples, samples) {
+			t.Fatalf("round trip mismatch: %+v", got.Batch)
+		}
+	})
+}

@@ -3,17 +3,29 @@
 // processor's utilization monitor to the centralized controller, and rate
 // commands from the controller back to each processor's rate modulator.
 //
-// The wire format is length-prefixed JSON: a 4-byte big-endian frame length
-// followed by one JSON-encoded Message. Frames are capped at MaxFrameSize
-// to bound memory under a misbehaving peer. Writes are serialized by a
-// mutex so a Conn may be shared by a reader and a writer goroutine
-// (one reader at a time).
+// The wire format is a 4-byte big-endian frame length followed by one
+// encoded message body, capped at MaxFrameSize to bound memory under a
+// misbehaving peer. Two codecs produce bodies behind the Codec interface:
+// the compact versioned binary format (Binary, the default — zero
+// allocations per frame in steady state) and the human-readable JSON v0
+// fallback (JSONv0). Receivers auto-detect the codec per frame from the
+// first body byte, so mixed-codec clusters interoperate and a fleet can be
+// migrated one process at a time.
+//
+// Messages are typed: MessageType discriminates a Message union whose
+// payloads (Hello, UtilizationBatch, Rates, Shutdown) carry only the
+// fields their type needs. A UtilizationBatch coalesces consecutive
+// sampling periods from one processor into a single frame, so a node
+// falling behind a congested lane ships its backlog in one write instead
+// of one frame per period.
+//
+// Writes are serialized by a mutex so a Conn may be shared by a reader and
+// a writer goroutine (one reader at a time).
 package lane
 
 import (
 	"context"
 	"encoding/binary"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -22,7 +34,7 @@ import (
 	"time"
 )
 
-// MaxFrameSize bounds a single frame (1 MiB is far beyond any EUCON
+// MaxFrameSize bounds a single frame body (1 MiB is far beyond any EUCON
 // message; the cap exists to fail fast on corrupt length prefixes).
 const MaxFrameSize = 1 << 20
 
@@ -30,66 +42,149 @@ const MaxFrameSize = 1 << 20
 // MaxFrameSize.
 var ErrFrameTooLarge = errors.New("lane: frame exceeds maximum size")
 
+// ErrMalformedFrame is returned when a frame body cannot be decoded:
+// truncated payloads, counts inconsistent with the body length, unknown
+// versions, or unknown message types. Decoding fails closed — no partial
+// message is ever returned.
+var ErrMalformedFrame = errors.New("lane: malformed frame")
+
 // MessageType discriminates protocol messages.
 //
 //eucon:exhaustive
-type MessageType string
+type MessageType uint8
 
-// Protocol message types.
+// Protocol message types. The zero value is invalid on the wire so a
+// forgotten Type fails closed at encode time.
 const (
 	// TypeHello registers a node agent with the controller.
-	TypeHello MessageType = "hello"
-	// TypeUtilization reports one sampling period's utilization.
-	TypeUtilization MessageType = "utilization"
+	TypeHello MessageType = 1 + iota
+	// TypeUtilizationBatch reports one or more consecutive sampling
+	// periods' utilization from one processor.
+	TypeUtilizationBatch
 	// TypeRates carries new task rates from the controller.
-	TypeRates MessageType = "rates"
+	TypeRates
 	// TypeShutdown asks the peer to stop cleanly.
-	TypeShutdown MessageType = "shutdown"
+	TypeShutdown
 )
 
-// Message is the single frame payload for all lane traffic. Unused fields
-// are omitted from the wire encoding.
+// String renders the type for errors and traces.
+func (t MessageType) String() string {
+	switch t {
+	case TypeHello:
+		return "hello"
+	case TypeUtilizationBatch:
+		return "utilization-batch"
+	case TypeRates:
+		return "rates"
+	case TypeShutdown:
+		return "shutdown"
+	default: //eucon:exhaustive-default invalid wire values render numerically
+		return fmt.Sprintf("MessageType(%d)", uint8(t))
+	}
+}
+
+// Hello registers a node agent with the controller.
+type Hello struct {
+	// Processor is the 0-based processor index this agent hosts.
+	Processor int
+	// Node is a human-readable node name.
+	Node string
+}
+
+// UtilizationBatch carries the utilization samples of consecutive
+// sampling periods measured on one processor: Samples[i] is u_p(First+i).
+// A batch of one is the common steady-state frame; longer batches appear
+// when a send queue coalesces a backlog.
+type UtilizationBatch struct {
+	// Processor is the reporting 0-based processor index.
+	Processor int
+	// First is the sampling period index of Samples[0].
+	First int
+	// Samples holds one utilization per consecutive period.
+	Samples []float64
+}
+
+// Rates carries new task rates from the controller for one sampling
+// period. With Tasks nil the frame carries the full rate vector in task
+// order; with Tasks set it carries only those task indices (the
+// production path — each member receives just the tasks it hosts).
+type Rates struct {
+	// Period is the sampling period these rates actuate.
+	Period int
+	// Tasks lists the task indices of Values, or nil for the full vector.
+	Tasks []int32
+	// Values holds one rate per entry of Tasks (or per task when Tasks is
+	// nil).
+	Values []float64
+}
+
+// Shutdown asks the peer to stop cleanly.
+type Shutdown struct {
+	// Reason annotates the shutdown for logs.
+	Reason string
+}
+
+// Message is the typed frame union: Type selects which payload is
+// meaningful. After decoding, payloads other than the selected one are
+// unspecified (a reused Message keeps their previous contents so slice
+// capacity is recycled).
 type Message struct {
-	Type MessageType `json:"type"`
-	// Processor is the 0-based processor index (hello, utilization).
-	Processor int `json:"processor,omitempty"`
-	// Node is a human-readable node name (hello).
-	Node string `json:"node,omitempty"`
-	// Period is the sampling period index k.
-	Period int `json:"period,omitempty"`
-	// Utilization is u_p(k) (utilization messages).
-	Utilization float64 `json:"utilization,omitempty"`
-	// Rates is the full task rate vector (rates messages).
-	Rates []float64 `json:"rates,omitempty"`
-	// Reason annotates shutdown messages.
-	Reason string `json:"reason,omitempty"`
+	Type     MessageType
+	Hello    Hello
+	Batch    UtilizationBatch
+	Rates    Rates
+	Shutdown Shutdown
+}
+
+// ConnOption configures a Conn.
+type ConnOption func(*Conn)
+
+// WithConnCodec selects the codec used for outgoing frames (incoming
+// frames are auto-detected). The default is Binary.
+func WithConnCodec(c Codec) ConnOption {
+	return func(conn *Conn) {
+		if c != nil {
+			conn.codec = c
+		}
+	}
 }
 
 // Conn is a framed, write-serialized connection.
 type Conn struct {
-	nc net.Conn
+	nc    net.Conn
+	codec Codec
 
 	writeMu sync.Mutex
+	wbuf    []byte // reusable frame buffer, guarded by writeMu
+
+	rbuf []byte // reusable body buffer, owned by the single reader
 }
 
-// NewConn wraps a net.Conn.
-func NewConn(nc net.Conn) *Conn { return &Conn{nc: nc} }
+// NewConn wraps a net.Conn. With no options frames are sent in the
+// binary format.
+func NewConn(nc net.Conn, opts ...ConnOption) *Conn {
+	c := &Conn{nc: nc, codec: Binary}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
 
 // Dial connects to a controller at addr with the given timeout.
-func Dial(addr string, timeout time.Duration) (*Conn, error) {
-	return DialContext(context.Background(), addr, timeout)
+func Dial(addr string, timeout time.Duration, opts ...ConnOption) (*Conn, error) {
+	return DialContext(context.Background(), addr, timeout, opts...)
 }
 
 // DialContext is Dial with cancellation: an already-canceled or
 // mid-dial-canceled context aborts the connection attempt with ctx.Err()
 // wrapped in the returned error.
-func DialContext(ctx context.Context, addr string, timeout time.Duration) (*Conn, error) {
+func DialContext(ctx context.Context, addr string, timeout time.Duration, opts ...ConnOption) (*Conn, error) {
 	d := net.Dialer{Timeout: timeout}
 	nc, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("lane: dial %s: %w", addr, err)
 	}
-	return NewConn(nc), nil
+	return NewConn(nc, opts...), nil
 }
 
 // Close closes the underlying connection.
@@ -98,22 +193,25 @@ func (c *Conn) Close() error { return c.nc.Close() }
 // RemoteAddr reports the peer address.
 func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }
 
-// Send writes one message, applying the deadline to the whole write (zero
-// deadline means no timeout).
+// Send encodes m with the connection's codec and writes one frame,
+// applying the deadline to the whole write (zero deadline means no
+// timeout). The frame buffer is reused across calls, so steady-state
+// sends do not allocate.
 func (c *Conn) Send(m *Message, deadline time.Duration) error {
-	body, err := json.Marshal(m)
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	frame := append(c.wbuf[:0], 0, 0, 0, 0) // length prefix placeholder
+	frame, err := c.codec.AppendEncode(frame, m)
 	if err != nil {
 		return fmt.Errorf("lane: encode %s message: %w", m.Type, err)
 	}
-	if len(body) > MaxFrameSize {
+	c.wbuf = frame
+	body := len(frame) - 4
+	if body > MaxFrameSize {
 		return fmt.Errorf("lane: send %s: %w", m.Type, ErrFrameTooLarge)
 	}
-	frame := make([]byte, 4+len(body))
-	binary.BigEndian.PutUint32(frame, uint32(len(body)))
-	copy(frame[4:], body)
+	binary.BigEndian.PutUint32(frame, uint32(body))
 
-	c.writeMu.Lock()
-	defer c.writeMu.Unlock()
 	if deadline > 0 {
 		if err := c.nc.SetWriteDeadline(time.Now().Add(deadline)); err != nil { //eucon:wallclock-ok operational I/O deadline, never feeds control output
 			return fmt.Errorf("lane: set write deadline: %w", err)
@@ -125,30 +223,59 @@ func (c *Conn) Send(m *Message, deadline time.Duration) error {
 	return nil
 }
 
-// Receive reads one message, applying the deadline to the whole read (zero
-// deadline means no timeout). Only one goroutine may call Receive at a
-// time.
-func (c *Conn) Receive(deadline time.Duration) (*Message, error) {
+// ReceiveInto reads one frame into m, auto-detecting the codec from the
+// first body byte and applying the deadline to the whole read (zero
+// deadline means no timeout). m's slice capacity is reused, so
+// steady-state receives of batch and rates frames do not allocate. Only
+// one goroutine may receive on a Conn at a time.
+func (c *Conn) ReceiveInto(m *Message, deadline time.Duration) error {
 	if deadline > 0 {
 		if err := c.nc.SetReadDeadline(time.Now().Add(deadline)); err != nil { //eucon:wallclock-ok operational I/O deadline, never feeds control output
-			return nil, fmt.Errorf("lane: set read deadline: %w", err)
+			return fmt.Errorf("lane: set read deadline: %w", err)
 		}
 	}
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(c.nc, lenBuf[:]); err != nil {
-		return nil, fmt.Errorf("lane: read frame length: %w", err)
+		return fmt.Errorf("lane: read frame length: %w", err)
 	}
 	n := binary.BigEndian.Uint32(lenBuf[:])
 	if n > MaxFrameSize {
-		return nil, fmt.Errorf("lane: frame of %d bytes: %w", n, ErrFrameTooLarge)
+		return fmt.Errorf("lane: frame of %d bytes: %w", n, ErrFrameTooLarge)
 	}
-	body := make([]byte, n)
+	if cap(c.rbuf) < int(n) {
+		c.rbuf = make([]byte, n)
+	}
+	body := c.rbuf[:n]
 	if _, err := io.ReadFull(c.nc, body); err != nil {
-		return nil, fmt.Errorf("lane: read frame body: %w", err)
+		return fmt.Errorf("lane: read frame body: %w", err)
 	}
-	var m Message
-	if err := json.Unmarshal(body, &m); err != nil {
-		return nil, fmt.Errorf("lane: decode frame: %w", err)
+	return DecodeFrame(body, m)
+}
+
+// Receive reads one message, allocating a fresh Message. Hot paths should
+// use ReceiveInto with a reused Message instead.
+func (c *Conn) Receive(deadline time.Duration) (*Message, error) {
+	m := new(Message)
+	if err := c.ReceiveInto(m, deadline); err != nil {
+		return nil, err
 	}
-	return &m, nil
+	return m, nil
+}
+
+// DecodeFrame decodes one frame body into m, auto-detecting the codec: a
+// body starting with the binary version byte decodes as Binary, one
+// starting with '{' as JSONv0. The decoded message copies everything it
+// needs out of body, so the caller may reuse the buffer immediately.
+func DecodeFrame(body []byte, m *Message) error {
+	if len(body) == 0 {
+		return fmt.Errorf("%w: empty body", ErrMalformedFrame)
+	}
+	switch body[0] {
+	case binaryVersion:
+		return Binary.Decode(body, m)
+	case '{':
+		return JSONv0.Decode(body, m)
+	default:
+		return fmt.Errorf("%w: unknown frame version 0x%02x", ErrMalformedFrame, body[0])
+	}
 }

@@ -10,45 +10,85 @@ import (
 )
 
 // pipePair returns two framed connections linked by an in-memory pipe.
-func pipePair() (*Conn, *Conn) {
+func pipePair(opts ...ConnOption) (*Conn, *Conn) {
 	a, b := net.Pipe()
-	return NewConn(a), NewConn(b)
+	return NewConn(a, opts...), NewConn(b, opts...)
+}
+
+func sample(proc, period int, u float64) *Message {
+	return &Message{
+		Type:  TypeUtilizationBatch,
+		Batch: UtilizationBatch{Processor: proc, First: period, Samples: []float64{u}},
+	}
 }
 
 func TestRoundTrip(t *testing.T) {
-	a, b := pipePair()
-	defer func() { _ = a.Close(); _ = b.Close() }()
-	want := &Message{
-		Type:        TypeUtilization,
-		Processor:   3,
-		Period:      17,
-		Utilization: 0.725,
-	}
-	done := make(chan error, 1)
-	go func() { done <- a.Send(want, time.Second) }()
-	got, err := b.Receive(time.Second)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := <-done; err != nil {
-		t.Fatal(err)
-	}
-	if got.Type != want.Type || got.Processor != want.Processor || got.Period != want.Period || got.Utilization != want.Utilization {
-		t.Fatalf("got %+v, want %+v", got, want)
+	for _, codec := range []Codec{Binary, JSONv0} {
+		t.Run(codec.Name(), func(t *testing.T) {
+			a, b := pipePair(WithConnCodec(codec))
+			defer func() { _ = a.Close(); _ = b.Close() }()
+			want := sample(3, 17, 0.725)
+			done := make(chan error, 1)
+			go func() { done <- a.Send(want, time.Second) }()
+			got, err := b.Receive(time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+			if got.Type != want.Type || got.Batch.Processor != 3 || got.Batch.First != 17 ||
+				len(got.Batch.Samples) != 1 || got.Batch.Samples[0] != 0.725 {
+				t.Fatalf("got %+v, want %+v", got, want)
+			}
+		})
 	}
 }
 
 func TestRoundTripRates(t *testing.T) {
 	a, b := pipePair()
 	defer func() { _ = a.Close(); _ = b.Close() }()
-	want := &Message{Type: TypeRates, Period: 4, Rates: []float64{0.01, 0.02, 0.005}}
+	want := &Message{Type: TypeRates, Rates: Rates{Period: 4, Values: []float64{0.01, 0.02, 0.005}}}
 	go func() { _ = a.Send(want, time.Second) }()
 	got, err := b.Receive(time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got.Rates) != 3 || got.Rates[1] != 0.02 {
-		t.Fatalf("rates = %v", got.Rates)
+	if len(got.Rates.Values) != 3 || got.Rates.Values[1] != 0.02 || got.Rates.Tasks != nil {
+		t.Fatalf("rates = %+v", got.Rates)
+	}
+}
+
+func TestMixedCodecsInterleave(t *testing.T) {
+	// A binary sender and a JSON sender on the same wire: the receiver
+	// auto-detects each frame, so mixed fleets interoperate mid-migration.
+	na, nb := net.Pipe()
+	defer func() { _ = na.Close(); _ = nb.Close() }()
+	recv := NewConn(nb)
+	c := NewConn(na)
+	go func() {
+		_ = c.Send(sample(1, 5, 0.5), time.Second)
+	}()
+	got, err := recv.Receive(time.Second)
+	if err != nil || got.Batch.First != 5 {
+		t.Fatalf("binary frame: %+v, %v", got, err)
+	}
+	// Now a JSON body over the same receiving Conn.
+	var m Message
+	body, err := JSONv0.AppendEncode(nil, sample(1, 6, 0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+		_, _ = na.Write(append(hdr[:], body...))
+	}()
+	if err := recv.ReceiveInto(&m, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != TypeUtilizationBatch || m.Batch.First != 6 || m.Batch.Samples[0] != 0.25 {
+		t.Fatalf("json frame decoded as %+v", m)
 	}
 }
 
@@ -58,16 +98,16 @@ func TestMultipleMessagesInOrder(t *testing.T) {
 	const n = 20
 	go func() {
 		for i := 0; i < n; i++ {
-			_ = a.Send(&Message{Type: TypeUtilization, Period: i}, time.Second)
+			_ = a.Send(sample(0, i, 0.5), time.Second)
 		}
 	}()
+	m := new(Message)
 	for i := 0; i < n; i++ {
-		m, err := b.Receive(time.Second)
-		if err != nil {
+		if err := b.ReceiveInto(m, time.Second); err != nil {
 			t.Fatalf("message %d: %v", i, err)
 		}
-		if m.Period != i {
-			t.Fatalf("message %d has period %d", i, m.Period)
+		if m.Batch.First != i {
+			t.Fatalf("message %d has period %d", i, m.Batch.First)
 		}
 	}
 }
@@ -82,7 +122,7 @@ func TestConcurrentWritersDoNotInterleave(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < perWriter; i++ {
-				if err := a.Send(&Message{Type: TypeUtilization, Processor: w, Period: i}, time.Second); err != nil {
+				if err := a.Send(sample(w, i, 0.5), time.Second); err != nil {
 					t.Errorf("writer %d: %v", w, err)
 					return
 				}
@@ -95,7 +135,7 @@ func TestConcurrentWritersDoNotInterleave(t *testing.T) {
 		if err != nil {
 			t.Fatalf("after %d messages: %v", seen, err)
 		}
-		if m.Type != TypeUtilization {
+		if m.Type != TypeUtilizationBatch {
 			t.Fatalf("corrupt frame: %+v", m)
 		}
 		seen++
@@ -126,6 +166,18 @@ func TestOversizeFrameRejectedOnReceive(t *testing.T) {
 		_, _ = a.Write(hdr[:])
 	}()
 	_, err := conn.Receive(time.Second)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestOversizeFrameRejectedOnSend(t *testing.T) {
+	a, b := pipePair()
+	defer func() { _ = a.Close(); _ = b.Close() }()
+	big := &Message{Type: TypeUtilizationBatch, Batch: UtilizationBatch{
+		Samples: make([]float64, MaxFrameSize/8+1),
+	}}
+	err := a.Send(big, time.Second)
 	if !errors.Is(err, ErrFrameTooLarge) {
 		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
 	}
@@ -162,11 +214,12 @@ func TestDialAndServe(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer func() { _ = c.Close() }()
-	if err := c.Send(&Message{Type: TypeHello, Processor: 1, Node: "n1"}, time.Second); err != nil {
+	hello := &Message{Type: TypeHello, Hello: Hello{Processor: 1, Node: "n1"}}
+	if err := c.Send(hello, time.Second); err != nil {
 		t.Fatal(err)
 	}
 	m := <-done
-	if m == nil || m.Type != TypeHello || m.Node != "n1" {
+	if m == nil || m.Type != TypeHello || m.Hello.Node != "n1" {
 		t.Fatalf("server got %+v", m)
 	}
 }

@@ -44,7 +44,7 @@ func TestRetryPolicyBackoff(t *testing.T) {
 func TestSendRetryRecoversTransientFailure(t *testing.T) {
 	s := &flakySender{failures: 2}
 	policy := RetryPolicy{Attempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
-	if err := SendRetry(context.Background(), s, &Message{Type: TypeUtilization}, time.Second, policy); err != nil {
+	if err := SendRetry(context.Background(), s, &Message{Type: TypeUtilizationBatch}, time.Second, policy); err != nil {
 		t.Fatalf("SendRetry = %v, want success on third attempt", err)
 	}
 	if s.calls != 3 {
@@ -55,7 +55,7 @@ func TestSendRetryRecoversTransientFailure(t *testing.T) {
 func TestSendRetryExhaustsAttempts(t *testing.T) {
 	s := &flakySender{failures: 10}
 	policy := RetryPolicy{Attempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
-	err := SendRetry(context.Background(), s, &Message{Type: TypeUtilization}, time.Second, policy)
+	err := SendRetry(context.Background(), s, &Message{Type: TypeUtilizationBatch}, time.Second, policy)
 	if err == nil {
 		t.Fatal("SendRetry succeeded, want exhaustion")
 	}
@@ -69,7 +69,7 @@ func TestSendRetryCanceledBeforeFirstAttempt(t *testing.T) {
 	cancel()
 	s := &flakySender{failures: 10}
 	policy := RetryPolicy{Attempts: 3, BaseDelay: time.Hour, MaxDelay: time.Hour}
-	err := SendRetry(ctx, s, &Message{Type: TypeUtilization}, time.Second, policy)
+	err := SendRetry(ctx, s, &Message{Type: TypeUtilizationBatch}, time.Second, policy)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
@@ -84,7 +84,7 @@ func TestSendRetryCanceledDuringBackoff(t *testing.T) {
 	s := &flakySender{failures: 10}
 	policy := RetryPolicy{Attempts: 3, BaseDelay: time.Hour, MaxDelay: time.Hour}
 	start := time.Now()
-	err := SendRetry(ctx, s, &Message{Type: TypeUtilization}, time.Second, policy)
+	err := SendRetry(ctx, s, &Message{Type: TypeUtilizationBatch}, time.Second, policy)
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
 	}
@@ -115,7 +115,7 @@ func TestSendRetryCanceledMidSendStopsPromptly(t *testing.T) {
 	s := &cancelingSender{cancel: cancel}
 	policy := RetryPolicy{Attempts: 5, BaseDelay: time.Hour, MaxDelay: time.Hour}
 	start := time.Now()
-	err := SendRetry(ctx, s, &Message{Type: TypeUtilization}, time.Second, policy)
+	err := SendRetry(ctx, s, &Message{Type: TypeUtilizationBatch}, time.Second, policy)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
@@ -141,7 +141,7 @@ func TestFaultConnDropAndPassThrough(t *testing.T) {
 
 	// Message 0 is dropped before reaching the wire: no reader needed,
 	// and the error unwraps to ErrInjectedDrop.
-	err := fc.Send(&Message{Type: TypeUtilization, Period: 0}, time.Second)
+	err := fc.Send(sample(0, 0, 0.5), time.Second)
 	if !errors.Is(err, ErrInjectedDrop) {
 		t.Fatalf("dropped send err = %v, want ErrInjectedDrop", err)
 	}
@@ -155,11 +155,11 @@ func TestFaultConnDropAndPassThrough(t *testing.T) {
 		}
 		got <- m
 	}()
-	if err := fc.Send(&Message{Type: TypeUtilization, Period: 1, Utilization: 0.5}, time.Second); err != nil {
+	if err := fc.Send(sample(0, 1, 0.5), time.Second); err != nil {
 		t.Fatalf("pass-through send: %v", err)
 	}
 	m := <-got
-	if m == nil || m.Period != 1 || m.Utilization != 0.5 {
+	if m == nil || m.Batch.First != 1 || m.Batch.Samples[0] != 0.5 {
 		t.Fatalf("peer got %+v, want period 1 utilization 0.5", m)
 	}
 	if fc.Sent() != 2 {
@@ -183,10 +183,10 @@ func TestSendRetryRecoversInjectedDrop(t *testing.T) {
 		got <- m
 	}()
 	policy := RetryPolicy{Attempts: 2, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond}
-	if err := SendRetry(context.Background(), fc, &Message{Type: TypeUtilization, Period: 7}, time.Second, policy); err != nil {
+	if err := SendRetry(context.Background(), fc, sample(0, 7, 0.5), time.Second, policy); err != nil {
 		t.Fatalf("SendRetry over FaultConn = %v, want recovery on second attempt", err)
 	}
-	if m := <-got; m.Period != 7 {
-		t.Fatalf("peer got period %d, want 7", m.Period)
+	if m := <-got; m.Batch.First != 7 {
+		t.Fatalf("peer got period %d, want 7", m.Batch.First)
 	}
 }

@@ -77,6 +77,17 @@ rm -f /tmp/euconfuzz.bench
 chaos_ms=$(( (chaos_end - chaos_start) / 1000000 ))
 printf '{"date":"%s","bench":"ChaosSmoke25","wall_ms":%s}\n' "$date" "$chaos_ms" >>"$out"
 
+# Distributed-runtime farm: 1000 in-process node agents over loopback TCP
+# against one controller daemon for 200 sampling periods with injected
+# crashes/rejoins. The JSON line carries wall time, p50/p99 end-to-end
+# sampling-period latency, and frames/sec — the latency trajectory of the
+# binary lane protocol and the membership layer across PRs. The binary is
+# prebuilt so the stamp measures the control plane, not the compiler.
+go build -o /tmp/euconfarm.bench ./cmd/euconfarm
+/tmp/euconfarm.bench -json |
+	sed "s/^{/{\"date\":\"${date}\",/" >>"$out"
+rm -f /tmp/euconfarm.bench
+
 # euconlint full-tree wall time: the interprocedural analyzers (transitive
 # noalloc proofs, CHA, exhaustiveness, concurrency flow) load and type-check
 # the whole module, so analyzer-cost regressions show up in the trend record.

@@ -4,7 +4,9 @@
 # explicit MPC, and the localized DEUCON step at 128 processors), the
 # sweep/fault/LARGE-workload digest diffs against scripts/golden/, and the
 # chaos smoke campaigns (25 seeded fault storms on SIMPLE plus 6 localized
-# fault storms at 128 processors, every robustness invariant enforced).
+# fault storms at 128 processors, every robustness invariant enforced), and
+# the distributed-runtime smoke (euconfarm: 64 node agents over loopback
+# TCP riding through injected crashes without a controller restart).
 # Usage: ./scripts/check.sh   (or: make check)
 set -eu
 
@@ -120,5 +122,8 @@ fi
 echo "==> chaos smoke (make chaos-smoke: 25 seeded fault storms + 6 localized storms at 128 procs)"
 go run ./cmd/euconfuzz -seed 1 -n 25
 go run ./cmd/euconfuzz -campaign large128 -seed 1 -n 6 -periods 100
+
+echo "==> distributed-runtime smoke (euconfarm: 64 agents over loopback TCP, crashes injected)"
+go run ./cmd/euconfarm -smoke
 
 echo "==> OK"
