@@ -24,6 +24,7 @@ import (
 	"github.com/rtsyslab/eucon/internal/agent"
 	"github.com/rtsyslab/eucon/internal/baseline"
 	"github.com/rtsyslab/eucon/internal/core"
+	"github.com/rtsyslab/eucon/internal/fault"
 	"github.com/rtsyslab/eucon/internal/lane"
 	"github.com/rtsyslab/eucon/internal/sim"
 	"github.com/rtsyslab/eucon/internal/task"
@@ -39,10 +40,11 @@ func run() int {
 	name := flag.String("workload", "simple", "workload: simple or medium")
 	ctrlName := flag.String("controller", "eucon", "controller: eucon or open")
 	periods := flag.Int("periods", 100, "number of sampling periods to run (0 = until interrupted)")
-	codec := flag.String("codec", "binary", "wire codec for outgoing frames: binary or json")
+	codec := flag.String("codec", "binary", "wire codec for outgoing frames: binary, binary2 (delta-compacted rates), or json")
 	queue := flag.Int("queue", lane.DefaultQueueDepth, "per-member send-queue depth (frames)")
 	membership := flag.Duration("membership-timeout", agent.DefaultMembershipTimeout, "evict members silent this long")
 	periodTimeout := flag.Duration("period-timeout", agent.DefaultPeriodTimeout, "step with hold-last substitutes after waiting this long for reports")
+	faultSpec := flag.String("transport-faults", "", "inject transport faults on outbound rate lanes, e.g. drop=0.05,delay=10ms,delayprob=0.5,dup=0.01,reorder=0.01,seed=7 (reseeded per member)")
 	trace := flag.Bool("trace", false, "print the per-period utilization table after the run")
 	flag.Parse()
 
@@ -79,19 +81,31 @@ func run() int {
 		return 2
 	}
 
+	plan, err := fault.ParseTransportPlan(*faultSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "euconctl: %v\n", err)
+		return 2
+	}
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "euconctl: %v\n", err)
 		return 1
 	}
-	srv, err := agent.NewServer(sys, ctrl, ln,
+	opts := []agent.Option{
 		agent.WithPeriods(*periods),
 		agent.WithCodec(wire),
 		agent.WithSendQueue(*queue),
 		agent.WithMembershipTimeout(*membership),
 		agent.WithPeriodTimeout(*periodTimeout),
 		agent.WithTrace(*trace),
-	)
+	}
+	if !plan.Zero() {
+		opts = append(opts, agent.WithTransportFaults(func(p int) lane.Plan {
+			return plan.Reseed(int64(p) + 1)
+		}))
+	}
+	srv, err := agent.NewServer(sys, ctrl, ln, opts...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "euconctl: %v\n", err)
 		return 1
@@ -109,9 +123,9 @@ func run() int {
 		return 1
 	}
 	elapsed := time.Since(start) //eucon:wallclock-ok operational run timing for the printed summary
-	fmt.Printf("euconctl: %d periods in %v — joins=%d rejoins=%d leaves=%d crashes=%d missed=%d stale=%d frames in/out=%d/%d dropped=%d\n",
-		res.Periods, elapsed.Round(time.Millisecond), res.Joins, res.Rejoins, res.Leaves, res.Crashes,
-		res.MissedReports, res.StaleSamples, res.FramesIn, res.FramesOut, res.DroppedSamples)
+	fmt.Printf("euconctl: %d periods in %v — joins=%d rejoins=%d leaves=%d crashes=%d live=%d missed=%d stale=%d frames in/out=%d/%d dropped=%d injected=%d\n",
+		res.Periods, elapsed.Round(time.Millisecond), res.Joins, res.Rejoins, res.Leaves, res.Crashes, res.LiveAtEnd,
+		res.MissedReports, res.StaleSamples, res.FramesIn, res.FramesOut, res.DroppedSamples, res.InjectedDrops)
 	if *trace {
 		fmt.Print("period")
 		for p := 0; p < sys.Processors; p++ {
@@ -134,9 +148,11 @@ func parseCodec(name string) (lane.Codec, error) {
 	switch name {
 	case "binary":
 		return lane.Binary, nil
+	case "binary2":
+		return lane.BinaryV2, nil
 	case "json":
 		return lane.JSONv0, nil
 	default:
-		return nil, fmt.Errorf("unknown codec %q (want binary or json)", name)
+		return nil, fmt.Errorf("unknown codec %q (want binary, binary2, or json)", name)
 	}
 }

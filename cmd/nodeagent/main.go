@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"github.com/rtsyslab/eucon/internal/agent"
+	"github.com/rtsyslab/eucon/internal/fault"
 	"github.com/rtsyslab/eucon/internal/lane"
 	"github.com/rtsyslab/eucon/internal/sim"
 	"github.com/rtsyslab/eucon/internal/task"
@@ -35,8 +36,11 @@ func run() int {
 	jitter := flag.Float64("jitter", 0, "uniform relative noise on measured utilization, in [0, 1)")
 	interval := flag.Duration("interval", 50*time.Millisecond, "real-time duration of one sampling period (0 = lockstep)")
 	seed := flag.Int64("seed", 1, "noise seed")
-	codec := flag.String("codec", "binary", "wire codec for outgoing frames: binary or json")
+	codec := flag.String("codec", "binary", "wire codec for outgoing frames: binary, binary2 (delta-compacted rates), or json")
 	queue := flag.Int("queue", lane.DefaultQueueDepth, "outbound send-queue depth (frames)")
+	faultSpec := flag.String("transport-faults", "", "inject transport faults on outbound reports, e.g. drop=0.05,delay=10ms,delayprob=0.5,seed=7")
+	drift := flag.Float64("drift", 0, "clock rate error for free-running pacing: +0.01 samples 1% fast, -0.01 1% slow")
+	skew := flag.Duration("skew", 0, "constant clock offset for free-running pacing")
 	flag.Parse()
 
 	var sys *task.System
@@ -54,12 +58,16 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "nodeagent: %v\n", err)
 		return 2
 	}
+	plan, err := fault.ParseTransportPlan(*faultSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nodeagent: %v\n", err)
+		return 2
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	fmt.Printf("nodeagent: P%d of %s → %s (etf=%g, codec=%s)\n", *proc+1, sys.Name, *addr, *etf, wire.Name())
-	err = agent.RunAgent(ctx, sys, *proc, *addr,
+	opts := []agent.Option{
 		agent.WithNodeName(fmt.Sprintf("%s-P%d", sys.Name, *proc+1)),
 		agent.WithETF(sim.ConstantETF(*etf)),
 		agent.WithSamplingPeriod(workload.SamplingPeriod),
@@ -68,7 +76,15 @@ func run() int {
 		agent.WithInterval(*interval),
 		agent.WithCodec(wire),
 		agent.WithSendQueue(*queue),
-	)
+	}
+	if !plan.Zero() {
+		opts = append(opts, agent.WithSendFaults(plan))
+	}
+	if *drift != 0 || *skew != 0 { //eucon:float-exact flag sentinel: exactly zero means no skew injection
+		opts = append(opts, agent.WithClock(agent.NewSkewedClock(*skew, *drift)))
+	}
+	fmt.Printf("nodeagent: P%d of %s → %s (etf=%g, codec=%s)\n", *proc+1, sys.Name, *addr, *etf, wire.Name())
+	err = agent.RunAgent(ctx, sys, *proc, *addr, opts...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "nodeagent: %v\n", err)
 		return 1
@@ -82,9 +98,11 @@ func parseCodec(name string) (lane.Codec, error) {
 	switch name {
 	case "binary":
 		return lane.Binary, nil
+	case "binary2":
+		return lane.BinaryV2, nil
 	case "json":
 		return lane.JSONv0, nil
 	default:
-		return nil, fmt.Errorf("unknown codec %q (want binary or json)", name)
+		return nil, fmt.Errorf("unknown codec %q (want binary, binary2, or json)", name)
 	}
 }

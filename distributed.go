@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/rtsyslab/eucon/internal/agent"
+	"github.com/rtsyslab/eucon/internal/fault"
 	"github.com/rtsyslab/eucon/internal/lane"
 )
 
@@ -35,19 +36,51 @@ type (
 	// DistributedOption configures ServeController and RunNodeAgent; the
 	// constructors below mirror internal/agent's functional options.
 	DistributedOption = agent.Option
-	// WireCodec encodes and decodes lane frames; see BinaryCodec and
-	// JSONCodec.
+	// WireCodec encodes and decodes lane frames; see BinaryCodec,
+	// BinaryV2Codec, and JSONCodec.
 	WireCodec = lane.Codec
+	// WirePlan decides the fate of each message crossing a faulty
+	// transport (see TransportPlan and DistributedTransportFaults).
+	WirePlan = lane.Plan
+	// TransportPlan is the canonical WirePlan: seeded, stateless
+	// drop/delay/duplicate/reorder probabilities applied per frame. A plan
+	// is a pure function of its Seed; Reseed decorrelates copies of the
+	// same plan across peers and directions.
+	TransportPlan = fault.TransportPlan
+	// AgentClock is a node agent's injectable time source; see
+	// DistributedClock, WallClock, and NewSkewedClock.
+	AgentClock = agent.Clock
 )
 
 // Wire codecs for DistributedCodec: the compact binary format (the
-// default — versioned, zero-alloc in steady state) and the v0 JSON format
-// kept for interoperability. Incoming frames are always auto-detected, so
-// a fleet may mix codecs freely.
+// default — versioned, zero-alloc in steady state), the delta-friendly v2
+// binary format (varint rates payload; a controller lane whose peer joins
+// in v2 sends delta-compacted rate frames), and the v0 JSON format kept
+// for interoperability. Incoming frames are always auto-detected, so a
+// fleet may mix codecs freely.
 var (
-	BinaryCodec WireCodec = lane.Binary
-	JSONCodec   WireCodec = lane.JSONv0
+	BinaryCodec   WireCodec = lane.Binary
+	BinaryV2Codec WireCodec = lane.BinaryV2
+	JSONCodec     WireCodec = lane.JSONv0
 )
+
+// WallClock is the production agent clock (the real time.Now/time.After).
+func WallClock() AgentClock { return agent.WallClock{} }
+
+// ParseTransportPlan parses the flag syntax the cmd binaries accept for
+// -transport-faults, e.g. "drop=0.05,delayprob=0.5,delay=20ms,dup=0.01,
+// reorder=0.01,seed=7". The empty string parses to the zero plan.
+func ParseTransportPlan(spec string) (TransportPlan, error) {
+	return fault.ParseTransportPlan(spec)
+}
+
+// NewSkewedClock builds an agent clock offset from the wall clock by
+// offset and running at a rate of (1 + drift) wall seconds per second, for
+// harnesses that prove the controller tolerates nodes that disagree about
+// time.
+func NewSkewedClock(offset time.Duration, drift float64) AgentClock {
+	return agent.NewSkewedClock(offset, drift)
+}
 
 // ServeController runs the controller daemon on ln until the context is
 // canceled or the configured period bound is reached: it admits node
@@ -109,3 +142,29 @@ func DistributedTrace(enabled bool) DistributedOption { return agent.WithTrace(e
 // DistributedETF sets a node agent's execution-time-factor schedule for
 // its synthetic plant.
 func DistributedETF(s ETFSchedule) DistributedOption { return agent.WithETF(s) }
+
+// DistributedClock injects the clock pacing a free-running node agent's
+// sampling periods (default: the wall clock). Skewed or drifting clocks
+// let a deployment harness prove the controller's liveness sweep and
+// hold-last substitution survive nodes that disagree about time.
+func DistributedClock(c AgentClock) DistributedOption { return agent.WithClock(c) }
+
+// DistributedTransportFaults injects per-peer transport faults
+// (drop/delay/duplicate/reorder — e.g. a reseeded TransportPlan) into the
+// controller daemon's outbound rate lanes, keyed by processor index; on a
+// node agent the plan keyed by its own processor faults its reports. Loss
+// the plan injects is degraded around — hold-last substitution upstream,
+// stale-frame tolerance downstream — never fatal.
+func DistributedTransportFaults(plan func(processor int) WirePlan) DistributedOption {
+	return agent.WithTransportFaults(plan)
+}
+
+// DistributedSendFaults is the node-agent side of
+// DistributedTransportFaults: it faults the agent's outbound utilization
+// reports under plan (a retried report consumes a fresh message index, so
+// an injected drop can be recovered on the next attempt). Use distinct
+// seeds per agent and direction — Reseed on one TransportPlan template —
+// or every lane loses the same frames at once.
+func DistributedSendFaults(plan WirePlan) DistributedOption {
+	return agent.WithSendFaults(plan)
+}

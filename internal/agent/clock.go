@@ -1,0 +1,75 @@
+package agent
+
+import "time"
+
+// Clock abstracts an agent's notion of time, so harnesses can run fleets
+// whose nodes disagree about it. A distributed deployment never has one
+// clock: cheap oscillators drift by parts per million, NTP steps time
+// around, and a node rejoining after a partition may believe it is periods
+// ahead of or behind the controller. The production wall clock and the
+// skewed test clocks both live behind this interface, and the agent's
+// free-running pacer draws its ticks from it — so clock disagreement is a
+// first-class injected fault, not an untested deployment surprise.
+//
+// The controller side deliberately stays on the wall clock: the server is
+// the fleet's time reference, and its liveness sweep and period timeout
+// must measure real elapsed time regardless of how confused any agent is.
+type Clock interface {
+	// Now reports the clock's current reading.
+	Now() time.Time
+	// After fires once the clock has advanced by d (in this clock's time
+	// scale — a fast-running clock fires earlier in real time).
+	After(d time.Duration) <-chan time.Time
+}
+
+// WallClock is the real time.Now/time.After clock, the default.
+type WallClock struct{}
+
+// Now implements Clock.
+func (WallClock) Now() time.Time {
+	return time.Now() //eucon:wallclock-ok WallClock IS the production time source; sim paths inject test clocks instead
+}
+
+// After implements Clock.
+func (WallClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// SkewedClock runs offset from and at a different rate than the wall
+// clock: its reading at wall time t is t + Offset + Drift·(t − t₀), where
+// t₀ is the construction instant. Drift is a rate error — +0.01 runs 1%
+// fast, −0.01 runs 1% slow — so an agent paced by this clock genuinely
+// free-runs ahead of or behind the fleet, which is exactly the condition
+// the server's hold-last substitution and liveness sweep must tolerate.
+type SkewedClock struct {
+	offset time.Duration
+	drift  float64
+	epoch  time.Time
+}
+
+// NewSkewedClock builds a clock offset from the wall clock by offset and
+// running at a rate of (1 + drift) wall seconds per second. Drift must be
+// > −1 (a stopped or reversed clock deadlocks After); out-of-range values
+// are clamped to −0.5.
+func NewSkewedClock(offset time.Duration, drift float64) *SkewedClock {
+	if drift <= -1 {
+		drift = -0.5
+	}
+	return &SkewedClock{
+		offset: offset,
+		drift:  drift,
+		epoch:  time.Now(), //eucon:wallclock-ok skew emulation is anchored to real time by design
+	}
+}
+
+// Now implements Clock.
+func (c *SkewedClock) Now() time.Time {
+	now := time.Now() //eucon:wallclock-ok skew emulation is anchored to real time by design
+	elapsed := now.Sub(c.epoch)
+	return now.Add(c.offset + time.Duration(c.drift*float64(elapsed)))
+}
+
+// After implements Clock: a duration of d on this clock spans d/(1+drift)
+// of real time, so a fast clock's ticks arrive early and a slow clock's
+// late.
+func (c *SkewedClock) After(d time.Duration) <-chan time.Time {
+	return time.After(time.Duration(float64(d) / (1 + c.drift)))
+}

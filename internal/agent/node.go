@@ -53,6 +53,12 @@ func RunAgent(ctx context.Context, sys *task.System, processor int, addr string,
 	var reports lane.Sender = conn
 	if opt.sendFaults != nil {
 		reports = lane.NewFaultConn(conn, opt.sendFaults)
+	} else if opt.peerFaults != nil {
+		// The per-peer form of the same option (shared with the Server):
+		// the plan keyed by this agent's processor faults its reports.
+		if plan := opt.peerFaults(processor); plan != nil {
+			reports = lane.NewFaultConn(conn, plan)
+		}
 	}
 	queue := lane.NewSendQueue(func(ctx context.Context, m *lane.Message) error {
 		if m.Type != lane.TypeUtilizationBatch {
@@ -118,6 +124,11 @@ func RunAgent(ctx context.Context, sys *task.System, processor int, addr string,
 // then advances — the paper's sequence, as fast as the lanes allow.
 func runLockstep(ctx context.Context, conn *lane.Conn, queue *lane.SendQueue, opt *Options,
 	processor, next int, measure func(int) float64, rates []float64) error {
+	// applied tracks the newest period whose rates have been applied; under
+	// a faulty transport, duplicated or reordered frames can deliver an
+	// older period after a newer one, and applying it would regress the
+	// plant to stale rates.
+	applied := next - 1
 	var m lane.Message
 	for {
 		if err := ctx.Err(); err != nil {
@@ -140,9 +151,15 @@ func runLockstep(ctx context.Context, conn *lane.Conn, queue *lane.SendQueue, op
 			if m.Type != lane.TypeRates {
 				return fmt.Errorf("agent: node P%d got unexpected %s", processor+1, m.Type)
 			}
+			if m.Rates.Period < applied {
+				// Stale frame (a reordered or duplicated older period):
+				// ignore — the newer rates already applied must win.
+				continue
+			}
 			if err := applyRates(rates, &m.Rates); err != nil {
 				return fmt.Errorf("agent: node P%d: %w", processor+1, err)
 			}
+			applied = m.Rates.Period
 			if m.Rates.Period >= next {
 				// The period we reported (or a later one, if the server
 				// stepped past us) is actuated; move on.
@@ -158,10 +175,33 @@ func runLockstep(ctx context.Context, conn *lane.Conn, queue *lane.SendQueue, op
 	}
 }
 
-// runFree paces periods with a ticker and applies rates as they arrive.
+// runFree paces periods with the agent's clock and applies rates as they
+// arrive. The pacing clock is injectable (WithClock), so a skewed or
+// drifting agent genuinely samples faster or slower than the fleet — the
+// condition the server's period timeout and liveness sweep must absorb.
+//
+// The period index is the server's logical clock, not the agent's: every
+// fresh rates frame resynchronizes the report counter to the period the
+// server actuates next, exactly as in lockstep. Without that, an agent
+// whose first tick lands one period out of phase stays out of phase for
+// the whole run — every report it ever sends arrives stale and the
+// controller steers its processor on hold-last substitutes alone. The
+// agent's physical clock only paces sampling: skew and drift change how
+// often it reports, never which period it believes the fleet is in
+// (between frames — through a partition, say — the counter free-runs on
+// the local clock and the resync snaps it back on the first frame after
+// the heal).
 func runFree(ctx context.Context, conn *lane.Conn, queue *lane.SendQueue, opt *Options,
 	processor, next int, measure func(int) float64, rates []float64) error {
-	var mu sync.Mutex // guards rates between the ticker loop and the reader
+	var mu sync.Mutex // guards rates/next/sent between the pacer loop and the reader
+	// applied guards against duplicated or reordered rate frames regressing
+	// the plant to a stale period's rates.
+	applied := next - 1
+	// sentPeriod/sentAt remember the newest report so the reader can
+	// measure report-sent → rates-received latency when the matching
+	// period's rates land.
+	sentPeriod := -1
+	var sentAt time.Time
 	done := make(chan error, 1)
 	go func() {
 		var m lane.Message
@@ -182,7 +222,18 @@ func runFree(ctx context.Context, conn *lane.Conn, queue *lane.SendQueue, opt *O
 				return
 			case lane.TypeRates:
 				mu.Lock()
-				err := applyRates(rates, &m.Rates)
+				var err error
+				if m.Rates.Period >= applied {
+					err = applyRates(rates, &m.Rates)
+					applied = m.Rates.Period
+					// Rates stamped k are broadcast by the step that closed
+					// period k; the server is collecting k+1 now.
+					next = m.Rates.Period + 1
+					if opt.latencySink != nil && sentPeriod >= 0 && m.Rates.Period >= sentPeriod {
+						opt.latencySink(sentPeriod, time.Since(sentAt)) //eucon:wallclock-ok operational latency metric, never feeds control output
+						sentPeriod = -1
+					}
+				}
 				mu.Unlock()
 				if err != nil {
 					select {
@@ -201,8 +252,6 @@ func runFree(ctx context.Context, conn *lane.Conn, queue *lane.SendQueue, opt *O
 		}
 	}()
 
-	ticker := time.NewTicker(opt.interval)
-	defer ticker.Stop()
 	for {
 		select {
 		case <-ctx.Done():
@@ -212,14 +261,17 @@ func runFree(ctx context.Context, conn *lane.Conn, queue *lane.SendQueue, opt *O
 				return fmt.Errorf("agent: node P%d: %w", processor+1, err)
 			}
 			return nil
-		case <-ticker.C:
+		case <-opt.clock.After(opt.interval):
 			mu.Lock()
-			u := measure(next)
+			k := next
+			u := measure(k)
+			sentPeriod = k
+			sentAt = time.Now() //eucon:wallclock-ok operational latency metric, never feeds control output
+			next++
 			mu.Unlock()
-			if err := queue.EnqueueSample(processor, next, u); err != nil {
+			if err := queue.EnqueueSample(processor, k, u); err != nil {
 				return err
 			}
-			next++
 		}
 	}
 }

@@ -35,6 +35,8 @@ type Options struct {
 	retry          lane.RetryPolicy
 	sendFaults     lane.Plan
 	latencySink    func(period int, rtt time.Duration)
+	clock          Clock
+	peerFaults     func(processor int) lane.Plan
 }
 
 // Option configures a Server or a node agent.
@@ -49,11 +51,18 @@ func newOptions(opts []Option) Options {
 		ioTimeout:         DefaultTimeout,
 		periodTimeout:     DefaultPeriodTimeout,
 		samplingPeriod:    1,
+		clock:             WallClock{},
 	}
 	for _, opt := range opts {
 		if opt != nil {
 			opt(&o)
 		}
+	}
+	if o.retry.Seed == 0 {
+		// Distinct per-agent retry seeds desynchronize backoff: a fleet
+		// rejoining in unison after a healed partition must not retry in
+		// unison too.
+		o.retry.Seed = o.seed
 	}
 	return o
 }
@@ -180,6 +189,31 @@ func WithRetry(p lane.RetryPolicy) Option {
 // holds the last sample.
 func WithSendFaults(p lane.Plan) Option {
 	return func(o *Options) { o.sendFaults = p }
+}
+
+// WithClock injects the clock pacing a free-running node agent's sampling
+// periods (default: the wall clock). Skewed or drifting clocks
+// (NewSkewedClock) let a harness prove the server's liveness sweep and
+// hold-last substitution survive agents that disagree about time by whole
+// periods. The server itself always keeps wall time — it is the fleet's
+// time reference.
+func WithClock(c Clock) Option {
+	return func(o *Options) {
+		if c != nil {
+			o.clock = c
+		}
+	}
+}
+
+// WithTransportFaults injects per-peer transport faults into the Server's
+// outbound rate lanes: plan(p) returns the fault plan for processor p's
+// lane (nil for a clean lane). Dropped rate frames exercise the agents'
+// stale-frame tolerance and the delta codec's resync path; duplicates and
+// reorders exercise frame idempotence. Derive per-peer plans from one
+// template with fault.TransportPlan.Reseed so peers' loss patterns
+// decorrelate.
+func WithTransportFaults(plan func(processor int) lane.Plan) Option {
+	return func(o *Options) { o.peerFaults = plan }
 }
 
 // WithLatencySink streams a node agent's end-to-end sampling-period

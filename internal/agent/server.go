@@ -35,6 +35,7 @@ type srvEvent struct {
 	kind  eventKind
 	conn  *lane.Conn
 	hello lane.Hello
+	v2    bool                  // evJoin: the hello arrived in binary v2
 	batch lane.UtilizationBatch // samples are a private copy
 	err   error                 // evLeave: nil for a clean shutdown notice
 }
@@ -45,6 +46,107 @@ type member struct {
 	conn  *lane.Conn
 	queue *lane.SendQueue
 	tasks []int32 // hosted task indices, immutable once built
+}
+
+// deltaKeyframeEvery bounds how many delta-compacted rate frames a v2 lane
+// sends between full frames. A lost or reordered delta can leave the agent
+// holding stale rates for the tasks that frame touched; the next keyframe
+// restores every hosted task, so the divergence window is at most this
+// many periods.
+const deltaKeyframeEvery = 16
+
+// rateDelta compacts successive rate frames for one binary-v2 member:
+// values unchanged since the previous frame handed to the transport are
+// omitted (most rates repeat period to period once the fleet converges, so
+// the common frame shrinks to a few bytes), with periodic keyframes and an
+// explicit resync after an injected drop. Owned by the member's queue
+// writer goroutine; never shared.
+type rateDelta struct {
+	tasks    []int32   // the member's hosted tasks, immutable, ascending
+	last     []float64 // values as of the last frame handed to the transport
+	haveLast bool
+	sinceKey int
+	resync   bool
+	tbuf     []int32
+	vbuf     []float64
+}
+
+func newRateDelta(tasks []int32) *rateDelta {
+	return &rateDelta{
+		tasks: tasks,
+		last:  make([]float64, len(tasks)),
+		tbuf:  make([]int32, 0, len(tasks)), // non-nil: an empty delta is a sparse frame, not a full vector
+		vbuf:  make([]float64, 0, len(tasks)),
+	}
+}
+
+// shrink rewrites m in place to the changed-value subset when eligible and
+// returns a restore function putting the original slices back (the queue
+// recycles them after the send). The frame's values are recorded
+// optimistically; a send that turns out dropped must flag resync so the
+// next frame is full.
+func (d *rateDelta) shrink(m *lane.Message) func() {
+	vals := m.Rates.Values
+	if !d.haveLast || d.resync || d.sinceKey >= deltaKeyframeEvery || len(vals) != len(d.tasks) {
+		copy(d.last, vals)
+		d.haveLast = len(vals) == len(d.tasks)
+		d.resync = false
+		d.sinceKey = 0
+		return func() {}
+	}
+	d.sinceKey++
+	d.tbuf = d.tbuf[:0]
+	d.vbuf = d.vbuf[:0]
+	for i, t := range d.tasks {
+		if vals[i] != d.last[i] { //eucon:float-exact delta keys on bit-identical repetition; any numeric change must be resent
+			d.tbuf = append(d.tbuf, t)
+			d.vbuf = append(d.vbuf, vals[i])
+			d.last[i] = vals[i]
+		}
+	}
+	origT, origV := m.Rates.Tasks, m.Rates.Values
+	m.Rates.Tasks, m.Rates.Values = d.tbuf, d.vbuf
+	return func() { m.Rates.Tasks, m.Rates.Values = origT, origV }
+}
+
+// sendFuncFor builds a member's queue SendFunc: plain sends on a clean
+// lane; retry plus tolerated-drop accounting when a per-peer fault plan is
+// installed; delta compaction of rate frames when the peer negotiated
+// binary v2. The function runs serially on the member's queue writer
+// goroutine.
+func (s *Server) sendFuncFor(sender lane.Sender, faulty, v2 bool, p int, tasks []int32, injected *atomic.Uint64) lane.SendFunc {
+	retry := s.opt.retry
+	if retry.Seed == 0 {
+		retry.Seed = int64(p) + 1
+	} else {
+		// Decorrelate per-peer backoff jitter from the shared policy seed.
+		retry.Seed ^= (int64(p) + 1) * 0x9e3779b9
+	}
+	var compact *rateDelta
+	if v2 {
+		compact = newRateDelta(tasks)
+	}
+	return func(ctx context.Context, m *lane.Message) error {
+		if compact != nil && m.Type == lane.TypeRates {
+			restore := compact.shrink(m)
+			defer restore()
+		}
+		if !faulty {
+			return sender.Send(m, s.opt.ioTimeout)
+		}
+		err := lane.SendRetry(ctx, sender, m, s.opt.ioTimeout, retry)
+		if errors.Is(err, lane.ErrInjectedDrop) {
+			// Lost to the fault plan even after retries: tolerated. The
+			// agent rides out the missed actuation on its current rates; a
+			// v2 lane resynchronizes with a full frame next period.
+			injected.Add(1)
+			if compact != nil {
+				compact.resync = true
+			}
+			return nil
+		}
+		return err
+	}
 }
 
 // ServerResult aggregates a Server run.
@@ -68,12 +170,26 @@ type ServerResult struct {
 	// departures (shutdown notice), and lane failures or silence
 	// evictions.
 	Joins, Rejoins, Leaves, Crashes int
+	// LiveAtEnd is how many members were still connected when the run
+	// ended. The membership ledger balances:
+	// Joins + Rejoins == Leaves + Crashes + LiveAtEnd.
+	LiveAtEnd int
+	// ControllerErrors counts periods where the controller's Step failed
+	// and the previous rates were held instead.
+	ControllerErrors int
 	// FramesIn and FramesOut count protocol frames received from and
 	// queued to members.
 	FramesIn, FramesOut uint64
 	// DroppedSamples sums the samples shed by member send queues under
 	// backpressure.
 	DroppedSamples uint64
+	// InjectedDrops counts outbound rate frames discarded by the per-peer
+	// transport fault plans (WithTransportFaults) after retries — loss the
+	// protocol degraded around rather than a failure.
+	InjectedDrops uint64
+	// PeerQueues aggregates each processor's outbound queue counters over
+	// the run, summed across rejoins of the same slot.
+	PeerQueues []lane.QueueStats
 }
 
 // Server is the production EUCON controller daemon: the centralized MPC
@@ -173,7 +289,11 @@ func (s *Server) serveLane(ctx context.Context, conn *lane.Conn) {
 		_ = conn.Close()
 		return
 	}
-	if !s.post(ctx, srvEvent{kind: evJoin, conn: conn, hello: m.Hello}) {
+	// A hello framed in binary v2 advertises that this peer decodes v2:
+	// the control loop switches the lane's outbound codec and enables
+	// delta-compacted rate frames in response.
+	v2 := conn.LastFrameVersion() == lane.FrameVersionBinaryV2
+	if !s.post(ctx, srvEvent{kind: evJoin, conn: conn, hello: m.Hello, v2: v2}) {
 		_ = conn.Close()
 		return
 	}
@@ -217,10 +337,11 @@ func (s *Server) post(ctx context.Context, ev srvEvent) bool {
 // control is the single goroutine owning membership and control state.
 func (s *Server) control(ctx context.Context) (*ServerResult, error) {
 	n := s.sys.Processors
-	res := &ServerResult{}
+	res := &ServerResult{PeerQueues: make([]lane.QueueStats, n)}
 	members := make([]*member, n)
 	everJoined := make([]bool, n)
 	live := 0
+	var injectedDrops atomic.Uint64 // written by member queue goroutines
 
 	rates := s.sys.InitialRates()
 	u := make([]float64, n)     // current period's reports
@@ -240,7 +361,19 @@ func (s *Server) control(ctx context.Context) (*ServerResult, error) {
 	timer := time.NewTimer(wait)
 	defer timer.Stop()
 
+	// retire folds a departing member's queue counters into the result.
+	retire := func(p int, mb *member) {
+		snap := mb.queue.Snapshot()
+		st := &res.PeerQueues[p]
+		st.Sent += snap.Sent
+		st.DroppedSamples += snap.DroppedSamples
+		st.Coalesced += snap.Coalesced
+		st.SupersededRates += snap.SupersededRates
+		res.DroppedSamples += snap.DroppedSamples
+	}
+
 	shutdownAll := func(reason string) {
+		res.LiveAtEnd = live
 		for p, mb := range members {
 			if mb == nil {
 				continue
@@ -249,10 +382,11 @@ func (s *Server) control(ctx context.Context) (*ServerResult, error) {
 			res.FramesOut++
 			mb.queue.Close()
 			<-mb.queue.Done()
-			res.DroppedSamples += mb.queue.Stats().DroppedSamples
+			retire(p, mb)
 			_ = mb.conn.Close()
 			members[p] = nil
 		}
+		res.InjectedDrops = injectedDrops.Load()
 	}
 
 	drop := func(p int, crashed bool) {
@@ -269,7 +403,7 @@ func (s *Server) control(ctx context.Context) (*ServerResult, error) {
 			res.Leaves++
 		}
 		mb.queue.Close()
-		res.DroppedSamples += mb.queue.Stats().DroppedSamples
+		retire(p, mb)
 		_ = mb.conn.Close()
 	}
 
@@ -292,7 +426,10 @@ func (s *Server) control(ctx context.Context) (*ServerResult, error) {
 		newRates, err := s.ctrl.Step(k, u, rates)
 		if err == nil {
 			rates = newRates
-		} // on controller error keep rates, matching the simulator's policy
+		} else {
+			// Keep rates, matching the simulator's policy.
+			res.ControllerErrors++
+		}
 		for _, mb := range members {
 			if mb == nil {
 				continue
@@ -359,10 +496,20 @@ func (s *Server) control(ctx context.Context) (*ServerResult, error) {
 					conn:  ev.conn,
 					tasks: hostedTasks(s.sys, p),
 				}
-				conn := ev.conn
-				mb.queue = lane.NewSendQueue(func(ctx context.Context, m *lane.Message) error {
-					return conn.Send(m, s.opt.ioTimeout)
-				}, s.opt.queueDepth)
+				if ev.v2 {
+					ev.conn.SetCodec(lane.BinaryV2)
+				}
+				var sender lane.Sender = ev.conn
+				faulty := false
+				if s.opt.peerFaults != nil {
+					if plan := s.opt.peerFaults(p); plan != nil {
+						sender = lane.NewFaultConn(ev.conn, plan)
+						faulty = true
+					}
+				}
+				mb.queue = lane.NewSendQueue(
+					s.sendFuncFor(sender, faulty, ev.v2, p, mb.tasks, &injectedDrops),
+					s.opt.queueDepth)
 				mb.queue.Start(ctx)
 				members[p] = mb
 				live++

@@ -20,6 +20,7 @@ var fixtures = map[string]string{
 	"faultdeterminism": "internal/fault/fixinjector",
 	"chaosdeterminism": "internal/chaos/fixchaos",
 	"empcdeterminism":  "internal/empc/fixempc",
+	"agentclock":       "internal/agent/fixclock",
 	"noalloc":          "fixnoalloc",
 	"floatsafety":      "fixfloat",
 	"pool":             "internal/sim/fixpool",
@@ -250,7 +251,7 @@ func TestDiagnosticOrderDeterministic(t *testing.T) {
 // analyzerFixtures maps each analyzer to the fixture directories that
 // exercise it, for the coverage meta-test.
 var analyzerFixtures = map[string][]string{
-	"determinism":    {"determinism", "neighborscope", "faultdeterminism", "chaosdeterminism", "empcdeterminism"},
+	"determinism":    {"determinism", "neighborscope", "faultdeterminism", "chaosdeterminism", "empcdeterminism", "agentclock"},
 	"noalloc":        {"noalloc"},
 	"floatsafety":    {"floatsafety"},
 	"pooldiscipline": {"pool"},

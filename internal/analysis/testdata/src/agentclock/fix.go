@@ -1,0 +1,30 @@
+// Package fixclock pins the determinism scope over the membership layer's
+// time discipline: agent and server code paces itself through the
+// injectable Clock, so a bare time.Now in internal/agent is a finding
+// unless annotated //eucon:wallclock-ok (the WallClock implementation and
+// operational metrics are the annotated sites). Loaded under a synthetic
+// internal/agent path.
+package fixclock
+
+import "time"
+
+// livenessDeadline is the bug this fixture guards against: computing a
+// membership deadline from the wall clock directly instead of the injected
+// clock, which breaks skewed-clock harnesses and replay.
+func livenessDeadline(timeout time.Duration) time.Time {
+	return time.Now().Add(timeout) // want "determinism: time.Now couples simulation results to the wall clock.*//eucon:wallclock-ok"
+}
+
+// wallClock mirrors the production WallClock: the one place a raw read is
+// the point, carrying the annotation.
+type wallClock struct{}
+
+func (wallClock) now() time.Time { // ok: the production time source itself is the annotated site
+	return time.Now() //eucon:wallclock-ok fixture: WallClock IS the wall clock
+}
+
+// paced is the approved shape: time arrives through an injected clock
+// value, never read ambiently.
+func paced(now time.Time, interval time.Duration) time.Time { // ok: injected time keeps the path deterministic
+	return now.Add(interval)
+}

@@ -43,6 +43,18 @@ const (
 	// two traces must be bit-identical, so the parallel-determinism
 	// guarantee is checked under fault storms, not just on clean runs.
 	CampaignLarge128
+	// CampaignPartition targets the production distributed runtime itself:
+	// each scenario boots a real controller Server plus an 8-agent fleet
+	// over loopback TCP and injects network partitions (an agent isolated
+	// for a window of periods, then healed and rejoined) and seeded
+	// transport loss on the live lanes, both derived from the scenario's
+	// fault clauses. The invariant set is the membership ledger balance,
+	// zero controller restarts and errors, finite in-bounds traces, and
+	// re-convergence after the network heals. Scenario generation and
+	// shrinking are deterministic as in every campaign; the run itself
+	// crosses real sockets, so the invariants are written to be
+	// timing-tolerant (counts and bounds, never exact schedules).
+	CampaignPartition
 )
 
 // String implements fmt.Stringer.
@@ -52,6 +64,8 @@ func (c Campaign) String() string {
 		return "simple"
 	case CampaignLarge128:
 		return "large128"
+	case CampaignPartition:
+		return "partition"
 	default:
 		return fmt.Sprintf("Campaign(%d)", int(c))
 	}
@@ -240,6 +254,9 @@ func Check(ctx context.Context, specs []fault.Spec, opts Options) (problems []st
 	}()
 	if opts.Campaign == CampaignLarge128 {
 		return checkLarge128(ctx, specs, opts)
+	}
+	if opts.Campaign == CampaignPartition {
+		return checkPartition(ctx, specs, opts)
 	}
 
 	sys := workload.Simple()

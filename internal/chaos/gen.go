@@ -61,14 +61,52 @@ func GenerateFor(c Campaign, seed int64, index, maxClauses, periods int) Scenari
 			Magnitude: round3(r.rangeF(0.7, 1.3)),
 		})
 	}
+	var crashed [partitionProcs]bool
 	for i := 0; i < n; i++ {
-		if c == CampaignLarge128 {
+		switch c {
+		case CampaignLarge128:
 			specs = append(specs, randLargeClause(&r, periods))
-		} else {
+		case CampaignPartition:
+			specs = append(specs, randPartitionClause(&r, periods, &crashed))
+		case CampaignSimple:
 			specs = append(specs, randClause(&r, periods))
 		}
 	}
 	return Scenario{Index: index, Seed: seed, Specs: specs}
+}
+
+// randPartitionClause draws one clause for the partition campaign: either
+// a hard partition (ProcCrash — the agent is isolated for the window, then
+// healed and rejoined) or a transport-loss window (FeedbackDrop — seeded
+// probabilistic frame loss on that processor's lanes). Crash clauses take
+// distinct processors, so concurrent partition windows never fight over
+// one agent's lifecycle and the expected crash/rejoin ledger is exactly
+// the clause count.
+func randPartitionClause(r *rng, periods int, crashed *[partitionProcs]bool) fault.Spec {
+	lastStop := math.Floor(3 * float64(periods) / 4)
+	start := math.Floor(r.rangeF(10, lastStop-30))
+	if r.float64() < 0.5 {
+		stop := start + math.Floor(r.rangeF(10, 40))
+		if stop > lastStop {
+			stop = lastStop
+		}
+		proc := fault.All
+		if r.float64() < 0.7 {
+			proc = r.intn(partitionProcs)
+		}
+		return fault.Spec{Kind: fault.FeedbackDrop, Proc: proc,
+			Start: start, Stop: stop, Magnitude: round3(r.rangeF(0.05, 0.4)), Seed: r.int63()}
+	}
+	p := r.intn(partitionProcs)
+	for i := 0; crashed[p] && i < partitionProcs; i++ {
+		p = (p + 1) % partitionProcs
+	}
+	crashed[p] = true
+	stop := start + math.Floor(r.rangeF(5, 25))
+	if stop > lastStop {
+		stop = lastStop
+	}
+	return fault.Spec{Kind: fault.ProcCrash, Proc: p, Start: start, Stop: stop}
 }
 
 // randLargeClause draws one crash or feedback-drop clause for the LARGE-128

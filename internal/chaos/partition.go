@@ -1,0 +1,345 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/rtsyslab/eucon/internal/agent"
+	"github.com/rtsyslab/eucon/internal/deucon"
+	"github.com/rtsyslab/eucon/internal/fault"
+	"github.com/rtsyslab/eucon/internal/lane"
+	"github.com/rtsyslab/eucon/internal/sim"
+	"github.com/rtsyslab/eucon/internal/workload"
+)
+
+// The partition campaign's fleet: a real controller Server plus one node
+// agent per processor of the LARGE-8 workload, free-running over loopback
+// TCP so the run length is bounded in wall time regardless of how much of
+// the fleet a partition isolates.
+const (
+	// partitionProcs is the fleet size (workload.Large requires ≥ 6).
+	partitionProcs = 8
+	// partitionInterval paces the free-running sampling periods.
+	partitionInterval = 5 * time.Millisecond
+	// partitionMembershipTimeout evicts a silent (partitioned) member.
+	partitionMembershipTimeout = 300 * time.Millisecond
+	// partitionIOTimeout bounds individual lane operations.
+	partitionIOTimeout = 2 * time.Second
+	// partitionReconvergeTol is the re-convergence bound over the final
+	// reconvergeTail periods; looser than the simulator campaigns because
+	// the free-running fleet also carries measurement jitter and real
+	// network timing.
+	partitionReconvergeTol = 0.2
+	// partitionJitter is the agents' measurement noise amplitude.
+	partitionJitter = 0.02
+)
+
+// checkPartition runs one scenario of the partition campaign. Clause
+// mapping: ProcCrash isolates the clause's processor from its Start period
+// (the agent's context is canceled — the lane just dies, no goodbye) and
+// heals it at Stop (a fresh agent rejoins); FeedbackDrop installs seeded
+// probabilistic loss on the processor's lanes — both directions, so report
+// loss exercises hold-last substitution and rate loss exercises the
+// agents' stale-frame tolerance and the v2 delta resync — active only
+// while the server's period is inside the window.
+//
+// The invariant set: the run completes without a server error (a
+// controller restart would surface exactly there), the membership ledger
+// balances (joins + rejoins = leaves + crashes + live-at-end), the fleet
+// is whole again at the end, every injected partition was booked as a
+// crash and a rejoin, the controller never errored, the trace stays finite
+// and in bounds, hold-last substitution actually engaged while members
+// were isolated, and the fleet re-converges to its set points after the
+// network heals.
+func checkPartition(ctx context.Context, specs []fault.Spec, opts Options) (problems []string, stats runStats) {
+	sys, err := workload.Large(partitionProcs)
+	if err != nil {
+		return []string{fmt.Sprintf("build workload: %v", err)}, stats
+	}
+	ctrl, err := deucon.New(sys, nil, deucon.Config{})
+	if err != nil {
+		return []string{fmt.Sprintf("build controller: %v", err)}, stats
+	}
+	var rc sim.Controller = ctrl
+	if opts.seedBug != nil {
+		if bug := plantBug(ctrl, specs, opts.seedBug); bug != nil {
+			rc = bug
+		}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return []string{fmt.Sprintf("listen: %v", err)}, stats
+	}
+
+	// The loss plans consult the live server's period to gate their
+	// windows, but the plans must exist before the server does (they are
+	// construction options), so they read it through an atomic pointer
+	// filled in below — before any agent can connect.
+	var srvRef atomic.Pointer[agent.Server]
+	periodNow := func() int {
+		if s := srvRef.Load(); s != nil {
+			return s.Period()
+		}
+		return 0
+	}
+	lossFor := func(p int, inbound bool) lane.Plan {
+		w := buildWindowPlan(specs, p, inbound, periodNow)
+		if w == nil {
+			return nil
+		}
+		return w
+	}
+
+	srv, err := agent.NewServer(sys, rc, ln,
+		agent.WithPeriods(opts.Periods),
+		agent.WithInterval(partitionInterval),
+		agent.WithMembershipTimeout(partitionMembershipTimeout),
+		agent.WithIOTimeout(partitionIOTimeout),
+		agent.WithTrace(true),
+		agent.WithTransportFaults(func(p int) lane.Plan { return lossFor(p, false) }),
+	)
+	if err != nil {
+		_ = ln.Close()
+		return []string{fmt.Sprintf("build server: %v", err)}, stats
+	}
+	srvRef.Store(srv)
+	addr := ln.Addr().String()
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type outcome struct {
+		res *agent.ServerResult
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() { //eucon:goroutine-ok joined by the blocking receive on done below
+		res, err := srv.Run(runCtx)
+		done <- outcome{res, err}
+	}()
+
+	// One kill switch per processor so a partition clause isolates exactly
+	// the incumbent agent.
+	var wg sync.WaitGroup
+	var killMu sync.Mutex
+	kills := make([]context.CancelFunc, partitionProcs)
+	launch := func(p int) {
+		actx, acancel := context.WithCancel(runCtx)
+		killMu.Lock()
+		kills[p] = acancel
+		killMu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Agents speak binary v2, so the negotiated delta-compacted
+			// rate path runs under the injected loss, not just on clean
+			// lanes.
+			_ = agent.RunAgent(actx, sys, p, addr,
+				agent.WithETF(sim.ConstantETF(1)),
+				agent.WithSamplingPeriod(workload.SamplingPeriod),
+				agent.WithInterval(partitionInterval),
+				agent.WithJitter(partitionJitter),
+				agent.WithSeed(int64(p)+1),
+				agent.WithCodec(lane.BinaryV2),
+				agent.WithSendFaults(lossFor(p, true)),
+				agent.WithNodeName(fmt.Sprintf("part-P%d", p+1)),
+			)
+		}()
+	}
+	for p := 0; p < partitionProcs; p++ {
+		launch(p)
+	}
+
+	// One scheduler goroutine per partition clause: wait for the window to
+	// open, isolate the processor, wait for it to close, heal.
+	crashClauses := 0
+	minCrashLen := math.Inf(1)
+	for _, sp := range specs {
+		if sp.Kind != fault.ProcCrash {
+			continue
+		}
+		crashClauses++
+		if l := sp.Stop - sp.Start; l < minCrashLen {
+			minCrashLen = l
+		}
+		sp := sp
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if !waitPeriod(runCtx, srv, int(sp.Start)) {
+				return
+			}
+			killMu.Lock()
+			kills[sp.Proc]()
+			killMu.Unlock()
+			if !waitPeriod(runCtx, srv, int(sp.Stop)) {
+				return
+			}
+			launch(sp.Proc) // heal: a fresh agent rejoins the same slot
+		}()
+	}
+
+	out := <-done
+	cancel()
+	wg.Wait()
+
+	add := func(format string, args ...any) {
+		if len(problems) < maxProblemsPerRun {
+			problems = append(problems, fmt.Sprintf(format, args...))
+		}
+	}
+	if out.err != nil {
+		add("server run failed (controller restart territory): %v", out.err)
+		return problems, stats
+	}
+	res := out.res
+	stats.heldSamples = res.MissedReports
+
+	if res.Periods != opts.Periods {
+		add("run truncated: server stepped %d of %d periods", res.Periods, opts.Periods)
+	}
+	if got, want := res.Joins+res.Rejoins, res.Leaves+res.Crashes+res.LiveAtEnd; got != want {
+		add("membership ledger unbalanced: %d joins + %d rejoins != %d leaves + %d crashes + %d live at end",
+			res.Joins, res.Rejoins, res.Leaves, res.Crashes, res.LiveAtEnd)
+	}
+	if res.LiveAtEnd != partitionProcs {
+		add("fleet did not heal: %d of %d agents live at end", res.LiveAtEnd, partitionProcs)
+	}
+	if res.Crashes < crashClauses {
+		add("injected %d partitions but the server booked only %d crashes", crashClauses, res.Crashes)
+	}
+	if res.Rejoins < crashClauses {
+		add("injected %d partitions but only %d rejoins were booked", crashClauses, res.Rejoins)
+	}
+	if res.ControllerErrors > 0 {
+		add("controller returned errors in %d periods", res.ControllerErrors)
+	}
+	// Hold-last must actually have engaged while a member was isolated: a
+	// partition of ≥ 5 periods leaves the server stepping without that
+	// member's reports well before eviction or rejoin.
+	if crashClauses > 0 && minCrashLen >= 5 && res.MissedReports == 0 {
+		add("partitions isolated members for ≥ %g periods yet no report was ever substituted", minCrashLen)
+	}
+	problems = appendTraceProblems(problems, res, sys, opts.Periods)
+	return problems, stats
+}
+
+// appendTraceProblems checks a server-run trace against the shared finite/
+// in-bounds/re-convergence invariants, mirroring inspect for the simulator
+// campaigns.
+func appendTraceProblems(problems []string, res *agent.ServerResult, sys interface {
+	RateBounds() ([]float64, []float64)
+	DefaultSetPoints() []float64
+}, periods int) []string {
+	add := func(format string, args ...any) bool {
+		if len(problems) >= maxProblemsPerRun {
+			return false
+		}
+		problems = append(problems, fmt.Sprintf(format, args...))
+		return true
+	}
+	for k, row := range res.Utilization {
+		for p, v := range row {
+			if !(v >= 0 && v <= 1) {
+				if !add("utilization[k=%d][P%d] = %g outside [0, 1]", k, p+1, v) {
+					return problems
+				}
+			}
+		}
+	}
+	rmin, rmax := sys.RateBounds()
+	for k, row := range res.Rates {
+		for i, r := range row {
+			if !(r >= rmin[i] && r <= rmax[i]) {
+				if !add("rate[k=%d][T%d] = %g outside [%g, %g]", k, i+1, r, rmin[i], rmax[i]) {
+					return problems
+				}
+			}
+		}
+	}
+	if n := len(res.Utilization); n >= reconvergeTail {
+		b := sys.DefaultSetPoints()
+		for p := range b {
+			sum := 0.0
+			for k := n - reconvergeTail; k < n; k++ {
+				sum += res.Utilization[k][p]
+			}
+			mean := sum / reconvergeTail
+			if d := math.Abs(mean - b[p]); !(d <= partitionReconvergeTol) {
+				add("no re-convergence: P%d mean utilization %.4f over final %d periods, set point %.4f (|Δ| %.4f > %g)",
+					p+1, mean, reconvergeTail, b[p], d, partitionReconvergeTol)
+			}
+		}
+	}
+	return problems
+}
+
+// lossWindow is one FeedbackDrop clause compiled for one lane direction.
+type lossWindow struct {
+	start, stop float64
+	plan        fault.TransportPlan
+}
+
+// windowPlan gates seeded transport loss by the server's current sampling
+// period, so a clause's loss applies only inside its window. The period
+// read is inherently racy against the control loop's step — by a period at
+// most — which is why the campaign's invariants are counts and bounds
+// rather than exact schedules.
+type windowPlan struct {
+	period  func() int
+	windows []lossWindow
+}
+
+// Outcome implements lane.Plan.
+func (w *windowPlan) Outcome(n uint64) (drop bool, delay time.Duration) {
+	k := float64(w.period())
+	for _, win := range w.windows {
+		if k >= win.start && (win.stop <= 0 || k < win.stop) {
+			if drop, delay = win.plan.Outcome(n); drop || delay > 0 {
+				return drop, delay
+			}
+		}
+	}
+	return false, 0
+}
+
+// buildWindowPlan compiles the FeedbackDrop clauses targeting processor p
+// into a window-gated loss plan for one lane direction (inbound = the
+// agent's reports, outbound = the server's rates), or nil when no clause
+// applies. The two directions draw decorrelated loss patterns from the
+// clause seed, so "drop 20%" does not mean "every lost report also loses
+// its rate frame".
+func buildWindowPlan(specs []fault.Spec, p int, inbound bool, period func() int) *windowPlan {
+	var wins []lossWindow
+	for _, sp := range specs {
+		if sp.Kind != fault.FeedbackDrop || (sp.Proc != fault.All && sp.Proc != p) {
+			continue
+		}
+		plan := fault.TransportPlan{DropProb: sp.Magnitude, Seed: sp.Seed}
+		salt := int64(2*p + 1)
+		if inbound {
+			salt = int64(2 * p)
+		}
+		wins = append(wins, lossWindow{start: sp.Start, stop: sp.Stop, plan: plan.Reseed(salt)})
+	}
+	if len(wins) == 0 {
+		return nil
+	}
+	return &windowPlan{period: period, windows: wins}
+}
+
+// waitPeriod polls until the server reaches period k; false on cancel.
+func waitPeriod(ctx context.Context, srv *agent.Server, k int) bool {
+	for srv.Period() < k {
+		if ctx.Err() != nil {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return true
+}

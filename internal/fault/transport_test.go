@@ -50,6 +50,84 @@ func TestTransportPlanDeterministicAndCalibrated(t *testing.T) {
 	}
 }
 
+func TestTransportPlanFateOfCalibrated(t *testing.T) {
+	p := TransportPlan{DropProb: 0.1, DupProb: 0.05, ReorderProb: 0.05, Seed: 7}
+	const n = 20000
+	drops, dups, reorders := 0, 0, 0
+	for i := uint64(0); i < n; i++ {
+		drop, delay, dup, reorder := p.FateOf(i)
+		if drop {
+			drops++
+			if delay != 0 || dup || reorder {
+				t.Fatalf("message %d: drop combined with another fate", i)
+			}
+			continue
+		}
+		if dup {
+			dups++
+		}
+		if reorder {
+			reorders++
+		}
+	}
+	if f := float64(drops) / n; f < 0.08 || f > 0.12 {
+		t.Errorf("drop fraction %.3f, want ≈ 0.1", f)
+	}
+	if f := float64(dups) / n; f < 0.03 || f > 0.07 {
+		t.Errorf("dup fraction %.3f, want ≈ 0.05·0.9", f)
+	}
+	if f := float64(reorders) / n; f < 0.03 || f > 0.07 {
+		t.Errorf("reorder fraction %.3f, want ≈ 0.05·0.9", f)
+	}
+}
+
+func TestTransportPlanReseedDecorrelates(t *testing.T) {
+	p := TransportPlan{DropProb: 0.5, Seed: 42}
+	a, b := p.Reseed(1), p.Reseed(2)
+	if a.Seed == p.Seed || b.Seed == p.Seed || a.Seed == b.Seed {
+		t.Fatalf("Reseed produced colliding seeds: %d, %d, %d", p.Seed, a.Seed, b.Seed)
+	}
+	// Same salt must reproduce the same derived plan (per-peer plans are
+	// rebuilt on rejoin and must match the pre-crash pattern).
+	if again := p.Reseed(1); again.Seed != a.Seed {
+		t.Fatalf("Reseed(1) not deterministic: %d vs %d", a.Seed, again.Seed)
+	}
+	sameAB, sameAP := 0, 0
+	for i := uint64(0); i < 1000; i++ {
+		da, _ := a.Outcome(i)
+		db, _ := b.Outcome(i)
+		dp, _ := p.Outcome(i)
+		if da == db {
+			sameAB++
+		}
+		if da == dp {
+			sameAP++
+		}
+	}
+	if sameAB > 650 || sameAP > 650 {
+		t.Errorf("reseeded plans track the template (%d/%d of 1000 agree) — peers would lose frames in lockstep", sameAB, sameAP)
+	}
+}
+
+func TestParseTransportPlan(t *testing.T) {
+	p, err := ParseTransportPlan("drop=0.05,delayprob=0.3,delay=20ms,dup=0.01,reorder=0.02,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := TransportPlan{DropProb: 0.05, DelayProb: 0.3, Delay: 20 * time.Millisecond, DupProb: 0.01, ReorderProb: 0.02, Seed: 7}
+	if p != want {
+		t.Fatalf("parsed %+v, want %+v", p, want)
+	}
+	if p, err := ParseTransportPlan("  "); err != nil || !p.Zero() {
+		t.Fatalf("blank spec = %+v, %v; want zero plan", p, err)
+	}
+	for _, bad := range []string{"drop", "drop=1.5", "loss=0.1", "delay=fast", "seed=x", "drop=-0.1"} {
+		if _, err := ParseTransportPlan(bad); err == nil {
+			t.Errorf("spec %q parsed without error", bad)
+		}
+	}
+}
+
 func TestTransportPlanZeroIsTransparent(t *testing.T) {
 	var p TransportPlan
 	for i := uint64(0); i < 100; i++ {

@@ -127,51 +127,70 @@ func (binaryCodec) Decode(body []byte, m *Message) error {
 	m.Type = MessageType(body[1])
 	switch m.Type {
 	case TypeHello:
-		m.Hello.Processor = d.u32("hello processor")
-		m.Hello.Node = d.str("hello node")
-		return d.finish()
+		return decodeHelloPayload(&d, m)
 	case TypeUtilizationBatch:
-		b := &m.Batch
-		b.Processor = d.u32("batch processor")
-		b.First = d.u32("batch first period")
-		n := d.count("batch sample count", 8)
-		b.Samples = b.Samples[:0]
-		for i := 0; i < n && d.err == nil; i++ {
-			b.Samples = append(b.Samples, d.f64("batch sample"))
-		}
-		return d.finish()
+		return decodeBatchPayload(&d, m)
 	case TypeRates:
-		r := &m.Rates
-		r.Period = d.u32("rates period")
-		flags := d.byte("rates flags")
-		sparse := flags&rateFlagSparse != 0
-		elem := 8
-		if sparse {
-			elem = 12 // 4-byte index + 8-byte value
-		}
-		n := d.count("rates count", elem)
-		r.Tasks = r.Tasks[:0]
-		if sparse {
-			for i := 0; i < n && d.err == nil; i++ {
-				r.Tasks = append(r.Tasks, int32(d.u32("rates task index")))
-			}
-			if r.Tasks == nil {
-				r.Tasks = []int32{} // keep sparse-with-no-tasks distinct from full-vector
-			}
-		} else {
-			r.Tasks = nil
-		}
-		r.Values = r.Values[:0]
-		for i := 0; i < n && d.err == nil; i++ {
-			r.Values = append(r.Values, d.f64("rates value"))
-		}
-		return d.finish()
+		return decodeRatesV1Payload(&d, m)
 	case TypeShutdown:
-		m.Shutdown.Reason = d.str("shutdown reason")
-		return d.finish()
+		return decodeShutdownPayload(&d, m)
 	default: //eucon:exhaustive-default unknown wire types are malformed input, not a dispatch gap
 		return fmt.Errorf("%w: unknown message type %d", ErrMalformedFrame, body[1])
 	}
+}
+
+// The per-type payload decoders below are shared between binary v1 and v2:
+// only the rates payload differs across versions (see codecv2.go).
+
+func decodeHelloPayload(d *decoder, m *Message) error {
+	m.Hello.Processor = d.u32("hello processor")
+	m.Hello.Node = d.str("hello node")
+	return d.finish()
+}
+
+func decodeBatchPayload(d *decoder, m *Message) error {
+	b := &m.Batch
+	b.Processor = d.u32("batch processor")
+	b.First = d.u32("batch first period")
+	n := d.count("batch sample count", 8)
+	b.Samples = b.Samples[:0]
+	for i := 0; i < n && d.err == nil; i++ {
+		b.Samples = append(b.Samples, d.f64("batch sample"))
+	}
+	return d.finish()
+}
+
+func decodeRatesV1Payload(d *decoder, m *Message) error {
+	r := &m.Rates
+	r.Period = d.u32("rates period")
+	flags := d.byte("rates flags")
+	sparse := flags&rateFlagSparse != 0
+	elem := 8
+	if sparse {
+		elem = 12 // 4-byte index + 8-byte value
+	}
+	n := d.count("rates count", elem)
+	r.Tasks = r.Tasks[:0]
+	if sparse {
+		for i := 0; i < n && d.err == nil; i++ {
+			r.Tasks = append(r.Tasks, int32(d.u32("rates task index")))
+		}
+		if r.Tasks == nil {
+			r.Tasks = []int32{} // keep sparse-with-no-tasks distinct from full-vector
+		}
+	} else {
+		r.Tasks = nil
+	}
+	r.Values = r.Values[:0]
+	for i := 0; i < n && d.err == nil; i++ {
+		r.Values = append(r.Values, d.f64("rates value"))
+	}
+	return d.finish()
+}
+
+func decodeShutdownPayload(d *decoder, m *Message) error {
+	m.Shutdown.Reason = d.str("shutdown reason")
+	return d.finish()
 }
 
 // appendU32 appends v as a big-endian uint32, rejecting values outside

@@ -93,7 +93,7 @@ func equalFloats(a, b []float64) bool {
 }
 
 func TestCodecRoundTripBitExact(t *testing.T) {
-	for _, codec := range []Codec{Binary, JSONv0} {
+	for _, codec := range []Codec{Binary, BinaryV2, JSONv0} {
 		for _, want := range messageFixtures() {
 			if codec == JSONv0 && hasNaN(want.Batch.Samples) {
 				continue // JSON cannot represent NaN; the binary codec is bit-exact
@@ -148,6 +148,13 @@ func TestDecodeMalformedFailsClosed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	validV2, err := BinaryV2.AppendEncode(nil, &Message{
+		Type:  TypeRates,
+		Rates: Rates{Period: 9, Tasks: []int32{1, 4}, Values: []float64{0.5, 0.25}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	cases := []struct {
 		name string
 		body []byte
@@ -170,6 +177,26 @@ func TestDecodeMalformedFailsClosed(t *testing.T) {
 		{"json-truncated", []byte(`{"type":"rates","per`)},
 		{"json-unknown-type", []byte(`{"type":"gossip"}`)},
 		{"json-empty-object", []byte(`{}`)},
+		{"v2-version-only", []byte{binaryV2Version}},
+		{"v2-unknown-type", []byte{binaryV2Version, 0xee}},
+		{"v2-truncated-payload", validV2[:len(validV2)-1]},
+		{"v2-truncated-varint", validV2[:3]},
+		{"v2-trailing-garbage", append(append([]byte{}, validV2...), 0xaa)},
+		{"v2-hostile-count", func() []byte {
+			// A v2 rates frame claiming 2^28 sparse elements in a tiny
+			// body must be rejected before any allocation is attempted.
+			b := []byte{binaryV2Version, byte(TypeRates), 9 /* period */, rateFlagSparse}
+			b = append(b, 0x80, 0x80, 0x80, 0x80, 0x01) // uvarint 2^28
+			return b
+		}()},
+		{"v2-gap-overflow", func() []byte {
+			// One sparse element whose index gap (MaxUint32, a legal
+			// varint) pushes the running task index past MaxInt32.
+			b := []byte{binaryV2Version, byte(TypeRates), 9, rateFlagSparse, 1}
+			b = append(b, 0xff, 0xff, 0xff, 0xff, 0x0f) // uvarint 2^32-1 gap
+			b = append(b, 0, 0, 0, 0, 0, 0, 0, 0)       // the element's value
+			return b
+		}()},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -221,6 +248,174 @@ func TestBinarySteadyStateZeroAlloc(t *testing.T) {
 			}
 			buf = b
 			if err := Binary.Decode(buf, &m); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s: %v allocs/op in steady state, want 0", tc.name, allocs)
+		}
+	}
+}
+
+// TestAutoDetectTruncationMidStream is the lossy-network recovery case: a
+// frame body truncated mid-stream (the sender died, the fault plan cut the
+// write, the length prefix promised more than arrived) must fail closed,
+// and the NEXT frame on the same lane — possibly from a different codec,
+// since detection is per frame — must decode normally. Auto-detect state
+// is per body, so one poisoned frame never wedges the stream.
+func TestAutoDetectTruncationMidStream(t *testing.T) {
+	binBody, err := Binary.AppendEncode(nil, &Message{
+		Type:  TypeRates,
+		Rates: Rates{Period: 40, Tasks: []int32{2, 7}, Values: []float64{0.4, 0.9}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2Body, err := BinaryV2.AppendEncode(nil, &Message{
+		Type:  TypeRates,
+		Rates: Rates{Period: 41, Tasks: []int32{2, 7}, Values: []float64{0.4, 0.9}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonBody := []byte(`{"type":"rates","rates":{"period":42,"values":[0.5,0.25]}}`)
+	cases := []struct {
+		name      string
+		truncated []byte // arrives first: must fail closed
+		next      []byte // arrives second: must decode
+	}{
+		{"binary-then-json", binBody[:len(binBody)/2], jsonBody},
+		{"binary2-then-json", v2Body[:len(v2Body)/2], jsonBody},
+		{"json-then-binary", jsonBody[:len(jsonBody)/2], binBody},
+		{"binary2-then-binary", v2Body[:len(v2Body)-3], binBody},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var m Message
+			if err := DecodeFrame(tc.truncated, &m); !errors.Is(err, ErrMalformedFrame) {
+				t.Fatalf("truncated frame: got %v, want ErrMalformedFrame", err)
+			}
+			m = Message{}
+			if err := DecodeFrame(tc.next, &m); err != nil {
+				t.Fatalf("frame after truncated one failed to decode: %v", err)
+			}
+			if m.Type != TypeRates {
+				t.Fatalf("frame after truncated one decoded as %v, want rates", m.Type)
+			}
+		})
+	}
+}
+
+// TestBinaryV2VersionByte pins the wire tag v2 negotiation keys on.
+func TestBinaryV2VersionByte(t *testing.T) {
+	body, err := BinaryV2.AppendEncode(nil, &Message{Type: TypeHello, Hello: Hello{Processor: 3, Node: "n"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body[0] != FrameVersionBinaryV2 {
+		t.Fatalf("first byte = 0x%02x, want 0x%02x", body[0], FrameVersionBinaryV2)
+	}
+	var m Message
+	if err := DecodeFrame(body, &m); err != nil || m.Hello.Processor != 3 {
+		t.Fatalf("auto-detect of v2 hello: %+v, %v", m.Hello, err)
+	}
+}
+
+// TestBinaryV2SparseEmptyDistinct: an empty sparse frame (a delta that
+// says "nothing changed") must stay distinct from a full-vector frame
+// through a v2 round trip.
+func TestBinaryV2SparseEmptyDistinct(t *testing.T) {
+	sparse := &Message{Type: TypeRates, Rates: Rates{Period: 5, Tasks: []int32{}, Values: []float64{}}}
+	body, err := BinaryV2.AppendEncode(nil, sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Message
+	if err := BinaryV2.Decode(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Rates.Tasks == nil {
+		t.Fatal("empty sparse rates decoded with nil Tasks (would be read as a full vector)")
+	}
+	full := &Message{Type: TypeRates, Rates: Rates{Period: 5, Values: []float64{1, 2}}}
+	body, err = BinaryV2.AppendEncode(nil, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = Message{}
+	if err := BinaryV2.Decode(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Rates.Tasks != nil {
+		t.Fatal("full rates decoded with non-nil Tasks")
+	}
+}
+
+// TestBinaryV2RejectsNonAscending: the gap encoding cannot represent
+// repeated or descending indices, so the encoder must refuse them rather
+// than corrupt silently.
+func TestBinaryV2RejectsNonAscending(t *testing.T) {
+	for _, tasks := range [][]int32{{5, 5}, {5, 3}} {
+		m := &Message{Type: TypeRates, Rates: Rates{Period: 1, Tasks: tasks, Values: []float64{1, 2}}}
+		if _, err := BinaryV2.AppendEncode(nil, m); err == nil {
+			t.Fatalf("encoding non-ascending tasks %v succeeded", tasks)
+		}
+	}
+}
+
+// TestBinaryV2SparseSmallerThanV1 pins the point of v2: a small changed
+// subset out of a large task set costs a couple of bytes per element, not
+// v1's fixed 12.
+func TestBinaryV2SparseSmallerThanV1(t *testing.T) {
+	m := &Message{Type: TypeRates, Rates: Rates{
+		Period: 100,
+		Tasks:  []int32{12, 13, 47},
+		Values: []float64{0.1, 0.2, 0.3},
+	}}
+	v1, err := Binary.AppendEncode(nil, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := BinaryV2.AppendEncode(nil, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v2) >= len(v1) {
+		t.Fatalf("v2 sparse frame is %d bytes, v1 is %d — v2 should be strictly smaller", len(v2), len(v1))
+	}
+}
+
+// TestBinaryV2SteadyStateZeroAlloc mirrors the v1 gate: v2 encode/decode
+// of batch and rates frames into reused buffers must not allocate.
+func TestBinaryV2SteadyStateZeroAlloc(t *testing.T) {
+	batch := &Message{Type: TypeUtilizationBatch, Batch: UtilizationBatch{Processor: 2, First: 100, Samples: []float64{0.5, 0.6, 0.7}}}
+	sparse := &Message{Type: TypeRates, Rates: Rates{Period: 100, Tasks: []int32{1, 3, 5}, Values: []float64{0.1, 0.2, 0.3}}}
+	full := &Message{Type: TypeRates, Rates: Rates{Period: 100, Values: []float64{0.1, 0.2, 0.3}}}
+
+	var buf []byte
+	var m Message
+	for _, src := range []*Message{batch, sparse, full} {
+		b, err := BinaryV2.AppendEncode(buf[:0], src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = b
+		if err := BinaryV2.Decode(buf, &m); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, tc := range []struct {
+		name string
+		src  *Message
+	}{{"batch", batch}, {"sparse-rates", sparse}, {"full-rates", full}} {
+		allocs := testing.AllocsPerRun(200, func() {
+			b, err := BinaryV2.AppendEncode(buf[:0], tc.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf = b
+			if err := BinaryV2.Decode(buf, &m); err != nil {
 				t.Fatal(err)
 			}
 		})

@@ -12,18 +12,26 @@ import (
 // corpus round runs meaningfully under plain `go test`.
 func FuzzDecodeFrame(f *testing.F) {
 	for _, m := range messageFixtures() {
-		for _, codec := range []Codec{Binary, JSONv0} {
+		for _, codec := range []Codec{Binary, BinaryV2, JSONv0} {
 			body, err := codec.AppendEncode(nil, &m)
 			if err != nil {
 				continue // e.g. NaN samples are unrepresentable in JSON
 			}
 			f.Add(body)
+			// Truncation mid-stream: a partial frame (a lossy lane cut the
+			// body short) must fail closed without wedging the decoder.
+			if len(body) > 2 {
+				f.Add(body[:len(body)/2])
+			}
 		}
 	}
 	f.Add([]byte{})
 	f.Add([]byte{binaryVersion})
 	f.Add([]byte{binaryVersion, 0xff, 0xff})
 	f.Add([]byte{binaryVersion, byte(TypeUtilizationBatch), 0x7f, 0xff, 0xff, 0xff})
+	f.Add([]byte{binaryV2Version})
+	f.Add([]byte{binaryV2Version, byte(TypeRates), 9, rateFlagSparse, 0x80, 0x80, 0x80, 0x80, 0x01})
+	f.Add([]byte{binaryV2Version, byte(TypeRates), 9, rateFlagSparse, 1, 0xff, 0xff, 0xff, 0xff, 0x0f, 0, 0, 0, 0, 0, 0, 0, 0})
 	f.Add([]byte(`{"type":"rates","period":-1,"values":[1e309]}`))
 	f.Add([]byte(`{`))
 

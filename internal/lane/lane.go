@@ -151,13 +151,14 @@ func WithConnCodec(c Codec) ConnOption {
 
 // Conn is a framed, write-serialized connection.
 type Conn struct {
-	nc    net.Conn
-	codec Codec
+	nc net.Conn
 
 	writeMu sync.Mutex
+	codec   Codec  // outgoing codec, guarded by writeMu (see SetCodec)
 	wbuf    []byte // reusable frame buffer, guarded by writeMu
 
-	rbuf []byte // reusable body buffer, owned by the single reader
+	rbuf    []byte // reusable body buffer, owned by the single reader
+	lastVer byte   // version byte of the last received frame, owned by the single reader
 }
 
 // NewConn wraps a net.Conn. With no options frames are sent in the
@@ -189,6 +190,25 @@ func DialContext(ctx context.Context, addr string, timeout time.Duration, opts .
 
 // Close closes the underlying connection.
 func (c *Conn) Close() error { return c.nc.Close() }
+
+// SetCodec switches the codec used for subsequent outgoing frames. Safe to
+// call concurrently with Send; incoming frames are always auto-detected, so
+// a codec switch never has to be synchronized with the peer.
+func (c *Conn) SetCodec(codec Codec) {
+	if codec == nil {
+		return
+	}
+	c.writeMu.Lock()
+	c.codec = codec
+	c.writeMu.Unlock()
+}
+
+// LastFrameVersion reports the version byte (first body byte) of the most
+// recently received frame — FrameVersionBinary, FrameVersionBinaryV2, or
+// FrameVersionJSON — and 0 before any frame arrives. Owned by the single
+// reader goroutine, like ReceiveInto itself; the membership layer reads it
+// right after a hello frame to learn what the peer's sender emits.
+func (c *Conn) LastFrameVersion() byte { return c.lastVer }
 
 // RemoteAddr reports the peer address.
 func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }
@@ -249,6 +269,9 @@ func (c *Conn) ReceiveInto(m *Message, deadline time.Duration) error {
 	if _, err := io.ReadFull(c.nc, body); err != nil {
 		return fmt.Errorf("lane: read frame body: %w", err)
 	}
+	if n > 0 {
+		c.lastVer = body[0]
+	}
 	return DecodeFrame(body, m)
 }
 
@@ -263,8 +286,8 @@ func (c *Conn) Receive(deadline time.Duration) (*Message, error) {
 }
 
 // DecodeFrame decodes one frame body into m, auto-detecting the codec: a
-// body starting with the binary version byte decodes as Binary, one
-// starting with '{' as JSONv0. The decoded message copies everything it
+// body starting with a binary version byte decodes as Binary or BinaryV2,
+// one starting with '{' as JSONv0. The decoded message copies everything it
 // needs out of body, so the caller may reuse the buffer immediately.
 func DecodeFrame(body []byte, m *Message) error {
 	if len(body) == 0 {
@@ -273,6 +296,8 @@ func DecodeFrame(body []byte, m *Message) error {
 	switch body[0] {
 	case binaryVersion:
 		return Binary.Decode(body, m)
+	case binaryV2Version:
+		return BinaryV2.Decode(body, m)
 	case '{':
 		return JSONv0.Decode(body, m)
 	default:

@@ -113,6 +113,25 @@ func (q *SendQueue) Stats() QueueStats {
 	return q.stats
 }
 
+// QueueSnapshot is a coherent point-in-time view of a SendQueue: the
+// lifetime counters plus the live backlog and terminal error, all read
+// under one lock acquisition so the fields are mutually consistent (a
+// Stats()+Err() pair taken separately can straddle a send).
+type QueueSnapshot struct {
+	QueueStats
+	// Pending counts frames queued but not yet handed to the SendFunc.
+	Pending int
+	// Err is the error that killed the queue, or nil.
+	Err error
+}
+
+// Snapshot returns a coherent snapshot of counters, backlog, and error.
+func (q *SendQueue) Snapshot() QueueSnapshot {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return QueueSnapshot{QueueStats: q.stats, Pending: q.pending(), Err: q.err}
+}
+
 // Close stops the queue after the writer flushes everything currently
 // queued. Enqueues after Close return ErrQueueClosed.
 func (q *SendQueue) Close() {

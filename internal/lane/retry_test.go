@@ -127,6 +127,136 @@ func TestSendRetryCanceledMidSendStopsPromptly(t *testing.T) {
 	}
 }
 
+func TestJitteredBackoffDeterministicAndBounded(t *testing.T) {
+	p := RetryPolicy{Attempts: 4, BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond, Seed: 7}
+	for attempt := 0; attempt < 4; attempt++ {
+		d := p.Backoff(attempt)
+		j1 := p.JitteredBackoff(attempt)
+		j2 := p.JitteredBackoff(attempt)
+		if j1 != j2 {
+			t.Fatalf("JitteredBackoff(%d) not deterministic: %v vs %v", attempt, j1, j2)
+		}
+		if j1 > d || j1 < d/2 {
+			t.Errorf("JitteredBackoff(%d) = %v outside [%v, %v] (jitter 0.5 of %v)", attempt, j1, d/2, d, d)
+		}
+	}
+	// Negative jitter disables: exact exponential schedule.
+	exact := p
+	exact.Jitter = -1
+	for attempt := 0; attempt < 4; attempt++ {
+		if got, want := exact.JitteredBackoff(attempt), exact.Backoff(attempt); got != want {
+			t.Errorf("jitter-disabled backoff(%d) = %v, want %v", attempt, got, want)
+		}
+	}
+}
+
+// TestRejoinStormBackoffDesynchronized is the S-regression for a healed
+// partition: 64 agents whose first resend fires in the same period must
+// not sleep identical backoffs (a thundering herd re-synchronized by the
+// very retry meant to spread it). Distinct seeds — the agent options
+// derive them from each agent's processor seed — must fan the herd across
+// the jitter window.
+func TestRejoinStormBackoffDesynchronized(t *testing.T) {
+	const agents = 64
+	base := RetryPolicy{Attempts: 3, BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond}
+	seen := make(map[time.Duration]int, agents)
+	var lo, hi time.Duration = time.Hour, 0
+	for p := 0; p < agents; p++ {
+		policy := base
+		policy.Seed = int64(p + 1)
+		d := policy.JitteredBackoff(0)
+		seen[d]++
+		if d < lo {
+			lo = d
+		}
+		if d > hi {
+			hi = d
+		}
+	}
+	if len(seen) < agents-4 {
+		t.Errorf("64 seeded agents produced only %d distinct first backoffs — the storm stays synchronized", len(seen))
+	}
+	// The herd must actually use the window, not cluster at one edge.
+	if spread := hi - lo; spread < base.Backoff(0)/4 {
+		t.Errorf("backoff spread %v over a %v window — jitter is not dispersing the herd", spread, base.Backoff(0)/2)
+	}
+	// The regression this guards against: identical seeds collapse the
+	// herd back onto one instant.
+	same := base
+	same.Seed = 1
+	if a, b := same.JitteredBackoff(0), same.JitteredBackoff(0); a != b {
+		t.Fatalf("same-seed backoffs differ: %v vs %v", a, b)
+	}
+}
+
+// fullFate is an ExtendedPlan scripting the complete fate of each message
+// index.
+type fullFate map[uint64]struct{ dup, reorder bool }
+
+func (f fullFate) Outcome(n uint64) (bool, time.Duration) { return false, 0 }
+func (f fullFate) FateOf(n uint64) (bool, time.Duration, bool, bool) {
+	e := f[n]
+	return false, 0, e.dup, e.reorder
+}
+
+func TestFaultConnDuplicateDeliversTwice(t *testing.T) {
+	client, server := net.Pipe()
+	defer func() { _ = client.Close() }()
+	defer func() { _ = server.Close() }()
+	fc := NewFaultConn(NewConn(client), fullFate{0: {dup: true}})
+	peer := NewConn(server)
+
+	got := make(chan *Message, 2)
+	go func() {
+		for i := 0; i < 2; i++ {
+			m, err := peer.Receive(time.Second)
+			if err != nil {
+				t.Errorf("peer receive %d: %v", i, err)
+				return
+			}
+			got <- m
+		}
+	}()
+	if err := fc.Send(sample(0, 3, 0.5), time.Second); err != nil {
+		t.Fatalf("duplicated send: %v", err)
+	}
+	a, b := <-got, <-got
+	if a.Batch.First != 3 || b.Batch.First != 3 {
+		t.Fatalf("duplicate pair = periods %d, %d; want 3, 3", a.Batch.First, b.Batch.First)
+	}
+}
+
+func TestFaultConnReorderSwapsAdjacentFrames(t *testing.T) {
+	client, server := net.Pipe()
+	defer func() { _ = client.Close() }()
+	defer func() { _ = server.Close() }()
+	fc := NewFaultConn(NewConn(client), fullFate{0: {reorder: true}})
+	peer := NewConn(server)
+
+	got := make(chan *Message, 2)
+	go func() {
+		for i := 0; i < 2; i++ {
+			m, err := peer.Receive(time.Second)
+			if err != nil {
+				t.Errorf("peer receive %d: %v", i, err)
+				return
+			}
+			got <- m
+		}
+	}()
+	// Message 0 is held; message 1 goes out first, then 0 lands late.
+	if err := fc.Send(sample(0, 0, 0.5), time.Second); err != nil {
+		t.Fatalf("held send: %v", err)
+	}
+	if err := fc.Send(sample(0, 1, 0.6), time.Second); err != nil {
+		t.Fatalf("displacing send: %v", err)
+	}
+	a, b := <-got, <-got
+	if a.Batch.First != 1 || b.Batch.First != 0 {
+		t.Fatalf("reordered pair arrived as periods %d, %d; want 1, 0", a.Batch.First, b.Batch.First)
+	}
+}
+
 // dropNth drops exactly one message index, passing everything else through.
 type dropNth uint64
 

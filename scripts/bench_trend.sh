@@ -86,6 +86,18 @@ printf '{"date":"%s","bench":"ChaosSmoke25","wall_ms":%s}\n' "$date" "$chaos_ms"
 go build -o /tmp/euconfarm.bench ./cmd/euconfarm
 /tmp/euconfarm.bench -json |
 	sed "s/^{/{\"date\":\"${date}\",/" >>"$out"
+
+# The same 1000-agent fleet degraded (Farm1000Lossy): free-running with
+# per-agent clock drift, 5% seeded frame drops with delays/dups/reorders in
+# both directions, and 4 partition/heal cycles. The line adds injected-drop
+# and re-convergence fields — the robustness trajectory next to the clean
+# latency trajectory. The 120ms pace keeps the sampling period above the
+# fleet's p99 feedback latency (~103ms clean): a faster pace under-samples
+# the loop and the re-convergence gate trips by design (EXPERIMENTS.md,
+# "Lossy-network robustness").
+/tmp/euconfarm.bench -json -codec binary2 -interval 120ms -skew 0.005 \
+	-transport-faults drop=0.05,delayprob=0.5,delay=20ms,dup=0.01,reorder=0.01,seed=7 -partitions 4 |
+	sed "s/^{/{\"date\":\"${date}\",/" >>"$out"
 rm -f /tmp/euconfarm.bench
 
 # euconlint full-tree wall time: the interprocedural analyzers (transitive

@@ -3,10 +3,12 @@
 # benchmark smoke, the steady-state zero-allocation gates (simulator,
 # explicit MPC, and the localized DEUCON step at 128 processors), the
 # sweep/fault/LARGE-workload digest diffs against scripts/golden/, and the
-# chaos smoke campaigns (25 seeded fault storms on SIMPLE plus 6 localized
-# fault storms at 128 processors, every robustness invariant enforced), and
-# the distributed-runtime smoke (euconfarm: 64 node agents over loopback
-# TCP riding through injected crashes without a controller restart).
+# chaos smoke campaigns (25 seeded fault storms on SIMPLE, 6 localized
+# fault storms at 128 processors, and 2 partition scenarios against a real
+# 8-agent TCP fleet, every robustness invariant enforced), and the
+# distributed-runtime smokes (euconfarm: 64 node agents over loopback TCP
+# riding through injected crashes without a controller restart, clean and
+# again under transport loss, clock drift, and a partition/heal cycle).
 # Usage: ./scripts/check.sh   (or: make check)
 set -eu
 
@@ -123,7 +125,14 @@ echo "==> chaos smoke (make chaos-smoke: 25 seeded fault storms + 6 localized st
 go run ./cmd/euconfuzz -seed 1 -n 25
 go run ./cmd/euconfuzz -campaign large128 -seed 1 -n 6 -periods 100
 
+echo "==> partition campaign smoke (real 8-agent TCP fleet under partitions and transport loss)"
+go run ./cmd/euconfuzz -campaign partition -seed 1 -n 2 -periods 100
+
 echo "==> distributed-runtime smoke (euconfarm: 64 agents over loopback TCP, crashes injected)"
 go run ./cmd/euconfarm -smoke
+
+echo "==> lossy-network smoke (FarmLossy: 64 agents, 5% drop + 20ms delays + dup/reorder, drifting clocks, one partition/heal cycle)"
+go run ./cmd/euconfarm -smoke -codec binary2 -interval 10ms -skew 0.01 \
+	-transport-faults drop=0.05,delayprob=0.3,delay=20ms,dup=0.01,reorder=0.01,seed=7 -partitions 1
 
 echo "==> OK"
